@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces Fig. 1: performance of the Intel CPU OpenCL stack's
+ * vectorization heuristic vs. the scalar / 4-way / 8-way variants of
+ * sgemm and spmv-jds, reported as speedup over the heuristic's choice
+ * (higher is better).
+ *
+ * Paper shape: the heuristic is suboptimal on both benchmarks -- it
+ * picks 4-way for the regular sgemm (8-way is ~2.13x better) and
+ * 8-way for the divergent spmv-jds (4-way is ~1.24x better).
+ */
+#include <iostream>
+
+#include "baselines/intel_vectorizer.hh"
+#include "support/table.hh"
+#include "workloads/sgemm.hh"
+#include "workloads/spmv_jds.hh"
+
+#include "figure_common.hh"
+
+using namespace dysel;
+using namespace dysel::bench;
+
+namespace {
+
+void
+runOne(support::Table &table, const char *name, Workload w)
+{
+    const unsigned heuristic_width =
+        baselines::intelVectorWidth(w.info);
+    const std::string heuristic_name =
+        heuristic_width == 1 ? "scalar"
+                             : std::to_string(heuristic_width) + "-way";
+    const int heuristic_idx = w.variantIndex(heuristic_name);
+    if (heuristic_idx < 0)
+        support::fatal("heuristic picked unknown variant %s",
+                       heuristic_name.c_str());
+
+    const auto oracle = workloads::runOracle(workloads::cpuFactory(), w);
+    const double heuristic_time = static_cast<double>(
+        oracle.runs[static_cast<std::size_t>(heuristic_idx)].elapsed);
+
+    table.row().cell(name).cell(heuristic_name);
+    for (const auto &run : oracle.runs)
+        table.cell(heuristic_time / static_cast<double>(run.elapsed), 3);
+
+    const auto &best = oracle.runs[oracle.bestIndex];
+    std::cout << "  " << name << ": heuristic chose " << heuristic_name
+              << ", best is " << best.name << " ("
+              << heuristic_time / static_cast<double>(best.elapsed)
+              << "x better)\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Fig. 1: Intel vectorization heuristic vs explicit "
+                 "widths (CPU) ===\n"
+              << "speedup over heuristic, higher is better\n\n";
+
+    support::Table table({"benchmark", "heuristic-pick", "scalar",
+                          "4-way", "8-way"});
+    runOne(table, "sgemm", workloads::makeSgemmVectorCpu());
+    runOne(table, "spmv-jds", workloads::makeSpmvJdsVectorCpu());
+
+    std::cout << "\n";
+    table.print(std::cout);
+    std::cout << "\nPaper: heuristic falls short of the best width by "
+                 "2.13x (sgemm) and 1.24x (spmv-jds).\n";
+    return 0;
+}

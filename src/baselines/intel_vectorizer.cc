@@ -1,0 +1,17 @@
+#include "intel_vectorizer.hh"
+
+namespace dysel {
+namespace baselines {
+
+unsigned
+intelVectorWidth(const compiler::KernelInfo &info)
+{
+    // Kernels with data-dependent loops look scalar-overhead-bound to
+    // the heuristic, so it goes wide; regular kernels look
+    // memory-bound, so it stays at the "safe" width.  Both choices
+    // are suboptimal on the actual hardware (paper Fig. 1).
+    return info.hasIrregularLoops() ? 8 : 4;
+}
+
+} // namespace baselines
+} // namespace dysel

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * The implicit-vectorizer width heuristic of the Intel OpenCL stack
+ * [13, 21], as reimplemented for the paper's Fig. 1 motivation
+ * experiment.
+ *
+ * The figure's observation is that the production heuristic makes
+ * counter-intuitive choices: it picks 4-wide SIMD for the regular,
+ * divergence-free sgemm (where 8-wide wins) and 8-wide for the
+ * control-divergent spmv-jds (where masking overhead makes 4-wide
+ * faster).  We model the heuristic's actual observed behaviour: a
+ * conservative width for regular kernels (assuming memory-bandwidth
+ * saturation) and a wide vector for kernels with data-dependent inner
+ * loops (hoping to amortize their scalar overhead).
+ */
+#pragma once
+
+#include "compiler/kernel_info.hh"
+
+namespace dysel {
+namespace baselines {
+
+/** SIMD width the modeled Intel heuristic would choose. */
+unsigned intelVectorWidth(const compiler::KernelInfo &info);
+
+} // namespace baselines
+} // namespace dysel

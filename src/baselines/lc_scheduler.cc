@@ -1,0 +1,75 @@
+#include "lc_scheduler.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace dysel {
+namespace baselines {
+
+namespace {
+
+double
+stridePenalty(const compiler::AccessPattern &acc, unsigned loop,
+              const LcParams &p)
+{
+    if (!acc.affine)
+        return p.gather;
+    if (loop >= acc.coeffs.size())
+        return p.invariant;
+    const std::int64_t coeff = acc.coeffs[loop];
+    if (coeff == compiler::AccessPattern::unknownStride)
+        return p.unknown;
+    if (coeff == 0)
+        return p.invariant;
+    const auto stride =
+        static_cast<std::uint64_t>(std::llabs(coeff)) * acc.elemBytes;
+    return stride <= p.lineBytes ? p.withinLine : p.strided;
+}
+
+} // namespace
+
+double
+lcScheduleCost(const compiler::KernelInfo &info,
+               const compiler::Schedule &sched, const LcParams &params)
+{
+    if (sched.order.size() != info.loops.size())
+        support::panic("schedule order size %zu != loop count %zu",
+                       sched.order.size(), info.loops.size());
+    const unsigned innermost = sched.order.back();
+    const unsigned second = sched.order.size() > 1
+        ? sched.order[sched.order.size() - 2]
+        : innermost;
+
+    double cost = 0.0;
+    for (const auto &acc : info.accesses) {
+        const double weight =
+            std::log2(2.0 + static_cast<double>(acc.countHint));
+        cost += weight * stridePenalty(acc, innermost, params);
+        cost += weight * params.secondLevel
+                * stridePenalty(acc, second, params);
+    }
+    return cost;
+}
+
+std::size_t
+lcSelect(const compiler::KernelInfo &info,
+         const std::vector<compiler::Schedule> &candidates,
+         const LcParams &params)
+{
+    if (candidates.empty())
+        support::panic("lcSelect with no candidate schedules");
+    std::size_t best = 0;
+    double best_cost = lcScheduleCost(info, candidates[0], params);
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+        const double cost = lcScheduleCost(info, candidates[i], params);
+        if (cost < best_cost) {
+            best_cost = cost;
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace baselines
+} // namespace dysel

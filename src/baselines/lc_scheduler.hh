@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The locality-centric (LC) scheduling heuristic of Kim et al. [17],
+ * as reimplemented for the baseline comparison of the paper's Figs. 8
+ * and 11a.
+ *
+ * LC serializes OpenCL work-item execution and picks the loop-nest
+ * order that minimizes overall memory access strides.  It is a purely
+ * static heuristic: data-dependent strides and indirect (gather)
+ * accesses get fixed pessimistic penalties regardless of the actual
+ * input, which is exactly the blind spot DySel exploits on the
+ * diagonal spmv matrix (§4.2, §4.4).
+ */
+#pragma once
+
+#include <vector>
+
+#include "compiler/kernel_info.hh"
+#include "compiler/schedule.hh"
+
+namespace dysel {
+namespace baselines {
+
+/** Tunable penalties of the stride heuristic. */
+struct LcParams
+{
+    double invariant = 0.0;  ///< loop-invariant access
+    double withinLine = 1.0; ///< stride within one cache line
+    double strided = 8.0;    ///< stride crossing cache lines
+    double unknown = 6.0;    ///< data-dependent stride
+    double gather = 4.0;     ///< fully indirect access (schedule blind)
+    unsigned lineBytes = 64;
+    /** Weight of the second-innermost loop's strides. */
+    double secondLevel = 0.125;
+};
+
+/** Locality cost of @p sched for the kernel described by @p info. */
+double lcScheduleCost(const compiler::KernelInfo &info,
+                      const compiler::Schedule &sched,
+                      const LcParams &params = LcParams());
+
+/**
+ * Pick the schedule with the lowest locality cost.
+ * @return index into @p candidates (ties break to the earliest).
+ */
+std::size_t lcSelect(const compiler::KernelInfo &info,
+                     const std::vector<compiler::Schedule> &candidates,
+                     const LcParams &params = LcParams());
+
+} // namespace baselines
+} // namespace dysel

@@ -1,0 +1,88 @@
+#include "analysis.hh"
+
+#include "support/logging.hh"
+#include "support/math_util.hh"
+
+namespace dysel {
+namespace compiler {
+
+const char *
+profilingModeName(ProfilingMode mode)
+{
+    switch (mode) {
+      case ProfilingMode::Fully: return "fully-productive";
+      case ProfilingMode::Hybrid: return "hybrid-partial";
+      case ProfilingMode::Swap: return "swap-partial";
+    }
+    return "?";
+}
+
+SafePointPlan
+safePointAnalysis(const std::vector<std::uint64_t> &wa_factors,
+                  unsigned compute_units, std::uint64_t total_units,
+                  double max_fraction)
+{
+    if (wa_factors.empty())
+        support::panic("safePointAnalysis with no variants");
+    if (compute_units == 0)
+        support::panic("safePointAnalysis with zero compute units");
+
+    SafePointPlan plan;
+    plan.lcm = support::lcmAll(wa_factors);
+
+    // Scale so the *slowest-refining* variant (largest factor, hence
+    // fewest groups per LCM) still launches at least one group per
+    // compute unit, fully utilizing the hardware (§3.4).
+    std::uint64_t max_factor = 1;
+    for (std::uint64_t f : wa_factors)
+        max_factor = std::max(max_factor, f);
+    const std::uint64_t min_groups_per_lcm = plan.lcm / max_factor;
+    plan.scale = support::ceilDiv(compute_units, min_groups_per_lcm);
+    plan.unitsPerVariant = plan.lcm * plan.scale;
+
+    // Cap total profiling volume at max_fraction of the workload.
+    const auto budget = static_cast<std::uint64_t>(
+        max_fraction * static_cast<double>(total_units));
+    while (plan.scale > 1
+           && plan.unitsPerVariant * wa_factors.size() > budget) {
+        --plan.scale;
+        plan.unitsPerVariant = plan.lcm * plan.scale;
+    }
+    if (plan.unitsPerVariant * wa_factors.size() > budget) {
+        // Even one LCM slice per variant does not fit: profiling is
+        // not worthwhile for this workload size.
+        plan.unitsPerVariant = 0;
+        plan.groups.assign(wa_factors.size(), 0);
+        return plan;
+    }
+
+    plan.groups.reserve(wa_factors.size());
+    for (std::uint64_t f : wa_factors)
+        plan.groups.push_back(plan.unitsPerVariant / f);
+    return plan;
+}
+
+bool
+uniformWorkloadAnalysis(const KernelInfo &info)
+{
+    return !info.hasIrregularLoops();
+}
+
+bool
+sideEffectAnalysis(const KernelInfo &info)
+{
+    return info.usesGlobalAtomics;
+}
+
+ProfilingMode
+recommendProfilingMode(const KernelInfo &info)
+{
+    if (sideEffectAnalysis(info))
+        return ProfilingMode::Swap;
+    if (!uniformWorkloadAnalysis(info))
+        return ProfilingMode::Hybrid;
+    return ProfilingMode::Fully;
+}
+
+} // namespace compiler
+} // namespace dysel

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The three compiler analyses DySel relies on (paper §3.4).
+ *
+ *  - Safe point analysis: normalize the relative work assignment of
+ *    the variants to their least common multiple so each variant
+ *    profiles the same number of workload units, then scale so every
+ *    variant launches at least one work-group per compute unit.
+ *  - Uniform workload analysis: detect loops whose bounds vary across
+ *    work-groups (or early exits); such kernels need hybrid-based
+ *    partial-productive profiling for a fair comparison.
+ *  - Side effect analysis: detect global atomics; such kernels may
+ *    have overlapping output ranges and must use swap-based
+ *    profiling.  Conservative by design; the runtime lets programmers
+ *    override the decision.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernel_info.hh"
+
+namespace dysel {
+namespace compiler {
+
+/** Profiling modes (paper §2.2). */
+enum class ProfilingMode {
+    Fully,  ///< fully-productive
+    Hybrid, ///< hybrid-based partial-productive (sandboxes)
+    Swap,   ///< swap-based partial-productive (private outputs)
+};
+
+/** Human-readable profiling mode name. */
+const char *profilingModeName(ProfilingMode mode);
+
+/** Result of safe point analysis. */
+struct SafePointPlan
+{
+    /** LCM of the variants' work assignment factors. */
+    std::uint64_t lcm = 1;
+
+    /** Scale constant applied on top of the LCM (>= 1). */
+    std::uint64_t scale = 1;
+
+    /** Workload units each variant profiles (= lcm * scale). */
+    std::uint64_t unitsPerVariant = 1;
+
+    /** Work-groups each variant launches during profiling. */
+    std::vector<std::uint64_t> groups;
+};
+
+/**
+ * Run safe point analysis.
+ *
+ * @param wa_factors    work assignment factor of each variant
+ * @param compute_units cores / SMs of the target device
+ * @param total_units   workload size, caps the profiling volume
+ * @param max_fraction  cap profiling at this fraction of the workload
+ * @return the profiling plan (unitsPerVariant == 0 when even one
+ *         LCM-sized slice per variant does not fit under the cap)
+ */
+SafePointPlan safePointAnalysis(const std::vector<std::uint64_t> &wa_factors,
+                                unsigned compute_units,
+                                std::uint64_t total_units,
+                                double max_fraction = 0.5);
+
+/**
+ * Uniform workload analysis.
+ * @return true when all loop bounds are uniform across work-groups
+ *         (profiling different slices compares fairly).
+ */
+bool uniformWorkloadAnalysis(const KernelInfo &info);
+
+/**
+ * Side effect analysis.
+ * @return true when work-groups may write overlapping / variable
+ *         output ranges (currently: global atomics present).
+ */
+bool sideEffectAnalysis(const KernelInfo &info);
+
+/**
+ * Combine the analyses into a recommended profiling mode, as the
+ * compiler would deposit into the binary.
+ */
+ProfilingMode recommendProfilingMode(const KernelInfo &info);
+
+} // namespace compiler
+} // namespace dysel

@@ -1,0 +1,265 @@
+#include "codegen.hh"
+
+#include <array>
+
+#include "support/logging.hh"
+
+namespace dysel {
+namespace compiler {
+
+ExecKernel &
+ExecKernel::add(const ExecOp &op)
+{
+    if (bodyLen >= 16)
+        support::panic("ExecKernel body overflow");
+    body[bodyLen++] = op;
+    return *this;
+}
+
+ExecKernel &
+ExecKernel::addEpilogue(const ExecOp &op)
+{
+    if (epilogueLen >= 8)
+        support::panic("ExecKernel epilogue overflow");
+    epilogue[epilogueLen++] = op;
+    return *this;
+}
+
+std::uint32_t
+ExecKernel::groupSize() const
+{
+    std::uint32_t size = 1;
+    for (unsigned l : laneLoops)
+        size *= static_cast<std::uint32_t>(loops[l].tripHint);
+    return size;
+}
+
+std::uint64_t
+ExecKernel::pointsPerGroup() const
+{
+    std::uint64_t points = 1;
+    for (const auto &loop : loops)
+        points *= loop.tripHint;
+    return points;
+}
+
+namespace {
+
+/** Interpreter state for one work-group execution. */
+struct ExecState
+{
+    const ExecKernel &kernel;
+    kdp::GroupCtx &g;
+    const kdp::KernelArgs &args;
+    std::vector<double> regs;          ///< numRegs per lane
+    std::vector<std::uint64_t> lastAddr; ///< memo per body op
+    std::vector<double> lastValue;       ///< memoized loaded value
+    std::vector<std::uint64_t> idx;    ///< current loop indices
+
+    ExecState(const ExecKernel &k, kdp::GroupCtx &g_,
+              const kdp::KernelArgs &a)
+        : kernel(k), g(g_), args(a),
+          regs(std::uint64_t{k.numRegs} * k.groupSize(), 0.0),
+          lastAddr(k.bodyLen, ~std::uint64_t{0}),
+          lastValue(k.bodyLen, 0.0),
+          idx(k.loops.size(), 0)
+    {
+    }
+
+    std::uint32_t
+    lane() const
+    {
+        std::uint32_t l = 0;
+        for (std::size_t k = 0; k < kernel.laneLoops.size(); ++k)
+            l += static_cast<std::uint32_t>(idx[kernel.laneLoops[k]])
+                 * kernel.laneStrides[k];
+        return l;
+    }
+
+    std::uint64_t
+    indexOf(const ExecAccess &acc) const
+    {
+        std::int64_t index =
+            acc.offset
+            + acc.unitCoeff * static_cast<std::int64_t>(g.unitBase());
+        for (std::size_t l = 0;
+             l < acc.coeffs.size() && l < idx.size(); ++l)
+            index += acc.coeffs[l] * static_cast<std::int64_t>(idx[l]);
+        if (index < 0)
+            support::panic("ExecKernel access index underflow");
+        return static_cast<std::uint64_t>(index);
+    }
+
+    double &
+    reg(std::uint32_t lane_id, unsigned r)
+    {
+        return regs[std::uint64_t{lane_id} * kernel.numRegs + r];
+    }
+
+    /** Execute one op; @p memo_slot >= 0 enables load memoization. */
+    void
+    exec(const ExecOp &op, std::uint32_t lane_id, int memo_slot)
+    {
+        switch (op.kind) {
+          case ExecOp::Kind::Load: {
+            auto &buf = args.buf<float>(op.access.argIndex);
+            const std::uint64_t index = indexOf(op.access);
+            const std::uint64_t addr = buf.addrOf(index);
+            if (memo_slot < 0
+                || lastAddr[static_cast<unsigned>(memo_slot)] != addr) {
+                const double v = g.load(buf, index, lane_id);
+                if (memo_slot >= 0) {
+                    lastAddr[static_cast<unsigned>(memo_slot)] = addr;
+                    lastValue[static_cast<unsigned>(memo_slot)] = v;
+                }
+                reg(lane_id, op.dst) = v;
+            } else {
+                // Register reuse: the hoisted value is handed to this
+                // lane without touching memory.
+                reg(lane_id, op.dst) =
+                    lastValue[static_cast<unsigned>(memo_slot)];
+            }
+            break;
+          }
+          case ExecOp::Kind::Store: {
+            auto &buf = args.buf<float>(op.access.argIndex);
+            g.store(buf, indexOf(op.access),
+                    static_cast<float>(reg(lane_id, op.srcA)), lane_id);
+            break;
+          }
+          case ExecOp::Kind::Const:
+            reg(lane_id, op.dst) = op.imm;
+            break;
+          case ExecOp::Kind::Add:
+            reg(lane_id, op.dst) =
+                reg(lane_id, op.srcA) + reg(lane_id, op.srcB);
+            g.flops(lane_id, 1);
+            break;
+          case ExecOp::Kind::Sub:
+            reg(lane_id, op.dst) =
+                reg(lane_id, op.srcA) - reg(lane_id, op.srcB);
+            g.flops(lane_id, 1);
+            break;
+          case ExecOp::Kind::Mul:
+            reg(lane_id, op.dst) =
+                reg(lane_id, op.srcA) * reg(lane_id, op.srcB);
+            g.flops(lane_id, 1);
+            break;
+          case ExecOp::Kind::Fma:
+            reg(lane_id, op.dst) +=
+                reg(lane_id, op.srcA) * reg(lane_id, op.srcB);
+            g.flops(lane_id, 2);
+            break;
+        }
+    }
+};
+
+} // namespace
+
+kdp::KernelFn
+generateKernel(const ExecKernel &kernel, const Schedule &sched)
+{
+    if (sched.order.size() != kernel.loops.size())
+        support::panic("schedule order does not match loop count");
+    if (kernel.laneLoops.size() != kernel.laneStrides.size())
+        support::panic("laneLoops/laneStrides size mismatch");
+
+    return [kernel, sched](kdp::GroupCtx &g,
+                           const kdp::KernelArgs &args) {
+        ExecState st(kernel, g, args);
+
+        // Iterate the nest in schedule order (odometer walk).
+        const unsigned depth =
+            static_cast<unsigned>(kernel.loops.size());
+        std::vector<std::uint64_t> counters(depth, 0);
+        bool done = depth == 0;
+        while (!done) {
+            for (unsigned d = 0; d < depth; ++d)
+                st.idx[sched.order[d]] = counters[d];
+            const std::uint32_t lane_id = st.lane();
+            for (unsigned o = 0; o < kernel.bodyLen; ++o)
+                st.exec(kernel.body[o], lane_id, static_cast<int>(o));
+
+            // Advance the odometer (innermost spins fastest).
+            unsigned d = depth;
+            while (d-- > 0) {
+                if (++counters[d]
+                    < kernel.loops[sched.order[d]].tripHint)
+                    break;
+                counters[d] = 0;
+                if (d == 0)
+                    done = true;
+            }
+        }
+
+        // Per-lane epilogue (accumulator write-back).
+        const std::uint32_t group_size = kernel.groupSize();
+        for (std::uint32_t lane_id = 0; lane_id < group_size;
+             ++lane_id) {
+            // Reconstruct per-lane loop indices for the epilogue's
+            // affine accesses: lane loops from the lane id, others 0.
+            std::fill(st.idx.begin(), st.idx.end(), 0);
+            std::uint32_t rest = lane_id;
+            // laneStrides are ordered outer-to-inner by construction.
+            for (std::size_t k = 0; k < kernel.laneLoops.size(); ++k) {
+                st.idx[kernel.laneLoops[k]] =
+                    rest / kernel.laneStrides[k];
+                rest %= kernel.laneStrides[k];
+            }
+            for (unsigned o = 0; o < kernel.epilogueLen; ++o)
+                st.exec(kernel.epilogue[o], lane_id, -1);
+        }
+    };
+}
+
+std::vector<kdp::KernelVariant>
+generateVariants(const ExecKernel &kernel,
+                 const std::vector<std::size_t> &sandbox,
+                 std::vector<Schedule> schedules)
+{
+    if (schedules.empty())
+        schedules =
+            allSchedules(static_cast<unsigned>(kernel.loops.size()));
+
+    std::vector<kdp::KernelVariant> variants;
+    variants.reserve(schedules.size());
+    for (const auto &sched : schedules) {
+        kdp::KernelVariant v;
+        v.name = kernel.name + "-" + sched.name();
+        v.fn = generateKernel(kernel, sched);
+        v.waFactor = 1;
+        v.groupSize = kernel.groupSize();
+        v.sandboxIndex = sandbox;
+        variants.push_back(std::move(v));
+    }
+    return variants;
+}
+
+KernelInfo
+deriveKernelInfo(const ExecKernel &kernel)
+{
+    KernelInfo info;
+    info.signature = kernel.name;
+    info.loops = kernel.loops;
+    for (unsigned o = 0; o < kernel.bodyLen; ++o) {
+        const ExecOp &op = kernel.body[o];
+        if (op.kind != ExecOp::Kind::Load
+            && op.kind != ExecOp::Kind::Store)
+            continue;
+        AccessPattern pattern;
+        pattern.argIndex = op.access.argIndex;
+        pattern.write = op.kind == ExecOp::Kind::Store;
+        pattern.coeffs = op.access.coeffs;
+        pattern.countHint = kernel.pointsPerGroup();
+        if (pattern.write)
+            info.outputArgs.push_back(op.access.argIndex);
+        info.accesses.push_back(std::move(pattern));
+    }
+    for (unsigned o = 0; o < kernel.epilogueLen; ++o)
+        if (kernel.epilogue[o].kind == ExecOp::Kind::Store)
+            info.outputArgs.push_back(kernel.epilogue[o].access.argIndex);
+    return info;
+}
+
+} // namespace compiler
+} // namespace dysel

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The kernel version generator (the compiler box of the paper's
+ * Fig. 4): an executable kernel IR plus a schedule-driven serializer.
+ *
+ * Workloads elsewhere in this repository hand-write their variants;
+ * this component closes the loop for the compiler-generated case: a
+ * kernel body is described once as a small dataflow program over an
+ * affine loop nest, and `generateVariants` emits one runnable
+ * kdp::KernelVariant per loop-nest schedule -- exactly the "several
+ * likely candidate variants" the paper expects an optimizing compiler
+ * to deposit into the kernel pool.
+ *
+ * The generated code performs the register-reuse a real compiler
+ * would: a Load whose address did not change since its previous
+ * execution is served from the virtual register and emits no memory
+ * traffic, so schedule choice changes the generated code's memory
+ * behaviour the same way loop-invariant code motion does.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kdp/kernel.hh"
+
+#include "kernel_info.hh"
+#include "schedule.hh"
+
+namespace dysel {
+namespace compiler {
+
+/**
+ * An affine access of the executable IR:
+ * index = offset + unitCoeff * unitBase + sum(coeffs[l] * i_l).
+ */
+struct ExecAccess
+{
+    std::size_t argIndex = 0;
+    std::int64_t offset = 0;
+    std::int64_t unitCoeff = 0;
+    std::vector<std::int64_t> coeffs; ///< one per loop, nest order
+};
+
+/**
+ * One operation of the kernel body.  Operands are virtual registers,
+ * private to each work-item (lane).
+ */
+struct ExecOp
+{
+    enum class Kind {
+        Load,  ///< dst = mem[access]
+        Store, ///< mem[access] = srcA
+        Const, ///< dst = imm
+        Add,   ///< dst = srcA + srcB
+        Sub,   ///< dst = srcA - srcB
+        Mul,   ///< dst = srcA * srcB
+        Fma,   ///< dst = dst + srcA * srcB
+    };
+
+    Kind kind;
+    unsigned dst = 0;
+    unsigned srcA = 0;
+    unsigned srcB = 0;
+    double imm = 0.0;
+    ExecAccess access; ///< Load/Store only
+};
+
+/**
+ * An executable kernel: a loop nest (work-item loops + in-kernel
+ * loops, constant bounds) around a straight-line body, plus a
+ * per-lane epilogue that runs after the nest (accumulator
+ * write-back).
+ */
+struct ExecKernel
+{
+    std::string name;
+
+    /** The canonical loop nest; tripHint is the (constant) bound. */
+    std::vector<LoopInfo> loops;
+
+    /**
+     * Which loops form the work-item (lane) id:
+     * lane = sum(i_l * laneStride[k]) over laneLoops[k].
+     */
+    std::vector<unsigned> laneLoops;
+    std::vector<std::uint32_t> laneStrides;
+
+    /** Virtual registers per lane (accumulators live across points). */
+    unsigned numRegs = 1;
+
+    ExecOp body[16];       ///< body program (bodyLen used entries)
+    unsigned bodyLen = 0;
+    ExecOp epilogue[8];    ///< per-lane epilogue (epilogueLen used)
+    unsigned epilogueLen = 0;
+
+    /** Append an op to the body. */
+    ExecKernel &add(const ExecOp &op);
+
+    /** Append an op to the epilogue. */
+    ExecKernel &addEpilogue(const ExecOp &op);
+
+    /** Work-items per group (product of lane loop bounds). */
+    std::uint32_t groupSize() const;
+
+    /** Iteration points per group (product of all loop bounds). */
+    std::uint64_t pointsPerGroup() const;
+};
+
+/**
+ * Serialize @p kernel under @p sched into a runnable per-work-group
+ * function.  Loads memoize their last address per op (register
+ * reuse), so the schedule controls the emitted memory traffic.
+ */
+kdp::KernelFn generateKernel(const ExecKernel &kernel,
+                             const Schedule &sched);
+
+/**
+ * The kernel version generator: one variant per schedule (all
+ * loop-nest permutations by default).
+ *
+ * @param kernel     the executable kernel description
+ * @param sandbox    output argument positions (for partial modes)
+ * @param schedules  candidate schedules; empty = all permutations
+ */
+std::vector<kdp::KernelVariant>
+generateVariants(const ExecKernel &kernel,
+                 const std::vector<std::size_t> &sandbox,
+                 std::vector<Schedule> schedules = {});
+
+/** Derive analysis metadata (KernelInfo) from the executable IR. */
+KernelInfo deriveKernelInfo(const ExecKernel &kernel);
+
+} // namespace compiler
+} // namespace dysel

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Structural kernel metadata ("kernel IR").
+ *
+ * This is the information a compiler front-end extracts from OpenCL
+ * kernel source and hands to the DySel analyses (§3.4): the loop nest
+ * with the nature of every loop bound, the memory access patterns as
+ * affine expressions over work-item ids and loop variables, and the
+ * presence of global atomics.  Workload modules author this metadata
+ * alongside their kernels, playing the role of the front-end.
+ */
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace dysel {
+namespace compiler {
+
+/** What a loop's trip count depends on. */
+enum class BoundKind {
+    Constant,      ///< compile-time constant
+    Param,         ///< scalar kernel parameter, uniform across groups
+    DataDependent, ///< loaded from memory (e.g. CSR row pointers)
+};
+
+/** One loop of the (serialized) kernel loop nest. */
+struct LoopInfo
+{
+    std::string name;       ///< e.g. "work-item-x" or "k"
+    BoundKind bound = BoundKind::Constant;
+    bool workItemLoop = false; ///< iterates work-items (vs in-kernel)
+    bool hasEarlyExit = false; ///< break / early kernel termination
+    /** Typical trip count, for heuristic weighting. */
+    std::uint64_t tripHint = 1;
+};
+
+/**
+ * A memory access whose index is an affine function of the loop
+ * variables: index = offset + sum(coeff[l] * loopVar[l]).
+ * Data-dependent (indirect) accesses set `affine = false`; an access
+ * that is affine in some loops but data dependent in another uses the
+ * unknownStride sentinel for that loop's coefficient (e.g. CSR's
+ * val[rowPtr[wi] + k] is stride-1 in k but unknown in wi).
+ */
+struct AccessPattern
+{
+    /** Per-loop coefficient value meaning "data dependent". */
+    static constexpr std::int64_t unknownStride =
+        std::numeric_limits<std::int64_t>::min();
+
+    std::size_t argIndex = 0; ///< which kernel argument is accessed
+    bool write = false;
+    bool affine = true;
+    std::vector<std::int64_t> coeffs; ///< one per loop, in nest order
+    std::uint32_t elemBytes = 4;
+    /** Dynamic accesses per group, for heuristic weighting. */
+    std::uint64_t countHint = 1;
+};
+
+/** Metadata for one kernel signature (shared by its variants). */
+struct KernelInfo
+{
+    std::string signature;
+    std::vector<LoopInfo> loops;
+    std::vector<AccessPattern> accesses;
+    bool usesGlobalAtomics = false;
+    /** Argument positions the kernel writes. */
+    std::vector<std::size_t> outputArgs;
+
+    /** True when some loop bound is data dependent or exits early. */
+    bool
+    hasIrregularLoops() const
+    {
+        for (const auto &l : loops)
+            if (l.bound == BoundKind::DataDependent || l.hasEarlyExit)
+                return true;
+        return false;
+    }
+};
+
+} // namespace compiler
+} // namespace dysel

@@ -1,0 +1,62 @@
+#include "schedule.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/logging.hh"
+
+namespace dysel {
+namespace compiler {
+
+std::string
+Schedule::name() const
+{
+    std::string s;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        if (i)
+            s += ".";
+        s += "L" + std::to_string(order[i]);
+    }
+    return s;
+}
+
+std::vector<Schedule>
+allSchedules(unsigned n)
+{
+    if (n == 0 || n > 6)
+        support::panic("allSchedules: unreasonable loop count %u", n);
+    std::vector<unsigned> perm(n);
+    std::iota(perm.begin(), perm.end(), 0u);
+    std::vector<Schedule> result;
+    do {
+        result.push_back(Schedule{perm});
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    return result;
+}
+
+Schedule
+dfoSchedule(unsigned n)
+{
+    Schedule s;
+    s.order.resize(n);
+    std::iota(s.order.begin(), s.order.end(), 0u);
+    return s;
+}
+
+Schedule
+bfoSchedule(const KernelInfo &info)
+{
+    // Kernel loops outermost, work-item loops innermost, preserving
+    // relative order within each class.
+    Schedule s;
+    for (unsigned i = 0; i < info.loops.size(); ++i)
+        if (!info.loops[i].workItemLoop)
+            s.order.push_back(i);
+    for (unsigned i = 0; i < info.loops.size(); ++i)
+        if (info.loops[i].workItemLoop)
+            s.order.push_back(i);
+    return s;
+}
+
+} // namespace compiler
+} // namespace dysel

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Loop-nest schedules for the kernel version generator.
+ *
+ * The locality-centric (LC) scheduling experiments select among all
+ * permutations of the work-item loops and kernel loops of a
+ * serialized OpenCL kernel (paper §4.2: 60 schedules for cutcp, 6 for
+ * sgemm, ...).  A Schedule is such a permutation; schedule-generic
+ * kernels take one as a parameter and iterate their loop nest in the
+ * given order.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel_info.hh"
+
+namespace dysel {
+namespace compiler {
+
+/**
+ * One loop-nest order: a permutation of loop indices, outermost
+ * first.  Index values refer to positions in the kernel's canonical
+ * loop list (KernelInfo::loops).
+ */
+struct Schedule
+{
+    std::vector<unsigned> order;
+
+    /** "L2.L0.L1"-style name used in variant labels. */
+    std::string name() const;
+};
+
+/** All permutations of @p n loops, in lexicographic order. */
+std::vector<Schedule> allSchedules(unsigned n);
+
+/**
+ * Depth-first order (DFO): the canonical order itself -- in-kernel
+ * loops iterate innermost (the paper's DFO in §4.4 keeps the kernel
+ * loop innermost for one work-item at a time).
+ */
+Schedule dfoSchedule(unsigned n);
+
+/**
+ * Breadth-first order (BFO): work-item loops innermost -- all
+ * work-items advance through each kernel-loop iteration together.
+ */
+Schedule bfoSchedule(const KernelInfo &info);
+
+} // namespace compiler
+} // namespace dysel

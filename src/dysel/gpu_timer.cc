@@ -1,0 +1,77 @@
+#include "gpu_timer.hh"
+
+namespace dysel {
+namespace runtime {
+
+GpuTimer::GpuTimer(unsigned num_kernels,
+                   const std::vector<std::uint64_t> &blocks_per_kernel)
+{
+    if (blocks_per_kernel.size() != num_kernels)
+        support::panic("GpuTimer: %u kernels but %zu block counts",
+                       num_kernels, blocks_per_kernel.size());
+    kernels.resize(num_kernels);
+    for (unsigned k = 0; k < num_kernels; ++k) {
+        if (blocks_per_kernel[k] == 0)
+            support::panic("GpuTimer: kernel %u profiles zero blocks", k);
+        kernels[k].expected = blocks_per_kernel[k];
+    }
+}
+
+void
+GpuTimer::blockDone(unsigned kid, sim::TimeNs start, sim::TimeNs end)
+{
+    if (kid >= kernels.size())
+        support::panic("GpuTimer: kernel id %u out of range", kid);
+    PerKernel &k = kernels[kid];
+    if (k.done)
+        support::panic("GpuTimer: kernel %u reported after completion",
+                       kid);
+
+    // atomicMin(global_start_stamp + kid, local_start_stamp);
+    // local_start_stamp = min(old, local_start_stamp);
+    k.globalStartStamp = std::min(k.globalStartStamp, start);
+    const sim::TimeNs local_start = k.globalStartStamp;
+
+    // old = atomicInc(global_count + kid, gridDim.x);
+    const std::uint64_t old_count = k.count++;
+    if (old_count == k.expected - 1) {
+        // Only the last completing thread block of the kernel:
+        //   local_diff = get_cycle() - local_start_stamp;
+        //   old = atomicMin(global_diff, local_diff);
+        //   if (global_diff < old) selection = kid;
+        k.diff = end - local_start;
+        k.done = true;
+        const sim::TimeNs old_diff = globalDiff;
+        globalDiff = std::min(globalDiff, k.diff);
+        if (globalDiff < old_diff)
+            finalSelection = static_cast<int>(kid);
+    }
+}
+
+bool
+GpuTimer::kernelDone(unsigned kid) const
+{
+    if (kid >= kernels.size())
+        support::panic("GpuTimer: kernel id %u out of range", kid);
+    return kernels[kid].done;
+}
+
+bool
+GpuTimer::allDone() const
+{
+    for (const auto &k : kernels)
+        if (!k.done)
+            return false;
+    return true;
+}
+
+sim::TimeNs
+GpuTimer::span(unsigned kid) const
+{
+    if (!kernelDone(kid))
+        support::panic("GpuTimer::span before kernel %u finished", kid);
+    return kernels[kid].diff;
+}
+
+} // namespace runtime
+} // namespace dysel

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Device-side profiling timer, reproducing the paper's Fig. 7.
+ *
+ * On a real GPU, DySel augments each profiling kernel with in-kernel
+ * clock reads: every thread block atomicMin's its start stamp into a
+ * per-kernel global; the *last* completing block of a kernel computes
+ * the span from the global minimum start to its own end, atomicMin's
+ * it into a global best-span cell, and exchanges the winning kernel id
+ * into the selection cell when it improved the minimum.
+ *
+ * The simulator feeds this class the per-block (start, end) stamps the
+ * in-kernel `%clock` reads would have produced; the update logic below
+ * is a faithful transliteration of Fig. 7(b).
+ */
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "support/logging.hh"
+
+#include "sim/time.hh"
+
+namespace dysel {
+namespace runtime {
+
+/** Fig. 7 profiling-timer state for one profiling phase. */
+class GpuTimer
+{
+  public:
+    /**
+     * @param num_kernels       kernels (variants) being profiled
+     * @param blocks_per_kernel `gridDim.x` of each profiling launch
+     */
+    GpuTimer(unsigned num_kernels,
+             const std::vector<std::uint64_t> &blocks_per_kernel);
+
+    /**
+     * One profiling thread block of kernel @p kid ran from @p start
+     * to @p end.  Equivalent to executing the instrumentation of
+     * Fig. 7(b) for that block.
+     */
+    void blockDone(unsigned kid, sim::TimeNs start, sim::TimeNs end);
+
+    /** True when every block of kernel @p kid has reported. */
+    bool kernelDone(unsigned kid) const;
+
+    /** True when every block of every kernel has reported. */
+    bool allDone() const;
+
+    /** Measured span of kernel @p kid (valid once kernelDone). */
+    sim::TimeNs span(unsigned kid) const;
+
+    /**
+     * The `global_final_selection` cell: id of the fastest kernel so
+     * far; -1 before any kernel finished.
+     */
+    int selection() const { return finalSelection; }
+
+  private:
+    struct PerKernel
+    {
+        sim::TimeNs globalStartStamp =
+            std::numeric_limits<sim::TimeNs>::max();
+        std::uint64_t count = 0;
+        std::uint64_t expected = 0;
+        sim::TimeNs diff = 0;
+        bool done = false;
+    };
+
+    std::vector<PerKernel> kernels;
+    sim::TimeNs globalDiff = std::numeric_limits<sim::TimeNs>::max();
+    int finalSelection = -1;
+};
+
+} // namespace runtime
+} // namespace dysel

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Result record of one DySelLaunchKernel call.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hh"
+
+#include "options.hh"
+
+namespace dysel {
+namespace runtime {
+
+/** Measured profile of one variant during micro-profiling. */
+struct VariantProfile
+{
+    std::string name;
+    /** Profiling measurement (Fig. 7 span on GPU, task time on CPU). */
+    sim::TimeNs metric = 0;
+    /** Wall span of the profiling launch. */
+    sim::TimeNs span = 0;
+    /** Sum of work-group busy times. */
+    sim::TimeNs busy = 0;
+    /** Workload units the variant profiled. */
+    std::uint64_t units = 0;
+};
+
+/** Everything the runtime can tell about one launch. */
+struct LaunchReport
+{
+    std::string signature;
+    int selected = -1;
+    std::string selectedName;
+    bool profiled = false;          ///< micro-profiling actually ran
+    bool fromCache = false;         ///< selection reused from cache
+    ProfilingMode mode = ProfilingMode::Fully;
+    Orchestration orch = Orchestration::Sync;
+
+    /** Virtual time the call started / ended. */
+    sim::TimeNs startTime = 0;
+    sim::TimeNs endTime = 0;
+
+    std::uint64_t totalUnits = 0;
+    /** Units consumed by micro-profiling (all variants). */
+    std::uint64_t profiledUnits = 0;
+    /** Units whose profiling results were kept (productive output). */
+    std::uint64_t productiveUnits = 0;
+    /** Extra buffer bytes allocated for sandboxes / private outputs. */
+    std::uint64_t extraBytes = 0;
+    /** Eager chunks dispatched before profiling completed (async). */
+    std::uint64_t eagerChunks = 0;
+
+    std::vector<VariantProfile> profiles;
+
+    /** End-to-end virtual time of the call. */
+    sim::TimeNs elapsed() const { return endTime - startTime; }
+};
+
+} // namespace runtime
+} // namespace dysel

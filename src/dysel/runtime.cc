@@ -1,0 +1,482 @@
+#include "runtime.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/logging.hh"
+#include "support/math_util.hh"
+
+#include "gpu_timer.hh"
+
+namespace dysel {
+namespace runtime {
+
+using support::ceilDiv;
+using support::roundUp;
+
+const char *
+orchestrationName(Orchestration o)
+{
+    switch (o) {
+      case Orchestration::Sync: return "sync";
+      case Orchestration::Async: return "async";
+    }
+    return "?";
+}
+
+Runtime::Runtime(sim::Device &device, const RuntimeConfig &cfg)
+    : dev(device), config(cfg)
+{
+}
+
+void
+Runtime::addKernel(const std::string &signature, kdp::KernelVariant variant)
+{
+    if (!variant.fn)
+        support::fatal("DySelAddKernel(%s): variant '%s' has no "
+                       "implementation",
+                       signature.c_str(), variant.name.c_str());
+    if (variant.waFactor == 0 || variant.groupSize == 0)
+        support::fatal("DySelAddKernel(%s): variant '%s' has zero work "
+                       "assignment factor or group size",
+                       signature.c_str(), variant.name.c_str());
+    KernelEntry &entry = pool[signature];
+    for (const auto &v : entry.variants)
+        if (v.name == variant.name)
+            support::fatal("DySelAddKernel(%s): duplicate variant '%s'",
+                           signature.c_str(), variant.name.c_str());
+    entry.variants.push_back(std::move(variant));
+}
+
+void
+Runtime::setKernelInfo(const std::string &signature,
+                       compiler::KernelInfo info)
+{
+    KernelEntry &entry = pool[signature];
+    entry.info = std::move(info);
+    entry.hasInfo = true;
+}
+
+std::size_t
+Runtime::variantCount(const std::string &signature) const
+{
+    auto it = pool.find(signature);
+    return it == pool.end() ? 0 : it->second.variants.size();
+}
+
+const std::vector<kdp::KernelVariant> &
+Runtime::variants(const std::string &signature) const
+{
+    return entryOf(signature).variants;
+}
+
+Runtime::KernelEntry &
+Runtime::entryOf(const std::string &signature)
+{
+    auto it = pool.find(signature);
+    if (it == pool.end())
+        support::fatal("DySelLaunchKernel: unknown kernel signature '%s'",
+                       signature.c_str());
+    return it->second;
+}
+
+const Runtime::KernelEntry &
+Runtime::entryOf(const std::string &signature) const
+{
+    auto it = pool.find(signature);
+    if (it == pool.end())
+        support::fatal("DySelLaunchKernel: unknown kernel signature '%s'",
+                       signature.c_str());
+    return it->second;
+}
+
+void
+Runtime::clearSelectionCache()
+{
+    selectionCache.clear();
+}
+
+std::optional<int>
+Runtime::cachedSelection(const std::string &signature) const
+{
+    auto it = selectionCache.find(signature);
+    if (it == selectionCache.end())
+        return std::nullopt;
+    return it->second;
+}
+
+ProfilingMode
+Runtime::resolveMode(const KernelEntry &entry,
+                     const LaunchOptions &opt) const
+{
+    if (opt.modeExplicit)
+        return opt.mode;
+    if (entry.hasInfo)
+        return compiler::recommendProfilingMode(entry.info);
+    return ProfilingMode::Fully;
+}
+
+void
+Runtime::submitBatch(const kdp::KernelVariant &variant,
+                     const kdp::KernelArgs &args, std::uint64_t first_unit,
+                     std::uint64_t units, int priority, int stream,
+                     std::function<void(const sim::LaunchStats &)> done)
+{
+    if (first_unit % variant.waFactor != 0)
+        support::panic("batch start unit %llu not aligned to wa factor "
+                       "%llu of variant '%s'",
+                       (unsigned long long)first_unit,
+                       (unsigned long long)variant.waFactor,
+                       variant.name.c_str());
+    sim::Launch launch;
+    launch.variant = &variant;
+    launch.args = args;
+    launch.firstGroup = first_unit / variant.waFactor;
+    launch.numGroups = ceilDiv(units, variant.waFactor);
+    launch.priority = priority;
+    launch.stream = stream;
+    launch.onComplete = std::move(done);
+    if (config.verbose)
+        support::inform("submitBatch t=%llu variant=%s units=[%llu,%llu) "
+                        "groups=%llu prio=%d",
+                        (unsigned long long)dev.now(),
+                        variant.name.c_str(),
+                        (unsigned long long)first_unit,
+                        (unsigned long long)(first_unit + units),
+                        (unsigned long long)launch.numGroups, priority);
+    dev.submit(std::move(launch));
+}
+
+LaunchReport
+Runtime::runPlain(const std::string &signature, const KernelEntry &entry,
+                  int variant, std::uint64_t total_units,
+                  const kdp::KernelArgs &args, const LaunchOptions &opt,
+                  bool from_cache)
+{
+    LaunchReport report;
+    report.signature = signature;
+    report.selected = variant;
+    report.selectedName = entry.variants[variant].name;
+    report.fromCache = from_cache;
+    report.orch = opt.orch;
+    report.totalUnits = total_units;
+    report.startTime = dev.now();
+
+    submitBatch(entry.variants[variant], args, 0, total_units, 0, 0,
+                nullptr);
+    dev.run();
+    report.endTime = dev.now();
+    return report;
+}
+
+LaunchReport
+Runtime::launchKernel(const std::string &signature,
+                      std::uint64_t total_units,
+                      const kdp::KernelArgs &args, const LaunchOptions &opt)
+{
+    KernelEntry &entry = entryOf(signature);
+    const auto num_variants = entry.variants.size();
+    if (num_variants == 0)
+        support::fatal("DySelLaunchKernel(%s): no variants registered",
+                       signature.c_str());
+    if (total_units == 0)
+        support::fatal("DySelLaunchKernel(%s): empty workload",
+                       signature.c_str());
+    if (opt.initialVariant >= static_cast<int>(num_variants))
+        support::fatal("DySelLaunchKernel(%s): initial variant %d out of "
+                       "range",
+                       signature.c_str(), opt.initialVariant);
+    const int default_variant =
+        opt.initialVariant >= 0 ? opt.initialVariant : 0;
+
+    // Profiling deactivated: reuse the cached selection (iterative
+    // kernels profile only their first launch) or fall back to the
+    // default variant.
+    if (!opt.profiling) {
+        auto cached = cachedSelection(signature);
+        if (!cached && config.verbose)
+            support::warn("DySelLaunchKernel(%s): profiling off with no "
+                          "cached selection; using default variant",
+                          signature.c_str());
+        return runPlain(signature, entry, cached.value_or(default_variant),
+                        total_units, args, opt, cached.has_value());
+    }
+
+    if (num_variants == 1)
+        return runPlain(signature, entry, 0, total_units, args, opt, false);
+
+    ProfilingMode mode = resolveMode(entry, opt);
+    Orchestration orch = opt.orch;
+    if (mode == ProfilingMode::Swap && orch == Orchestration::Async) {
+        // The final output space is unknown until profiling completes
+        // (Table 1): swap cannot run eagerly.
+        orch = Orchestration::Sync;
+    }
+    unsigned repeats = opt.profileRepeats;
+    if (repeats == 0)
+        repeats = dev.kind() == sim::DeviceKind::Cpu ? 2 : 1;
+    if (mode == ProfilingMode::Swap && repeats > 1) {
+        support::warn("DySelLaunchKernel(%s): profile repeats are not "
+                      "supported with swap profiling; using 1",
+                      signature.c_str());
+        repeats = 1;
+    }
+
+    // Safe point analysis: how much each variant profiles.
+    std::vector<std::uint64_t> wafs;
+    wafs.reserve(num_variants);
+    for (const auto &v : entry.variants)
+        wafs.push_back(v.waFactor);
+    unsigned fill_target = dev.computeUnits();
+    if (dev.kind() == sim::DeviceKind::Gpu)
+        fill_target *= std::max(1u, config.gpuSaturationBoost);
+    const compiler::SafePointPlan plan = compiler::safePointAnalysis(
+        wafs, fill_target, total_units, config.maxProfileFraction);
+
+    if (total_units < config.minUnitsForProfiling
+        || plan.unitsPerVariant == 0) {
+        // Small workload: profiling-based selection is deactivated.
+        return runPlain(signature, entry, default_variant, total_units,
+                        args, opt, false);
+    }
+
+    const std::uint64_t slice = plan.unitsPerVariant;
+    const std::uint64_t profiled_span_units =
+        mode == ProfilingMode::Fully ? slice * num_variants : slice;
+
+    LaunchReport report;
+    report.signature = signature;
+    report.profiled = true;
+    report.mode = mode;
+    report.orch = orch;
+    report.totalUnits = total_units;
+    report.profiledUnits = slice * num_variants * repeats;
+    report.productiveUnits =
+        mode == ProfilingMode::Fully ? slice * num_variants : slice;
+    report.startTime = dev.now();
+
+    // ---- Sandbox / private output spaces -----------------------------
+    auto outputs_of = [&](const kdp::KernelVariant &v) {
+        if (!v.sandboxIndex.empty())
+            return v.sandboxIndex;
+        if (entry.hasInfo)
+            return entry.info.outputArgs;
+        return std::vector<std::size_t>{};
+    };
+
+    std::vector<kdp::KernelArgs> vargs(num_variants, args);
+    std::vector<std::unique_ptr<kdp::BufferBase>> extras;
+    // Winner's (arg index, private clone) pairs for the final swap.
+    std::vector<std::vector<std::pair<std::size_t, kdp::BufferBase *>>>
+        swap_map(num_variants);
+
+    if (mode != ProfilingMode::Fully) {
+        const std::size_t first_cloned =
+            mode == ProfilingMode::Hybrid ? 1 : 0;
+        for (std::size_t i = first_cloned; i < num_variants; ++i) {
+            const auto outs = outputs_of(entry.variants[i]);
+            if (outs.empty())
+                support::fatal("DySelLaunchKernel(%s): %s profiling needs "
+                               "sandbox indices or output-arg metadata",
+                               signature.c_str(),
+                               compiler::profilingModeName(mode));
+            for (std::size_t idx : outs) {
+                auto clone = args.bufBase(idx).clone();
+                report.extraBytes += clone->sizeBytes();
+                vargs[i].rebind(idx, *clone);
+                swap_map[i].emplace_back(idx, clone.get());
+                extras.push_back(std::move(clone));
+            }
+        }
+    }
+
+    // ---- Shared profiling state --------------------------------------
+    struct PState
+    {
+        std::vector<sim::TimeNs> metric;
+        /// Aggregation across repeats: the first repeat doubles as a
+        /// cache warmup, later repeats are averaged -- which is what
+        /// makes extra executions recover selection accuracy under
+        /// measurement noise (§5.2).
+        std::vector<double> metricSum;
+        std::vector<unsigned> metricCount;
+        std::vector<VariantProfile> profiles;
+        unsigned outstanding = 0;
+        int bestSoFar = 0;
+        sim::TimeNs bestMetric = std::numeric_limits<sim::TimeNs>::max();
+        bool profilingDone = false;
+        int selected = -1;
+        std::uint64_t nextUnit = 0;
+        bool batchSubmitted = false;
+        std::uint64_t eagerChunks = 0;
+    };
+    auto st = std::make_shared<PState>();
+    st->metric.assign(num_variants,
+                      std::numeric_limits<sim::TimeNs>::max());
+    st->metricSum.assign(num_variants, 0.0);
+    st->metricCount.assign(num_variants, 0);
+    st->profiles.resize(num_variants);
+    st->outstanding = static_cast<unsigned>(num_variants) * repeats;
+    st->bestSoFar = default_variant;
+    st->nextUnit = profiled_span_units;
+
+    // The Fig. 7 in-kernel timer (GPU path).
+    std::shared_ptr<GpuTimer> timer;
+    if (dev.kind() == sim::DeviceKind::Gpu) {
+        timer = std::make_shared<GpuTimer>(
+            static_cast<unsigned>(num_variants), plan.groups);
+    }
+
+    const bool gpu = dev.kind() == sim::DeviceKind::Gpu;
+
+    // Forward declaration of the post-profiling step.
+    auto finish_profiling = std::make_shared<std::function<void()>>();
+
+    // ---- Submit the profiling launches -------------------------------
+    for (std::size_t i = 0; i < num_variants; ++i) {
+        const kdp::KernelVariant &variant = entry.variants[i];
+        const std::uint64_t first_unit =
+            mode == ProfilingMode::Fully ? i * slice : 0;
+        for (unsigned r = 0; r < repeats; ++r) {
+            sim::Launch launch;
+            launch.variant = &variant;
+            launch.args = vargs[i];
+            launch.firstGroup = first_unit / variant.waFactor;
+            launch.numGroups = plan.groups[i];
+            launch.priority = 1;
+            launch.stream = 1 + static_cast<int>(i);
+            // GPU profiling kernels measure in effective isolation
+            // (concurrent kernels overlap only at tails on Kepler).
+            launch.exclusive = gpu;
+            if (timer && r == 0) {
+                launch.onGroupStamp = [timer, i](sim::TimeNs s,
+                                                 sim::TimeNs e) {
+                    timer->blockDone(static_cast<unsigned>(i), s, e);
+                };
+            }
+            launch.onComplete = [this, st, finish_profiling, i, gpu, slice,
+                                 r, repeats](const sim::LaunchStats &stats) {
+                const sim::TimeNs m =
+                    gpu ? stats.span() : stats.busyTime;
+                if (repeats == 1 || r > 0) {
+                    // With repeats, the first execution is a cache
+                    // warmup; steady-state repeats are averaged.
+                    st->metricSum[i] += static_cast<double>(m);
+                    st->metricCount[i]++;
+                    st->metric[i] = static_cast<sim::TimeNs>(
+                        st->metricSum[i] / st->metricCount[i]);
+                }
+                VariantProfile &prof = st->profiles[i];
+                if (r == 0) {
+                    prof.span = stats.span();
+                    prof.busy = stats.busyTime;
+                    prof.units = slice;
+                }
+                prof.metric = st->metric[i];
+                if (st->metric[i] < st->bestMetric) {
+                    st->bestMetric = st->metric[i];
+                    st->bestSoFar = static_cast<int>(i);
+                }
+                if (--st->outstanding == 0)
+                    (*finish_profiling)();
+            };
+            dev.submit(std::move(launch));
+        }
+    }
+
+    // ---- Post-profiling: select, swap, launch the remainder ----------
+    *finish_profiling = [this, st, &entry, &args, &vargs, &swap_map, mode,
+                         orch, total_units, signature] {
+        st->profilingDone = true;
+        int best = 0;
+        for (std::size_t i = 1; i < st->metric.size(); ++i)
+            if (st->metric[i] < st->metric[best])
+                best = static_cast<int>(i);
+        st->selected = best;
+        selectionCache[signature] = best;
+
+        if (mode == ProfilingMode::Swap) {
+            // Swap the winner's private outputs into place; the
+            // losers' copies are discarded.  On real hardware this is
+            // a pointer swap, so no virtual time is charged.
+            for (const auto &[idx, clone] : swap_map[best])
+                args.bufBase(idx).copyFrom(*clone);
+        }
+
+        if (st->nextUnit < total_units && !st->batchSubmitted) {
+            st->batchSubmitted = true;
+            // Host-side cost of noticing completion and launching.
+            dev.engine().scheduleAfter(
+                dev.hostQueryLatencyNs(),
+                [this, st, &entry, &args, total_units] {
+                    submitBatch(entry.variants[st->selected], args,
+                                st->nextUnit, total_units - st->nextUnit,
+                                0, 0, nullptr);
+                    st->nextUnit = total_units;
+                });
+        }
+    };
+
+    // ---- Async eager execution (Fig. 4b) ------------------------------
+    if (orch == Orchestration::Async) {
+        std::uint64_t chunk = opt.eagerChunkUnits;
+        if (chunk == 0) {
+            chunk = std::max<std::uint64_t>(plan.lcm * plan.scale,
+                                            total_units / 32);
+        }
+        chunk = roundUp(chunk, plan.lcm);
+
+        auto pump = std::make_shared<std::function<void()>>();
+        *pump = [this, st, &entry, &args, total_units, chunk, pump] {
+            if (st->profilingDone || st->batchSubmitted)
+                return; // the remainder goes out as one batch
+            if (st->nextUnit >= total_units)
+                return;
+            const std::uint64_t units =
+                std::min<std::uint64_t>(chunk, total_units - st->nextUnit);
+            const kdp::KernelVariant &variant =
+                entry.variants[st->bestSoFar];
+            st->eagerChunks++;
+            const std::uint64_t first = st->nextUnit;
+            st->nextUnit += units;
+            submitBatch(variant, args, first, units, 0, 0,
+                        [this, pump](const sim::LaunchStats &) {
+                            dev.engine().scheduleAfter(
+                                dev.hostQueryLatencyNs(), [pump] {
+                                    (*pump)();
+                                });
+                        });
+        };
+        dev.engine().scheduleAfter(dev.hostQueryLatencyNs(),
+                                   [pump] { (*pump)(); });
+    }
+
+    dev.run();
+
+    if (!st->profilingDone)
+        support::panic("profiling did not complete for '%s'",
+                       signature.c_str());
+
+    report.selected = st->selected;
+    report.selectedName = entry.variants[st->selected].name;
+    report.eagerChunks = st->eagerChunks;
+    for (std::size_t i = 0; i < num_variants; ++i)
+        st->profiles[i].name = entry.variants[i].name;
+    report.profiles = st->profiles;
+    report.endTime = dev.now();
+
+    if (config.verbose) {
+        support::inform("DySel[%s]: selected '%s' (%s, %s), %llu eager "
+                        "chunks, %.2f%% profiled",
+                        signature.c_str(), report.selectedName.c_str(),
+                        compiler::profilingModeName(mode),
+                        orchestrationName(orch),
+                        (unsigned long long)report.eagerChunks,
+                        100.0 * static_cast<double>(report.profiledUnits)
+                            / static_cast<double>(total_units));
+    }
+    return report;
+}
+
+} // namespace runtime
+} // namespace dysel

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The DySel runtime (paper §3): kernel pool, registration and launch
+ * API, the three productive micro-profiling modes, and the
+ * synchronous / asynchronous orchestrators.
+ *
+ * API mapping to the paper's Fig. 6:
+ *   DySelAddKernel(sig, impl, wa_factor, sandbox_index)
+ *     -> Runtime::addKernel(sig, KernelVariant{...})
+ *   DySelLaunchKernel(sig, profiling, mode)
+ *     -> Runtime::launchKernel(sig, units, args, LaunchOptions{...})
+ *
+ * A "workload unit" is the work of one base-version work-group; a
+ * variant with work assignment factor f covers f units per group.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compiler/analysis.hh"
+#include "compiler/kernel_info.hh"
+#include "kdp/args.hh"
+#include "kdp/kernel.hh"
+#include "sim/device.hh"
+
+#include "options.hh"
+#include "report.hh"
+
+namespace dysel {
+namespace runtime {
+
+/** Runtime-wide configuration. */
+struct RuntimeConfig
+{
+    /**
+     * Profiling is deactivated for workloads smaller than this many
+     * units (the paper targets kernels with >= 128 work-groups; for
+     * small workloads the performance variation is not critical and
+     * the profiling overhead is not amortizable).
+     */
+    std::uint64_t minUnitsForProfiling = 128;
+
+    /** Cap on the fraction of the workload used for profiling. */
+    double maxProfileFraction = 0.5;
+
+    /**
+     * The "constant" of §3.4's safe point scaling, applied on GPUs:
+     * profile this many work-groups per SM (rather than one) so the
+     * device saturates and per-SM caches warm up during the
+     * measurement.
+     */
+    unsigned gpuSaturationBoost = 4;
+
+    /** Emit inform() lines on selection decisions. */
+    bool verbose = false;
+};
+
+/**
+ * The DySel runtime for one device.
+ */
+class Runtime
+{
+  public:
+    /** Bind to a device.  The device must outlive the runtime. */
+    explicit Runtime(sim::Device &device,
+                     const RuntimeConfig &cfg = RuntimeConfig());
+
+    /**
+     * Register a kernel variant (DySelAddKernel).  Variants of a
+     * signature are ordered by registration; index 0 is the default.
+     */
+    void addKernel(const std::string &signature,
+                   kdp::KernelVariant variant);
+
+    /**
+     * Attach compiler metadata to a signature; enables the automatic
+     * profiling-mode recommendation of §3.4.
+     */
+    void setKernelInfo(const std::string &signature,
+                       compiler::KernelInfo info);
+
+    /** Number of variants registered under @p signature. */
+    std::size_t variantCount(const std::string &signature) const;
+
+    /** The registered variants of @p signature. */
+    const std::vector<kdp::KernelVariant> &
+    variants(const std::string &signature) const;
+
+    /**
+     * Launch a kernel over @p total_units workload units
+     * (DySelLaunchKernel).  Runs the device's event loop to
+     * completion and returns the full report.
+     */
+    LaunchReport launchKernel(const std::string &signature,
+                              std::uint64_t total_units,
+                              const kdp::KernelArgs &args,
+                              const LaunchOptions &opt = LaunchOptions());
+
+    /** Drop all cached selections. */
+    void clearSelectionCache();
+
+    /** Cached selection for @p signature, if any. */
+    std::optional<int>
+    cachedSelection(const std::string &signature) const;
+
+    /** The bound device. */
+    sim::Device &device() { return dev; }
+
+  private:
+    struct KernelEntry
+    {
+        std::vector<kdp::KernelVariant> variants;
+        compiler::KernelInfo info;
+        bool hasInfo = false;
+    };
+
+    KernelEntry &entryOf(const std::string &signature);
+    const KernelEntry &entryOf(const std::string &signature) const;
+
+    /** Resolve the effective profiling mode for this launch. */
+    ProfilingMode resolveMode(const KernelEntry &entry,
+                              const LaunchOptions &opt) const;
+
+    /** Run [first_unit, first_unit+units) with @p variant, batch. */
+    void submitBatch(const kdp::KernelVariant &variant,
+                     const kdp::KernelArgs &args, std::uint64_t first_unit,
+                     std::uint64_t units, int priority, int stream,
+                     std::function<void(const sim::LaunchStats &)> done);
+
+    /** Non-profiled path: run everything with one variant. */
+    LaunchReport runPlain(const std::string &signature,
+                          const KernelEntry &entry, int variant,
+                          std::uint64_t total_units,
+                          const kdp::KernelArgs &args,
+                          const LaunchOptions &opt, bool from_cache);
+
+    sim::Device &dev;
+    RuntimeConfig config;
+    std::map<std::string, KernelEntry> pool;
+    std::map<std::string, int> selectionCache;
+};
+
+} // namespace runtime
+} // namespace dysel

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Kernel argument lists.
+ *
+ * DySel needs to substitute sandbox / private-output buffers for
+ * specific argument positions (the `sandbox_index` vector of the
+ * registration API, Fig. 6a), so kernels receive their buffers through
+ * an indexed, type-erased argument list rather than by closure capture.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "support/logging.hh"
+
+#include "buffer.hh"
+
+namespace dysel {
+namespace kdp {
+
+/** One kernel argument: a buffer reference or a scalar. */
+class ArgValue
+{
+  public:
+    ArgValue(BufferBase *buf) : value(buf) {}
+    ArgValue(std::int64_t v) : value(v) {}
+    ArgValue(double v) : value(v) {}
+
+    bool isBuffer() const
+    {
+        return std::holds_alternative<BufferBase *>(value);
+    }
+
+    BufferBase *
+    buffer() const
+    {
+        if (!isBuffer())
+            support::panic("kernel argument is not a buffer");
+        return std::get<BufferBase *>(value);
+    }
+
+    std::int64_t
+    asInt() const
+    {
+        if (!std::holds_alternative<std::int64_t>(value))
+            support::panic("kernel argument is not an integer");
+        return std::get<std::int64_t>(value);
+    }
+
+    double
+    asDouble() const
+    {
+        if (!std::holds_alternative<double>(value))
+            support::panic("kernel argument is not a double");
+        return std::get<double>(value);
+    }
+
+  private:
+    std::variant<BufferBase *, std::int64_t, double> value;
+};
+
+/**
+ * Positional kernel arguments.  A shallow value type: buffer slots
+ * point at caller-owned buffers, so the runtime can rebind a slot to a
+ * sandbox clone cheaply.
+ */
+class KernelArgs
+{
+  public:
+    KernelArgs() = default;
+
+    /** Append a buffer argument. */
+    KernelArgs &
+    add(BufferBase &buf)
+    {
+        slots.emplace_back(&buf);
+        return *this;
+    }
+
+    /** Append an integer scalar argument. */
+    KernelArgs &
+    add(std::int64_t v)
+    {
+        slots.emplace_back(v);
+        return *this;
+    }
+
+    /** Append an int (convenience overload). */
+    KernelArgs &
+    add(int v)
+    {
+        return add(static_cast<std::int64_t>(v));
+    }
+
+    /** Append a floating-point scalar argument. */
+    KernelArgs &
+    add(double v)
+    {
+        slots.emplace_back(v);
+        return *this;
+    }
+
+    /** Number of arguments. */
+    std::size_t size() const { return slots.size(); }
+
+    /** Typed buffer access with checked downcast. */
+    template <typename T>
+    Buffer<T> &
+    buf(std::size_t i) const
+    {
+        BufferBase *b = at(i).buffer();
+        if (b->elemType() != typeid(T))
+            support::panic("kernel argument %zu has wrong element type", i);
+        return *static_cast<Buffer<T> *>(b);
+    }
+
+    /** Untyped buffer access. */
+    BufferBase &
+    bufBase(std::size_t i) const
+    {
+        return *at(i).buffer();
+    }
+
+    /** Integer scalar access. */
+    std::int64_t scalarInt(std::size_t i) const { return at(i).asInt(); }
+
+    /** Floating-point scalar access. */
+    double scalarDouble(std::size_t i) const { return at(i).asDouble(); }
+
+    /** Rebind buffer slot @p i to @p buf (sandbox substitution). */
+    void
+    rebind(std::size_t i, BufferBase &buf)
+    {
+        if (!at(i).isBuffer())
+            support::panic("cannot rebind non-buffer argument %zu", i);
+        slots[i] = ArgValue(&buf);
+    }
+
+  private:
+    const ArgValue &
+    at(std::size_t i) const
+    {
+        if (i >= slots.size())
+            support::panic("kernel argument index %zu out of range (%zu)",
+                           i, slots.size());
+        return slots[i];
+    }
+
+    std::vector<ArgValue> slots;
+};
+
+} // namespace kdp
+} // namespace dysel

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Kernel variants.
+ *
+ * A "kernel" in DySel is a signature with multiple registered variants
+ * (different schedules, tilings, vector widths, placements...).  Each
+ * variant is a real function plus the execution-facing metadata the
+ * device models and the DySel runtime need: the work assignment
+ * factor (how many workload units one work-group covers), the group
+ * size, and microarchitectural traits.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "args.hh"
+#include "context.hh"
+
+namespace dysel {
+namespace kdp {
+
+/** Per-work-group kernel entry point. */
+using KernelFn = std::function<void(GroupCtx &, const KernelArgs &)>;
+
+/**
+ * Microarchitectural traits of a variant, as a compiler would emit
+ * them.  The device timing models consume these.
+ */
+struct VariantTraits
+{
+    /** SIMD width the CPU code was vectorized to (1 = scalar). */
+    unsigned vectorWidth = 1;
+
+    /** Registers per thread (GPU occupancy input). */
+    unsigned regsPerThread = 32;
+
+    /**
+     * Statically declared scratchpad bytes per work-group (GPU
+     * occupancy input; the dynamic allocation is also measured).
+     */
+    std::uint64_t scratchBytes = 0;
+
+    /** Variant contains global atomic operations. */
+    bool usesAtomics = false;
+
+    /**
+     * Variant issues software-prefetch instructions.  A latency win
+     * on the GPU (scoreboarded loads overlap), pure instruction
+     * overhead on the CPU where the hardware prefetchers already
+     * cover streaming patterns (paper §4.3).
+     */
+    bool softwarePrefetch = false;
+
+    /** Variant routes some loads through the texture path. */
+    bool usesTexture = false;
+};
+
+/**
+ * One registered implementation of a kernel signature.
+ */
+struct KernelVariant
+{
+    /** Unique (per-signature) variant name, e.g. "tiled16_coarse4". */
+    std::string name;
+
+    /** The implementation. */
+    KernelFn fn;
+
+    /**
+     * Work assignment factor: workload units covered by one
+     * work-group of this variant (paper Fig. 6a, `wa_factor`).
+     * The base version of a kernel has factor 1.
+     */
+    std::uint64_t waFactor = 1;
+
+    /** Work-items per work-group. */
+    std::uint32_t groupSize = 64;
+
+    /** Compiler-reported traits. */
+    VariantTraits traits;
+
+    /**
+     * Positions of output buffer arguments that need sandboxing /
+     * private copies in partial-productive profiling (paper Fig. 6a,
+     * `sandbox_index`).
+     */
+    std::vector<std::size_t> sandboxIndex;
+
+    /** Number of work-groups this variant needs for @p units work. */
+    std::uint64_t
+    groupsFor(std::uint64_t units) const
+    {
+        return (units + waFactor - 1) / waFactor;
+    }
+};
+
+} // namespace kdp
+} // namespace dysel

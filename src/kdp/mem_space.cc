@@ -1,0 +1,19 @@
+#include "mem_space.hh"
+
+namespace dysel {
+namespace kdp {
+
+const char *
+memSpaceName(MemSpace space)
+{
+    switch (space) {
+      case MemSpace::Global: return "global";
+      case MemSpace::Texture: return "texture";
+      case MemSpace::Scratchpad: return "scratchpad";
+      case MemSpace::Constant: return "constant";
+    }
+    return "?";
+}
+
+} // namespace kdp
+} // namespace dysel

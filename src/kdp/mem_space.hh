@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Memory spaces of the simulated devices.
+ *
+ * These mirror the spaces the paper's data-placement case studies
+ * (PORPLE / Jang et al.) select among: global DRAM, read-only texture
+ * path, per-work-group scratchpad, and small constant memory.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace dysel {
+namespace kdp {
+
+/** Where a buffer (or an access) lives on the device. */
+enum class MemSpace : std::uint8_t {
+    Global,     ///< off-chip DRAM, cached in L2 (and L1 on CPU)
+    Texture,    ///< read-only path with its own cache (GPU)
+    Scratchpad, ///< on-chip per-work-group memory (GPU shared / CPU L1)
+    Constant,   ///< small broadcast-friendly read-only memory
+};
+
+/** Human-readable name for diagnostics. */
+const char *memSpaceName(MemSpace space);
+
+/** Number of distinct memory spaces. */
+constexpr unsigned numMemSpaces = 4;
+
+} // namespace kdp
+} // namespace dysel

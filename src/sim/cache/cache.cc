@@ -1,0 +1,97 @@
+#include "cache.hh"
+
+#include "support/logging.hh"
+#include "support/math_util.hh"
+
+namespace dysel {
+namespace sim {
+
+Cache::Cache(const CacheConfig &cfg)
+    : line(cfg.lineBytes), numWays(cfg.ways)
+{
+    using support::isPowerOfTwo;
+    if (!isPowerOfTwo(cfg.lineBytes))
+        support::panic("cache line size must be a power of two");
+    if (cfg.ways == 0 || cfg.sizeBytes == 0)
+        support::panic("cache needs nonzero size and ways");
+    lineShift = support::floorLog2(cfg.lineBytes);
+    sets = cfg.sizeBytes / (static_cast<std::uint64_t>(cfg.ways) * line);
+    if (sets == 0)
+        sets = 1;
+    if (!isPowerOfTwo(sets))
+        support::panic("cache set count must be a power of two "
+                       "(size/ways/line = %llu)",
+                       (unsigned long long)sets);
+    waysStore.resize(sets * numWays);
+}
+
+std::uint64_t
+Cache::setIndex(std::uint64_t addr) const
+{
+    return (addr >> lineShift) & (sets - 1);
+}
+
+std::uint64_t
+Cache::tagOf(std::uint64_t addr) const
+{
+    return addr >> lineShift;
+}
+
+bool
+Cache::access(std::uint64_t addr)
+{
+    ++nAccess;
+    ++tick;
+    const std::uint64_t set = setIndex(addr);
+    const std::uint64_t tag = tagOf(addr);
+    Way *base = &waysStore[set * numWays];
+
+    Way *victim = base;
+    for (unsigned w = 0; w < numWays; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = tick;
+            return true;
+        }
+        if (!way.valid) {
+            victim = &way;
+        } else if (victim->valid && way.lastUse < victim->lastUse) {
+            victim = &way;
+        }
+    }
+
+    ++nMiss;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = tick;
+    return false;
+}
+
+bool
+Cache::contains(std::uint64_t addr) const
+{
+    const std::uint64_t set = setIndex(addr);
+    const std::uint64_t tag = tagOf(addr);
+    const Way *base = &waysStore[set * numWays];
+    for (unsigned w = 0; w < numWays; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &w : waysStore)
+        w = Way{};
+}
+
+void
+Cache::resetStats()
+{
+    nAccess = 0;
+    nMiss = 0;
+}
+
+} // namespace sim
+} // namespace dysel

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement.
+ *
+ * Used by the CPU device (L1/L2 per core, shared L3) and the GPU
+ * device (shared L2, per-SM texture cache).  Purely a hit/miss
+ * predictor over addresses; latencies are charged by the cost models.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dysel {
+namespace sim {
+
+/** Geometry of a cache. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes;  ///< total capacity
+    unsigned ways;            ///< associativity
+    unsigned lineBytes;       ///< line size (power of two)
+};
+
+/**
+ * A simple LRU set-associative cache.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    /**
+     * Access the line containing @p addr.
+     * @return true on hit, false on miss (the line is filled).
+     */
+    bool access(std::uint64_t addr);
+
+    /** True if the line containing @p addr is currently resident. */
+    bool contains(std::uint64_t addr) const;
+
+    /** Drop all contents. */
+    void flush();
+
+    /** Line size in bytes. */
+    unsigned lineSize() const { return line; }
+
+    /** Number of sets. */
+    std::uint64_t numSets() const { return sets; }
+
+    /** Accesses so far. */
+    std::uint64_t accesses() const { return nAccess; }
+
+    /** Misses so far. */
+    std::uint64_t misses() const { return nMiss; }
+
+    /** Miss ratio; 0 when no accesses. */
+    double missRatio() const
+    {
+        return nAccess == 0 ? 0.0
+                            : static_cast<double>(nMiss)
+                                  / static_cast<double>(nAccess);
+    }
+
+    /** Reset statistics (contents are kept). */
+    void resetStats();
+
+  private:
+    struct Way
+    {
+        std::uint64_t tag = ~std::uint64_t{0};
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    std::uint64_t setIndex(std::uint64_t addr) const;
+    std::uint64_t tagOf(std::uint64_t addr) const;
+
+    unsigned line;
+    unsigned lineShift;
+    std::uint64_t sets;
+    unsigned numWays;
+    std::vector<Way> waysStore; ///< sets * numWays entries
+    std::uint64_t tick = 0;
+    std::uint64_t nAccess = 0;
+    std::uint64_t nMiss = 0;
+};
+
+} // namespace sim
+} // namespace dysel

@@ -1,0 +1,185 @@
+#include "cpu_cost_model.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace dysel {
+namespace sim {
+
+namespace {
+
+/** Cost of one scalar access through the L1/L2/L3 hierarchy. */
+double
+hierarchyCost(std::uint64_t addr, CpuCoreState &core, Cache &l3,
+              const CpuCostParams &p)
+{
+    if (core.l1.access(addr))
+        return p.l1Hit;
+    if (core.l2.access(addr))
+        return p.l2Hit;
+    if (l3.access(addr))
+        return p.l3Hit;
+    return p.memAccess;
+}
+
+/** Scalar replay: every access pays its own hierarchy cost. */
+double
+scalarCost(const kdp::WorkGroupTrace &trace, CpuCoreState &core, Cache &l3,
+           const CpuCostParams &p)
+{
+    double cycles = 0.0;
+    for (const auto &a : trace.accesses) {
+        cycles += p.memIssue + hierarchyCost(a.addr, core, l3, p);
+        if (a.space == kdp::MemSpace::Scratchpad)
+            cycles += p.scratchLowerExtra;
+    }
+    cycles += static_cast<double>(trace.totalFlops()) * p.aluOp;
+    return cycles;
+}
+
+/** Key identifying one vector machine op: (lane group, op seq). */
+struct OpKey
+{
+    std::uint32_t laneGroup;
+    std::uint32_t seq;
+
+    bool operator==(const OpKey &o) const
+    {
+        return laneGroup == o.laneGroup && seq == o.seq;
+    }
+};
+
+struct OpKeyHash
+{
+    std::size_t
+    operator()(const OpKey &k) const
+    {
+        return (static_cast<std::size_t>(k.laneGroup) << 32) ^ k.seq;
+    }
+};
+
+/**
+ * Vectorized replay.  Accesses with the same per-lane sequence number
+ * inside a group of @p w adjacent lanes form one SIMD memory op:
+ * contiguous ops touch the hierarchy once per distinct line,
+ * non-contiguous ops pay every element plus a gather penalty.
+ */
+double
+vectorCost(const kdp::WorkGroupTrace &trace,
+           const kdp::VariantTraits &traits, CpuCoreState &core, Cache &l3,
+           const CpuCostParams &p)
+{
+    const unsigned w = traits.vectorWidth;
+
+    // Bucket access indices by machine op.
+    std::unordered_map<OpKey, std::vector<std::uint32_t>, OpKeyHash> ops;
+    ops.reserve(trace.accesses.size() / w + 1);
+    for (std::uint32_t i = 0; i < trace.accesses.size(); ++i) {
+        const auto &a = trace.accesses[i];
+        ops[{a.lane / w, a.seq}].push_back(i);
+    }
+
+    // Emit machine ops in first-touch order to approximate the real
+    // interleaving for the cache model.
+    std::vector<bool> emitted(trace.accesses.size(), false);
+    double cycles = 0.0;
+    std::vector<std::uint64_t> addrs;
+    for (std::uint32_t i = 0; i < trace.accesses.size(); ++i) {
+        if (emitted[i])
+            continue;
+        const auto &a = trace.accesses[i];
+        const auto &members = ops[{a.lane / w, a.seq}];
+        addrs.clear();
+        for (std::uint32_t m : members) {
+            emitted[m] = true;
+            addrs.push_back(trace.accesses[m].addr);
+        }
+        if (a.space == kdp::MemSpace::Scratchpad)
+            cycles += p.scratchLowerExtra
+                      * static_cast<double>(members.size());
+        std::sort(addrs.begin(), addrs.end());
+
+        bool broadcast = true;
+        for (std::size_t k = 1; broadcast && k < addrs.size(); ++k)
+            broadcast = addrs[k] == addrs[0];
+
+        bool contiguous = addrs.size() == w;
+        for (std::size_t k = 1; contiguous && k < addrs.size(); ++k)
+            contiguous = addrs[k] - addrs[k - 1] == a.bytes;
+
+        if (broadcast) {
+            // All lanes read the same element: one scalar load plus a
+            // register splat.
+            cycles += p.memIssue + hierarchyCost(addrs[0], core, l3, p);
+        } else if (contiguous) {
+            // One wide access: touch each distinct line once.
+            const std::uint64_t line = core.l1.lineSize();
+            double worst = 0.0;
+            std::uint64_t prev_line = ~std::uint64_t{0};
+            for (std::uint64_t addr : addrs) {
+                const std::uint64_t ln = addr / line;
+                if (ln == prev_line)
+                    continue;
+                prev_line = ln;
+                worst = std::max(worst,
+                                 hierarchyCost(addr, core, l3, p));
+            }
+            cycles += p.memIssue + worst;
+        } else {
+            // Gather/scatter: every element pays, plus packing
+            // overhead that grows with the SIMD width.
+            double sum = 0.0;
+            for (std::uint64_t addr : addrs)
+                sum += hierarchyCost(addr, core, l3, p);
+            cycles += p.memIssue * addrs.size()
+                      + sum * (p.gatherFactor
+                               + p.gatherWidthFactor
+                                     * static_cast<double>(w));
+        }
+    }
+
+    // Divergence: branch groups with mixed outcomes cost masking work
+    // proportional to the SIMD width.
+    std::unordered_map<OpKey, std::pair<bool, bool>, OpKeyHash> branch;
+    branch.reserve(trace.branches.size() / w + 1);
+    for (const auto &b : trace.branches) {
+        auto &[saw_taken, saw_not] = branch[{b.lane / w, b.seq}];
+        (b.taken ? saw_taken : saw_not) = true;
+    }
+    std::uint64_t divergent = 0;
+    for (const auto &[key, outcome] : branch)
+        if (outcome.first && outcome.second)
+            ++divergent;
+    // Masking waste grows superlinearly with the SIMD width: the
+    // number of divergent groups roughly halves when the width
+    // doubles, so a linear-in-w cost would be width-invariant; the
+    // quadratic term models the growing fraction of wasted lanes per
+    // divergent region.
+    cycles += static_cast<double>(divergent) * p.divergeMaskCost
+              * static_cast<double>(w) * static_cast<double>(w) / 4.0;
+
+    // ALU work shrinks by the vector width.
+    cycles += static_cast<double>(trace.totalFlops()) * p.aluOp
+              / static_cast<double>(w);
+    return cycles;
+}
+
+} // namespace
+
+double
+cpuWorkGroupCycles(const kdp::WorkGroupTrace &trace,
+                   const kdp::VariantTraits &traits, CpuCoreState &core,
+                   Cache &l3, const CpuCostParams &params)
+{
+    double cycles = traits.vectorWidth <= 1
+                        ? scalarCost(trace, core, l3, params)
+                        : vectorCost(trace, traits, core, l3, params);
+    if (traits.softwarePrefetch)
+        cycles += params.prefetchOverhead
+                  * static_cast<double>(trace.accesses.size());
+    return cycles;
+}
+
+} // namespace sim
+} // namespace dysel

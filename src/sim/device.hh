@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Abstract device interface shared by the CPU and GPU simulators.
+ *
+ * A device executes kernel work-groups for real (producing real
+ * outputs) while charging virtual time from its timing model.  It is
+ * driven by a single deterministic event engine; the DySel
+ * orchestrator schedules its own "host" actions on the same engine so
+ * host/device interleavings (stream polling, eager dispatch) are
+ * simulated faithfully.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "event_engine.hh"
+#include "launch.hh"
+#include "time.hh"
+
+namespace dysel {
+namespace sim {
+
+/** Broad device class; selects the profiling timer implementation. */
+enum class DeviceKind {
+    Cpu, ///< host-timer path (§3.2)
+    Gpu, ///< in-kernel clock path (§3.3, Fig. 7)
+};
+
+/** Common interface of the simulated devices. */
+class Device
+{
+  public:
+    virtual ~Device() = default;
+
+    /** Human-readable device name. */
+    virtual const std::string &name() const = 0;
+
+    /** Broad device class. */
+    virtual DeviceKind kind() const = 0;
+
+    /**
+     * Number of independent compute units (CPU cores / GPU SMs); the
+     * safe-point scaling in §3.4 rounds profiling work-group counts
+     * to a multiple of this.
+     */
+    virtual unsigned computeUnits() const = 0;
+
+    /** Enqueue a launch.  Completion arrives via launch.onComplete. */
+    virtual void submit(Launch launch) = 0;
+
+    /** Fixed virtual cost of one kernel launch from the host. */
+    virtual TimeNs launchOverheadNs() const = 0;
+
+    /**
+     * Virtual latency of one host-side status query of a stream
+     * (cudaStreamQuery for the GPU; effectively zero on the CPU where
+     * the runtime shares the host).
+     */
+    virtual TimeNs hostQueryLatencyNs() const = 0;
+
+    /** The engine driving this device. */
+    EventEngine &engine() { return events; }
+
+    /** Current virtual time. */
+    TimeNs now() const { return events.now(); }
+
+    /** Run the event loop until everything submitted has completed. */
+    void run() { events.run(); }
+
+  protected:
+    EventEngine events;
+};
+
+} // namespace sim
+} // namespace dysel

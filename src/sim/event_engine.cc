@@ -1,0 +1,43 @@
+#include "event_engine.hh"
+
+#include <utility>
+
+#include "support/logging.hh"
+
+namespace dysel {
+namespace sim {
+
+void
+EventEngine::schedule(TimeNs when, Callback fn)
+{
+    if (when < currentTime)
+        when = currentTime;
+    queue.push(Event{when, nextSeq++, std::move(fn)});
+}
+
+void
+EventEngine::scheduleAfter(TimeNs delay, Callback fn)
+{
+    schedule(currentTime + delay, std::move(fn));
+}
+
+void
+EventEngine::run()
+{
+    if (running)
+        support::panic("EventEngine::run is not reentrant");
+    running = true;
+    while (!queue.empty()) {
+        // Moving out of the priority_queue top requires a const_cast;
+        // the element is popped immediately after.
+        Event ev = std::move(const_cast<Event &>(queue.top()));
+        queue.pop();
+        currentTime = ev.when;
+        ++fired;
+        ev.fn();
+    }
+    running = false;
+}
+
+} // namespace sim
+} // namespace dysel

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A minimal deterministic discrete-event engine.
+ *
+ * Devices and the DySel orchestrator schedule callbacks at virtual
+ * times; the engine fires them in (time, insertion order).  Single
+ * threaded on purpose: determinism matters more than wall-clock speed
+ * for a timing model, and kernel execution cost dominates anyway.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "time.hh"
+
+namespace dysel {
+namespace sim {
+
+/** Deterministic discrete-event loop. */
+class EventEngine
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current virtual time. */
+    TimeNs now() const { return currentTime; }
+
+    /**
+     * Schedule @p fn at absolute time @p when (>= now; earlier times
+     * are clamped to now).
+     */
+    void schedule(TimeNs when, Callback fn);
+
+    /** Schedule @p fn @p delay nanoseconds from now. */
+    void scheduleAfter(TimeNs delay, Callback fn);
+
+    /** Run until no events remain. */
+    void run();
+
+    /** True when no events are pending. */
+    bool idle() const { return queue.empty(); }
+
+    /** Number of events dispatched since construction. */
+    std::uint64_t eventsFired() const { return fired; }
+
+  private:
+    struct Event
+    {
+        TimeNs when;
+        std::uint64_t seq;
+        Callback fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue;
+    TimeNs currentTime = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t fired = 0;
+    bool running = false;
+};
+
+} // namespace sim
+} // namespace dysel

@@ -1,0 +1,185 @@
+#include "gpu_cost_model.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace dysel {
+namespace sim {
+
+namespace {
+
+struct OpKey
+{
+    std::uint32_t warp;
+    std::uint32_t seq;
+
+    bool operator==(const OpKey &o) const
+    {
+        return warp == o.warp && seq == o.seq;
+    }
+};
+
+struct OpKeyHash
+{
+    std::size_t
+    operator()(const OpKey &k) const
+    {
+        return (static_cast<std::size_t>(k.warp) << 32) ^ k.seq;
+    }
+};
+
+} // namespace
+
+GpuWgCost
+gpuWorkGroupCost(const kdp::WorkGroupTrace &trace,
+                 const kdp::VariantTraits &traits, std::uint32_t groupSize,
+                 GpuSmState &sm, Cache &l2, const GpuCostParams &p)
+{
+    const unsigned w = p.warpSize;
+    const unsigned num_warps = (groupSize + w - 1) / w;
+
+    // Bucket the accesses into warp instructions.
+    std::unordered_map<OpKey, std::vector<std::uint32_t>, OpKeyHash> ops;
+    ops.reserve(trace.accesses.size() / w + 1);
+    for (std::uint32_t i = 0; i < trace.accesses.size(); ++i) {
+        const auto &a = trace.accesses[i];
+        ops[{a.lane / w, a.seq}].push_back(i);
+    }
+
+    std::vector<double> warp_thruput(num_warps, 0.0);
+    std::vector<double> warp_latency(num_warps, 0.0);
+
+    // Walk instructions in first-touch order for the caches.
+    std::vector<bool> emitted(trace.accesses.size(), false);
+    std::vector<std::uint64_t> segs;
+    for (std::uint32_t i = 0; i < trace.accesses.size(); ++i) {
+        if (emitted[i])
+            continue;
+        const auto &first = trace.accesses[i];
+        const unsigned warp = first.lane / w;
+        const auto &members = ops[{warp, first.seq}];
+
+        double thruput = p.issueOp;
+        double latency = 0.0;
+        switch (first.space) {
+          case kdp::MemSpace::Global: {
+            segs.clear();
+            bool any_atomic = false;
+            for (std::uint32_t m : members) {
+                emitted[m] = true;
+                segs.push_back(trace.accesses[m].addr / p.segmentBytes);
+                any_atomic |= trace.accesses[m].atomic;
+            }
+            std::sort(segs.begin(), segs.end());
+            segs.erase(std::unique(segs.begin(), segs.end()), segs.end());
+            bool all_hit = true;
+            for (std::uint64_t s : segs) {
+                const bool hit = l2.access(s * p.segmentBytes);
+                all_hit &= hit;
+                thruput += hit ? p.txHitCost : p.txCost;
+            }
+            latency += all_hit ? p.l2HitLatency : p.memLatency;
+            if (any_atomic)
+                thruput += p.atomicPerLane
+                           * static_cast<double>(members.size());
+            break;
+          }
+          case kdp::MemSpace::Texture: {
+            segs.clear();
+            for (std::uint32_t m : members) {
+                emitted[m] = true;
+                segs.push_back(trace.accesses[m].addr / 32);
+            }
+            std::sort(segs.begin(), segs.end());
+            segs.erase(std::unique(segs.begin(), segs.end()), segs.end());
+            bool all_hit = true;
+            for (std::uint64_t s : segs) {
+                const bool hit = sm.texCache.access(s * 32);
+                all_hit &= hit;
+                thruput += p.texHit;
+                if (!hit)
+                    thruput += p.texMissExtra;
+            }
+            if (!all_hit)
+                latency += p.texMissLatency;
+            break;
+          }
+          case kdp::MemSpace::Scratchpad: {
+            // Bank conflicts: 32 four-byte banks; the op serializes
+            // into as many rounds as the most contended bank.
+            std::unordered_map<unsigned, unsigned> bank_count;
+            std::unordered_set<std::uint64_t> distinct;
+            for (std::uint32_t m : members) {
+                emitted[m] = true;
+                const std::uint64_t addr = trace.accesses[m].addr;
+                if (distinct.insert(addr).second)
+                    ++bank_count[(addr / 4) % 32];
+            }
+            unsigned worst = 1;
+            for (const auto &[bank, cnt] : bank_count)
+                worst = std::max(worst, cnt);
+            thruput += p.scratchAccess
+                       + static_cast<double>(worst - 1)
+                             * p.bankConflictExtra;
+            break;
+          }
+          case kdp::MemSpace::Constant: {
+            std::unordered_set<std::uint64_t> distinct;
+            for (std::uint32_t m : members) {
+                emitted[m] = true;
+                distinct.insert(trace.accesses[m].addr);
+            }
+            thruput += p.constCost * static_cast<double>(distinct.size());
+            break;
+          }
+        }
+        warp_thruput[warp] += thruput;
+        warp_latency[warp] += latency;
+    }
+
+    // Divergent branches serialize both sides.
+    std::unordered_map<OpKey, std::pair<bool, bool>, OpKeyHash> branch;
+    branch.reserve(trace.branches.size() / w + 1);
+    for (const auto &b : trace.branches) {
+        auto &[saw_taken, saw_not] = branch[{b.lane / w, b.seq}];
+        (b.taken ? saw_taken : saw_not) = true;
+    }
+    for (const auto &[key, outcome] : branch)
+        if (outcome.first && outcome.second)
+            warp_thruput[key.warp] += p.divergentBranch;
+
+    // Lock-step ALU: a warp is as slow as its busiest lane.
+    for (unsigned warp = 0; warp < num_warps; ++warp) {
+        std::uint64_t worst = 0;
+        const std::uint32_t lo = warp * w;
+        const std::uint32_t hi =
+            std::min<std::uint32_t>(groupSize, lo + w);
+        for (std::uint32_t lane = lo; lane < hi; ++lane)
+            worst = std::max(worst, trace.laneFlops[lane]);
+        warp_thruput[warp] += static_cast<double>(worst) * p.aluOp;
+    }
+
+    GpuWgCost cost;
+    for (unsigned warp = 0; warp < num_warps; ++warp) {
+        cost.throughputCycles += warp_thruput[warp];
+        cost.latencyCycles += warp_latency[warp];
+    }
+    // Outstanding loads overlap within a warp (memory-level
+    // parallelism); software prefetch overlaps part of what remains.
+    cost.latencyCycles /= p.mlpFactor;
+    if (traits.softwarePrefetch)
+        cost.latencyCycles *= p.prefetchLatencyFactor;
+    // Warps of one block dual-issue across the schedulers.
+    const double overlap =
+        std::min<double>(num_warps, p.warpSchedulers);
+    cost.throughputCycles /= overlap;
+    cost.latencyCycles /= overlap;
+    cost.throughputCycles +=
+        static_cast<double>(trace.barriers) * p.barrierCost;
+    return cost;
+}
+
+} // namespace sim
+} // namespace dysel

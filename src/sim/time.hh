@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Virtual time for the device simulators.
+ *
+ * All simulated durations are expressed in nanoseconds of virtual
+ * time.  Each device converts its model's cycles to nanoseconds using
+ * its clock frequency, so CPU and GPU timelines are directly
+ * comparable (they never share a timeline in this reproduction, but
+ * uniform units keep the benchmark harness simple).
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace dysel {
+namespace sim {
+
+/** Virtual nanoseconds. */
+using TimeNs = std::uint64_t;
+
+/** Convert @p cycles at @p ghz to nanoseconds (rounded up, >= 1). */
+inline TimeNs
+cyclesToNs(double cycles, double ghz)
+{
+    const double ns = cycles / ghz;
+    const auto t = static_cast<TimeNs>(ns + 0.5);
+    return t == 0 ? 1 : t;
+}
+
+} // namespace sim
+} // namespace dysel

@@ -1,0 +1,100 @@
+#include "logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dysel {
+namespace support {
+
+namespace {
+
+LogLevel g_threshold = LogLevel::Inform;
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+void
+vlogMessage(LogLevel level, const char *fmt, va_list args)
+{
+    if (level < g_threshold)
+        return;
+    std::fprintf(stderr, "[%s] ", levelTag(level));
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+}
+
+} // namespace
+
+LogLevel
+logThreshold()
+{
+    return g_threshold;
+}
+
+LogLevel
+setLogThreshold(LogLevel level)
+{
+    LogLevel old = g_threshold;
+    g_threshold = level;
+    return old;
+}
+
+void
+logMessage(LogLevel level, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlogMessage(level, fmt, args);
+    va_end(args);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlogMessage(LogLevel::Panic, fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlogMessage(LogLevel::Fatal, fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlogMessage(LogLevel::Warn, fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlogMessage(LogLevel::Inform, fmt, args);
+    va_end(args);
+}
+
+} // namespace support
+} // namespace dysel

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Status / error reporting helpers in the gem5 tradition.
+ *
+ * panic()  -- an internal invariant was violated; this is a bug in the
+ *             library itself.  Aborts so a debugger or core dump can
+ *             capture the state.
+ * fatal()  -- the simulation cannot continue because of a user-level
+ *             problem (bad configuration, inconsistent kernel
+ *             registration, ...).  Exits with code 1.
+ * warn()   -- something is questionable but execution can continue.
+ * inform() -- purely informational progress output.
+ */
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace dysel {
+namespace support {
+
+/** Severity levels used by the logging backend. */
+enum class LogLevel {
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+/**
+ * Minimum level that is actually printed.  Tests raise this to silence
+ * expected warnings.
+ */
+LogLevel logThreshold();
+
+/** Set the minimum printed level and return the previous one. */
+LogLevel setLogThreshold(LogLevel level);
+
+/**
+ * Core formatted logger.  Not usually called directly; use the wrappers
+ * below.
+ *
+ * @param level severity of the message
+ * @param fmt   printf-style format string
+ */
+void logMessage(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** Report an internal bug and abort. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a user-level error and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious but survivable condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal progress information. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * RAII guard that suppresses log output below the given level for the
+ * lifetime of the guard.  Used by tests that intentionally trigger
+ * warnings.
+ */
+class LogSilencer
+{
+  public:
+    explicit LogSilencer(LogLevel level = LogLevel::Fatal)
+        : saved(setLogThreshold(level))
+    {}
+
+    ~LogSilencer() { setLogThreshold(saved); }
+
+    LogSilencer(const LogSilencer &) = delete;
+    LogSilencer &operator=(const LogSilencer &) = delete;
+
+  private:
+    LogLevel saved;
+};
+
+} // namespace support
+} // namespace dysel

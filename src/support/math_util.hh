@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Small integer math helpers shared across the project.
+ */
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "logging.hh"
+
+namespace dysel {
+namespace support {
+
+/** Ceiling division for non-negative integers. */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p a up to the next multiple of @p b (b > 0). */
+constexpr std::uint64_t
+roundUp(std::uint64_t a, std::uint64_t b)
+{
+    return ceilDiv(a, b) * b;
+}
+
+/**
+ * Least common multiple over a list of positive factors.
+ *
+ * Used by safe point analysis (paper section 3.4) to normalize relative
+ * work assignment between kernel variants.
+ */
+inline std::uint64_t
+lcmAll(const std::vector<std::uint64_t> &values)
+{
+    if (values.empty())
+        panic("lcmAll called with no values");
+    std::uint64_t acc = 1;
+    for (std::uint64_t v : values) {
+        if (v == 0)
+            panic("lcmAll called with a zero factor");
+        acc = std::lcm(acc, v);
+    }
+    return acc;
+}
+
+/** True when @p v is a power of two (v > 0). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)) for v > 0. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned result = 0;
+    while (v >>= 1)
+        ++result;
+    return result;
+}
+
+} // namespace support
+} // namespace dysel

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Deterministic pseudo random number generation.
+ *
+ * All stochastic behaviour in the project (workload generators, the
+ * simulator's tie-breaking) goes through this splitmix64/xoshiro-style
+ * generator so results reproduce bit-for-bit across runs and platforms.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace dysel {
+namespace support {
+
+/**
+ * Small, fast, deterministic RNG (xoshiro256** seeded via splitmix64).
+ *
+ * Not cryptographic; statistical quality is more than enough for
+ * workload generation.
+ */
+class Rng
+{
+  public:
+    /** Construct with the given seed; equal seeds give equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) (bound > 0). */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextInRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform float in [lo, hi). */
+    float nextFloat(float lo, float hi);
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool nextBool(double p);
+
+  private:
+    std::uint64_t s[4];
+};
+
+} // namespace support
+} // namespace dysel

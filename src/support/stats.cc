@@ -1,0 +1,63 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.hh"
+
+namespace dysel {
+namespace support {
+
+void
+Summary::add(double v)
+{
+    ++n;
+    total += v;
+    sumSq += v * v;
+    minV = std::min(minV, v);
+    maxV = std::max(maxV, v);
+}
+
+double
+Summary::mean() const
+{
+    return n == 0 ? 0.0 : total / static_cast<double>(n);
+}
+
+double
+Summary::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    const double m = mean();
+    return sumSq / static_cast<double>(n) - m * m;
+}
+
+double
+geoMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            panic("geoMean requires strictly positive values, got %f", v);
+        acc += std::log(v);
+    }
+    return std::exp(acc / static_cast<double>(values.size()));
+}
+
+double
+median(std::vector<double> values)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const std::size_t mid = values.size() / 2;
+    if (values.size() % 2 == 1)
+        return values[mid];
+    return 0.5 * (values[mid - 1] + values[mid]);
+}
+
+} // namespace support
+} // namespace dysel

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Lightweight descriptive statistics used by the benchmark harness.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dysel {
+namespace support {
+
+/**
+ * Incrementally accumulated summary statistics over a stream of
+ * doubles.
+ */
+class Summary
+{
+  public:
+    /** Add one sample. */
+    void add(double v);
+
+    /** Number of samples accumulated so far. */
+    std::size_t count() const { return n; }
+
+    /** Sum of all samples. */
+    double sum() const { return total; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** Population variance; 0 when fewer than 2 samples. */
+    double variance() const;
+
+    /** Smallest sample; +inf when empty. */
+    double min() const { return minV; }
+
+    /** Largest sample; -inf when empty. */
+    double max() const { return maxV; }
+
+  private:
+    std::size_t n = 0;
+    double total = 0.0;
+    double sumSq = 0.0;
+    double minV = 1e300;
+    double maxV = -1e300;
+};
+
+/**
+ * Geometric mean of strictly positive values.  This is how the paper
+ * aggregates relative execution times (Figs. 8 and 10).
+ */
+double geoMean(const std::vector<double> &values);
+
+/** Median of a list (copies and sorts); 0 when empty. */
+double median(std::vector<double> values);
+
+} // namespace support
+} // namespace dysel

@@ -1,0 +1,96 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace dysel {
+namespace support {
+
+Table::Table(std::vector<std::string> headers)
+    : header(std::move(headers))
+{
+    if (header.empty())
+        panic("Table requires at least one column");
+}
+
+Table &
+Table::row()
+{
+    rows.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &value)
+{
+    if (rows.empty())
+        panic("Table::cell called before Table::row");
+    if (rows.back().size() >= header.size())
+        panic("Table row has more cells than headers (%zu)", header.size());
+    rows.back().push_back(value);
+    return *this;
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return cell(oss.str());
+}
+
+Table &
+Table::cell(std::uint64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &r : rows)
+        for (std::size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < header.size(); ++c) {
+            const std::string &v = c < cells.size() ? cells[c] : "";
+            os << (c == 0 ? "| " : " | ")
+               << std::left << std::setw(static_cast<int>(widths[c])) << v;
+        }
+        os << " |\n";
+    };
+
+    emit_row(header);
+    for (std::size_t c = 0; c < header.size(); ++c) {
+        os << (c == 0 ? "|-" : "-|-")
+           << std::string(widths[c], '-');
+    }
+    os << "-|\n";
+    for (const auto &r : rows)
+        emit_row(r);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            os << (c == 0 ? "" : ",") << cells[c];
+        os << "\n";
+    };
+    emit(header);
+    for (const auto &r : rows)
+        emit(r);
+}
+
+} // namespace support
+} // namespace dysel

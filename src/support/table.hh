@@ -1,0 +1,55 @@
+/**
+ * @file
+ * ASCII / CSV table emission for the benchmark harness.
+ *
+ * Every bench binary prints the rows or series of its paper table or
+ * figure through this class so output is uniform and easy to diff
+ * against EXPERIMENTS.md.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dysel {
+namespace support {
+
+/**
+ * A simple column-aligned table.  Cells are strings; numeric helpers
+ * format with a fixed precision.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row.  Subsequent cell() calls fill it left-to-right. */
+    Table &row();
+
+    /** Append a string cell to the current row. */
+    Table &cell(const std::string &value);
+
+    /** Append a numeric cell formatted with @p precision decimals. */
+    Table &cell(double value, int precision = 2);
+
+    /** Append an integer cell. */
+    Table &cell(std::uint64_t value);
+
+    /** Number of data rows so far. */
+    std::size_t rowCount() const { return rows.size(); }
+
+    /** Render as an aligned ASCII table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (header row first). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace support
+} // namespace dysel

@@ -1,0 +1,441 @@
+#include "cutcp.hh"
+
+#include <array>
+#include <cmath>
+#include <memory>
+
+#include "compiler/schedule.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace dysel {
+namespace workloads {
+
+namespace {
+
+constexpr unsigned lx = 128, ly = 64, lz = 32; ///< lattice points
+constexpr float spacing = 0.5f;
+constexpr float cutoff = 2.0f;
+constexpr float cutoff2 = cutoff * cutoff;
+constexpr unsigned tile = 4; ///< lattice points per tile edge
+constexpr unsigned tilesX = lx / tile, tilesY = ly / tile,
+                   tilesZ = lz / tile;
+constexpr unsigned binsX = tilesX, binsY = tilesY, binsZ = tilesZ;
+constexpr unsigned binCapacity = 4;
+constexpr unsigned numAtoms = 8192;
+constexpr unsigned groupSize = tile * tile * tile;
+
+enum Arg : std::size_t {
+    argBins = 0,    ///< float4 per slot: x, y, z, q (q=0 padding)
+    argLattice = 1, ///< output potential per lattice point
+    argUnits = 2,
+};
+
+std::uint64_t
+binSlotBase(unsigned bx, unsigned by, unsigned bz, unsigned slot)
+{
+    const std::uint64_t bin =
+        (std::uint64_t{bz} * binsY + by) * binsX + bx;
+    return (bin * binCapacity + slot) * 4;
+}
+
+std::uint64_t
+latticeIndex(unsigned x, unsigned y, unsigned z)
+{
+    return (std::uint64_t{z} * ly + y) * lx + x;
+}
+
+void
+tileOf(std::uint64_t u, unsigned &tx, unsigned &ty, unsigned &tz)
+{
+    tx = static_cast<unsigned>(u % tilesX);
+    ty = static_cast<unsigned>((u / tilesX) % tilesY);
+    tz = static_cast<unsigned>(u / (tilesX * tilesY));
+}
+
+/** Accumulate one atom's (possibly zero) contribution. */
+float
+contribution(float px, float py, float pz, const float *atom)
+{
+    const float dx = px - atom[0];
+    const float dy = py - atom[1];
+    const float dz = pz - atom[2];
+    const float r2 = dx * dx + dy * dy + dz * dz;
+    if (r2 >= cutoff2)
+        return 0.0f;
+    return atom[3] / std::sqrt(r2 + 0.01f);
+}
+
+/**
+ * Schedule-generic base kernel.  Canonical loops: L0 wi-x(4),
+ * L1 wi-y(4), L2 wi-z(4), L3 bin(27), L4 atom(binCapacity).
+ */
+kdp::KernelFn
+baseKernel(compiler::Schedule sched)
+{
+    return [sched](kdp::GroupCtx &g, const kdp::KernelArgs &args) {
+        const auto units = static_cast<std::uint64_t>(
+            args.scalarInt(argUnits));
+        if (g.unitBase() >= units)
+            return;
+        const auto &bins = args.buf<float>(argBins);
+        auto &lattice = args.buf<float>(argLattice);
+
+        unsigned tx, ty, tz;
+        tileOf(g.unitBase(), tx, ty, tz);
+
+        std::array<float, groupSize> pot{};
+        const std::array<unsigned, 5> bounds = {tile, tile, tile, 27,
+                                                binCapacity};
+        std::array<unsigned, 5> idx{};
+
+        // Loop-invariant atom data stays in registers: the atom is
+        // reloaded only when the (bin, slot) pair changes between
+        // consecutive body executions.  Schedules that keep the
+        // lattice loops inside the atom loop therefore load each atom
+        // once; schedules with the atom loop innermost reload it for
+        // every lattice point -- the memory-traffic spread LC
+        // scheduling navigates.
+        std::uint64_t prev_slot = ~std::uint64_t{0};
+        unsigned prev_bin = ~0u;
+        float atom[4] = {0.0f, 0.0f, 0.0f, 0.0f};
+
+        auto body = [&] {
+            const unsigned x = tx * tile + idx[0];
+            const unsigned y = ty * tile + idx[1];
+            const unsigned z = tz * tile + idx[2];
+            const std::uint32_t lane =
+                (idx[2] * tile + idx[1]) * tile + idx[0];
+            const int bdx = static_cast<int>(idx[3] % 3) - 1;
+            const int bdy = static_cast<int>((idx[3] / 3) % 3) - 1;
+            const int bdz = static_cast<int>(idx[3] / 9) - 1;
+            // Periodic neighbourhood: every tile sees exactly 27
+            // bins, keeping per-unit work uniform (the property
+            // fully-productive profiling relies on, §2.2).
+            const unsigned bx = static_cast<unsigned>(
+                (static_cast<int>(tx) + bdx + static_cast<int>(binsX))
+                % static_cast<int>(binsX));
+            const unsigned by = static_cast<unsigned>(
+                (static_cast<int>(ty) + bdy + static_cast<int>(binsY))
+                % static_cast<int>(binsY));
+            const unsigned bz = static_cast<unsigned>(
+                (static_cast<int>(tz) + bdz + static_cast<int>(binsZ))
+                % static_cast<int>(binsZ));
+            if (idx[3] != prev_bin) {
+                prev_bin = idx[3];
+                g.flops(lane, 6); // bin address computation
+            }
+            const std::uint64_t slot =
+                binSlotBase(static_cast<unsigned>(bx),
+                            static_cast<unsigned>(by),
+                            static_cast<unsigned>(bz), idx[4]);
+            if (slot != prev_slot) {
+                prev_slot = slot;
+                g.loadSpan(bins, slot, 4, lane, atom);
+            }
+            const float px = static_cast<float>(x) * spacing;
+            const float py = static_cast<float>(y) * spacing;
+            const float pz = static_cast<float>(z) * spacing;
+            const float dx = px - atom[0];
+            const float dy = py - atom[1];
+            const float dz = pz - atom[2];
+            const float r2 = dx * dx + dy * dy + dz * dz;
+            g.flops(lane, 8);
+            g.branch(lane, r2 < cutoff2);
+            if (r2 < cutoff2) {
+                pot[lane] += atom[3] / std::sqrt(r2 + 0.01f);
+                g.flops(lane, 4);
+            }
+        };
+
+        // Five-deep nest in schedule order.
+        std::array<unsigned, 5> o = {sched.order[0], sched.order[1],
+                                     sched.order[2], sched.order[3],
+                                     sched.order[4]};
+        for (idx[o[0]] = 0; idx[o[0]] < bounds[o[0]]; ++idx[o[0]])
+        for (idx[o[1]] = 0; idx[o[1]] < bounds[o[1]]; ++idx[o[1]])
+        for (idx[o[2]] = 0; idx[o[2]] < bounds[o[2]]; ++idx[o[2]])
+        for (idx[o[3]] = 0; idx[o[3]] < bounds[o[3]]; ++idx[o[3]])
+        for (idx[o[4]] = 0; idx[o[4]] < bounds[o[4]]; ++idx[o[4]])
+            body();
+
+        for (unsigned e = 0; e < groupSize; ++e) {
+            const unsigned x = tx * tile + e % tile;
+            const unsigned y = ty * tile + (e / tile) % tile;
+            const unsigned z = tz * tile + e / (tile * tile);
+            g.store(lattice, latticeIndex(x, y, z), pot[e], e);
+        }
+    };
+}
+
+/**
+ * Coarsened (waf 4) variant: covers four adjacent tiles along x and
+ * stages each sub-tile's bins through scratchpad cooperatively.
+ */
+void
+coarsenedKernel(kdp::GroupCtx &g, const kdp::KernelArgs &args)
+{
+    const auto units = static_cast<std::uint64_t>(args.scalarInt(argUnits));
+    if (g.unitBase() >= units)
+        return;
+    const auto &bins = args.buf<float>(argBins);
+    auto &lattice = args.buf<float>(argLattice);
+
+    auto staged = g.allocLocal<float>(27 * binCapacity * 4);
+
+    for (unsigned sub = 0; sub < 4; ++sub) {
+        unsigned tx, ty, tz;
+        tileOf(g.unitBase() + sub, tx, ty, tz);
+
+        // Cooperative staging: 27 * capacity float4 slots over 64
+        // lanes.
+        const unsigned slots = 27 * binCapacity;
+        for (unsigned s = 0; s < slots; s += groupSize) {
+            for (std::uint32_t lane = 0; lane < groupSize; ++lane) {
+                const unsigned slot = s + lane;
+                if (slot >= slots)
+                    break;
+                const unsigned b = slot / binCapacity;
+                const unsigned a = slot % binCapacity;
+                const unsigned bx = static_cast<unsigned>(
+                    (static_cast<int>(tx) + static_cast<int>(b % 3) - 1
+                     + static_cast<int>(binsX))
+                    % static_cast<int>(binsX));
+                const unsigned by = static_cast<unsigned>(
+                    (static_cast<int>(ty)
+                     + static_cast<int>((b / 3) % 3) - 1
+                     + static_cast<int>(binsY))
+                    % static_cast<int>(binsY));
+                const unsigned bz = static_cast<unsigned>(
+                    (static_cast<int>(tz) + static_cast<int>(b / 9) - 1
+                     + static_cast<int>(binsZ))
+                    % static_cast<int>(binsZ));
+                float atom[4] = {0.0f, 0.0f, 0.0f, 0.0f};
+                g.loadSpan(bins, binSlotBase(bx, by, bz, a), 4, lane,
+                           atom);
+                for (unsigned c = 0; c < 4; ++c)
+                    staged.set(g, slot * 4 + c, atom[c], lane);
+            }
+        }
+        g.barrier();
+
+        for (std::uint32_t lane = 0; lane < groupSize; ++lane) {
+            const unsigned x = tx * tile + lane % tile;
+            const unsigned y = ty * tile + (lane / tile) % tile;
+            const unsigned z = tz * tile + lane / (tile * tile);
+            const float px = static_cast<float>(x) * spacing;
+            const float py = static_cast<float>(y) * spacing;
+            const float pz = static_cast<float>(z) * spacing;
+            float pot = 0.0f;
+            for (unsigned slot = 0; slot < slots; ++slot) {
+                float atom[4];
+                for (unsigned c = 0; c < 4; ++c)
+                    atom[c] = staged.get(g, slot * 4 + c, lane);
+                const float dx = px - atom[0];
+                const float dy = py - atom[1];
+                const float dz = pz - atom[2];
+                const float r2 = dx * dx + dy * dy + dz * dz;
+                g.flops(lane, 8);
+                g.branch(lane, r2 < cutoff2);
+                if (r2 < cutoff2 && atom[3] != 0.0f) {
+                    pot += atom[3] / std::sqrt(r2 + 0.01f);
+                    g.flops(lane, 4);
+                }
+            }
+            g.store(lattice, latticeIndex(x, y, z), pot, lane);
+        }
+        g.barrier();
+    }
+}
+
+struct CutcpSetup
+{
+    std::vector<float> binData;
+    std::vector<float> reference;
+};
+
+std::shared_ptr<CutcpSetup>
+makeSetup()
+{
+    auto setup = std::make_shared<CutcpSetup>();
+    setup->binData.assign(
+        std::uint64_t{binsX} * binsY * binsZ * binCapacity * 4, 0.0f);
+    std::vector<unsigned> fill(std::uint64_t{binsX} * binsY * binsZ, 0);
+
+    support::Rng rng(77);
+    const float sx = static_cast<float>(lx) * spacing;
+    const float sy = static_cast<float>(ly) * spacing;
+    const float sz = static_cast<float>(lz) * spacing;
+    for (unsigned a = 0; a < numAtoms; ++a) {
+        const float x = rng.nextFloat(0.0f, sx);
+        const float y = rng.nextFloat(0.0f, sy);
+        const float z = rng.nextFloat(0.0f, sz);
+        const float q = rng.nextFloat(-1.0f, 1.0f);
+        const auto bx = std::min(binsX - 1,
+                                 static_cast<unsigned>(x / cutoff));
+        const auto by = std::min(binsY - 1,
+                                 static_cast<unsigned>(y / cutoff));
+        const auto bz = std::min(binsZ - 1,
+                                 static_cast<unsigned>(z / cutoff));
+        const std::uint64_t bin =
+            (std::uint64_t{bz} * binsY + by) * binsX + bx;
+        if (fill[bin] >= binCapacity)
+            continue; // overflow atoms are dropped from the workload
+        const std::uint64_t base = binSlotBase(bx, by, bz, fill[bin]);
+        setup->binData[base + 0] = x;
+        setup->binData[base + 1] = y;
+        setup->binData[base + 2] = z;
+        setup->binData[base + 3] = q;
+        ++fill[bin];
+    }
+
+    // Host reference: same bin traversal.
+    setup->reference.assign(std::uint64_t{lx} * ly * lz, 0.0f);
+    for (unsigned z = 0; z < lz; ++z) {
+        for (unsigned y = 0; y < ly; ++y) {
+            for (unsigned x = 0; x < lx; ++x) {
+                const float px = static_cast<float>(x) * spacing;
+                const float py = static_cast<float>(y) * spacing;
+                const float pz = static_cast<float>(z) * spacing;
+                const int tx = static_cast<int>(x / tile);
+                const int ty = static_cast<int>(y / tile);
+                const int tz = static_cast<int>(z / tile);
+                float pot = 0.0f;
+                for (int dz = -1; dz <= 1; ++dz) {
+                    for (int dy = -1; dy <= 1; ++dy) {
+                        for (int dx = -1; dx <= 1; ++dx) {
+                            const auto bx = static_cast<unsigned>(
+                                (tx + dx + (int)binsX) % (int)binsX);
+                            const auto by = static_cast<unsigned>(
+                                (ty + dy + (int)binsY) % (int)binsY);
+                            const auto bz = static_cast<unsigned>(
+                                (tz + dz + (int)binsZ) % (int)binsZ);
+                            for (unsigned a = 0; a < binCapacity; ++a) {
+                                const std::uint64_t base =
+                                    binSlotBase(bx, by, bz, a);
+                                pot += contribution(
+                                    px, py, pz,
+                                    &setup->binData[base]);
+                            }
+                        }
+                    }
+                }
+                setup->reference[latticeIndex(x, y, z)] = pot;
+            }
+        }
+    }
+    return setup;
+}
+
+Workload
+makeCommon(const char *config, std::shared_ptr<CutcpSetup> setup)
+{
+    Workload w;
+    w.name = std::string("cutcp-") + config;
+    w.signature = std::string("cutcp/") + config;
+    w.units = std::uint64_t{tilesX} * tilesY * tilesZ;
+
+    auto &bins = w.addBuffer<float>(setup->binData.size(),
+                                    kdp::MemSpace::Global, "bins");
+    auto &lattice = w.addBuffer<float>(std::uint64_t{lx} * ly * lz,
+                                       kdp::MemSpace::Global, "lattice");
+    std::copy(setup->binData.begin(), setup->binData.end(), bins.host());
+
+    w.args.add(bins).add(lattice).add(static_cast<std::int64_t>(w.units));
+    w.resetOutput = [&lattice] { lattice.fill(0.0f); };
+    w.check = [&lattice, setup] {
+        for (std::uint64_t i = 0; i < lattice.size(); ++i)
+            if (!nearlyEqual(lattice.host()[i], setup->reference[i],
+                             2e-3f, 2e-3f))
+                return false;
+        return true;
+    };
+
+    w.info.signature = w.signature;
+    w.info.loops = {
+        {"wi-x", compiler::BoundKind::Constant, true, false, tile},
+        {"wi-y", compiler::BoundKind::Constant, true, false, tile},
+        {"wi-z", compiler::BoundKind::Constant, true, false, tile},
+        {"bin", compiler::BoundKind::Constant, false, false, 27},
+        {"atom", compiler::BoundKind::Constant, false, false,
+         binCapacity},
+    };
+    // The bin access is invariant in all three lattice loops (so
+    // schedules that keep a lattice loop innermost let the compiler
+    // hoist the atom load into registers), strides one padded slot in
+    // the atom loop, and is data dependent in the bin loop.
+    constexpr auto unk = compiler::AccessPattern::unknownStride;
+    w.info.accesses = {
+        {argBins, false, true, {0, 0, 0, unk, 4}, 16,
+         std::uint64_t{groupSize} * 27 * binCapacity},
+        {argLattice, true, true,
+         {1, static_cast<std::int64_t>(tile),
+          static_cast<std::int64_t>(tile) * tile, 0, 0},
+         4, groupSize},
+    };
+    w.info.outputArgs = {argLattice};
+    return w;
+}
+
+} // namespace
+
+Workload
+makeCutcpLcCpu(unsigned max_schedules)
+{
+    auto setup = makeSetup();
+    Workload w = makeCommon("lc-cpu", setup);
+    unsigned added = 0;
+    for (const auto &sched : compiler::allSchedules(5)) {
+        // Keep the atom loop (L4) inside the bin loop (L3).
+        unsigned pos3 = 0, pos4 = 0;
+        for (unsigned i = 0; i < 5; ++i) {
+            if (sched.order[i] == 3)
+                pos3 = i;
+            if (sched.order[i] == 4)
+                pos4 = i;
+        }
+        if (pos4 < pos3)
+            continue;
+        if (max_schedules && added >= max_schedules)
+            break;
+        kdp::KernelVariant v;
+        v.name = "sched-" + sched.name();
+        v.fn = baseKernel(sched);
+        v.waFactor = 1;
+        v.groupSize = groupSize;
+        v.sandboxIndex = {argLattice};
+        w.variants.push_back(std::move(v));
+        w.schedules.push_back(sched);
+        ++added;
+    }
+    return w;
+}
+
+Workload
+makeCutcpMixed()
+{
+    auto setup = makeSetup();
+    Workload w = makeCommon("mixed", setup);
+
+    kdp::KernelVariant base;
+    base.name = "base";
+    base.fn = baseKernel(compiler::dfoSchedule(5));
+    base.waFactor = 1;
+    base.groupSize = groupSize;
+    base.sandboxIndex = {argLattice};
+    w.variants.push_back(std::move(base));
+
+    kdp::KernelVariant coarse;
+    coarse.name = "coarsen4-scratch";
+    coarse.fn = coarsenedKernel;
+    coarse.waFactor = 4;
+    coarse.groupSize = groupSize;
+    coarse.traits.scratchBytes = 27 * binCapacity * 4 * sizeof(float);
+    coarse.traits.regsPerThread = 40;
+    coarse.sandboxIndex = {argLattice};
+    w.variants.push_back(std::move(coarse));
+    return w;
+}
+
+} // namespace workloads
+} // namespace dysel

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * cutcp (Parboil): cutoff Coulombic potential on a 3D lattice.
+ *
+ * Atoms are binned into cutoff-sized cells (capacity padded with
+ * zero-charge entries, so the workload is regular and the paper uses
+ * fully-productive profiling for it).  Each work-group covers a
+ * 4x4x4 lattice tile; every lattice point accumulates contributions
+ * from the atoms of its 27 neighbouring bins.
+ *
+ * Experiment configurations:
+ *  - Fig. 8:  the serialized loop nest is [wi-x, wi-y, wi-z, bin,
+ *    atom]; LC considers the 60 permutations that keep the atom loop
+ *    inside the bin loop (the paper's "60 schedules for cutcp");
+ *  - Fig. 10: base vs. a 4x-coarsened version staging bins through
+ *    scratchpad.
+ */
+#pragma once
+
+#include "workload.hh"
+
+namespace dysel {
+namespace workloads {
+
+/** Fig. 8 configuration (CPU).  @p max_schedules trims the variant
+ *  list for tests; 0 means all 60. */
+Workload makeCutcpLcCpu(unsigned max_schedules = 0);
+
+/** Fig. 10 configuration: base vs. coarsened+scratch (CPU or GPU). */
+Workload makeCutcpMixed();
+
+} // namespace workloads
+} // namespace dysel

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Standard device configurations of the paper's evaluation setup
+ * (§4.1): an Intel i7-3820-like CPU and an NVIDIA K20c-like GPU.
+ */
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "sim/cpu/cpu_device.hh"
+#include "sim/device.hh"
+#include "sim/gpu/gpu_device.hh"
+
+namespace dysel {
+namespace workloads {
+
+/** Creates a fresh device for one measurement. */
+using DeviceFactory = std::function<std::unique_ptr<sim::Device>()>;
+
+/** The evaluation CPU (fresh instance per call). */
+inline DeviceFactory
+cpuFactory(double noise_sigma = 0.0, std::uint64_t seed = 0x5eed)
+{
+    return [noise_sigma, seed] {
+        sim::CpuConfig cfg;
+        cfg.noiseSigma = noise_sigma;
+        cfg.seed = seed;
+        return std::make_unique<sim::CpuDevice>(cfg);
+    };
+}
+
+/** The evaluation GPU (fresh instance per call). */
+inline DeviceFactory
+gpuFactory(double noise_sigma = 0.0, std::uint64_t seed = 0x6eed)
+{
+    return [noise_sigma, seed] {
+        sim::GpuConfig cfg;
+        cfg.noiseSigma = noise_sigma;
+        cfg.seed = seed;
+        return std::make_unique<sim::GpuDevice>(cfg);
+    };
+}
+
+} // namespace workloads
+} // namespace dysel

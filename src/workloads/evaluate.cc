@@ -1,0 +1,95 @@
+#include "evaluate.hh"
+
+#include "dysel/runtime.hh"
+#include "support/logging.hh"
+
+namespace dysel {
+namespace workloads {
+
+VariantRun
+runSingleVariant(const DeviceFactory &factory, Workload &w,
+                 std::size_t index)
+{
+    if (index >= w.variants.size())
+        support::panic("variant index %zu out of range for %s", index,
+                       w.name.c_str());
+    auto device = factory();
+    runtime::Runtime rt(*device);
+    w.registerWith(rt);
+    w.resetOutput();
+
+    runtime::LaunchOptions opt;
+    opt.profiling = false;
+    opt.initialVariant = static_cast<int>(index);
+
+    VariantRun run;
+    run.name = w.variants[index].name;
+    const sim::TimeNs start = device->now();
+    for (unsigned it = 0; it < w.iterations; ++it)
+        rt.launchKernel(w.signature, w.units, w.args, opt);
+    run.elapsed = device->now() - start;
+    run.ok = w.check();
+    return run;
+}
+
+OracleResult
+runOracle(const DeviceFactory &factory, Workload &w)
+{
+    OracleResult result;
+    result.runs.reserve(w.variants.size());
+    for (std::size_t i = 0; i < w.variants.size(); ++i) {
+        result.runs.push_back(runSingleVariant(factory, w, i));
+        if (result.runs[i].elapsed < result.runs[result.bestIndex].elapsed)
+            result.bestIndex = i;
+        if (result.runs[i].elapsed
+            > result.runs[result.worstIndex].elapsed)
+            result.worstIndex = i;
+    }
+    return result;
+}
+
+DyselRun
+runDysel(const DeviceFactory &factory, Workload &w,
+         const runtime::LaunchOptions &opt, bool profile_every_iteration)
+{
+    return runDyselConfigured(factory, w, opt, runtime::RuntimeConfig(),
+                              profile_every_iteration);
+}
+
+DyselRun
+runDyselConfigured(const DeviceFactory &factory, Workload &w,
+                   const runtime::LaunchOptions &opt,
+                   const runtime::RuntimeConfig &config,
+                   bool profile_every_iteration)
+{
+    auto device = factory();
+    runtime::Runtime rt(*device, config);
+    w.registerWith(rt);
+    w.resetOutput();
+
+    DyselRun run;
+    const sim::TimeNs start = device->now();
+    for (unsigned it = 0; it < w.iterations; ++it) {
+        runtime::LaunchOptions iter_opt = opt;
+        iter_opt.profiling =
+            opt.profiling && (profile_every_iteration || it == 0);
+        auto report = rt.launchKernel(w.signature, w.units, w.args,
+                                      iter_opt);
+        if (it == 0)
+            run.firstIteration = std::move(report);
+    }
+    run.elapsed = device->now() - start;
+    run.ok = w.check();
+    return run;
+}
+
+double
+relative(sim::TimeNs value, sim::TimeNs base)
+{
+    if (base == 0)
+        support::panic("relative() with zero base");
+    return static_cast<double>(value) / static_cast<double>(base);
+}
+
+} // namespace workloads
+} // namespace dysel

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Measurement harness used by the tests and every bench binary.
+ *
+ * Defines the quantities the paper's figures report: per-variant pure
+ * execution time (for the Oracle and Worst bars), DySel execution
+ * time under a given mode/orchestration (including all profiling
+ * costs, §4.1), and iterative-workload totals where profiling runs
+ * only on the first iteration.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dysel/options.hh"
+#include "dysel/report.hh"
+#include "dysel/runtime.hh"
+
+#include "devices.hh"
+#include "workload.hh"
+
+namespace dysel {
+namespace workloads {
+
+/** Result of running one pure variant over the whole workload. */
+struct VariantRun
+{
+    std::string name;
+    sim::TimeNs elapsed = 0; ///< all iterations
+    bool ok = false;         ///< output matched the reference
+};
+
+/** Oracle/Worst summary over all variants. */
+struct OracleResult
+{
+    std::vector<VariantRun> runs;
+    std::size_t bestIndex = 0;
+    std::size_t worstIndex = 0;
+
+    sim::TimeNs best() const { return runs[bestIndex].elapsed; }
+    sim::TimeNs worst() const { return runs[worstIndex].elapsed; }
+};
+
+/** DySel run summary. */
+struct DyselRun
+{
+    runtime::LaunchReport firstIteration;
+    sim::TimeNs elapsed = 0; ///< all iterations (profiling in first)
+    bool ok = false;
+};
+
+/**
+ * Run variant @p index alone over the whole workload (all
+ * iterations) on a fresh device and verify the output.
+ */
+VariantRun runSingleVariant(const DeviceFactory &factory, Workload &w,
+                            std::size_t index);
+
+/** Run every variant; compute oracle and worst. */
+OracleResult runOracle(const DeviceFactory &factory, Workload &w);
+
+/**
+ * Run the workload under DySel on a fresh device.  Profiling runs in
+ * the first iteration only unless @p profile_every_iteration.
+ */
+DyselRun runDysel(const DeviceFactory &factory, Workload &w,
+                  const runtime::LaunchOptions &opt,
+                  bool profile_every_iteration = false);
+
+/** As runDysel, with a caller-supplied runtime configuration. */
+DyselRun runDyselConfigured(const DeviceFactory &factory, Workload &w,
+                            const runtime::LaunchOptions &opt,
+                            const runtime::RuntimeConfig &config,
+                            bool profile_every_iteration = false);
+
+/** Relative time helper: value / base. */
+double relative(sim::TimeNs value, sim::TimeNs base);
+
+} // namespace workloads
+} // namespace dysel

@@ -1,0 +1,151 @@
+#include "histogram.hh"
+
+#include <memory>
+
+#include "support/rng.hh"
+
+namespace dysel {
+namespace workloads {
+
+namespace {
+
+constexpr unsigned numBins = 256;
+constexpr unsigned groupSize = 64;
+constexpr unsigned elemsPerUnit = 2048;
+constexpr std::uint64_t numElems = 1u << 20;
+
+enum Arg : std::size_t {
+    argData = 0,
+    argBins = 1,
+    argUnits = 2,
+};
+
+/** Every work-item atomically bumps the global bin of its elements. */
+void
+atomicKernel(kdp::GroupCtx &g, const kdp::KernelArgs &args)
+{
+    const auto units = static_cast<std::uint64_t>(args.scalarInt(argUnits));
+    if (g.unitBase() >= units)
+        return;
+    const auto &data = args.buf<std::uint32_t>(argData);
+    auto &bins = args.buf<std::uint32_t>(argBins);
+
+    const std::uint64_t base = g.unitBase() * elemsPerUnit;
+    const std::uint64_t per_lane = elemsPerUnit / groupSize;
+    for (std::uint32_t lane = 0; lane < groupSize; ++lane) {
+        for (std::uint64_t e = 0; e < per_lane; ++e) {
+            const std::uint64_t i =
+                base + e * groupSize + lane; // coalesced stride
+            const std::uint32_t v = g.load(data, i, lane);
+            g.atomicAdd(bins, v % numBins, 1u, lane);
+            g.flops(lane, 2);
+        }
+    }
+}
+
+/** Privatized: accumulate into a scratchpad histogram, then merge. */
+void
+privatizedKernel(kdp::GroupCtx &g, const kdp::KernelArgs &args)
+{
+    const auto units = static_cast<std::uint64_t>(args.scalarInt(argUnits));
+    if (g.unitBase() >= units)
+        return;
+    const auto &data = args.buf<std::uint32_t>(argData);
+    auto &bins = args.buf<std::uint32_t>(argBins);
+
+    auto local_bins = g.allocLocal<std::uint32_t>(numBins);
+    for (unsigned b = 0; b < numBins; b += groupSize)
+        for (std::uint32_t lane = 0; lane < groupSize; ++lane)
+            local_bins.set(g, b + lane, 0u, lane);
+    g.barrier();
+
+    const std::uint64_t base = g.unitBase() * elemsPerUnit;
+    const std::uint64_t per_lane = elemsPerUnit / groupSize;
+    for (std::uint32_t lane = 0; lane < groupSize; ++lane) {
+        for (std::uint64_t e = 0; e < per_lane; ++e) {
+            const std::uint64_t i = base + e * groupSize + lane;
+            const std::uint32_t v = g.load(data, i, lane);
+            const std::uint32_t bin = v % numBins;
+            // Scratchpad read-modify-write (serialized by hardware).
+            const std::uint32_t old = local_bins.get(g, bin, lane);
+            local_bins.set(g, bin, old + 1, lane);
+            g.flops(lane, 2);
+        }
+    }
+    g.barrier();
+    for (unsigned b = 0; b < numBins; b += groupSize) {
+        for (std::uint32_t lane = 0; lane < groupSize; ++lane) {
+            const std::uint32_t count = local_bins.get(g, b + lane, lane);
+            if (count)
+                g.atomicAdd(bins, b + lane, count, lane);
+        }
+    }
+}
+
+} // namespace
+
+Workload
+makeHistogram()
+{
+    Workload w;
+    w.name = "histogram";
+    w.signature = "histogram/swap";
+    w.units = numElems / elemsPerUnit;
+
+    auto &data = w.addBuffer<std::uint32_t>(numElems,
+                                            kdp::MemSpace::Global, "data");
+    auto &bins = w.addBuffer<std::uint32_t>(numBins,
+                                            kdp::MemSpace::Global, "bins");
+    support::Rng rng(55);
+    for (std::uint64_t i = 0; i < numElems; ++i)
+        data.host()[i] = static_cast<std::uint32_t>(rng.next());
+
+    auto ref = std::make_shared<std::vector<std::uint32_t>>(numBins, 0u);
+    for (std::uint64_t i = 0; i < numElems; ++i)
+        ++(*ref)[data.host()[i] % numBins];
+
+    w.args.add(data).add(bins).add(static_cast<std::int64_t>(w.units));
+    w.resetOutput = [&bins] { bins.fill(0u); };
+    w.check = [&bins, ref] {
+        for (unsigned b = 0; b < numBins; ++b)
+            if (bins.host()[b] != (*ref)[b])
+                return false;
+        return true;
+    };
+
+    w.info.signature = w.signature;
+    w.info.loops = {
+        {"wi", compiler::BoundKind::Constant, true, false, groupSize},
+        {"elem", compiler::BoundKind::Param, false, false,
+         elemsPerUnit / groupSize},
+    };
+    w.info.accesses = {
+        {argData, false, true, {1, groupSize}, 4, elemsPerUnit},
+        {argBins, true, false, {}, 4, elemsPerUnit},
+    };
+    w.info.usesGlobalAtomics = true;
+    w.info.outputArgs = {argBins};
+
+    kdp::KernelVariant atomic;
+    atomic.name = "atomic-global";
+    atomic.fn = atomicKernel;
+    atomic.waFactor = 1;
+    atomic.groupSize = groupSize;
+    atomic.traits.usesAtomics = true;
+    atomic.sandboxIndex = {argBins};
+    w.variants.push_back(std::move(atomic));
+
+    kdp::KernelVariant priv;
+    priv.name = "privatized-scratch";
+    priv.fn = privatizedKernel;
+    priv.waFactor = 1;
+    priv.groupSize = groupSize;
+    priv.traits.usesAtomics = true;
+    priv.traits.scratchBytes = numBins * 4;
+    priv.sandboxIndex = {argBins};
+    w.variants.push_back(std::move(priv));
+    return w;
+}
+
+} // namespace workloads
+} // namespace dysel

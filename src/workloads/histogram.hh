@@ -1,0 +1,23 @@
+/**
+ * @file
+ * histogram: 256-bin histogram over a large value stream.
+ *
+ * Not one of the paper's measured benchmarks, but the canonical
+ * output-binning pattern the paper's §2.3 lists as requiring
+ * swap-based partial-productive profiling: work-groups update
+ * overlapping output ranges through global atomics, so neither
+ * fully-productive nor hybrid profiling would be correct.  Used by
+ * the swap-mode tests and the profiling-mode ablation bench.
+ */
+#pragma once
+
+#include "workload.hh"
+
+namespace dysel {
+namespace workloads {
+
+/** Atomic-global vs. scratchpad-privatized histogram variants. */
+Workload makeHistogram();
+
+} // namespace workloads
+} // namespace dysel

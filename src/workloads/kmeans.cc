@@ -1,0 +1,196 @@
+#include "kmeans.hh"
+
+#include <array>
+#include <limits>
+#include <memory>
+
+#include "compiler/schedule.hh"
+#include "support/rng.hh"
+
+namespace dysel {
+namespace workloads {
+
+namespace {
+
+constexpr unsigned numPoints = 262144;
+constexpr unsigned numFeatures = 8;
+constexpr unsigned numClusters = 4;
+constexpr unsigned groupSize = 64;
+
+enum Arg : std::size_t {
+    argPoints = 0,
+    argCentroids = 1,
+    argMembership = 2,
+    argUnits = 3,
+};
+
+kdp::KernelFn
+kmeansKernel(compiler::Schedule sched)
+{
+    return [sched](kdp::GroupCtx &g, const kdp::KernelArgs &args) {
+        const auto units = static_cast<std::uint64_t>(
+            args.scalarInt(argUnits));
+        if (g.unitBase() >= units)
+            return;
+        const auto &points = args.buf<float>(argPoints);
+        const auto &centroids = args.buf<float>(argCentroids);
+        auto &membership = args.buf<std::int32_t>(argMembership);
+
+        // dist[lane][cluster] accumulators live in registers, and so
+        // do the last-loaded point/centroid values: loads are only
+        // re-issued when the indexed element changes between
+        // consecutive body executions (register reuse a compiler
+        // would get from loop-invariant code motion).
+        std::array<std::array<float, numClusters>, groupSize> dist{};
+        std::uint64_t prev_p = ~std::uint64_t{0};
+        std::uint64_t prev_c = ~std::uint64_t{0};
+        float pv = 0.0f, cv = 0.0f;
+
+        const std::array<unsigned, 3> bounds = {groupSize, numClusters,
+                                                numFeatures};
+        std::array<unsigned, 3> idx{};
+        for (idx[sched.order[0]] = 0;
+             idx[sched.order[0]] < bounds[sched.order[0]];
+             ++idx[sched.order[0]]) {
+            for (idx[sched.order[1]] = 0;
+                 idx[sched.order[1]] < bounds[sched.order[1]];
+                 ++idx[sched.order[1]]) {
+                for (idx[sched.order[2]] = 0;
+                     idx[sched.order[2]] < bounds[sched.order[2]];
+                     ++idx[sched.order[2]]) {
+                    const unsigned lane = idx[0];
+                    const unsigned c = idx[1];
+                    const unsigned f = idx[2];
+                    const std::uint64_t p =
+                        g.group() * groupSize + lane;
+                    const std::uint64_t p_idx = p * numFeatures + f;
+                    const std::uint64_t c_idx =
+                        std::uint64_t{c} * numFeatures + f;
+                    if (p_idx != prev_p) {
+                        prev_p = p_idx;
+                        pv = g.load(points, p_idx, lane);
+                    }
+                    if (c_idx != prev_c) {
+                        prev_c = c_idx;
+                        cv = g.load(centroids, c_idx, lane);
+                    }
+                    const float diff = pv - cv;
+                    dist[lane][c] += diff * diff;
+                    g.flops(lane, 3);
+                }
+            }
+        }
+        for (unsigned lane = 0; lane < groupSize; ++lane) {
+            const std::uint64_t p = g.group() * groupSize + lane;
+            int best = 0;
+            for (unsigned c = 1; c < numClusters; ++c)
+                if (dist[lane][c] < dist[lane][best])
+                    best = static_cast<int>(c);
+            g.flops(lane, numClusters);
+            g.store(membership, p, static_cast<std::int32_t>(best), lane);
+        }
+    };
+}
+
+} // namespace
+
+Workload
+makeKmeansLcCpu()
+{
+    Workload w;
+    w.name = "kmeans-lc-cpu";
+    w.signature = "kmeans/lc-cpu";
+    w.units = numPoints / groupSize;
+    w.iterations = 3;
+
+    auto &points = w.addBuffer<float>(
+        std::uint64_t{numPoints} * numFeatures, kdp::MemSpace::Global,
+        "points");
+    auto &centroids = w.addBuffer<float>(
+        std::uint64_t{numClusters} * numFeatures, kdp::MemSpace::Global,
+        "centroids");
+    auto &membership = w.addBuffer<std::int32_t>(
+        numPoints, kdp::MemSpace::Global, "membership");
+
+    support::Rng rng(31);
+    for (std::uint64_t i = 0; i < points.size(); ++i)
+        points.host()[i] = rng.nextFloat(-5.0f, 5.0f);
+    for (std::uint64_t i = 0; i < centroids.size(); ++i)
+        centroids.host()[i] = rng.nextFloat(-5.0f, 5.0f);
+
+    auto ref = std::make_shared<std::vector<std::int32_t>>();
+    ref->resize(numPoints);
+    for (unsigned p = 0; p < numPoints; ++p) {
+        float best_d = std::numeric_limits<float>::max();
+        int best = 0;
+        for (unsigned c = 0; c < numClusters; ++c) {
+            float d = 0.0f;
+            for (unsigned f = 0; f < numFeatures; ++f) {
+                const float diff =
+                    points.host()[std::uint64_t{p} * numFeatures + f]
+                    - centroids.host()[std::uint64_t{c} * numFeatures
+                                       + f];
+                d += diff * diff;
+            }
+            if (d < best_d) {
+                best_d = d;
+                best = static_cast<int>(c);
+            }
+        }
+        (*ref)[p] = best;
+    }
+
+    w.args.add(points).add(centroids).add(membership).add(
+        static_cast<std::int64_t>(w.units));
+    w.resetOutput = [&membership] { membership.fill(-1); };
+    w.check = [&membership, ref] {
+        for (unsigned p = 0; p < numPoints; ++p)
+            if (membership.host()[p] != (*ref)[p])
+                return false;
+        return true;
+    };
+
+    w.info.signature = w.signature;
+    w.info.loops = {
+        {"wi", compiler::BoundKind::Constant, true, false, groupSize},
+        {"cluster", compiler::BoundKind::Param, false, false,
+         numClusters},
+        {"feature", compiler::BoundKind::Param, false, false,
+         numFeatures},
+    };
+    w.info.accesses = {
+        {argPoints, false, true, {numFeatures, 0, 1}, 4,
+         std::uint64_t{groupSize} * numClusters * numFeatures},
+        {argCentroids, false, true, {0, numFeatures, 1}, 4,
+         std::uint64_t{groupSize} * numClusters * numFeatures},
+        {argMembership, true, true, {1, 0, 0}, 4, groupSize},
+    };
+    w.info.outputArgs = {argMembership};
+
+    // The 3 permutations keeping 'feature' inside 'cluster'.
+    for (const auto &sched : compiler::allSchedules(3)) {
+        bool cluster_before_feature = false;
+        for (unsigned pos : sched.order) {
+            if (pos == 1) {
+                cluster_before_feature = true;
+                break;
+            }
+            if (pos == 2)
+                break;
+        }
+        if (!cluster_before_feature)
+            continue;
+        kdp::KernelVariant v;
+        v.name = "sched-" + sched.name();
+        v.fn = kmeansKernel(sched);
+        v.waFactor = 1;
+        v.groupSize = groupSize;
+        v.sandboxIndex = {argMembership};
+        w.variants.push_back(std::move(v));
+        w.schedules.push_back(sched);
+    }
+    return w;
+}
+
+} // namespace workloads
+} // namespace dysel

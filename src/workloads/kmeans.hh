@@ -1,0 +1,20 @@
+/**
+ * @file
+ * kmeans (Rodinia): nearest-centroid membership assignment.
+ *
+ * Fig. 8 configuration: the serialized loop nest is [wi, cluster,
+ * feature]; LC considers the 3 permutations that keep the feature
+ * loop inside the cluster loop (the distance accumulation forces that
+ * order), matching the paper's "3 schedules for kmeans".
+ */
+#pragma once
+
+#include "workload.hh"
+
+namespace dysel {
+namespace workloads {
+
+Workload makeKmeansLcCpu();
+
+} // namespace workloads
+} // namespace dysel

@@ -1,0 +1,230 @@
+#include "particlefilter.hh"
+
+#include <cmath>
+#include <memory>
+
+#include "support/rng.hh"
+
+namespace dysel {
+namespace workloads {
+
+namespace {
+
+constexpr unsigned numParticles = 131072;
+constexpr unsigned numTemplate = 16; ///< template points per particle
+constexpr unsigned frameX = 64, frameY = 64, frameZ = 8;
+constexpr unsigned groupSize = 64;
+
+enum Arg : std::size_t {
+    argArrayX = 0,
+    argArrayY = 1,
+    argObjxy = 2,      ///< global copy
+    argFrame = 3,      ///< global copy
+    argLikelihood = 4, ///< output
+    argUnits = 5,
+    argObjxyConst = 6,
+    argObjxyTex = 7,
+    argFrameTex = 8,
+};
+
+/** Placement policy: which slots objxy and the frame are read from,
+ *  and whether objxy is staged through scratchpad first. */
+struct Placement
+{
+    std::size_t objxy = argObjxy;
+    std::size_t frame = argFrame;
+    bool stageObjxy = false;
+};
+
+std::uint64_t
+frameIndex(unsigned x, unsigned y, unsigned z)
+{
+    return (std::uint64_t{z} * frameY + y) * frameX + x;
+}
+
+kdp::KernelFn
+likelihoodKernel(Placement place)
+{
+    return [place](kdp::GroupCtx &g, const kdp::KernelArgs &args) {
+        const auto units = static_cast<std::uint64_t>(
+            args.scalarInt(argUnits));
+        if (g.unitBase() >= units)
+            return;
+        const auto &ax = args.buf<float>(argArrayX);
+        const auto &ay = args.buf<float>(argArrayY);
+        const auto &objxy = args.buf<std::int32_t>(place.objxy);
+        const auto &frame = args.buf<float>(place.frame);
+        auto &likelihood = args.buf<float>(argLikelihood);
+
+        kdp::Local<std::int32_t> staged;
+        if (place.stageObjxy) {
+            staged = g.allocLocal<std::int32_t>(2 * numTemplate);
+            for (unsigned e = 0; e < 2 * numTemplate; e += groupSize) {
+                for (std::uint32_t lane = 0; lane < groupSize; ++lane) {
+                    const unsigned elem = e + lane;
+                    if (elem >= 2 * numTemplate)
+                        break;
+                    const std::int32_t v = g.load(objxy, elem, lane);
+                    staged.set(g, elem, v, lane);
+                }
+            }
+            g.barrier();
+        }
+
+        for (std::uint32_t lane = 0; lane < groupSize; ++lane) {
+            const std::uint64_t p = g.group() * groupSize + lane;
+            const float px = g.load(ax, p, lane);
+            const float py = g.load(ay, p, lane);
+            const auto z = static_cast<unsigned>(p % frameZ);
+            float lik = 0.0f;
+            for (unsigned t = 0; t < numTemplate; ++t) {
+                std::int32_t ox, oy;
+                if (place.stageObjxy) {
+                    ox = staged.get(g, 2 * t, lane);
+                    oy = staged.get(g, 2 * t + 1, lane);
+                } else {
+                    ox = g.load(objxy, 2 * t, lane);
+                    oy = g.load(objxy, 2 * t + 1, lane);
+                }
+                const auto ix = static_cast<unsigned>(
+                    (static_cast<std::int64_t>(px) + ox) % frameX);
+                const auto iy = static_cast<unsigned>(
+                    (static_cast<std::int64_t>(py) + oy) % frameY);
+                const float v =
+                    g.load(frame, frameIndex(ix, iy, z), lane);
+                lik += (v * v - 100.0f) / 50.0f;
+                g.flops(lane, 6);
+            }
+            g.store(likelihood, p, lik / numTemplate, lane);
+            g.flops(lane, 1);
+        }
+    };
+}
+
+} // namespace
+
+Workload
+makeParticleFilterGpu()
+{
+    Workload w;
+    w.name = "particlefilter-gpu";
+    w.signature = "particlefilter/placement-gpu";
+    w.units = numParticles / groupSize;
+    w.iterations = 1;
+
+    auto &ax = w.addBuffer<float>(numParticles, kdp::MemSpace::Global,
+                                  "arrayX");
+    auto &ay = w.addBuffer<float>(numParticles, kdp::MemSpace::Global,
+                                  "arrayY");
+    auto &objxy = w.addBuffer<std::int32_t>(2 * numTemplate,
+                                            kdp::MemSpace::Global,
+                                            "objxy");
+    auto &frame = w.addBuffer<float>(
+        std::uint64_t{frameX} * frameY * frameZ, kdp::MemSpace::Global,
+        "frame");
+    auto &likelihood = w.addBuffer<float>(numParticles,
+                                          kdp::MemSpace::Global,
+                                          "likelihood");
+    auto &objxy_const = w.addBuffer<std::int32_t>(
+        2 * numTemplate, kdp::MemSpace::Constant, "objxyConst");
+    auto &objxy_tex = w.addBuffer<std::int32_t>(
+        2 * numTemplate, kdp::MemSpace::Texture, "objxyTex");
+    auto &frame_tex = w.addBuffer<float>(
+        std::uint64_t{frameX} * frameY * frameZ, kdp::MemSpace::Texture,
+        "frameTex");
+
+    support::Rng rng(99);
+    for (unsigned p = 0; p < numParticles; ++p) {
+        // Particles cluster around a target, so nearby particles
+        // gather nearby frame pixels.
+        ax.host()[p] = 32.0f + rng.nextFloat(-6.0f, 6.0f);
+        ay.host()[p] = 32.0f + rng.nextFloat(-6.0f, 6.0f);
+    }
+    for (unsigned t = 0; t < numTemplate; ++t) {
+        objxy.host()[2 * t] = static_cast<std::int32_t>(
+            rng.nextInRange(-4, 4));
+        objxy.host()[2 * t + 1] = static_cast<std::int32_t>(
+            rng.nextInRange(-4, 4));
+    }
+    for (std::uint64_t i = 0; i < frame.size(); ++i)
+        frame.host()[i] = rng.nextFloat(0.0f, 255.0f);
+    for (std::uint64_t i = 0; i < objxy.size(); ++i) {
+        objxy_const.host()[i] = objxy.host()[i];
+        objxy_tex.host()[i] = objxy.host()[i];
+    }
+    for (std::uint64_t i = 0; i < frame.size(); ++i)
+        frame_tex.host()[i] = frame.host()[i];
+
+    w.args.add(ax).add(ay).add(objxy).add(frame).add(likelihood)
+        .add(static_cast<std::int64_t>(w.units))
+        .add(objxy_const).add(objxy_tex).add(frame_tex);
+
+    auto ref = std::make_shared<std::vector<float>>(numParticles, 0.0f);
+    for (unsigned p = 0; p < numParticles; ++p) {
+        const auto z = static_cast<unsigned>(p % frameZ);
+        float lik = 0.0f;
+        for (unsigned t = 0; t < numTemplate; ++t) {
+            const auto ix = static_cast<unsigned>(
+                (static_cast<std::int64_t>(ax.host()[p])
+                 + objxy.host()[2 * t])
+                % frameX);
+            const auto iy = static_cast<unsigned>(
+                (static_cast<std::int64_t>(ay.host()[p])
+                 + objxy.host()[2 * t + 1])
+                % frameY);
+            const float v = frame.host()[frameIndex(ix, iy, z)];
+            lik += (v * v - 100.0f) / 50.0f;
+        }
+        (*ref)[p] = lik / numTemplate;
+    }
+
+    w.resetOutput = [&likelihood] { likelihood.fill(0.0f); };
+    w.check = [&likelihood, ref] {
+        for (unsigned p = 0; p < numParticles; ++p)
+            if (!nearlyEqual(likelihood.host()[p], (*ref)[p], 1e-3f,
+                             1e-3f))
+                return false;
+        return true;
+    };
+
+    w.info.signature = w.signature;
+    w.info.loops = {
+        {"wi", compiler::BoundKind::Constant, true, false, groupSize},
+        {"template", compiler::BoundKind::Param, false, true,
+         numTemplate},
+    };
+    w.info.accesses = {
+        {argObjxy, false, true, {0, 2}, 4,
+         std::uint64_t{groupSize} * numTemplate * 2},
+        {argFrame, false, false, {}, 4,
+         std::uint64_t{groupSize} * numTemplate},
+        {argLikelihood, true, true, {1, 0}, 4, groupSize},
+    };
+    w.info.outputArgs = {argLikelihood};
+
+    auto add = [&w](const char *name, Placement p) {
+        kdp::KernelVariant v;
+        v.name = name;
+        v.fn = likelihoodKernel(p);
+        v.waFactor = 1;
+        v.groupSize = groupSize;
+        v.traits.usesTexture = p.frame == argFrameTex;
+        if (p.stageObjxy)
+            v.traits.scratchBytes = 2 * numTemplate * 4;
+        v.sandboxIndex = {argLikelihood};
+        w.variants.push_back(std::move(v));
+    };
+
+    // Original Rodinia placement: everything in global memory.
+    add("rodinia-orig", Placement{argObjxy, argFrame, false});
+    // PORPLE's Kepler policy: objxy in constant, frame via texture.
+    add("porple-a", Placement{argObjxyConst, argFrameTex, false});
+    // PORPLE's alternative policy: objxy staged in scratchpad.
+    add("porple-b", Placement{argObjxy, argFrameTex, true});
+    // Rule-based heuristic: small read-only array via texture.
+    add("jang-heuristic", Placement{argObjxyTex, argFrameTex, false});
+    return w;
+}
+
+} // namespace workloads
+} // namespace dysel

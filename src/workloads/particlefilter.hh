@@ -1,0 +1,21 @@
+/**
+ * @file
+ * particle filter (Rodinia): likelihood evaluation over 32k
+ * particles.
+ *
+ * Fig. 9 configuration: four data-placement policies for the small
+ * read-only template-offset array (objxy) and the large video frame
+ * (I) -- the original Rodinia placement (all global), two PORPLE
+ * policies, and the rule-based heuristic's policy.
+ */
+#pragma once
+
+#include "workload.hh"
+
+namespace dysel {
+namespace workloads {
+
+Workload makeParticleFilterGpu();
+
+} // namespace workloads
+} // namespace dysel

@@ -1,0 +1,335 @@
+#include "sgemm.hh"
+
+#include <array>
+#include <vector>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace dysel {
+namespace workloads {
+
+namespace {
+
+constexpr unsigned tileX = 16; ///< C columns per base work-group
+constexpr unsigned tileY = 4;  ///< C rows per base work-group
+
+/** Units are grouped into 4x4-tile blocks so a coarsened work-group
+ *  (16 units) covers a contiguous unit range. */
+struct Geometry
+{
+    unsigned m, n, k;
+    unsigned tilesX, tilesY;
+    unsigned blocksX;
+
+    Geometry(unsigned m_, unsigned n_, unsigned k_)
+        : m(m_), n(n_), k(k_), tilesX(n_ / tileX), tilesY(m_ / tileY),
+          blocksX(tilesX / 4)
+    {
+        if (m % (tileY * 4) || n % (tileX * 4))
+            support::fatal("sgemm dims must be multiples of %u x %u",
+                           tileY * 4, tileX * 4);
+    }
+
+    std::uint64_t units() const
+    {
+        return std::uint64_t{tilesX} * tilesY;
+    }
+
+    /** Tile coordinates of workload unit @p u. */
+    void
+    tileOf(std::uint64_t u, unsigned &tx, unsigned &ty) const
+    {
+        const std::uint64_t block = u / 16;
+        const unsigned within = static_cast<unsigned>(u % 16);
+        tx = static_cast<unsigned>(block % blocksX) * 4 + within % 4;
+        ty = static_cast<unsigned>(block / blocksX) * 4 + within / 4;
+    }
+};
+
+/** Fill A and B and compute the reference product on the host. */
+void
+initData(kdp::Buffer<float> &a, kdp::Buffer<float> &b,
+         std::vector<float> &ref, unsigned m, unsigned n, unsigned k)
+{
+    support::Rng rng(42);
+    for (std::uint64_t i = 0; i < a.size(); ++i)
+        a.host()[i] = rng.nextFloat(-1.0f, 1.0f);
+    for (std::uint64_t i = 0; i < b.size(); ++i)
+        b.host()[i] = rng.nextFloat(-1.0f, 1.0f);
+    ref.assign(std::uint64_t{m} * n, 0.0f);
+    for (unsigned row = 0; row < m; ++row) {
+        for (unsigned kk = 0; kk < k; ++kk) {
+            const float av = a.host()[std::uint64_t{row} * k + kk];
+            for (unsigned col = 0; col < n; ++col)
+                ref[std::uint64_t{row} * n + col] +=
+                    av * b.host()[std::uint64_t{kk} * n + col];
+        }
+    }
+}
+
+/**
+ * The base sgemm kernel under an arbitrary loop-nest schedule.
+ * Canonical loops: L0 = wi-x (16), L1 = wi-y (4), L2 = k.
+ */
+kdp::KernelFn
+baseKernel(Geometry geo, compiler::Schedule sched)
+{
+    return [geo, sched](kdp::GroupCtx &g, const kdp::KernelArgs &args) {
+        const auto total_units =
+            static_cast<std::uint64_t>(args.scalarInt(3));
+        const std::uint64_t unit = g.unitBase();
+        if (unit >= total_units)
+            return;
+        const auto &a = args.buf<float>(0);
+        const auto &b = args.buf<float>(1);
+        auto &c = args.buf<float>(2);
+
+        unsigned tx, ty;
+        geo.tileOf(unit, tx, ty);
+        const unsigned col0 = tx * tileX;
+        const unsigned row0 = ty * tileY;
+
+        std::array<float, tileX * tileY> acc{};
+        const std::array<unsigned, 3> bounds = {tileX, tileY, geo.k};
+        std::array<unsigned, 3> idx = {0, 0, 0};
+        for (idx[sched.order[0]] = 0;
+             idx[sched.order[0]] < bounds[sched.order[0]];
+             ++idx[sched.order[0]]) {
+            for (idx[sched.order[1]] = 0;
+                 idx[sched.order[1]] < bounds[sched.order[1]];
+                 ++idx[sched.order[1]]) {
+                for (idx[sched.order[2]] = 0;
+                     idx[sched.order[2]] < bounds[sched.order[2]];
+                     ++idx[sched.order[2]]) {
+                    const unsigned x = idx[0];
+                    const unsigned y = idx[1];
+                    const unsigned kk = idx[2];
+                    const std::uint32_t lane = y * tileX + x;
+                    const float av = g.load(
+                        a, std::uint64_t{row0 + y} * geo.k + kk, lane);
+                    const float bv = g.load(
+                        b, std::uint64_t{kk} * geo.n + col0 + x, lane);
+                    acc[lane] += av * bv;
+                    g.flops(lane, 2);
+                }
+            }
+        }
+        for (unsigned y = 0; y < tileY; ++y) {
+            for (unsigned x = 0; x < tileX; ++x) {
+                const std::uint32_t lane = y * tileX + x;
+                g.store(c, std::uint64_t{row0 + y} * geo.n + col0 + x,
+                        acc[lane], lane);
+            }
+        }
+    };
+}
+
+/**
+ * Scratchpad-tiled + 4x4 thread-coarsened variant: one work-group
+ * computes a 64x16 block of C (16 workload units) staging A and B
+ * tiles through scratchpad.
+ */
+kdp::KernelFn
+tiledKernel(Geometry geo)
+{
+    return [geo](kdp::GroupCtx &g, const kdp::KernelArgs &args) {
+        const auto total_units =
+            static_cast<std::uint64_t>(args.scalarInt(3));
+        if (g.unitBase() >= total_units)
+            return;
+        const auto &a = args.buf<float>(0);
+        const auto &b = args.buf<float>(1);
+        auto &c = args.buf<float>(2);
+
+        // This group covers units [group*16, group*16+16): one 4x4
+        // block of base tiles = rows [row0, row0+16) x cols
+        // [col0, col0+64).
+        const std::uint64_t block = g.group();
+        const unsigned bx = static_cast<unsigned>(block % geo.blocksX);
+        const unsigned by = static_cast<unsigned>(block / geo.blocksX);
+        const unsigned col0 = bx * tileX * 4;
+        const unsigned row0 = by * tileY * 4;
+        constexpr unsigned rows = tileY * 4;  // 16
+        constexpr unsigned cols = tileX * 4;  // 64
+        constexpr unsigned kt = 16;           // k tile
+
+        auto a_tile = g.allocLocal<float>(rows * kt);
+        auto b_tile = g.allocLocal<float>(kt * cols);
+
+        // Per-lane accumulators: lane owns column (col0 + lane) over
+        // all 16 rows.
+        std::array<std::array<float, rows>, cols> acc{};
+
+        for (unsigned k0 = 0; k0 < geo.k; k0 += kt) {
+            // Cooperative load of the A tile (rows x kt): 256 words
+            // over 64 lanes.
+            for (unsigned e = 0; e < rows * kt; e += cols) {
+                for (std::uint32_t lane = 0; lane < cols; ++lane) {
+                    const unsigned elem = e + lane;
+                    if (elem >= rows * kt)
+                        break;
+                    const unsigned r = elem / kt;
+                    const unsigned kk = elem % kt;
+                    const float v = g.load(
+                        a, std::uint64_t{row0 + r} * geo.k + k0 + kk,
+                        lane);
+                    a_tile.set(g, elem, v, lane);
+                }
+            }
+            // Cooperative load of the B tile (kt x cols): each lane
+            // loads its column for all kt rows.
+            for (unsigned kk = 0; kk < kt; ++kk) {
+                for (std::uint32_t lane = 0; lane < cols; ++lane) {
+                    const float v = g.load(
+                        b, std::uint64_t{k0 + kk} * geo.n + col0 + lane,
+                        lane);
+                    b_tile.set(g, kk * cols + lane, v, lane);
+                }
+            }
+            g.barrier();
+            // Compute from scratchpad.
+            for (unsigned kk = 0; kk < kt; ++kk) {
+                for (std::uint32_t lane = 0; lane < cols; ++lane) {
+                    const float bv = b_tile.get(g, kk * cols + lane, lane);
+                    for (unsigned r = 0; r < rows; ++r) {
+                        const float av = a_tile.get(g, r * kt + kk, lane);
+                        acc[lane][r] += av * bv;
+                        g.flops(lane, 2);
+                    }
+                }
+            }
+            g.barrier();
+        }
+        for (unsigned r = 0; r < rows; ++r)
+            for (std::uint32_t lane = 0; lane < cols; ++lane)
+                g.store(c, std::uint64_t{row0 + r} * geo.n + col0 + lane,
+                        acc[lane][r], lane);
+    };
+}
+
+/** Common skeleton shared by the three factories. */
+Workload
+makeCommon(const char *name, unsigned m, unsigned n, unsigned k)
+{
+    Geometry geo(m, n, k);
+    Workload w;
+    w.name = name;
+    w.signature = std::string("sgemm/") + name;
+    w.units = geo.units();
+
+    auto &a = w.addBuffer<float>(std::uint64_t{m} * k,
+                                 kdp::MemSpace::Global, "A");
+    auto &b = w.addBuffer<float>(std::uint64_t{k} * n,
+                                 kdp::MemSpace::Global, "B");
+    auto &c = w.addBuffer<float>(std::uint64_t{m} * n,
+                                 kdp::MemSpace::Global, "C");
+
+    auto ref = std::make_shared<std::vector<float>>();
+    initData(a, b, *ref, m, n, k);
+
+    w.args.add(a).add(b).add(c).add(
+        static_cast<std::int64_t>(w.units));
+
+    w.resetOutput = [&c] { c.fill(0.0f); };
+    w.check = [&c, ref] {
+        for (std::uint64_t i = 0; i < c.size(); ++i)
+            if (!nearlyEqual(c.host()[i], (*ref)[i], 1e-3f, 1e-3f))
+                return false;
+        return true;
+    };
+
+    w.info.signature = w.signature;
+    w.info.loops = {
+        {"wi-x", compiler::BoundKind::Constant, true, false, tileX},
+        {"wi-y", compiler::BoundKind::Constant, true, false, tileY},
+        {"k", compiler::BoundKind::Param, false, false, k},
+    };
+    // A[row*k + kk]: invariant in x, strides k in y, 1 in kk.
+    w.info.accesses = {
+        {0, false, true, {0, static_cast<std::int64_t>(k), 1}, 4,
+         std::uint64_t{tileX} * tileY * k},
+        // B[kk*n + col+x]: strides 1 in x, 0 in y, n in kk.
+        {1, false, true, {1, 0, static_cast<std::int64_t>(n)}, 4,
+         std::uint64_t{tileX} * tileY * k},
+        // C[row*n + col+x]: written once per element.
+        {2, true, true, {1, static_cast<std::int64_t>(n), 0}, 4,
+         std::uint64_t{tileX} * tileY},
+    };
+    w.info.outputArgs = {2};
+    return w;
+}
+
+} // namespace
+
+Workload
+makeSgemmLcCpu(unsigned m, unsigned n, unsigned k)
+{
+    // Matrices sized past L2 so schedule-dependent strides hit the
+    // memory hierarchy for real (the paper's sgemm schedule spread is
+    // the pathological 117x case, §5.1).
+    Workload w = makeCommon("lc-cpu", m, n, k);
+    Geometry geo(m, n, k);
+    for (const auto &sched : compiler::allSchedules(3)) {
+        kdp::KernelVariant v;
+        v.name = "sched-" + sched.name();
+        v.fn = baseKernel(geo, sched);
+        v.waFactor = 1;
+        v.groupSize = tileX * tileY;
+        v.sandboxIndex = {2};
+        w.variants.push_back(std::move(v));
+        w.schedules.push_back(sched);
+    }
+    return w;
+}
+
+Workload
+makeSgemmVectorCpu(unsigned m, unsigned n, unsigned k)
+{
+    Workload w = makeCommon("vector-cpu", m, n, k);
+    Geometry geo(m, n, k);
+    // The Intel implicit vectorizer packs adjacent wi-x work-items;
+    // serialize with x innermost so lanes stay aligned.
+    compiler::Schedule sched{{1, 2, 0}};
+    for (unsigned width : {1u, 4u, 8u}) {
+        kdp::KernelVariant v;
+        v.name = width == 1 ? "scalar"
+                            : std::to_string(width) + "-way";
+        v.fn = baseKernel(geo, sched);
+        v.waFactor = 1;
+        v.groupSize = tileX * tileY;
+        v.traits.vectorWidth = width;
+        v.sandboxIndex = {2};
+        w.variants.push_back(std::move(v));
+    }
+    return w;
+}
+
+Workload
+makeSgemmMixed(unsigned m, unsigned n, unsigned k)
+{
+    Workload w = makeCommon("mixed", m, n, k);
+    Geometry geo(m, n, k);
+
+    kdp::KernelVariant base;
+    base.name = "base";
+    base.fn = baseKernel(geo, compiler::Schedule{{1, 2, 0}});
+    base.waFactor = 1;
+    base.groupSize = tileX * tileY;
+    base.sandboxIndex = {2};
+    w.variants.push_back(std::move(base));
+
+    kdp::KernelVariant tiled;
+    tiled.name = "tiled16-coarse4";
+    tiled.fn = tiledKernel(geo);
+    tiled.waFactor = 16;
+    tiled.groupSize = tileX * tileY;
+    tiled.traits.scratchBytes = (16u * 16 + 16 * 64) * sizeof(float);
+    tiled.traits.regsPerThread = 48;
+    tiled.sandboxIndex = {2};
+    w.variants.push_back(std::move(tiled));
+    return w;
+}
+
+} // namespace workloads
+} // namespace dysel

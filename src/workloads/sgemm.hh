@@ -1,0 +1,38 @@
+/**
+ * @file
+ * sgemm (Parboil): C = A * B, single precision.
+ *
+ * Three experiment configurations:
+ *  - LC scheduling (Fig. 8): the base kernel under all 6 permutations
+ *    of its serialized loop nest [wi-x, wi-y, k];
+ *  - vectorization (Fig. 1): scalar / 4-way / 8-way SIMD variants;
+ *  - mixed optimizations (Fig. 10): base vs. scratchpad-tiled +
+ *    thread-coarsened (work assignment factor 16).
+ *
+ * Geometry: one workload unit is one 16x4 tile of C (the base
+ * variant's work-group).  Units are numbered so that each tiled
+ * variant work-group covers a contiguous unit range.
+ */
+#pragma once
+
+#include "compiler/schedule.hh"
+
+#include "workload.hh"
+
+namespace dysel {
+namespace workloads {
+
+/** Base LC-scheduling workload (CPU, Fig. 8). */
+Workload makeSgemmLcCpu(unsigned m = 256, unsigned n = 256,
+                        unsigned k = 256);
+
+/** Vector-width workload (CPU, Fig. 1). */
+Workload makeSgemmVectorCpu(unsigned m = 128, unsigned n = 128,
+                            unsigned k = 128);
+
+/** Mixed-optimization workload (CPU or GPU, Fig. 10). */
+Workload makeSgemmMixed(unsigned m = 256, unsigned n = 256,
+                        unsigned k = 256);
+
+} // namespace workloads
+} // namespace dysel

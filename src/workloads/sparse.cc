@@ -1,0 +1,142 @@
+#include "sparse.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace dysel {
+namespace workloads {
+
+CsrMatrix
+makeRandomCsr(std::uint32_t rows, std::uint32_t cols, double density,
+              std::uint64_t seed)
+{
+    if (density <= 0.0 || density > 1.0)
+        support::fatal("makeRandomCsr: density %f out of (0, 1]", density);
+    support::Rng rng(seed);
+    CsrMatrix m;
+    m.rows = rows;
+    m.cols = cols;
+    m.rowPtr.reserve(rows + 1);
+    m.rowPtr.push_back(0);
+
+    const double expected = density * cols;
+    std::vector<std::uint32_t> picks;
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        // Row length ~ expected +- 50%, at least 1.
+        const auto lo = static_cast<std::int64_t>(expected * 0.5);
+        const auto hi = static_cast<std::int64_t>(expected * 1.5);
+        auto len = static_cast<std::uint32_t>(
+            std::max<std::int64_t>(1, rng.nextInRange(lo, hi)));
+        len = std::min(len, cols);
+        picks.clear();
+        for (std::uint32_t i = 0; i < len; ++i)
+            picks.push_back(
+                static_cast<std::uint32_t>(rng.nextBelow(cols)));
+        std::sort(picks.begin(), picks.end());
+        picks.erase(std::unique(picks.begin(), picks.end()), picks.end());
+        for (std::uint32_t c : picks) {
+            m.colIdx.push_back(c);
+            m.vals.push_back(rng.nextFloat(-1.0f, 1.0f));
+        }
+        m.rowPtr.push_back(static_cast<std::uint32_t>(m.colIdx.size()));
+    }
+    return m;
+}
+
+CsrMatrix
+makeDiagonalCsr(std::uint32_t n)
+{
+    support::Rng rng(n);
+    CsrMatrix m;
+    m.rows = n;
+    m.cols = n;
+    m.rowPtr.resize(n + 1);
+    m.colIdx.resize(n);
+    m.vals.resize(n);
+    for (std::uint32_t r = 0; r < n; ++r) {
+        m.rowPtr[r] = r;
+        m.colIdx[r] = r;
+        m.vals[r] = rng.nextFloat(0.5f, 2.0f);
+    }
+    m.rowPtr[n] = n;
+    return m;
+}
+
+JdsMatrix
+csrToJds(const CsrMatrix &csr)
+{
+    JdsMatrix j;
+    j.rows = csr.rows;
+    j.cols = csr.cols;
+
+    // Sort rows by descending length.
+    j.perm.resize(csr.rows);
+    std::iota(j.perm.begin(), j.perm.end(), 0u);
+    std::stable_sort(j.perm.begin(), j.perm.end(),
+                     [&csr](std::uint32_t a, std::uint32_t b) {
+                         return csr.rowLen(a) > csr.rowLen(b);
+                     });
+    j.rowLen.resize(csr.rows);
+    for (std::uint32_t r = 0; r < csr.rows; ++r)
+        j.rowLen[r] = csr.rowLen(j.perm[r]);
+    j.maxLen = csr.rows ? j.rowLen[0] : 0;
+
+    // Diagonal d holds the d-th nonzero of every row long enough.
+    j.diagPtr.resize(j.maxLen + 1);
+    j.diagRows.resize(j.maxLen);
+    std::uint32_t offset = 0;
+    for (std::uint32_t d = 0; d < j.maxLen; ++d) {
+        j.diagPtr[d] = offset;
+        std::uint32_t cnt = 0;
+        while (cnt < csr.rows && j.rowLen[cnt] > d)
+            ++cnt;
+        j.diagRows[d] = cnt;
+        offset += cnt;
+    }
+    j.diagPtr[j.maxLen] = offset;
+
+    j.colIdx.resize(offset);
+    j.vals.resize(offset);
+    for (std::uint32_t jr = 0; jr < csr.rows; ++jr) {
+        const std::uint32_t orig = j.perm[jr];
+        const std::uint32_t base = csr.rowPtr[orig];
+        for (std::uint32_t d = 0; d < j.rowLen[jr]; ++d) {
+            const std::uint32_t pos = j.diagPtr[d] + jr;
+            j.colIdx[pos] = csr.colIdx[base + d];
+            j.vals[pos] = csr.vals[base + d];
+        }
+    }
+    return j;
+}
+
+std::vector<float>
+spmvReference(const CsrMatrix &a, const std::vector<float> &x)
+{
+    if (x.size() != a.cols)
+        support::panic("spmvReference: x size %zu != cols %u", x.size(),
+                       a.cols);
+    std::vector<float> y(a.rows, 0.0f);
+    for (std::uint32_t r = 0; r < a.rows; ++r) {
+        float acc = 0.0f;
+        for (std::uint32_t i = a.rowPtr[r]; i < a.rowPtr[r + 1]; ++i)
+            acc += a.vals[i] * x[a.colIdx[i]];
+        y[r] = acc;
+    }
+    return y;
+}
+
+std::vector<float>
+makeDenseVector(std::uint32_t n, std::uint64_t seed)
+{
+    support::Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &e : v)
+        e = rng.nextFloat(-1.0f, 1.0f);
+    return v;
+}
+
+} // namespace workloads
+} // namespace dysel

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Sparse matrix formats and generators.
+ *
+ * The paper's spmv experiments use two inputs (§4.2): a uniformly
+ * random sparse matrix (SHOC's default, 1% density) and a diagonal
+ * matrix whose one-nonzero rows are the pathological case for
+ * vector-style kernels.  CSR backs spmv-csr; JDS (jagged diagonal
+ * storage, rows sorted by length, diagonals stored column-major)
+ * backs Parboil's spmv-jds.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dysel {
+namespace workloads {
+
+/** Compressed sparse row. */
+struct CsrMatrix
+{
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+    std::vector<std::uint32_t> rowPtr; ///< rows + 1 entries
+    std::vector<std::uint32_t> colIdx;
+    std::vector<float> vals;
+
+    std::uint64_t nnz() const { return vals.size(); }
+    std::uint32_t rowLen(std::uint32_t r) const
+    {
+        return rowPtr[r + 1] - rowPtr[r];
+    }
+};
+
+/** Jagged diagonal storage. */
+struct JdsMatrix
+{
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+    std::uint32_t maxLen = 0;          ///< longest row
+    std::vector<std::uint32_t> perm;   ///< jds row -> original row
+    std::vector<std::uint32_t> rowLen; ///< per jds row
+    /** Start offset of each jagged diagonal (maxLen + 1 entries). */
+    std::vector<std::uint32_t> diagPtr;
+    /** Number of rows long enough for each diagonal. */
+    std::vector<std::uint32_t> diagRows;
+    std::vector<std::uint32_t> colIdx; ///< diagonal-major
+    std::vector<float> vals;           ///< diagonal-major
+};
+
+/**
+ * Uniformly random sparse matrix: each row gets a binomially
+ * distributed number of nonzeros (expected density * cols), sorted
+ * column indices, values in [-1, 1].
+ */
+CsrMatrix makeRandomCsr(std::uint32_t rows, std::uint32_t cols,
+                        double density, std::uint64_t seed = 7);
+
+/** Diagonal matrix: exactly one nonzero per row, at (r, r). */
+CsrMatrix makeDiagonalCsr(std::uint32_t n);
+
+/** Convert CSR to JDS. */
+JdsMatrix csrToJds(const CsrMatrix &csr);
+
+/** Reference y = A x on the host. */
+std::vector<float> spmvReference(const CsrMatrix &a,
+                                 const std::vector<float> &x);
+
+/** A dense random vector in [-1, 1]. */
+std::vector<float> makeDenseVector(std::uint32_t n,
+                                   std::uint64_t seed = 11);
+
+} // namespace workloads
+} // namespace dysel

@@ -1,0 +1,496 @@
+#include "spmv_csr.hh"
+
+#include <algorithm>
+#include <array>
+#include <memory>
+
+#include "support/logging.hh"
+
+#include "support/rng.hh"
+
+#include "sparse.hh"
+
+namespace dysel {
+namespace workloads {
+
+namespace {
+
+constexpr unsigned groupSize = 64;
+constexpr unsigned rowsPerUnit = 2;
+
+/** Standard argument layout of every spmv-csr kernel. */
+enum Arg : std::size_t {
+    argRowPtr = 0,
+    argCol = 1,
+    argVal = 2,
+    argX = 3,
+    argY = 4,
+    argUnits = 5,
+    // Placement study extras (duplicated inputs in other spaces):
+    argXTex = 6,
+    argValTex = 7,
+    argColTex = 8,
+    argXConst = 9,
+};
+
+/** Which argument slot each array is read from (placement policy). */
+struct CsrPlacement
+{
+    std::size_t x = argX;
+    std::size_t val = argVal;
+    std::size_t col = argCol;
+};
+
+/**
+ * Scalar kernel, DFO: one work-item per row, the nonzero loop runs to
+ * completion per row (in-kernel loop innermost).  waFactor = 32.
+ */
+kdp::KernelFn
+scalarDfo(CsrPlacement place)
+{
+    return [place](kdp::GroupCtx &g, const kdp::KernelArgs &args) {
+        const auto units = static_cast<std::uint64_t>(
+            args.scalarInt(argUnits));
+        const std::uint64_t total_rows = units * rowsPerUnit;
+        const auto &row_ptr = args.buf<std::uint32_t>(argRowPtr);
+        const auto &col = args.buf<std::uint32_t>(place.col);
+        const auto &val = args.buf<float>(place.val);
+        const auto &x = args.buf<float>(place.x);
+        auto &y = args.buf<float>(argY);
+
+        for (std::uint32_t lane = 0; lane < g.groupSize(); ++lane) {
+            const std::uint64_t row = g.group() * groupSize + lane;
+            if (row >= total_rows)
+                continue;
+            const std::uint32_t start = g.load(row_ptr, row, lane);
+            const std::uint32_t end = g.load(row_ptr, row + 1, lane);
+            g.flops(lane, 2); // per-row loop setup
+            float acc = 0.0f;
+            for (std::uint32_t j = start; j < end; ++j) {
+                const std::uint32_t c = g.load(col, j, lane);
+                const float v = g.load(val, j, lane);
+                const float xv = g.load(x, c, lane);
+                acc += v * xv;
+                g.flops(lane, 3); // fma + per-iteration control
+                g.branch(lane, j + 1 < end);
+            }
+            g.store(y, row, acc, lane);
+        }
+    };
+}
+
+/**
+ * Scalar kernel, BFO: all work-items advance through the k-th nonzero
+ * together (work-item loop innermost), which is what the implicit
+ * vectorizer packs into SIMD lanes.  waFactor = 32.
+ */
+kdp::KernelFn
+scalarBfo(CsrPlacement place)
+{
+    return [place](kdp::GroupCtx &g, const kdp::KernelArgs &args) {
+        const auto units = static_cast<std::uint64_t>(
+            args.scalarInt(argUnits));
+        const std::uint64_t total_rows = units * rowsPerUnit;
+        const auto &row_ptr = args.buf<std::uint32_t>(argRowPtr);
+        const auto &col = args.buf<std::uint32_t>(place.col);
+        const auto &val = args.buf<float>(place.val);
+        const auto &x = args.buf<float>(place.x);
+        auto &y = args.buf<float>(argY);
+
+        std::array<std::uint32_t, groupSize> start{};
+        std::array<std::uint32_t, groupSize> len{};
+        std::array<float, groupSize> acc{};
+        std::uint32_t max_len = 0;
+        for (std::uint32_t lane = 0; lane < g.groupSize(); ++lane) {
+            const std::uint64_t row = g.group() * groupSize + lane;
+            if (row >= total_rows) {
+                len[lane] = 0;
+                continue;
+            }
+            start[lane] = g.load(row_ptr, row, lane);
+            const std::uint32_t end = g.load(row_ptr, row + 1, lane);
+            len[lane] = end - start[lane];
+            g.flops(lane, 1);
+            max_len = std::max(max_len, len[lane]);
+        }
+        for (std::uint32_t k = 0; k < max_len; ++k) {
+            for (std::uint32_t lane = 0; lane < g.groupSize(); ++lane) {
+                const std::uint64_t row = g.group() * groupSize + lane;
+                if (row >= total_rows)
+                    continue;
+                const bool active = k < len[lane];
+                g.branch(lane, active);
+                if (!active)
+                    continue;
+                const std::uint32_t j = start[lane] + k;
+                const std::uint32_t c = g.load(col, j, lane);
+                const float v = g.load(val, j, lane);
+                const float xv = g.load(x, c, lane);
+                acc[lane] += v * xv;
+                g.flops(lane, 2);
+            }
+        }
+        for (std::uint32_t lane = 0; lane < g.groupSize(); ++lane) {
+            const std::uint64_t row = g.group() * groupSize + lane;
+            if (row < total_rows)
+                g.store(y, row, acc[lane], lane);
+        }
+    };
+}
+
+/**
+ * Vector kernel (SHOC): one 32-lane warp per row; lanes stride across
+ * the row's nonzeros and tree-reduce through scratchpad.  Two rows
+ * per work-group, so waFactor = 1.  @p dfo controls whether each lane
+ * drains its own strided sub-loop first (DFO) or lanes advance
+ * chunk-by-chunk together (BFO); the access sets are identical, the
+ * interleave differs.
+ */
+kdp::KernelFn
+vectorKernel(bool dfo)
+{
+    return [dfo](kdp::GroupCtx &g, const kdp::KernelArgs &args) {
+        const auto units = static_cast<std::uint64_t>(
+            args.scalarInt(argUnits));
+        const std::uint64_t total_rows = units * rowsPerUnit;
+        const auto &row_ptr = args.buf<std::uint32_t>(argRowPtr);
+        const auto &col = args.buf<std::uint32_t>(argCol);
+        const auto &val = args.buf<float>(argVal);
+        const auto &x = args.buf<float>(argX);
+        auto &y = args.buf<float>(argY);
+
+        auto partial = g.allocLocal<float>(groupSize);
+        for (std::uint32_t warp = 0; warp < 2; ++warp) {
+            const std::uint64_t row = g.group() * rowsPerUnit + warp;
+            if (row >= total_rows)
+                continue;
+            std::array<float, 32> acc{};
+            std::uint32_t start = 0, end = 0;
+            for (std::uint32_t l = 0; l < 32; ++l) {
+                const std::uint32_t lane = warp * 32 + l;
+                start = g.load(row_ptr, row, lane);
+                end = g.load(row_ptr, row + 1, lane);
+            }
+            if (dfo) {
+                for (std::uint32_t l = 0; l < 32; ++l) {
+                    const std::uint32_t lane = warp * 32 + l;
+                    for (std::uint32_t j = start + l; j < end; j += 32) {
+                        const std::uint32_t c = g.load(col, j, lane);
+                        const float v = g.load(val, j, lane);
+                        const float xv = g.load(x, c, lane);
+                        acc[l] += v * xv;
+                        g.flops(lane, 3);
+                        g.branch(lane, j + 32 < end);
+                    }
+                }
+            } else {
+                for (std::uint32_t base = start; base < end; base += 32) {
+                    for (std::uint32_t l = 0; l < 32; ++l) {
+                        const std::uint32_t lane = warp * 32 + l;
+                        const std::uint32_t j = base + l;
+                        const bool active = j < end;
+                        g.branch(lane, active);
+                        if (!active)
+                            continue;
+                        const std::uint32_t c = g.load(col, j, lane);
+                        const float v = g.load(val, j, lane);
+                        const float xv = g.load(x, c, lane);
+                        acc[l] += v * xv;
+                        g.flops(lane, 3);
+                    }
+                }
+            }
+            // Tree reduction through scratchpad.
+            for (std::uint32_t l = 0; l < 32; ++l)
+                partial.set(g, warp * 32 + l, acc[l], warp * 32 + l);
+            g.barrier();
+            for (std::uint32_t stride = 16; stride >= 1; stride /= 2) {
+                for (std::uint32_t l = 0; l < stride; ++l) {
+                    const std::uint32_t lane = warp * 32 + l;
+                    const float a = partial.get(g, warp * 32 + l, lane);
+                    const float b =
+                        partial.get(g, warp * 32 + l + stride, lane);
+                    partial.set(g, warp * 32 + l, a + b, lane);
+                    g.flops(lane, 1);
+                }
+            }
+            const float sum = partial.get(g, warp * 32, warp * 32);
+            g.store(y, row, sum, warp * 32);
+        }
+    };
+}
+
+/** Shared buffers / metadata / checker for one matrix instance. */
+struct CsrSetup
+{
+    CsrMatrix matrix;
+    std::vector<float> xHost;
+    std::vector<float> reference;
+};
+
+std::shared_ptr<CsrSetup>
+makeSetup(SpmvInput input)
+{
+    auto setup = std::make_shared<CsrSetup>();
+    switch (input) {
+      case SpmvInput::Random:
+        setup->matrix = makeRandomCsr(8192, 8192, 0.005);
+        break;
+      case SpmvInput::Diagonal:
+        setup->matrix = makeDiagonalCsr(65536);
+        break;
+    }
+    setup->xHost = makeDenseVector(setup->matrix.cols);
+    setup->reference = spmvReference(setup->matrix, setup->xHost);
+    return setup;
+}
+
+/** Build the workload skeleton: buffers, args, checker, metadata. */
+Workload
+makeCommon(const char *config, SpmvInput input,
+           std::shared_ptr<CsrSetup> setup, bool placement_extras)
+{
+    const CsrMatrix &m = setup->matrix;
+    Workload w;
+    w.name = std::string("spmv-csr-") + config + "-"
+             + spmvInputName(input);
+    w.signature = std::string("spmv_csr/") + config + "/"
+                  + spmvInputName(input);
+    w.units = m.rows / rowsPerUnit;
+    w.iterations = 10; // CG-style iterative use
+
+    auto &row_ptr = w.addBuffer<std::uint32_t>(
+        m.rowPtr.size(), kdp::MemSpace::Global, "rowPtr");
+    auto &col = w.addBuffer<std::uint32_t>(std::max<std::size_t>(1,
+        m.colIdx.size()), kdp::MemSpace::Global, "col");
+    auto &val = w.addBuffer<float>(std::max<std::size_t>(1,
+        m.vals.size()), kdp::MemSpace::Global, "val");
+    auto &x = w.addBuffer<float>(m.cols, kdp::MemSpace::Global, "x");
+    auto &y = w.addBuffer<float>(m.rows, kdp::MemSpace::Global, "y");
+
+    std::copy(m.rowPtr.begin(), m.rowPtr.end(), row_ptr.host());
+    std::copy(m.colIdx.begin(), m.colIdx.end(), col.host());
+    std::copy(m.vals.begin(), m.vals.end(), val.host());
+    std::copy(setup->xHost.begin(), setup->xHost.end(), x.host());
+
+    w.args.add(row_ptr).add(col).add(val).add(x).add(y).add(
+        static_cast<std::int64_t>(w.units));
+
+    if (placement_extras) {
+        auto &x_tex = w.addBuffer<float>(m.cols, kdp::MemSpace::Texture,
+                                         "xTex");
+        auto &val_tex = w.addBuffer<float>(std::max<std::size_t>(1,
+            m.vals.size()), kdp::MemSpace::Texture, "valTex");
+        auto &col_tex = w.addBuffer<std::uint32_t>(
+            std::max<std::size_t>(1, m.colIdx.size()),
+            kdp::MemSpace::Texture, "colTex");
+        auto &x_const = w.addBuffer<float>(m.cols,
+                                           kdp::MemSpace::Constant,
+                                           "xConst");
+        std::copy(setup->xHost.begin(), setup->xHost.end(), x_tex.host());
+        std::copy(m.vals.begin(), m.vals.end(), val_tex.host());
+        std::copy(m.colIdx.begin(), m.colIdx.end(), col_tex.host());
+        std::copy(setup->xHost.begin(), setup->xHost.end(),
+                  x_const.host());
+        w.args.add(x_tex).add(val_tex).add(col_tex).add(x_const);
+    }
+
+    w.resetOutput = [&y] { y.fill(0.0f); };
+    w.check = [&y, setup] {
+        for (std::uint32_t r = 0; r < setup->matrix.rows; ++r)
+            if (!nearlyEqual(y.host()[r], setup->reference[r], 1e-3f,
+                             1e-4f))
+                return false;
+        return true;
+    };
+
+    w.info.signature = w.signature;
+    w.info.loops = {
+        {"wi", compiler::BoundKind::Constant, true, false, groupSize},
+        {"nnz", compiler::BoundKind::DataDependent, false, false,
+         m.nnz() / std::max<std::uint64_t>(1, m.rows)},
+    };
+    // val[rowPtr[wi] + k]: stride 1 in the nnz loop but data
+    // dependent in the work-item loop; col likewise; x[col[j]] is a
+    // fully indirect gather.
+    constexpr auto unk = compiler::AccessPattern::unknownStride;
+    w.info.accesses = {
+        {argVal, false, true, {unk, 1}, 4, m.nnz()},
+        {argCol, false, true, {unk, 1}, 4, m.nnz()},
+        {argX, false, false, {}, 4, m.nnz()},
+        {argY, true, true, {1, 0}, 4, m.rows},
+    };
+    w.info.outputArgs = {argY};
+    return w;
+}
+
+kdp::KernelVariant
+scalarVariant(const char *name, kdp::KernelFn fn, unsigned vector_width)
+{
+    kdp::KernelVariant v;
+    v.name = name;
+    v.fn = std::move(fn);
+    v.waFactor = groupSize / rowsPerUnit;
+    v.groupSize = groupSize;
+    v.traits.vectorWidth = vector_width;
+    v.sandboxIndex = {argY};
+    return v;
+}
+
+kdp::KernelVariant
+vectorVariant(const char *name, bool dfo)
+{
+    kdp::KernelVariant v;
+    v.name = name;
+    v.fn = vectorKernel(dfo);
+    v.waFactor = 1;
+    v.groupSize = groupSize;
+    v.traits.scratchBytes = groupSize * sizeof(float);
+    v.sandboxIndex = {argY};
+    return v;
+}
+
+} // namespace
+
+namespace {
+
+/** Concatenate a random block of rows on top of a diagonal block. */
+CsrMatrix
+makeHeteroCsr(std::uint32_t rows, std::uint32_t cols)
+{
+    const std::uint32_t half = rows / 2;
+    const CsrMatrix dense = makeRandomCsr(half, cols, 0.02, 17);
+    CsrMatrix m;
+    m.rows = rows;
+    m.cols = cols;
+    m.rowPtr = dense.rowPtr;
+    m.colIdx = dense.colIdx;
+    m.vals = dense.vals;
+    support::Rng rng(19);
+    for (std::uint32_t r = half; r < rows; ++r) {
+        m.colIdx.push_back(r % cols);
+        m.vals.push_back(rng.nextFloat(0.5f, 2.0f));
+        m.rowPtr.push_back(static_cast<std::uint32_t>(m.colIdx.size()));
+    }
+    return m;
+}
+
+} // namespace
+
+const char *
+spmvInputName(SpmvInput input)
+{
+    switch (input) {
+      case SpmvInput::Random: return "random";
+      case SpmvInput::Diagonal: return "diagonal";
+    }
+    return "?";
+}
+
+Workload
+makeSpmvCsrCpuLc(SpmvInput input)
+{
+    auto setup = makeSetup(input);
+    Workload w = makeCommon("lc-cpu", input, setup, false);
+    w.variants.push_back(
+        scalarVariant("scalar-dfo", scalarDfo(CsrPlacement{}), 1));
+    w.variants.push_back(
+        scalarVariant("scalar-bfo", scalarBfo(CsrPlacement{}), 8));
+    w.schedules = {compiler::Schedule{{0, 1}},
+                   compiler::Schedule{{1, 0}}};
+    return w;
+}
+
+Workload
+makeSpmvCsrCpuInputDep(SpmvInput input)
+{
+    auto setup = makeSetup(input);
+    Workload w = makeCommon("inputdep-cpu", input, setup, false);
+    w.variants.push_back(
+        scalarVariant("scalar-dfo", scalarDfo(CsrPlacement{}), 1));
+    w.variants.push_back(
+        scalarVariant("scalar-bfo", scalarBfo(CsrPlacement{}), 8));
+    w.variants.push_back(vectorVariant("vector-dfo", true));
+    w.variants.push_back(vectorVariant("vector-bfo", false));
+    w.schedules = {compiler::Schedule{{0, 1}},
+                   compiler::Schedule{{1, 0}},
+                   compiler::Schedule{{0, 1}},
+                   compiler::Schedule{{1, 0}}};
+    return w;
+}
+
+Workload
+makeSpmvCsrGpuInputDep(SpmvInput input)
+{
+    auto setup = makeSetup(input);
+    Workload w = makeCommon("inputdep-gpu", input, setup, false);
+    w.variants.push_back(
+        scalarVariant("scalar", scalarDfo(CsrPlacement{}), 1));
+    w.variants.push_back(vectorVariant("vector", true));
+    return w;
+}
+
+Workload
+makeSpmvCsrGpuHetero()
+{
+    auto setup = std::make_shared<CsrSetup>();
+    setup->matrix = makeHeteroCsr(32768, 2048);
+    setup->xHost = makeDenseVector(setup->matrix.cols);
+    setup->reference = spmvReference(setup->matrix, setup->xHost);
+    Workload w = makeCommon("hetero-gpu", SpmvInput::Random, setup,
+                            false);
+    w.name = "spmv-csr-hetero-gpu";
+    w.signature = "spmv_csr/hetero-gpu";
+    w.iterations = 10;
+    w.variants.push_back(
+        scalarVariant("scalar", scalarDfo(CsrPlacement{}), 1));
+    w.variants.push_back(vectorVariant("vector", true));
+    return w;
+}
+
+Workload
+makeSpmvCsrGpuPlacement()
+{
+    // Tall matrix with a texture-cache-sized x vector: the shape
+    // where data placement of the gathered vector matters most.
+    auto setup = std::make_shared<CsrSetup>();
+    setup->matrix = makeRandomCsr(32768, 2048, 0.02);
+    setup->xHost = makeDenseVector(setup->matrix.cols);
+    setup->reference = spmvReference(setup->matrix, setup->xHost);
+    Workload w = makeCommon("placement-gpu", SpmvInput::Random, setup,
+                            true);
+    // The four candidate policies of the Fig. 9 study: PORPLE's
+    // policies for three GPU generations plus the rule-based
+    // heuristic's policy.  On (simulated) Kepler, PORPLE's
+    // Fermi-targeted policy happens to be the best one (§4.2).
+    // On (simulated) Kepler the Fermi-targeted policy wins -- the
+    // paper's §4.2 quirk ("the optimal data placement for spmv-csr on
+    // Kepler is actually generated by PORPLE but with the target on
+    // Fermi architectures").
+    CsrPlacement fermi;   // every read-only array through texture
+    fermi.x = argXTex;
+    fermi.col = argColTex;
+    fermi.val = argValTex;
+    CsrPlacement kepler;  // x and val through texture, col global
+    kepler.x = argXTex;
+    kepler.val = argValTex;
+    CsrPlacement maxwell; // x through texture only
+    maxwell.x = argXTex;
+    CsrPlacement jang;    // x in constant memory
+    jang.x = argXConst;
+
+    auto add = [&w](const char *name, CsrPlacement p, bool texture) {
+        kdp::KernelVariant v =
+            scalarVariant(name, scalarDfo(p), 1);
+        v.traits.usesTexture = texture;
+        w.variants.push_back(std::move(v));
+    };
+    add("porple-fermi", fermi, true);
+    add("porple-kepler", kepler, true);
+    add("porple-maxwell", maxwell, true);
+    add("jang-heuristic", jang, false);
+    return w;
+}
+
+} // namespace workloads
+} // namespace dysel

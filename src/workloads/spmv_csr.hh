@@ -1,0 +1,54 @@
+/**
+ * @file
+ * spmv-csr (SHOC): y = A x on a CSR matrix.
+ *
+ * One workload unit is two matrix rows (the coverage of one
+ * vector-kernel work-group, whose 2 x 32-lane warps each process one
+ * row).  A scalar-kernel work-group (64 work-items, one row each)
+ * covers 32 units.
+ *
+ * Experiment configurations:
+ *  - Fig. 8:  scalar kernel under DFO / BFO work-item schedules (CPU);
+ *  - Fig. 11a: scalar/vector x DFO/BFO (CPU, input dependent);
+ *  - Fig. 11b: scalar vs. vector (GPU, input dependent);
+ *  - Fig. 9:  four data-placement policies of the scalar kernel (GPU).
+ */
+#pragma once
+
+#include "workload.hh"
+
+namespace dysel {
+namespace workloads {
+
+/** Which input matrix (paper §4.2). */
+enum class SpmvInput {
+    Random,   ///< uniformly random, ~1% density
+    Diagonal, ///< one nonzero per row
+};
+
+/** Human-readable input name. */
+const char *spmvInputName(SpmvInput input);
+
+/** Fig. 8 configuration: scalar kernel, DFO vs. BFO schedules (CPU). */
+Workload makeSpmvCsrCpuLc(SpmvInput input);
+
+/** Fig. 11a configuration: scalar/vector x DFO/BFO (CPU). */
+Workload makeSpmvCsrCpuInputDep(SpmvInput input);
+
+/** Fig. 11b configuration: scalar vs. vector (GPU). */
+Workload makeSpmvCsrGpuInputDep(SpmvInput input);
+
+/** Fig. 9 configuration: four data-placement policies (GPU). */
+Workload makeSpmvCsrGpuPlacement();
+
+/**
+ * Heterogeneous matrix (extension): the top half of the rows is
+ * random (~40 nnz each, vector-kernel territory) and the bottom half
+ * is diagonal (1 nnz each, scalar-kernel territory).  No pure variant
+ * is good everywhere -- the workload that motivates the paper's
+ * mixed-version future work (§4.1), implemented in dysel/mixed.hh.
+ */
+Workload makeSpmvCsrGpuHetero();
+
+} // namespace workloads
+} // namespace dysel

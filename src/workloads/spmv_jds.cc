@@ -1,0 +1,269 @@
+#include "spmv_jds.hh"
+
+#include <algorithm>
+#include <array>
+#include <memory>
+
+#include "support/logging.hh"
+
+#include "sparse.hh"
+
+namespace dysel {
+namespace workloads {
+
+namespace {
+
+constexpr unsigned groupSize = 64;
+
+enum Arg : std::size_t {
+    argDiagPtr = 0,
+    argRowLen = 1,
+    argCol = 2,
+    argVal = 3,
+    argX = 4,
+    argPerm = 5,
+    argY = 6,
+    argUnits = 7,
+    argXTex = 8,
+};
+
+/**
+ * JDS kernel: one work-item per JDS row, walking the jagged
+ * diagonals.
+ *
+ * @param x_arg          argument slot the x vector is read from
+ * @param iter_flops     per-nonzero ALU ops (2 when unrolled, 3 not)
+ * @param bfo            serialize with the diagonal loop outermost
+ */
+kdp::KernelFn
+jdsKernel(std::size_t x_arg, unsigned iter_flops, bool bfo)
+{
+    return [x_arg, iter_flops, bfo](kdp::GroupCtx &g,
+                                    const kdp::KernelArgs &args) {
+        const auto units = static_cast<std::uint64_t>(
+            args.scalarInt(argUnits));
+        const std::uint64_t total_rows = units * groupSize;
+        const auto &diag_ptr = args.buf<std::uint32_t>(argDiagPtr);
+        const auto &row_len = args.buf<std::uint32_t>(argRowLen);
+        const auto &col = args.buf<std::uint32_t>(argCol);
+        const auto &val = args.buf<float>(argVal);
+        const auto &x = args.buf<float>(x_arg);
+        const auto &perm = args.buf<std::uint32_t>(argPerm);
+        auto &y = args.buf<float>(argY);
+
+        std::array<float, groupSize> acc{};
+        std::array<std::uint32_t, groupSize> len{};
+        std::uint32_t max_len = 0;
+        for (std::uint32_t lane = 0; lane < g.groupSize(); ++lane) {
+            const std::uint64_t row = g.group() * groupSize + lane;
+            if (row >= total_rows) {
+                len[lane] = 0;
+                continue;
+            }
+            len[lane] = g.load(row_len, row, lane);
+            max_len = std::max(max_len, len[lane]);
+        }
+
+        auto body = [&](std::uint32_t lane, std::uint32_t d) {
+            const std::uint64_t row = g.group() * groupSize + lane;
+            const std::uint32_t base = g.load(diag_ptr, d, lane);
+            const std::uint32_t j = base + static_cast<std::uint32_t>(row);
+            const std::uint32_t c = g.load(col, j, lane);
+            const float v = g.load(val, j, lane);
+            const float xv = g.load(x, c, lane);
+            acc[lane] += v * xv;
+            g.flops(lane, iter_flops);
+        };
+
+        if (bfo) {
+            for (std::uint32_t d = 0; d < max_len; ++d) {
+                for (std::uint32_t lane = 0; lane < g.groupSize();
+                     ++lane) {
+                    const std::uint64_t row =
+                        g.group() * groupSize + lane;
+                    if (row >= total_rows)
+                        continue;
+                    const bool active = d < len[lane];
+                    g.branch(lane, active);
+                    if (active)
+                        body(lane, d);
+                }
+            }
+        } else {
+            for (std::uint32_t lane = 0; lane < g.groupSize(); ++lane) {
+                const std::uint64_t row = g.group() * groupSize + lane;
+                if (row >= total_rows)
+                    continue;
+                for (std::uint32_t d = 0; d < len[lane]; ++d) {
+                    body(lane, d);
+                    g.branch(lane, d + 1 < len[lane]);
+                }
+            }
+        }
+
+        for (std::uint32_t lane = 0; lane < g.groupSize(); ++lane) {
+            const std::uint64_t row = g.group() * groupSize + lane;
+            if (row >= total_rows)
+                continue;
+            const std::uint32_t orig = g.load(perm, row, lane);
+            g.store(y, orig, acc[lane], lane);
+        }
+    };
+}
+
+struct JdsSetup
+{
+    JdsMatrix jds;
+    std::vector<float> xHost;
+    std::vector<float> reference;
+};
+
+std::shared_ptr<JdsSetup>
+makeSetup()
+{
+    auto setup = std::make_shared<JdsSetup>();
+    const CsrMatrix csr = makeRandomCsr(32768, 2048, 0.016, 13);
+    setup->jds = csrToJds(csr);
+    setup->xHost = makeDenseVector(csr.cols);
+    setup->reference = spmvReference(csr, setup->xHost);
+    return setup;
+}
+
+Workload
+makeCommon(const char *config, std::shared_ptr<JdsSetup> setup)
+{
+    const JdsMatrix &m = setup->jds;
+    Workload w;
+    w.name = std::string("spmv-jds-") + config;
+    w.signature = std::string("spmv_jds/") + config;
+    w.units = m.rows / groupSize;
+    w.iterations = 10;
+
+    auto &diag_ptr = w.addBuffer<std::uint32_t>(
+        m.diagPtr.size(), kdp::MemSpace::Global, "diagPtr");
+    auto &row_len = w.addBuffer<std::uint32_t>(
+        m.rowLen.size(), kdp::MemSpace::Global, "rowLen");
+    auto &col = w.addBuffer<std::uint32_t>(m.colIdx.size(),
+                                           kdp::MemSpace::Global, "col");
+    auto &val = w.addBuffer<float>(m.vals.size(), kdp::MemSpace::Global,
+                                   "val");
+    auto &x = w.addBuffer<float>(m.cols, kdp::MemSpace::Global, "x");
+    auto &perm = w.addBuffer<std::uint32_t>(m.perm.size(),
+                                            kdp::MemSpace::Global, "perm");
+    auto &y = w.addBuffer<float>(m.rows, kdp::MemSpace::Global, "y");
+    auto &x_tex = w.addBuffer<float>(m.cols, kdp::MemSpace::Texture,
+                                     "xTex");
+
+    std::copy(m.diagPtr.begin(), m.diagPtr.end(), diag_ptr.host());
+    std::copy(m.rowLen.begin(), m.rowLen.end(), row_len.host());
+    std::copy(m.colIdx.begin(), m.colIdx.end(), col.host());
+    std::copy(m.vals.begin(), m.vals.end(), val.host());
+    std::copy(setup->xHost.begin(), setup->xHost.end(), x.host());
+    std::copy(m.perm.begin(), m.perm.end(), perm.host());
+    std::copy(setup->xHost.begin(), setup->xHost.end(), x_tex.host());
+
+    w.args.add(diag_ptr).add(row_len).add(col).add(val).add(x).add(perm)
+        .add(y).add(static_cast<std::int64_t>(w.units)).add(x_tex);
+
+    w.resetOutput = [&y] { y.fill(0.0f); };
+    w.check = [&y, setup] {
+        for (std::uint32_t r = 0; r < setup->jds.rows; ++r)
+            if (!nearlyEqual(y.host()[r], setup->reference[r], 1e-3f,
+                             1e-4f))
+                return false;
+        return true;
+    };
+
+    w.info.signature = w.signature;
+    w.info.loops = {
+        {"wi", compiler::BoundKind::Constant, true, false, groupSize},
+        {"diag", compiler::BoundKind::DataDependent, false, false,
+         m.maxLen / 2},
+    };
+    // val[diagPtr[d] + row]: stride 1 across work-items (that is the
+    // point of JDS) but data dependent in the diagonal loop.
+    constexpr auto unk = compiler::AccessPattern::unknownStride;
+    w.info.accesses = {
+        {argVal, false, true, {1, unk}, 4, m.vals.size()},
+        {argCol, false, true, {1, unk}, 4, m.vals.size()},
+        {argX, false, false, {}, 4, m.vals.size()},
+        {argY, true, false, {}, 4, m.rows},
+    };
+    w.info.outputArgs = {argY};
+    return w;
+}
+
+kdp::KernelVariant
+variant(const char *name, std::size_t x_arg, unsigned iter_flops, bool bfo,
+        unsigned vector_width, bool prefetch, unsigned regs,
+        bool texture)
+{
+    kdp::KernelVariant v;
+    v.name = name;
+    v.fn = jdsKernel(x_arg, iter_flops, bfo);
+    v.waFactor = 1;
+    v.groupSize = groupSize;
+    v.traits.vectorWidth = vector_width;
+    v.traits.softwarePrefetch = prefetch;
+    v.traits.regsPerThread = regs;
+    v.traits.usesTexture = texture;
+    v.sandboxIndex = {argY};
+    return v;
+}
+
+} // namespace
+
+Workload
+makeSpmvJdsVectorCpu()
+{
+    Workload w = makeCommon("vector-cpu", makeSetup());
+    w.variants.push_back(
+        variant("scalar", argX, 3, true, 1, false, 32, false));
+    w.variants.push_back(
+        variant("4-way", argX, 3, true, 4, false, 32, false));
+    w.variants.push_back(
+        variant("8-way", argX, 3, true, 8, false, 32, false));
+    return w;
+}
+
+Workload
+makeSpmvJdsCpuLc()
+{
+    Workload w = makeCommon("lc-cpu", makeSetup());
+    w.variants.push_back(
+        variant("dfo", argX, 3, false, 1, false, 32, false));
+    w.variants.push_back(
+        variant("bfo", argX, 3, true, 4, false, 32, false));
+    w.schedules = {compiler::Schedule{{0, 1}},
+                   compiler::Schedule{{1, 0}}};
+    return w;
+}
+
+Workload
+makeSpmvJdsCpuMixed()
+{
+    Workload w = makeCommon("mixed-cpu", makeSetup());
+    w.variants.push_back(
+        variant("base", argX, 3, false, 1, false, 32, false));
+    w.variants.push_back(variant("unroll-prefetch-texture", argXTex, 2,
+                                 false, 1, true, 40, true));
+    return w;
+}
+
+Workload
+makeSpmvJdsGpuMixed()
+{
+    Workload w = makeCommon("mixed-gpu", makeSetup());
+    w.variants.push_back(
+        variant("base", argX, 3, true, 1, false, 32, false));
+    w.variants.push_back(variant("unroll-prefetch", argX, 2, true, 1,
+                                 true, 40, false));
+    w.variants.push_back(
+        variant("texture", argXTex, 3, true, 1, false, 32, true));
+    w.variants.push_back(variant("unroll-prefetch-texture", argXTex, 2,
+                                 true, 1, true, 72, true));
+    return w;
+}
+
+} // namespace workloads
+} // namespace dysel

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * spmv-jds (Parboil): y = A x on a JDS matrix (rows sorted by length,
+ * jagged diagonals stored column-major so lanes of a warp stream
+ * contiguous memory).
+ *
+ * Experiment configurations:
+ *  - Fig. 1:  scalar / 4-way / 8-way vectorization (CPU);
+ *  - Fig. 8:  DFO vs. BFO work-item schedules (CPU);
+ *  - Fig. 10a: base vs. fully optimized (CPU);
+ *  - Fig. 10b: base / +unroll+prefetch / +texture / +all (GPU).
+ *
+ * One workload unit is 64 JDS rows (one base work-group).
+ */
+#pragma once
+
+#include "workload.hh"
+
+namespace dysel {
+namespace workloads {
+
+/** Fig. 1 configuration: vector widths (CPU). */
+Workload makeSpmvJdsVectorCpu();
+
+/** Fig. 8 configuration: DFO / BFO schedules (CPU). */
+Workload makeSpmvJdsCpuLc();
+
+/** Fig. 10a configuration: base vs. all-optimized (CPU). */
+Workload makeSpmvJdsCpuMixed();
+
+/** Fig. 10b configuration: the four Parboil versions (GPU). */
+Workload makeSpmvJdsGpuMixed();
+
+} // namespace workloads
+} // namespace dysel

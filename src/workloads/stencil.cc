@@ -1,0 +1,391 @@
+#include "stencil.hh"
+
+#include <array>
+#include <memory>
+
+#include "compiler/schedule.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace dysel {
+namespace workloads {
+
+namespace {
+
+constexpr unsigned nx = 128, ny = 128, nz = 128;
+constexpr float c0 = 0.5f;
+constexpr float c1 = 1.0f / 12.0f;
+
+enum Arg : std::size_t {
+    argIn = 0,
+    argOut = 1,
+    argUnits = 2,
+};
+
+std::uint64_t
+cellIndex(unsigned x, unsigned y, unsigned z)
+{
+    return (std::uint64_t{z} * ny + y) * nx + x;
+}
+
+bool
+interior(unsigned x, unsigned y, unsigned z)
+{
+    return x > 0 && x < nx - 1 && y > 0 && y < ny - 1 && z > 0
+           && z < nz - 1;
+}
+
+float
+hostCell(const std::vector<float> &in, unsigned x, unsigned y, unsigned z)
+{
+    if (!interior(x, y, z))
+        return in[cellIndex(x, y, z)];
+    return c0 * in[cellIndex(x, y, z)]
+           + c1 * (in[cellIndex(x - 1, y, z)] + in[cellIndex(x + 1, y, z)]
+                   + in[cellIndex(x, y - 1, z)]
+                   + in[cellIndex(x, y + 1, z)]
+                   + in[cellIndex(x, y, z - 1)]
+                   + in[cellIndex(x, y, z + 1)]);
+}
+
+/** One traced cell update (7 loads, 1 store) on lane @p lane. */
+void
+computeCell(kdp::GroupCtx &g, const kdp::Buffer<float> &in,
+            kdp::Buffer<float> &out, unsigned x, unsigned y, unsigned z,
+            std::uint32_t lane)
+{
+    if (!interior(x, y, z)) {
+        const float v = g.load(in, cellIndex(x, y, z), lane);
+        g.store(out, cellIndex(x, y, z), v, lane);
+        return;
+    }
+    const float center = g.load(in, cellIndex(x, y, z), lane);
+    const float xm = g.load(in, cellIndex(x - 1, y, z), lane);
+    const float xp = g.load(in, cellIndex(x + 1, y, z), lane);
+    const float ym = g.load(in, cellIndex(x, y - 1, z), lane);
+    const float yp = g.load(in, cellIndex(x, y + 1, z), lane);
+    const float zm = g.load(in, cellIndex(x, y, z - 1), lane);
+    const float zp = g.load(in, cellIndex(x, y, z + 1), lane);
+    g.flops(lane, 8);
+    g.store(out, cellIndex(x, y, z),
+            c0 * center + c1 * (xm + xp + ym + yp + zm + zp), lane);
+}
+
+// ---- Fig. 8: schedule-generic base kernel over a 64x16x4 tile ------
+//
+// The tile is deliberately bigger than the L1 cache so the serialized
+// iteration order matters: an x-innermost schedule streams cache
+// lines while a z-innermost one strides across planes.
+
+constexpr unsigned tX = 64, tY = 16, tZ = 4;
+constexpr unsigned tilesX = nx / tX, tilesY = ny / tY;
+
+/** Fig. 8 unit u -> tile origin. */
+void
+lcTileOf(std::uint64_t u, unsigned &x0, unsigned &y0, unsigned &z0)
+{
+    x0 = static_cast<unsigned>(u % tilesX) * tX;
+    y0 = static_cast<unsigned>((u / tilesX) % tilesY) * tY;
+    z0 = static_cast<unsigned>(u / (tilesX * tilesY)) * tZ;
+}
+
+kdp::KernelFn
+lcKernel(compiler::Schedule sched)
+{
+    return [sched](kdp::GroupCtx &g, const kdp::KernelArgs &args) {
+        const auto units = static_cast<std::uint64_t>(
+            args.scalarInt(argUnits));
+        if (g.unitBase() >= units)
+            return;
+        const auto &in = args.buf<float>(argIn);
+        auto &out = args.buf<float>(argOut);
+        unsigned x0, y0, z0;
+        lcTileOf(g.unitBase(), x0, y0, z0);
+
+        const std::array<unsigned, 3> bounds = {tX, tY, tZ};
+        std::array<unsigned, 3> idx{};
+        for (idx[sched.order[0]] = 0;
+             idx[sched.order[0]] < bounds[sched.order[0]];
+             ++idx[sched.order[0]]) {
+            for (idx[sched.order[1]] = 0;
+                 idx[sched.order[1]] < bounds[sched.order[1]];
+                 ++idx[sched.order[1]]) {
+                for (idx[sched.order[2]] = 0;
+                     idx[sched.order[2]] < bounds[sched.order[2]];
+                     ++idx[sched.order[2]]) {
+                    const std::uint32_t lane =
+                        (idx[2] * tY + idx[1]) * tX + idx[0];
+                    computeCell(g, in, out, x0 + idx[0], y0 + idx[1],
+                                z0 + idx[2], lane);
+                }
+            }
+        }
+    };
+}
+
+// ---- Fig. 10: base / coarsen-z / tile+coarsen-x ---------------------
+
+constexpr unsigned lineLanes = 64;
+constexpr unsigned linesX = nx / lineLanes; // 2
+
+/** Fig. 10 unit u -> (x-line, y, z); z fastest so the coarsened
+ *  variants cover contiguous unit ranges. */
+void
+mixedLineOf(std::uint64_t u, unsigned &xl, unsigned &y, unsigned &z)
+{
+    z = static_cast<unsigned>(u % nz);
+    const std::uint64_t rest = u / nz;
+    xl = static_cast<unsigned>(rest % linesX);
+    y = static_cast<unsigned>(rest / linesX);
+}
+
+/** Base: one 64-cell x-line per work-group. */
+void
+baseKernel(kdp::GroupCtx &g, const kdp::KernelArgs &args)
+{
+    const auto units = static_cast<std::uint64_t>(args.scalarInt(argUnits));
+    if (g.unitBase() >= units)
+        return;
+    const auto &in = args.buf<float>(argIn);
+    auto &out = args.buf<float>(argOut);
+    unsigned xl, y, z;
+    mixedLineOf(g.unitBase(), xl, y, z);
+    for (std::uint32_t lane = 0; lane < lineLanes; ++lane)
+        computeCell(g, in, out, xl * lineLanes + lane, y, z, lane);
+}
+
+/** Coarsening depth of the "coarsen-z" variant (waf 64). */
+constexpr unsigned coarseDepth = 64;
+
+/** Coarsen-z: each work-group sweeps one x-line through 64 z planes,
+ *  keeping the z-chain in registers (5 loads per interior cell). */
+void
+coarsenZKernel(kdp::GroupCtx &g, const kdp::KernelArgs &args)
+{
+    const auto units = static_cast<std::uint64_t>(args.scalarInt(argUnits));
+    if (g.unitBase() >= units)
+        return;
+    const auto &in = args.buf<float>(argIn);
+    auto &out = args.buf<float>(argOut);
+    unsigned xl, y, z0;
+    mixedLineOf(g.unitBase(), xl, y, z0);
+    if (z0 % coarseDepth != 0)
+        support::panic("coarsen-z group not aligned to a z-column");
+
+    for (std::uint32_t lane = 0; lane < lineLanes; ++lane) {
+        const unsigned x = xl * lineLanes + lane;
+        // Register chain: prev = in(z-1), cur = in(z).
+        float prev = z0 > 0
+            ? g.load(in, cellIndex(x, y, z0 - 1), lane)
+            : 0.0f;
+        float cur = g.load(in, cellIndex(x, y, z0), lane);
+        for (unsigned z = z0; z < z0 + coarseDepth; ++z) {
+            const float next = z + 1 < nz
+                ? g.load(in, cellIndex(x, y, z + 1), lane)
+                : 0.0f;
+            if (!interior(x, y, z)) {
+                g.store(out, cellIndex(x, y, z), cur, lane);
+            } else {
+                const float xm = g.load(in, cellIndex(x - 1, y, z), lane);
+                const float xp = g.load(in, cellIndex(x + 1, y, z), lane);
+                const float ym = g.load(in, cellIndex(x, y - 1, z), lane);
+                const float yp = g.load(in, cellIndex(x, y + 1, z), lane);
+                g.flops(lane, 8);
+                g.store(out, cellIndex(x, y, z),
+                        c0 * cur + c1 * (xm + xp + ym + yp + prev + next),
+                        lane);
+            }
+            prev = cur;
+            cur = next;
+        }
+    }
+}
+
+/**
+ * Tile + coarsen-x (waf 128): each work-group sweeps one x-line
+ * through the whole z column; the three lateral y-lines (with x
+ * halo) are staged through scratchpad each z step.
+ */
+void
+tiledKernel(kdp::GroupCtx &g, const kdp::KernelArgs &args)
+{
+    const auto units = static_cast<std::uint64_t>(args.scalarInt(argUnits));
+    if (g.unitBase() >= units)
+        return;
+    const auto &in = args.buf<float>(argIn);
+    auto &out = args.buf<float>(argOut);
+    unsigned xl, y, z0;
+    mixedLineOf(g.unitBase(), xl, y, z0);
+    if (z0 != 0)
+        support::panic("tiled group not aligned to a z-column");
+
+    constexpr unsigned width = lineLanes + 2; // line plus x halo
+    auto tile = g.allocLocal<float>(3 * width);
+    const unsigned x0 = xl * lineLanes;
+
+    std::array<float, lineLanes> prev{};
+    std::array<float, lineLanes> cur{};
+    for (std::uint32_t lane = 0; lane < lineLanes; ++lane)
+        cur[lane] = g.load(in, cellIndex(x0 + lane, y, 0), lane);
+
+    auto stage_cell = [&](unsigned line, int x, unsigned yy, unsigned z,
+                          std::uint32_t lane) {
+        float v = 0.0f;
+        if (x >= 0 && x < static_cast<int>(nx))
+            v = g.load(in,
+                       cellIndex(static_cast<unsigned>(x), yy, z), lane);
+        tile.set(g, line * width + static_cast<unsigned>(x - (int)x0 + 1),
+                 v, lane);
+    };
+
+    for (unsigned z = 0; z < nz; ++z) {
+        // Stage lines y-1, y, y+1 at this z (with x halo).
+        for (unsigned line = 0; line < 3; ++line) {
+            const int yy = static_cast<int>(y) + static_cast<int>(line)
+                           - 1;
+            if (yy < 0 || yy >= static_cast<int>(ny))
+                continue;
+            for (std::uint32_t lane = 0; lane < lineLanes; ++lane)
+                stage_cell(line, static_cast<int>(x0 + lane),
+                           static_cast<unsigned>(yy), z, lane);
+            stage_cell(line, static_cast<int>(x0) - 1,
+                       static_cast<unsigned>(yy), z, 0);
+            stage_cell(line, static_cast<int>(x0 + lineLanes),
+                       static_cast<unsigned>(yy), z, lineLanes - 1);
+        }
+        g.barrier();
+        for (std::uint32_t lane = 0; lane < lineLanes; ++lane) {
+            const unsigned x = x0 + lane;
+            const float next = z + 1 < nz
+                ? g.load(in, cellIndex(x, y, z + 1), lane)
+                : 0.0f;
+            if (!interior(x, y, z)) {
+                g.store(out, cellIndex(x, y, z), cur[lane], lane);
+            } else {
+                const float xm = tile.get(g, width + lane, lane);
+                const float xp = tile.get(g, width + lane + 2, lane);
+                const float ym = tile.get(g, lane + 1, lane);
+                const float yp = tile.get(g, 2 * width + lane + 1, lane);
+                g.flops(lane, 8);
+                g.store(out, cellIndex(x, y, z),
+                        c0 * cur[lane]
+                            + c1 * (xm + xp + ym + yp + prev[lane]
+                                    + next),
+                        lane);
+            }
+            prev[lane] = cur[lane];
+            cur[lane] = next;
+        }
+        g.barrier();
+    }
+}
+
+Workload
+makeCommon(const char *config, unsigned cells_per_unit)
+{
+    Workload w;
+    w.name = std::string("stencil-") + config;
+    w.signature = std::string("stencil/") + config;
+    w.units = std::uint64_t{nx} * ny * nz / cells_per_unit;
+    w.iterations = 3;
+
+    auto &in = w.addBuffer<float>(std::uint64_t{nx} * ny * nz,
+                                  kdp::MemSpace::Global, "in");
+    auto &out = w.addBuffer<float>(std::uint64_t{nx} * ny * nz,
+                                   kdp::MemSpace::Global, "out");
+    support::Rng rng(23);
+    for (std::uint64_t i = 0; i < in.size(); ++i)
+        in.host()[i] = rng.nextFloat(0.0f, 1.0f);
+
+    auto ref = std::make_shared<std::vector<float>>();
+    ref->resize(in.size());
+    {
+        std::vector<float> host(in.host(), in.host() + in.size());
+        for (unsigned z = 0; z < nz; ++z)
+            for (unsigned y = 0; y < ny; ++y)
+                for (unsigned x = 0; x < nx; ++x)
+                    (*ref)[cellIndex(x, y, z)] = hostCell(host, x, y, z);
+    }
+
+    w.args.add(in).add(out).add(static_cast<std::int64_t>(w.units));
+    w.resetOutput = [&out] { out.fill(0.0f); };
+    w.check = [&out, ref] {
+        for (std::uint64_t i = 0; i < out.size(); ++i)
+            if (!nearlyEqual(out.host()[i], (*ref)[i], 1e-4f, 1e-5f))
+                return false;
+        return true;
+    };
+
+    w.info.signature = w.signature;
+    w.info.loops = {
+        {"wi-x", compiler::BoundKind::Constant, true, false, tX},
+        {"wi-y", compiler::BoundKind::Constant, true, false, tY},
+        {"wi-z", compiler::BoundKind::Constant, true, false, tZ},
+    };
+    const auto row = static_cast<std::int64_t>(nx);
+    const auto plane = static_cast<std::int64_t>(nx) * ny;
+    w.info.accesses = {
+        {argIn, false, true, {1, row, plane}, 4,
+         std::uint64_t{tX} * tY * tZ * 7},
+        {argOut, true, true, {1, row, plane}, 4,
+         std::uint64_t{tX} * tY * tZ},
+    };
+    w.info.outputArgs = {argOut};
+    return w;
+}
+
+} // namespace
+
+Workload
+makeStencilLcCpu()
+{
+    Workload w = makeCommon("lc-cpu", tX * tY * tZ);
+    for (const auto &sched : compiler::allSchedules(3)) {
+        kdp::KernelVariant v;
+        v.name = "sched-" + sched.name();
+        v.fn = lcKernel(sched);
+        v.waFactor = 1;
+        v.groupSize = tX * tY * tZ;
+        v.sandboxIndex = {argOut};
+        w.variants.push_back(std::move(v));
+        w.schedules.push_back(sched);
+    }
+    return w;
+}
+
+Workload
+makeStencilMixed()
+{
+    Workload w = makeCommon("mixed", lineLanes);
+
+    kdp::KernelVariant base;
+    base.name = "base";
+    base.fn = baseKernel;
+    base.waFactor = 1;
+    base.groupSize = lineLanes;
+    base.sandboxIndex = {argOut};
+    w.variants.push_back(std::move(base));
+
+    kdp::KernelVariant coarse;
+    coarse.name = "coarsen-z64";
+    coarse.fn = coarsenZKernel;
+    coarse.waFactor = coarseDepth; // 64x, as in Parboil
+    coarse.groupSize = lineLanes;
+    coarse.traits.regsPerThread = 40;
+    coarse.sandboxIndex = {argOut};
+    w.variants.push_back(std::move(coarse));
+
+    kdp::KernelVariant tiled;
+    tiled.name = "tile-coarsen-x128";
+    tiled.fn = tiledKernel;
+    tiled.waFactor = nz; // 128x, as in Parboil
+    tiled.groupSize = lineLanes;
+    tiled.traits.regsPerThread = 44;
+    tiled.traits.scratchBytes = 3 * (lineLanes + 2) * sizeof(float);
+    tiled.sandboxIndex = {argOut};
+    w.variants.push_back(std::move(tiled));
+    return w;
+}
+
+} // namespace workloads
+} // namespace dysel

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * stencil (Parboil): one Jacobi step of a 7-point 3D stencil.
+ *
+ * Experiment configurations:
+ *  - Fig. 8:  the base kernel under all 6 permutations of its 3D
+ *    work-item loops (16 x 2 x 2 tile);
+ *  - Fig. 10: the three Parboil versions -- base (waf 1), z-coarsened
+ *    (waf 64), and scratchpad-tiled + x-coarsened (waf 128).
+ *
+ * Boundary cells are copied through unchanged.
+ */
+#pragma once
+
+#include "workload.hh"
+
+namespace dysel {
+namespace workloads {
+
+/** Fig. 8 configuration: 6 loop-nest schedules (CPU). */
+Workload makeStencilLcCpu();
+
+/** Fig. 10 configuration: 3 versions with waf 1 / 64 / 128. */
+Workload makeStencilMixed();
+
+} // namespace workloads
+} // namespace dysel

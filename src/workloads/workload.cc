@@ -1,0 +1,37 @@
+#include "workload.hh"
+
+#include <cmath>
+
+#include "dysel/runtime.hh"
+
+namespace dysel {
+namespace workloads {
+
+void
+Workload::registerWith(runtime::Runtime &rt) const
+{
+    for (const auto &v : variants)
+        rt.addKernel(signature, v);
+    rt.setKernelInfo(signature, info);
+}
+
+int
+Workload::variantIndex(const std::string &variant_name) const
+{
+    for (std::size_t i = 0; i < variants.size(); ++i)
+        if (variants[i].name == variant_name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+bool
+nearlyEqual(float a, float b, float rel, float abs)
+{
+    const float diff = std::fabs(a - b);
+    if (diff <= abs)
+        return true;
+    return diff <= rel * std::max(std::fabs(a), std::fabs(b));
+}
+
+} // namespace workloads
+} // namespace dysel

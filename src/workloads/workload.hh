@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Benchmark workload abstraction.
+ *
+ * A Workload bundles everything one experiment needs: the input and
+ * output buffers (owned), the kernel variants DySel selects among, the
+ * compiler metadata, a reference checker, and the workload size in
+ * units.  A "unit" is the data covered by one work-group of the base
+ * variant; a variant with work assignment factor f covers f units per
+ * work-group.
+ *
+ * Kernels must tolerate being launched past the end of the workload
+ * (the runtime rounds the last slice up to a whole work-group): every
+ * kernel guards its per-unit work against the workload bound.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/kernel_info.hh"
+#include "compiler/schedule.hh"
+#include "kdp/args.hh"
+#include "kdp/buffer.hh"
+#include "kdp/kernel.hh"
+
+namespace dysel {
+namespace runtime {
+class Runtime;
+} // namespace runtime
+
+namespace workloads {
+
+/**
+ * One benchmark instance: data + variants + checker.
+ */
+class Workload
+{
+  public:
+    std::string name;       ///< e.g. "sgemm-lc-cpu"
+    std::string signature;  ///< kernel signature for the runtime
+    std::uint64_t units = 0;
+    /** Launches of this kernel in the original benchmark (iterative
+     *  solvers re-launch the same kernel every iteration). */
+    unsigned iterations = 1;
+    kdp::KernelArgs args;
+    std::vector<kdp::KernelVariant> variants;
+    compiler::KernelInfo info;
+
+    /**
+     * For schedule-variant workloads: the loop-nest schedule of each
+     * variant (parallel to `variants`), so the LC baseline can score
+     * them.  Empty for non-schedule workloads.
+     */
+    std::vector<compiler::Schedule> schedules;
+
+    /** Zero the output buffers before a fresh run. */
+    std::function<void()> resetOutput;
+
+    /** Validate outputs against the reference; true when correct. */
+    std::function<bool()> check;
+
+    Workload() = default;
+    Workload(const Workload &) = delete;
+    Workload &operator=(const Workload &) = delete;
+    Workload(Workload &&) = default;
+    Workload &operator=(Workload &&) = default;
+
+    /**
+     * Allocate an owned buffer.  Returned reference stays valid for
+     * the workload's lifetime (buffers are individually heap
+     * allocated).
+     */
+    template <typename T>
+    kdp::Buffer<T> &
+    addBuffer(std::uint64_t n, kdp::MemSpace space, std::string label)
+    {
+        auto buf =
+            std::make_unique<kdp::Buffer<T>>(n, space, std::move(label));
+        kdp::Buffer<T> &ref = *buf;
+        buffers.push_back(std::move(buf));
+        return ref;
+    }
+
+    /** Register all variants (and metadata) with @p rt. */
+    void registerWith(runtime::Runtime &rt) const;
+
+    /** Look up a variant index by name; -1 if absent. */
+    int variantIndex(const std::string &variant_name) const;
+
+  private:
+    std::vector<std::unique_ptr<kdp::BufferBase>> buffers;
+};
+
+/** Compare floats with a relative + absolute tolerance. */
+bool nearlyEqual(float a, float b, float rel = 1e-4f, float abs = 1e-5f);
+
+} // namespace workloads
+} // namespace dysel

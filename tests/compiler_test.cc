@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Unit tests for the compiler analyses (§3.4) and the schedule
+ * enumeration of the kernel version generator.
+ */
+#include <gtest/gtest.h>
+
+#include "compiler/analysis.hh"
+#include "compiler/kernel_info.hh"
+#include "compiler/schedule.hh"
+
+using namespace dysel::compiler;
+
+// ---- Safe point analysis -------------------------------------------
+
+TEST(SafePoint, NormalizesToLcm)
+{
+    // Paper's Fig. 3 example: work assignment 3:2 -> launch 2 and 3
+    // groups (one compute unit, no scaling needed beyond lcm).
+    auto plan = safePointAnalysis({3, 2}, 1, 1000);
+    EXPECT_EQ(plan.lcm, 6u);
+    EXPECT_EQ(plan.scale, 1u);
+    EXPECT_EQ(plan.groups[0], 2u);
+    EXPECT_EQ(plan.groups[1], 3u);
+}
+
+TEST(SafePoint, ScalesToFillComputeUnits)
+{
+    // The largest-factor variant must still launch >= CUs groups.
+    auto plan = safePointAnalysis({1, 16}, 8, 100000);
+    EXPECT_EQ(plan.lcm, 16u);
+    EXPECT_EQ(plan.scale, 8u);
+    EXPECT_EQ(plan.unitsPerVariant, 128u);
+    EXPECT_EQ(plan.groups[0], 128u);
+    EXPECT_EQ(plan.groups[1], 8u);
+}
+
+TEST(SafePoint, EqualUnitsPerVariant)
+{
+    auto plan = safePointAnalysis({1, 4, 8}, 4, 100000);
+    for (std::size_t i = 0; i < plan.groups.size(); ++i) {
+        const std::uint64_t factors[] = {1, 4, 8};
+        EXPECT_EQ(plan.groups[i] * factors[i], plan.unitsPerVariant);
+    }
+}
+
+TEST(SafePoint, CapsProfilingVolume)
+{
+    // 2 variants x 64 units each would be 128 > 50% of 200: the
+    // scale backs off.
+    auto plan = safePointAnalysis({1, 64}, 8, 200, 0.5);
+    EXPECT_LE(plan.unitsPerVariant * 2, 100u);
+    EXPECT_GE(plan.scale, 1u);
+}
+
+TEST(SafePoint, DeactivatesWhenEvenOneSliceDoesNotFit)
+{
+    auto plan = safePointAnalysis({1, 64}, 8, 100, 0.5);
+    EXPECT_EQ(plan.unitsPerVariant, 0u);
+    EXPECT_EQ(plan.groups[0], 0u);
+}
+
+TEST(SafePoint, SingleVariantStillPlans)
+{
+    auto plan = safePointAnalysis({4}, 13, 100000);
+    EXPECT_EQ(plan.lcm, 4u);
+    EXPECT_EQ(plan.groups[0], 13u);
+    EXPECT_EQ(plan.unitsPerVariant, 52u);
+}
+
+/** Property sweep: invariants over many factor combinations. */
+class SafePointSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(SafePointSweep, Invariants)
+{
+    const auto [f0, f1, cus] = GetParam();
+    const std::vector<std::uint64_t> factors = {
+        static_cast<std::uint64_t>(f0), static_cast<std::uint64_t>(f1)};
+    auto plan = safePointAnalysis(factors, cus, 1 << 20);
+    // LCM divisible by every factor.
+    EXPECT_EQ(plan.lcm % factors[0], 0u);
+    EXPECT_EQ(plan.lcm % factors[1], 0u);
+    // Units per variant is lcm * scale and every variant profiles
+    // exactly that many units.
+    EXPECT_EQ(plan.unitsPerVariant, plan.lcm * plan.scale);
+    EXPECT_EQ(plan.groups[0] * factors[0], plan.unitsPerVariant);
+    EXPECT_EQ(plan.groups[1] * factors[1], plan.unitsPerVariant);
+    // The fewest-group variant still fills the device.
+    EXPECT_GE(std::min(plan.groups[0], plan.groups[1]),
+              static_cast<std::uint64_t>(cus));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Factors, SafePointSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values(1, 3, 16, 64, 128),
+                       ::testing::Values(1, 8, 13)));
+
+// ---- Uniform workload / side effect analyses -----------------------
+
+namespace {
+
+KernelInfo
+regularInfo()
+{
+    KernelInfo info;
+    info.signature = "regular";
+    info.loops = {{"wi", BoundKind::Constant, true, false, 64},
+                  {"k", BoundKind::Param, false, false, 100}};
+    return info;
+}
+
+} // namespace
+
+TEST(UniformWorkload, RegularKernelIsUniform)
+{
+    EXPECT_TRUE(uniformWorkloadAnalysis(regularInfo()));
+}
+
+TEST(UniformWorkload, DataDependentBoundIsIrregular)
+{
+    KernelInfo info = regularInfo();
+    info.loops[1].bound = BoundKind::DataDependent;
+    EXPECT_FALSE(uniformWorkloadAnalysis(info));
+}
+
+TEST(UniformWorkload, EarlyExitIsIrregular)
+{
+    KernelInfo info = regularInfo();
+    info.loops[1].hasEarlyExit = true;
+    EXPECT_FALSE(uniformWorkloadAnalysis(info));
+}
+
+TEST(SideEffect, AtomicsFlagOverlap)
+{
+    KernelInfo info = regularInfo();
+    EXPECT_FALSE(sideEffectAnalysis(info));
+    info.usesGlobalAtomics = true;
+    EXPECT_TRUE(sideEffectAnalysis(info));
+}
+
+TEST(ModeRecommendation, FollowsThePaperDecisionTree)
+{
+    KernelInfo info = regularInfo();
+    EXPECT_EQ(recommendProfilingMode(info), ProfilingMode::Fully);
+
+    info.loops[1].bound = BoundKind::DataDependent;
+    EXPECT_EQ(recommendProfilingMode(info), ProfilingMode::Hybrid);
+
+    // Atomics dominate: swap even when also irregular.
+    info.usesGlobalAtomics = true;
+    EXPECT_EQ(recommendProfilingMode(info), ProfilingMode::Swap);
+}
+
+TEST(ModeNames, Distinct)
+{
+    EXPECT_STREQ(profilingModeName(ProfilingMode::Fully),
+                 "fully-productive");
+    EXPECT_STREQ(profilingModeName(ProfilingMode::Hybrid),
+                 "hybrid-partial");
+    EXPECT_STREQ(profilingModeName(ProfilingMode::Swap), "swap-partial");
+}
+
+// ---- Schedules ------------------------------------------------------
+
+TEST(Schedules, EnumeratesAllPermutations)
+{
+    EXPECT_EQ(allSchedules(1).size(), 1u);
+    EXPECT_EQ(allSchedules(2).size(), 2u);
+    EXPECT_EQ(allSchedules(3).size(), 6u);
+    EXPECT_EQ(allSchedules(5).size(), 120u);
+}
+
+TEST(Schedules, PaperCutcpCountWithConstraint)
+{
+    // 5 loops with "atom after bin" = 120 / 2 = 60 schedules, the
+    // paper's cutcp count.
+    unsigned count = 0;
+    for (const auto &sched : allSchedules(5)) {
+        unsigned pos3 = 0, pos4 = 0;
+        for (unsigned i = 0; i < 5; ++i) {
+            if (sched.order[i] == 3)
+                pos3 = i;
+            if (sched.order[i] == 4)
+                pos4 = i;
+        }
+        count += pos4 > pos3;
+    }
+    EXPECT_EQ(count, 60u);
+}
+
+TEST(Schedules, EachPermutationIsValid)
+{
+    for (const auto &sched : allSchedules(4)) {
+        std::vector<bool> seen(4, false);
+        for (unsigned idx : sched.order) {
+            ASSERT_LT(idx, 4u);
+            EXPECT_FALSE(seen[idx]);
+            seen[idx] = true;
+        }
+    }
+}
+
+TEST(Schedules, DfoIsCanonicalOrder)
+{
+    const Schedule dfo = dfoSchedule(3);
+    EXPECT_EQ(dfo.order, (std::vector<unsigned>{0, 1, 2}));
+    EXPECT_EQ(dfo.name(), "L0.L1.L2");
+}
+
+TEST(Schedules, BfoPutsWorkItemLoopsInnermost)
+{
+    KernelInfo info;
+    info.loops = {{"wi", BoundKind::Constant, true, false, 64},
+                  {"k", BoundKind::Param, false, false, 10}};
+    const Schedule bfo = bfoSchedule(info);
+    EXPECT_EQ(bfo.order, (std::vector<unsigned>{1, 0}));
+}
+
+TEST(KernelInfo, IrregularLoopDetection)
+{
+    KernelInfo info = regularInfo();
+    EXPECT_FALSE(info.hasIrregularLoops());
+    info.loops.push_back({"j", BoundKind::DataDependent, false, false, 5});
+    EXPECT_TRUE(info.hasIrregularLoops());
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the measurement harness (workloads/evaluate) and the
+ * Workload plumbing the benches rely on: fresh-device isolation,
+ * oracle best/worst indexing, iterative accounting, and relative-time
+ * arithmetic.
+ */
+#include <gtest/gtest.h>
+
+#include "workloads/devices.hh"
+#include "workloads/evaluate.hh"
+#include "workloads/sgemm.hh"
+#include "workloads/spmv_csr.hh"
+
+using namespace dysel;
+using namespace dysel::workloads;
+
+TEST(Evaluate, RelativeArithmetic)
+{
+    EXPECT_DOUBLE_EQ(relative(200, 100), 2.0);
+    EXPECT_DOUBLE_EQ(relative(100, 100), 1.0);
+}
+
+TEST(EvaluateDeath, RelativeZeroBase)
+{
+    EXPECT_DEATH(relative(100, 0), "");
+}
+
+TEST(Evaluate, OracleIndexesBestAndWorst)
+{
+    Workload w = makeSgemmVectorCpu();
+    w.iterations = 1;
+    const auto oracle = runOracle(cpuFactory(), w);
+    ASSERT_EQ(oracle.runs.size(), 3u);
+    for (const auto &run : oracle.runs) {
+        EXPECT_GE(run.elapsed, oracle.best());
+        EXPECT_LE(run.elapsed, oracle.worst());
+        EXPECT_TRUE(run.ok);
+    }
+    EXPECT_EQ(oracle.runs[oracle.bestIndex].elapsed, oracle.best());
+    EXPECT_EQ(oracle.runs[oracle.worstIndex].elapsed, oracle.worst());
+    EXPECT_NE(oracle.bestIndex, oracle.worstIndex);
+}
+
+TEST(Evaluate, FreshDevicesMakeRunsReproducible)
+{
+    // Two identical measurements must agree exactly: the factory
+    // hands every run a fresh device, so no cache or clock state
+    // leaks between measurements.
+    Workload w = makeSgemmVectorCpu();
+    w.iterations = 1;
+    const auto a = runSingleVariant(cpuFactory(), w, 0);
+    const auto b = runSingleVariant(cpuFactory(), w, 0);
+    EXPECT_EQ(a.elapsed, b.elapsed);
+}
+
+TEST(Evaluate, IterationsMultiplyElapsedTime)
+{
+    Workload once = makeSpmvCsrCpuLc(SpmvInput::Random);
+    once.iterations = 1;
+    const auto single = runSingleVariant(cpuFactory(), once, 0);
+
+    Workload many = makeSpmvCsrCpuLc(SpmvInput::Random);
+    many.iterations = 4;
+    const auto quad = runSingleVariant(cpuFactory(), many, 0);
+
+    // Later iterations run on warm caches, so the total grows
+    // sub-linearly but strictly.
+    EXPECT_GT(quad.elapsed, single.elapsed);
+    EXPECT_LT(quad.elapsed, 5 * single.elapsed);
+}
+
+TEST(Evaluate, DyselRunReportsFirstIteration)
+{
+    Workload w = makeSpmvCsrCpuLc(SpmvInput::Random);
+    const auto run = runDysel(cpuFactory(), w, runtime::LaunchOptions{});
+    EXPECT_TRUE(run.ok);
+    EXPECT_TRUE(run.firstIteration.profiled);
+    EXPECT_EQ(run.firstIteration.signature, w.signature);
+    EXPECT_GT(run.elapsed, run.firstIteration.elapsed());
+}
+
+TEST(Evaluate, ConfiguredRunHonoursRuntimeConfig)
+{
+    Workload w = makeSpmvCsrCpuLc(SpmvInput::Random);
+    runtime::RuntimeConfig config;
+    config.minUnitsForProfiling = w.units + 1; // force deactivation
+    const auto run = runDyselConfigured(cpuFactory(), w,
+                                        runtime::LaunchOptions{}, config);
+    EXPECT_FALSE(run.firstIteration.profiled);
+    EXPECT_TRUE(run.ok);
+}
+
+TEST(WorkloadClass, VariantIndexLookup)
+{
+    Workload w = makeSgemmVectorCpu();
+    EXPECT_EQ(w.variantIndex("scalar"), 0);
+    EXPECT_EQ(w.variantIndex("8-way"), 2);
+    EXPECT_EQ(w.variantIndex("nope"), -1);
+}
+
+TEST(WorkloadClass, ResetOutputEnablesReruns)
+{
+    Workload w = makeSgemmVectorCpu();
+    w.iterations = 1;
+    const auto first = runSingleVariant(cpuFactory(), w, 0);
+    EXPECT_TRUE(first.ok);
+    // Corrupt the output, reset, rerun: still correct.
+    w.args.buf<float>(2).fill(-123.0f);
+    EXPECT_FALSE(w.check());
+    const auto second = runSingleVariant(cpuFactory(), w, 1);
+    EXPECT_TRUE(second.ok);
+}

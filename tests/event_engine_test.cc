@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for the discrete-event engine: time ordering, FIFO
+ * tie-breaking, reentrancy from callbacks.
+ */
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_engine.hh"
+
+using namespace dysel::sim;
+
+TEST(EventEngine, StartsAtZeroAndIdle)
+{
+    EventEngine e;
+    EXPECT_EQ(e.now(), 0u);
+    EXPECT_TRUE(e.idle());
+}
+
+TEST(EventEngine, FiresInTimeOrder)
+{
+    EventEngine e;
+    std::vector<int> order;
+    e.schedule(30, [&] { order.push_back(3); });
+    e.schedule(10, [&] { order.push_back(1); });
+    e.schedule(20, [&] { order.push_back(2); });
+    e.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(e.now(), 30u);
+}
+
+TEST(EventEngine, EqualTimesFireInInsertionOrder)
+{
+    EventEngine e;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        e.schedule(5, [&order, i] { order.push_back(i); });
+    e.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventEngine, CallbacksMayScheduleMore)
+{
+    EventEngine e;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 5)
+            e.scheduleAfter(10, chain);
+    };
+    e.schedule(0, chain);
+    e.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(e.now(), 40u);
+}
+
+TEST(EventEngine, PastTimesClampToNow)
+{
+    EventEngine e;
+    TimeNs seen = 12345;
+    e.schedule(100, [&] {
+        e.schedule(50, [&] { seen = e.now(); }); // in the past
+    });
+    e.run();
+    EXPECT_EQ(seen, 100u);
+}
+
+TEST(EventEngine, CountsFiredEvents)
+{
+    EventEngine e;
+    for (int i = 0; i < 7; ++i)
+        e.schedule(i, [] {});
+    e.run();
+    EXPECT_EQ(e.eventsFired(), 7u);
+}
+
+TEST(EventEngine, ScheduleAfterIsRelative)
+{
+    EventEngine e;
+    TimeNs when = 0;
+    e.schedule(40, [&] {
+        e.scheduleAfter(2, [&] { when = e.now(); });
+    });
+    e.run();
+    EXPECT_EQ(when, 42u);
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the Fig. 7 in-kernel timing protocol.
+ */
+#include <gtest/gtest.h>
+
+#include "dysel/gpu_timer.hh"
+
+using namespace dysel::runtime;
+
+TEST(GpuTimer, SingleKernelSpan)
+{
+    GpuTimer t(1, {3});
+    EXPECT_EQ(t.selection(), -1);
+    t.blockDone(0, 100, 150);
+    EXPECT_FALSE(t.kernelDone(0));
+    t.blockDone(0, 110, 160);
+    t.blockDone(0, 105, 220);
+    EXPECT_TRUE(t.kernelDone(0));
+    // Span = last end (220) - min start (100).
+    EXPECT_EQ(t.span(0), 120u);
+    EXPECT_EQ(t.selection(), 0);
+}
+
+TEST(GpuTimer, SelectsTheFasterKernel)
+{
+    GpuTimer t(2, {2, 2});
+    t.blockDone(0, 0, 100);
+    t.blockDone(0, 10, 200); // kernel 0 span 200
+    EXPECT_EQ(t.selection(), 0);
+    t.blockDone(1, 300, 350);
+    t.blockDone(1, 310, 380); // kernel 1 span 80 < 200
+    EXPECT_EQ(t.selection(), 1);
+    EXPECT_EQ(t.span(0), 200u);
+    EXPECT_EQ(t.span(1), 80u);
+    EXPECT_TRUE(t.allDone());
+}
+
+TEST(GpuTimer, SlowerLateKernelDoesNotStealSelection)
+{
+    GpuTimer t(2, {1, 1});
+    t.blockDone(0, 0, 50);
+    EXPECT_EQ(t.selection(), 0);
+    t.blockDone(1, 100, 300);
+    EXPECT_EQ(t.selection(), 0); // span 200 does not beat 50
+}
+
+TEST(GpuTimer, ExactTieKeepsEarlierSelection)
+{
+    // Fig. 7 updates the selection only when global_diff strictly
+    // improves.
+    GpuTimer t(2, {1, 1});
+    t.blockDone(0, 0, 100);
+    t.blockDone(1, 500, 600); // identical span
+    EXPECT_EQ(t.selection(), 0);
+}
+
+TEST(GpuTimer, LastBlockUsesGlobalMinStart)
+{
+    // The last completing block's own start is later than the global
+    // minimum; Fig. 7's atomicMin trick still yields the full span.
+    GpuTimer t(1, {2});
+    t.blockDone(0, 10, 500);  // early starter finishes first
+    t.blockDone(0, 400, 450); // late starter is the last block
+    EXPECT_EQ(t.span(0), 440u); // 450 - 10, not 450 - 400
+}
+
+TEST(GpuTimer, ManyKernelsPickGlobalMinimum)
+{
+    GpuTimer t(4, {1, 1, 1, 1});
+    t.blockDone(0, 0, 400);
+    t.blockDone(1, 0, 300);
+    t.blockDone(2, 0, 100);
+    t.blockDone(3, 0, 200);
+    EXPECT_EQ(t.selection(), 2);
+    EXPECT_TRUE(t.allDone());
+}
+
+TEST(GpuTimerDeath, WrongBlockCountsAreBugs)
+{
+    GpuTimer t(1, {1});
+    t.blockDone(0, 0, 10);
+    EXPECT_DEATH(t.blockDone(0, 20, 30), "");
+}
+
+TEST(GpuTimerDeath, UnknownKernelId)
+{
+    GpuTimer t(1, {1});
+    EXPECT_DEATH(t.blockDone(5, 0, 10), "");
+}
+
+TEST(GpuTimerDeath, SpanBeforeCompletion)
+{
+    GpuTimer t(1, {2});
+    t.blockDone(0, 0, 10);
+    EXPECT_DEATH(t.span(0), "");
+}

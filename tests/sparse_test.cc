@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the sparse matrix substrate: generators, format
+ * conversion, and the reference spmv.
+ */
+#include <gtest/gtest.h>
+
+#include "workloads/sparse.hh"
+
+using namespace dysel::workloads;
+
+TEST(RandomCsr, StructureIsValid)
+{
+    const CsrMatrix m = makeRandomCsr(256, 512, 0.02);
+    EXPECT_EQ(m.rows, 256u);
+    EXPECT_EQ(m.cols, 512u);
+    ASSERT_EQ(m.rowPtr.size(), 257u);
+    EXPECT_EQ(m.rowPtr[0], 0u);
+    EXPECT_EQ(m.rowPtr[256], m.nnz());
+    for (std::uint32_t r = 0; r < m.rows; ++r) {
+        EXPECT_LE(m.rowPtr[r], m.rowPtr[r + 1]);
+        // Sorted, in-range, duplicate-free column indices per row.
+        for (std::uint32_t i = m.rowPtr[r]; i < m.rowPtr[r + 1]; ++i) {
+            EXPECT_LT(m.colIdx[i], m.cols);
+            if (i > m.rowPtr[r])
+                EXPECT_LT(m.colIdx[i - 1], m.colIdx[i]);
+        }
+    }
+}
+
+TEST(RandomCsr, DensityIsApproximatelyRespected)
+{
+    const CsrMatrix m = makeRandomCsr(1024, 1024, 0.01);
+    const double actual = static_cast<double>(m.nnz()) / (1024.0 * 1024.0);
+    EXPECT_GT(actual, 0.005);
+    EXPECT_LT(actual, 0.015);
+}
+
+TEST(RandomCsr, DeterministicForSeed)
+{
+    const CsrMatrix a = makeRandomCsr(64, 64, 0.1, 5);
+    const CsrMatrix b = makeRandomCsr(64, 64, 0.1, 5);
+    EXPECT_EQ(a.colIdx, b.colIdx);
+    EXPECT_EQ(a.vals, b.vals);
+}
+
+TEST(DiagonalCsr, OneNonzeroPerRowOnDiagonal)
+{
+    const CsrMatrix m = makeDiagonalCsr(100);
+    EXPECT_EQ(m.nnz(), 100u);
+    for (std::uint32_t r = 0; r < 100; ++r) {
+        EXPECT_EQ(m.rowLen(r), 1u);
+        EXPECT_EQ(m.colIdx[m.rowPtr[r]], r);
+    }
+}
+
+TEST(Jds, RowsSortedByDescendingLength)
+{
+    const CsrMatrix csr = makeRandomCsr(200, 300, 0.05);
+    const JdsMatrix jds = csrToJds(csr);
+    for (std::uint32_t r = 1; r < jds.rows; ++r)
+        EXPECT_GE(jds.rowLen[r - 1], jds.rowLen[r]);
+    EXPECT_EQ(jds.maxLen, jds.rowLen[0]);
+}
+
+TEST(Jds, PermIsAPermutation)
+{
+    const CsrMatrix csr = makeRandomCsr(128, 128, 0.05);
+    const JdsMatrix jds = csrToJds(csr);
+    std::vector<bool> seen(csr.rows, false);
+    for (std::uint32_t orig : jds.perm) {
+        ASSERT_LT(orig, csr.rows);
+        EXPECT_FALSE(seen[orig]);
+        seen[orig] = true;
+    }
+}
+
+TEST(Jds, SpmvThroughJdsMatchesCsr)
+{
+    const CsrMatrix csr = makeRandomCsr(128, 96, 0.08);
+    const JdsMatrix jds = csrToJds(csr);
+    const auto x = makeDenseVector(csr.cols);
+    const auto ref = spmvReference(csr, x);
+
+    // Walk the JDS structure directly.
+    std::vector<float> y(csr.rows, 0.0f);
+    for (std::uint32_t jr = 0; jr < jds.rows; ++jr) {
+        float acc = 0.0f;
+        for (std::uint32_t d = 0; d < jds.rowLen[jr]; ++d) {
+            const std::uint32_t pos = jds.diagPtr[d] + jr;
+            acc += jds.vals[pos] * x[jds.colIdx[pos]];
+        }
+        y[jds.perm[jr]] = acc;
+    }
+    for (std::uint32_t r = 0; r < csr.rows; ++r)
+        EXPECT_NEAR(y[r], ref[r], 1e-4f);
+}
+
+TEST(Jds, DiagRowsMonotonicallyDecrease)
+{
+    const CsrMatrix csr = makeRandomCsr(64, 64, 0.1);
+    const JdsMatrix jds = csrToJds(csr);
+    for (std::uint32_t d = 1; d < jds.maxLen; ++d)
+        EXPECT_LE(jds.diagRows[d], jds.diagRows[d - 1]);
+    EXPECT_EQ(jds.diagPtr[jds.maxLen], jds.vals.size());
+}
+
+TEST(SpmvReference, DiagonalActsElementwise)
+{
+    const CsrMatrix m = makeDiagonalCsr(16);
+    std::vector<float> x(16, 2.0f);
+    const auto y = spmvReference(m, x);
+    for (std::uint32_t r = 0; r < 16; ++r)
+        EXPECT_NEAR(y[r], 2.0f * m.vals[r], 1e-6f);
+}
+
+TEST(DenseVector, DeterministicAndBounded)
+{
+    const auto a = makeDenseVector(100, 3);
+    const auto b = makeDenseVector(100, 3);
+    EXPECT_EQ(a, b);
+    for (float v : a) {
+        EXPECT_GE(v, -1.0f);
+        EXPECT_LT(v, 1.0f);
+    }
+}

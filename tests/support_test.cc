@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for the support library: RNG, statistics, tables, math
+ * helpers, and logging levels.
+ */
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+#include "support/math_util.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+using namespace dysel::support;
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, NextBelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversRange)
+{
+    Rng r(9);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++seen[r.nextBelow(8)];
+    for (int bucket : seen) {
+        EXPECT_GT(bucket, 700);
+        EXPECT_LT(bucket, 1300);
+    }
+}
+
+TEST(Rng, NextInRangeInclusive)
+{
+    Rng r(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = r.nextInRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoublesInUnitInterval)
+{
+    Rng r(13);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = r.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliProbability)
+{
+    Rng r(17);
+    int heads = 0;
+    for (int i = 0; i < 10000; ++i)
+        heads += r.nextBool(0.3);
+    EXPECT_NEAR(heads / 10000.0, 0.3, 0.03);
+}
+
+TEST(Summary, Empty)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, BasicMoments)
+{
+    Summary s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(Stats, GeoMean)
+{
+    EXPECT_DOUBLE_EQ(geoMean({}), 0.0);
+    EXPECT_NEAR(geoMean({4.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geoMean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geoMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, Median)
+{
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+    EXPECT_DOUBLE_EQ(median({3.0}), 3.0);
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({5.0, 1.0, 3.0}), 3.0);
+}
+
+TEST(MathUtil, CeilDivAndRoundUp)
+{
+    EXPECT_EQ(ceilDiv(0, 4), 0u);
+    EXPECT_EQ(ceilDiv(1, 4), 1u);
+    EXPECT_EQ(ceilDiv(4, 4), 1u);
+    EXPECT_EQ(ceilDiv(5, 4), 2u);
+    EXPECT_EQ(roundUp(5, 4), 8u);
+    EXPECT_EQ(roundUp(8, 4), 8u);
+}
+
+TEST(MathUtil, LcmAll)
+{
+    EXPECT_EQ(lcmAll({1}), 1u);
+    EXPECT_EQ(lcmAll({2, 3}), 6u);
+    EXPECT_EQ(lcmAll({4, 6, 8}), 24u);
+    EXPECT_EQ(lcmAll({1, 16, 64, 128}), 128u);
+}
+
+TEST(MathUtil, PowersOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(48));
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(65), 6u);
+}
+
+TEST(Table, AlignedOutput)
+{
+    Table t({"name", "value"});
+    t.row().cell("a").cell(1.5, 1);
+    t.row().cell("longer").cell(std::uint64_t{42});
+    EXPECT_EQ(t.rowCount(), 2u);
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("longer"), std::string::npos);
+    EXPECT_NE(s.find("1.5"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"a", "b"});
+    t.row().cell("x").cell(std::uint64_t{7});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\nx,7\n");
+}
+
+TEST(Logging, ThresholdControlsOutput)
+{
+    const LogLevel before = logThreshold();
+    {
+        LogSilencer silence(LogLevel::Panic);
+        EXPECT_EQ(logThreshold(), LogLevel::Panic);
+        warn("this warning must be suppressed by the silencer");
+    }
+    EXPECT_EQ(logThreshold(), before);
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("intentional test panic"), "");
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Correctness tests for every workload kernel variant: each variant,
+ * run standalone over the whole workload, must reproduce the host
+ * reference output.  (Iterations are clamped to 1: correctness does
+ * not need the iterative timing behaviour.)
+ */
+#include <functional>
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "workloads/cutcp.hh"
+#include "workloads/devices.hh"
+#include "workloads/evaluate.hh"
+#include "workloads/histogram.hh"
+#include "workloads/kmeans.hh"
+#include "workloads/particlefilter.hh"
+#include "workloads/sgemm.hh"
+#include "workloads/spmv_csr.hh"
+#include "workloads/spmv_jds.hh"
+#include "workloads/stencil.hh"
+
+using namespace dysel::workloads;
+
+namespace {
+
+struct Case
+{
+    std::string name;
+    std::function<Workload()> make;
+    bool gpu; ///< which device family the case targets
+};
+
+std::vector<Case>
+cases()
+{
+    return {
+        {"sgemm-vector-cpu", [] { return makeSgemmVectorCpu(); }, false},
+        {"sgemm-lc-cpu", [] { return makeSgemmLcCpu(128, 128, 128); },
+         false},
+        {"sgemm-mixed-cpu", [] { return makeSgemmMixed(); }, false},
+        {"sgemm-mixed-gpu", [] { return makeSgemmMixed(); }, true},
+        {"spmv-csr-lc-random",
+         [] { return makeSpmvCsrCpuLc(SpmvInput::Random); }, false},
+        {"spmv-csr-inputdep-cpu-random",
+         [] { return makeSpmvCsrCpuInputDep(SpmvInput::Random); }, false},
+        {"spmv-csr-inputdep-gpu-random",
+         [] { return makeSpmvCsrGpuInputDep(SpmvInput::Random); }, true},
+        {"spmv-csr-placement-gpu",
+         [] { return makeSpmvCsrGpuPlacement(); }, true},
+        {"spmv-jds-vector-cpu", [] { return makeSpmvJdsVectorCpu(); },
+         false},
+        {"spmv-jds-mixed-gpu", [] { return makeSpmvJdsGpuMixed(); },
+         true},
+        {"stencil-lc-cpu", [] { return makeStencilLcCpu(); }, false},
+        {"stencil-mixed-cpu", [] { return makeStencilMixed(); }, false},
+        {"stencil-mixed-gpu", [] { return makeStencilMixed(); }, true},
+        {"kmeans-lc-cpu", [] { return makeKmeansLcCpu(); }, false},
+        {"cutcp-lc-cpu", [] { return makeCutcpLcCpu(6); }, false},
+        {"cutcp-mixed-gpu", [] { return makeCutcpMixed(); }, true},
+        {"particlefilter-gpu", [] { return makeParticleFilterGpu(); },
+         true},
+        {"histogram-cpu", [] { return makeHistogram(); }, false},
+        {"histogram-gpu", [] { return makeHistogram(); }, true},
+    };
+}
+
+class WorkloadCorrectness : public ::testing::TestWithParam<Case>
+{
+};
+
+} // namespace
+
+TEST_P(WorkloadCorrectness, EveryVariantMatchesReference)
+{
+    const Case &c = GetParam();
+    Workload w = c.make();
+    w.iterations = 1;
+    const DeviceFactory factory = c.gpu ? gpuFactory() : cpuFactory();
+    ASSERT_GT(w.variants.size(), 0u);
+    for (std::size_t i = 0; i < w.variants.size(); ++i) {
+        const VariantRun run = runSingleVariant(factory, w, i);
+        EXPECT_TRUE(run.ok) << c.name << " variant " << run.name
+                            << " produced wrong output";
+        EXPECT_GT(run.elapsed, 0u);
+    }
+}
+
+TEST_P(WorkloadCorrectness, MetadataIsConsistent)
+{
+    const Case &c = GetParam();
+    Workload w = c.make();
+    EXPECT_FALSE(w.signature.empty());
+    EXPECT_GT(w.units, 0u);
+    EXPECT_FALSE(w.info.loops.empty());
+    EXPECT_FALSE(w.info.outputArgs.empty());
+    if (!w.schedules.empty())
+        EXPECT_EQ(w.schedules.size(), w.variants.size());
+    for (const auto &v : w.variants) {
+        EXPECT_TRUE(v.fn != nullptr);
+        EXPECT_GT(v.waFactor, 0u);
+        EXPECT_GT(v.groupSize, 0u);
+        EXPECT_FALSE(v.sandboxIndex.empty());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadCorrectness, ::testing::ValuesIn(cases()),
+    [](const ::testing::TestParamInfo<Case> &info) {
+        std::string name = info.param.name;
+        for (char &ch : name)
+            if (ch == '-')
+                ch = '_';
+        return name;
+    });
