@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_modes.dir/ablation_modes.cc.o"
+  "CMakeFiles/ablation_modes.dir/ablation_modes.cc.o.d"
+  "ablation_modes"
+  "ablation_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

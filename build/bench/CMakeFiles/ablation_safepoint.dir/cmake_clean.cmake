@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_safepoint.dir/ablation_safepoint.cc.o"
+  "CMakeFiles/ablation_safepoint.dir/ablation_safepoint.cc.o.d"
+  "ablation_safepoint"
+  "ablation_safepoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_safepoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

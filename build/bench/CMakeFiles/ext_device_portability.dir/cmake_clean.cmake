@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_device_portability.dir/ext_device_portability.cc.o"
+  "CMakeFiles/ext_device_portability.dir/ext_device_portability.cc.o.d"
+  "ext_device_portability"
+  "ext_device_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_device_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mixed_version.dir/ext_mixed_version.cc.o"
+  "CMakeFiles/ext_mixed_version.dir/ext_mixed_version.cc.o.d"
+  "ext_mixed_version"
+  "ext_mixed_version.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mixed_version.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

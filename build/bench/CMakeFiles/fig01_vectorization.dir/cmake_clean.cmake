@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_vectorization.dir/fig01_vectorization.cc.o"
+  "CMakeFiles/fig01_vectorization.dir/fig01_vectorization.cc.o.d"
+  "fig01_vectorization"
+  "fig01_vectorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_vectorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

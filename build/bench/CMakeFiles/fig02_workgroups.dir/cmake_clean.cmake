@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_workgroups.dir/fig02_workgroups.cc.o"
+  "CMakeFiles/fig02_workgroups.dir/fig02_workgroups.cc.o.d"
+  "fig02_workgroups"
+  "fig02_workgroups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_workgroups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

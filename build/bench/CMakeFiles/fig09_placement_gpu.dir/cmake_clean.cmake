@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_placement_gpu.dir/fig09_placement_gpu.cc.o"
+  "CMakeFiles/fig09_placement_gpu.dir/fig09_placement_gpu.cc.o.d"
+  "fig09_placement_gpu"
+  "fig09_placement_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_placement_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

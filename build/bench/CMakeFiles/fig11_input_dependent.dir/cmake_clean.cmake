@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_input_dependent.dir/fig11_input_dependent.cc.o"
+  "CMakeFiles/fig11_input_dependent.dir/fig11_input_dependent.cc.o.d"
+  "fig11_input_dependent"
+  "fig11_input_dependent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_input_dependent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

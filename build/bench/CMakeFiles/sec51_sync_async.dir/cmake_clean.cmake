@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec51_sync_async.dir/sec51_sync_async.cc.o"
+  "CMakeFiles/sec51_sync_async.dir/sec51_sync_async.cc.o.d"
+  "sec51_sync_async"
+  "sec51_sync_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec51_sync_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotuned_stencil.dir/autotuned_stencil.cpp.o"
+  "CMakeFiles/autotuned_stencil.dir/autotuned_stencil.cpp.o.d"
+  "autotuned_stencil"
+  "autotuned_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotuned_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/input_adaptive.dir/input_adaptive.cpp.o"
+  "CMakeFiles/input_adaptive.dir/input_adaptive.cpp.o.d"
+  "input_adaptive"
+  "input_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/input_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

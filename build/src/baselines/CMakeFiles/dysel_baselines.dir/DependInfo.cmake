@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/intel_vectorizer.cc" "src/baselines/CMakeFiles/dysel_baselines.dir/intel_vectorizer.cc.o" "gcc" "src/baselines/CMakeFiles/dysel_baselines.dir/intel_vectorizer.cc.o.d"
+  "/root/repo/src/baselines/lc_scheduler.cc" "src/baselines/CMakeFiles/dysel_baselines.dir/lc_scheduler.cc.o" "gcc" "src/baselines/CMakeFiles/dysel_baselines.dir/lc_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/dysel_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dysel_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/kdp/CMakeFiles/dysel_kdp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

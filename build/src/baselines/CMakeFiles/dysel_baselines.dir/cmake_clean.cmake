@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dysel_baselines.dir/intel_vectorizer.cc.o"
+  "CMakeFiles/dysel_baselines.dir/intel_vectorizer.cc.o.d"
+  "CMakeFiles/dysel_baselines.dir/lc_scheduler.cc.o"
+  "CMakeFiles/dysel_baselines.dir/lc_scheduler.cc.o.d"
+  "libdysel_baselines.a"
+  "libdysel_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dysel_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

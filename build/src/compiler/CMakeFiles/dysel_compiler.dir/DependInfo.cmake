@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/analysis.cc" "src/compiler/CMakeFiles/dysel_compiler.dir/analysis.cc.o" "gcc" "src/compiler/CMakeFiles/dysel_compiler.dir/analysis.cc.o.d"
+  "/root/repo/src/compiler/codegen.cc" "src/compiler/CMakeFiles/dysel_compiler.dir/codegen.cc.o" "gcc" "src/compiler/CMakeFiles/dysel_compiler.dir/codegen.cc.o.d"
+  "/root/repo/src/compiler/schedule.cc" "src/compiler/CMakeFiles/dysel_compiler.dir/schedule.cc.o" "gcc" "src/compiler/CMakeFiles/dysel_compiler.dir/schedule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kdp/CMakeFiles/dysel_kdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dysel_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

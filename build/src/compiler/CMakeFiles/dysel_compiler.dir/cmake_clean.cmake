@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dysel_compiler.dir/analysis.cc.o"
+  "CMakeFiles/dysel_compiler.dir/analysis.cc.o.d"
+  "CMakeFiles/dysel_compiler.dir/codegen.cc.o"
+  "CMakeFiles/dysel_compiler.dir/codegen.cc.o.d"
+  "CMakeFiles/dysel_compiler.dir/schedule.cc.o"
+  "CMakeFiles/dysel_compiler.dir/schedule.cc.o.d"
+  "libdysel_compiler.a"
+  "libdysel_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dysel_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dysel/gpu_timer.cc" "src/dysel/CMakeFiles/dysel_runtime.dir/gpu_timer.cc.o" "gcc" "src/dysel/CMakeFiles/dysel_runtime.dir/gpu_timer.cc.o.d"
+  "/root/repo/src/dysel/mixed.cc" "src/dysel/CMakeFiles/dysel_runtime.dir/mixed.cc.o" "gcc" "src/dysel/CMakeFiles/dysel_runtime.dir/mixed.cc.o.d"
+  "/root/repo/src/dysel/runtime.cc" "src/dysel/CMakeFiles/dysel_runtime.dir/runtime.cc.o" "gcc" "src/dysel/CMakeFiles/dysel_runtime.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dysel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kdp/CMakeFiles/dysel_kdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dysel_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/dysel_compiler.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

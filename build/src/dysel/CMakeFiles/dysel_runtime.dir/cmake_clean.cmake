@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dysel_runtime.dir/gpu_timer.cc.o"
+  "CMakeFiles/dysel_runtime.dir/gpu_timer.cc.o.d"
+  "CMakeFiles/dysel_runtime.dir/mixed.cc.o"
+  "CMakeFiles/dysel_runtime.dir/mixed.cc.o.d"
+  "CMakeFiles/dysel_runtime.dir/runtime.cc.o"
+  "CMakeFiles/dysel_runtime.dir/runtime.cc.o.d"
+  "libdysel_runtime.a"
+  "libdysel_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dysel_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

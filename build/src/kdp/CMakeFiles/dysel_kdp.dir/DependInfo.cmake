@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kdp/buffer.cc" "src/kdp/CMakeFiles/dysel_kdp.dir/buffer.cc.o" "gcc" "src/kdp/CMakeFiles/dysel_kdp.dir/buffer.cc.o.d"
+  "/root/repo/src/kdp/mem_space.cc" "src/kdp/CMakeFiles/dysel_kdp.dir/mem_space.cc.o" "gcc" "src/kdp/CMakeFiles/dysel_kdp.dir/mem_space.cc.o.d"
+  "/root/repo/src/kdp/trace.cc" "src/kdp/CMakeFiles/dysel_kdp.dir/trace.cc.o" "gcc" "src/kdp/CMakeFiles/dysel_kdp.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dysel_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

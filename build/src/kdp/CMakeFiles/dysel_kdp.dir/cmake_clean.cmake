@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dysel_kdp.dir/buffer.cc.o"
+  "CMakeFiles/dysel_kdp.dir/buffer.cc.o.d"
+  "CMakeFiles/dysel_kdp.dir/mem_space.cc.o"
+  "CMakeFiles/dysel_kdp.dir/mem_space.cc.o.d"
+  "CMakeFiles/dysel_kdp.dir/trace.cc.o"
+  "CMakeFiles/dysel_kdp.dir/trace.cc.o.d"
+  "libdysel_kdp.a"
+  "libdysel_kdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dysel_kdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdysel_kdp.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for dysel_kdp.
+# This may be replaced when dependencies are built.

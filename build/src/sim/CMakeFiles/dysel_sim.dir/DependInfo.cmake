@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache/cache.cc" "src/sim/CMakeFiles/dysel_sim.dir/cache/cache.cc.o" "gcc" "src/sim/CMakeFiles/dysel_sim.dir/cache/cache.cc.o.d"
+  "/root/repo/src/sim/cpu/cpu_cost_model.cc" "src/sim/CMakeFiles/dysel_sim.dir/cpu/cpu_cost_model.cc.o" "gcc" "src/sim/CMakeFiles/dysel_sim.dir/cpu/cpu_cost_model.cc.o.d"
+  "/root/repo/src/sim/cpu/cpu_device.cc" "src/sim/CMakeFiles/dysel_sim.dir/cpu/cpu_device.cc.o" "gcc" "src/sim/CMakeFiles/dysel_sim.dir/cpu/cpu_device.cc.o.d"
+  "/root/repo/src/sim/event_engine.cc" "src/sim/CMakeFiles/dysel_sim.dir/event_engine.cc.o" "gcc" "src/sim/CMakeFiles/dysel_sim.dir/event_engine.cc.o.d"
+  "/root/repo/src/sim/gpu/gpu_cost_model.cc" "src/sim/CMakeFiles/dysel_sim.dir/gpu/gpu_cost_model.cc.o" "gcc" "src/sim/CMakeFiles/dysel_sim.dir/gpu/gpu_cost_model.cc.o.d"
+  "/root/repo/src/sim/gpu/gpu_device.cc" "src/sim/CMakeFiles/dysel_sim.dir/gpu/gpu_device.cc.o" "gcc" "src/sim/CMakeFiles/dysel_sim.dir/gpu/gpu_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kdp/CMakeFiles/dysel_kdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dysel_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dysel_sim.dir/cache/cache.cc.o"
+  "CMakeFiles/dysel_sim.dir/cache/cache.cc.o.d"
+  "CMakeFiles/dysel_sim.dir/cpu/cpu_cost_model.cc.o"
+  "CMakeFiles/dysel_sim.dir/cpu/cpu_cost_model.cc.o.d"
+  "CMakeFiles/dysel_sim.dir/cpu/cpu_device.cc.o"
+  "CMakeFiles/dysel_sim.dir/cpu/cpu_device.cc.o.d"
+  "CMakeFiles/dysel_sim.dir/event_engine.cc.o"
+  "CMakeFiles/dysel_sim.dir/event_engine.cc.o.d"
+  "CMakeFiles/dysel_sim.dir/gpu/gpu_cost_model.cc.o"
+  "CMakeFiles/dysel_sim.dir/gpu/gpu_cost_model.cc.o.d"
+  "CMakeFiles/dysel_sim.dir/gpu/gpu_device.cc.o"
+  "CMakeFiles/dysel_sim.dir/gpu/gpu_device.cc.o.d"
+  "libdysel_sim.a"
+  "libdysel_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dysel_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

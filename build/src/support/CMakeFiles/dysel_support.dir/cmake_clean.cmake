@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dysel_support.dir/logging.cc.o"
+  "CMakeFiles/dysel_support.dir/logging.cc.o.d"
+  "CMakeFiles/dysel_support.dir/rng.cc.o"
+  "CMakeFiles/dysel_support.dir/rng.cc.o.d"
+  "CMakeFiles/dysel_support.dir/stats.cc.o"
+  "CMakeFiles/dysel_support.dir/stats.cc.o.d"
+  "CMakeFiles/dysel_support.dir/table.cc.o"
+  "CMakeFiles/dysel_support.dir/table.cc.o.d"
+  "libdysel_support.a"
+  "libdysel_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dysel_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/cutcp.cc" "src/workloads/CMakeFiles/dysel_workloads.dir/cutcp.cc.o" "gcc" "src/workloads/CMakeFiles/dysel_workloads.dir/cutcp.cc.o.d"
+  "/root/repo/src/workloads/evaluate.cc" "src/workloads/CMakeFiles/dysel_workloads.dir/evaluate.cc.o" "gcc" "src/workloads/CMakeFiles/dysel_workloads.dir/evaluate.cc.o.d"
+  "/root/repo/src/workloads/histogram.cc" "src/workloads/CMakeFiles/dysel_workloads.dir/histogram.cc.o" "gcc" "src/workloads/CMakeFiles/dysel_workloads.dir/histogram.cc.o.d"
+  "/root/repo/src/workloads/kmeans.cc" "src/workloads/CMakeFiles/dysel_workloads.dir/kmeans.cc.o" "gcc" "src/workloads/CMakeFiles/dysel_workloads.dir/kmeans.cc.o.d"
+  "/root/repo/src/workloads/particlefilter.cc" "src/workloads/CMakeFiles/dysel_workloads.dir/particlefilter.cc.o" "gcc" "src/workloads/CMakeFiles/dysel_workloads.dir/particlefilter.cc.o.d"
+  "/root/repo/src/workloads/sgemm.cc" "src/workloads/CMakeFiles/dysel_workloads.dir/sgemm.cc.o" "gcc" "src/workloads/CMakeFiles/dysel_workloads.dir/sgemm.cc.o.d"
+  "/root/repo/src/workloads/sparse.cc" "src/workloads/CMakeFiles/dysel_workloads.dir/sparse.cc.o" "gcc" "src/workloads/CMakeFiles/dysel_workloads.dir/sparse.cc.o.d"
+  "/root/repo/src/workloads/spmv_csr.cc" "src/workloads/CMakeFiles/dysel_workloads.dir/spmv_csr.cc.o" "gcc" "src/workloads/CMakeFiles/dysel_workloads.dir/spmv_csr.cc.o.d"
+  "/root/repo/src/workloads/spmv_jds.cc" "src/workloads/CMakeFiles/dysel_workloads.dir/spmv_jds.cc.o" "gcc" "src/workloads/CMakeFiles/dysel_workloads.dir/spmv_jds.cc.o.d"
+  "/root/repo/src/workloads/stencil.cc" "src/workloads/CMakeFiles/dysel_workloads.dir/stencil.cc.o" "gcc" "src/workloads/CMakeFiles/dysel_workloads.dir/stencil.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/dysel_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/dysel_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dysel/CMakeFiles/dysel_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dysel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kdp/CMakeFiles/dysel_kdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/dysel_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dysel_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

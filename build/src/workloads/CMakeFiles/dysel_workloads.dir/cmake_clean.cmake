@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dysel_workloads.dir/cutcp.cc.o"
+  "CMakeFiles/dysel_workloads.dir/cutcp.cc.o.d"
+  "CMakeFiles/dysel_workloads.dir/evaluate.cc.o"
+  "CMakeFiles/dysel_workloads.dir/evaluate.cc.o.d"
+  "CMakeFiles/dysel_workloads.dir/histogram.cc.o"
+  "CMakeFiles/dysel_workloads.dir/histogram.cc.o.d"
+  "CMakeFiles/dysel_workloads.dir/kmeans.cc.o"
+  "CMakeFiles/dysel_workloads.dir/kmeans.cc.o.d"
+  "CMakeFiles/dysel_workloads.dir/particlefilter.cc.o"
+  "CMakeFiles/dysel_workloads.dir/particlefilter.cc.o.d"
+  "CMakeFiles/dysel_workloads.dir/sgemm.cc.o"
+  "CMakeFiles/dysel_workloads.dir/sgemm.cc.o.d"
+  "CMakeFiles/dysel_workloads.dir/sparse.cc.o"
+  "CMakeFiles/dysel_workloads.dir/sparse.cc.o.d"
+  "CMakeFiles/dysel_workloads.dir/spmv_csr.cc.o"
+  "CMakeFiles/dysel_workloads.dir/spmv_csr.cc.o.d"
+  "CMakeFiles/dysel_workloads.dir/spmv_jds.cc.o"
+  "CMakeFiles/dysel_workloads.dir/spmv_jds.cc.o.d"
+  "CMakeFiles/dysel_workloads.dir/stencil.cc.o"
+  "CMakeFiles/dysel_workloads.dir/stencil.cc.o.d"
+  "CMakeFiles/dysel_workloads.dir/workload.cc.o"
+  "CMakeFiles/dysel_workloads.dir/workload.cc.o.d"
+  "libdysel_workloads.a"
+  "libdysel_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dysel_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/codegen_test.cc" "tests/CMakeFiles/codegen_test.dir/codegen_test.cc.o" "gcc" "tests/CMakeFiles/codegen_test.dir/codegen_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/dysel_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dysel_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/dysel/CMakeFiles/dysel_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dysel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/dysel_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/kdp/CMakeFiles/dysel_kdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dysel_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

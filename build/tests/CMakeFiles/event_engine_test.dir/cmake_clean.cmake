@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_engine_test.dir/event_engine_test.cc.o"
+  "CMakeFiles/event_engine_test.dir/event_engine_test.cc.o.d"
+  "event_engine_test"
+  "event_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interplay_test.dir/interplay_test.cc.o"
+  "CMakeFiles/interplay_test.dir/interplay_test.cc.o.d"
+  "interplay_test"
+  "interplay_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interplay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdp_test.dir/kdp_test.cc.o"
+  "CMakeFiles/kdp_test.dir/kdp_test.cc.o.d"
+  "kdp_test"
+  "kdp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_property_test.dir/runtime_property_test.cc.o"
+  "CMakeFiles/runtime_property_test.dir/runtime_property_test.cc.o.d"
+  "runtime_property_test"
+  "runtime_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
