@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <stdexcept>
 
 #include "support/logging.hh"
 #include "support/math_util.hh"
@@ -75,8 +76,8 @@ Runtime::entryOf(const std::string &signature)
 {
     auto it = pool.find(signature);
     if (it == pool.end())
-        support::fatal("DySelLaunchKernel: unknown kernel signature '%s'",
-                       signature.c_str());
+        throw std::out_of_range(
+            "DySel: unknown kernel signature '" + signature + "'");
     return it->second;
 }
 
@@ -85,9 +86,22 @@ Runtime::entryOf(const std::string &signature) const
 {
     auto it = pool.find(signature);
     if (it == pool.end())
-        support::fatal("DySelLaunchKernel: unknown kernel signature '%s'",
-                       signature.c_str());
+        throw std::out_of_range(
+            "DySel: unknown kernel signature '" + signature + "'");
     return it->second;
+}
+
+bool
+Runtime::hasKernel(const std::string &signature) const
+{
+    return pool.count(signature) > 0;
+}
+
+void
+Runtime::removeKernel(const std::string &signature)
+{
+    pool.erase(signature);
+    selectionCache.erase(signature);
 }
 
 void
@@ -103,6 +117,38 @@ Runtime::cachedSelection(const std::string &signature) const
     if (it == selectionCache.end())
         return std::nullopt;
     return it->second;
+}
+
+void
+Runtime::importSelection(const std::string &signature, int variant)
+{
+    const KernelEntry &entry = entryOf(signature);
+    if (variant < 0
+        || variant >= static_cast<int>(entry.variants.size()))
+        throw std::invalid_argument(
+            "DySel: imported selection " + std::to_string(variant)
+            + " out of range for '" + signature + "'");
+    selectionCache[signature] = variant;
+}
+
+std::map<std::string, int>
+Runtime::exportSelections() const
+{
+    return selectionCache;
+}
+
+void
+Runtime::setLaunchObserver(LaunchObserver obs)
+{
+    observer = std::move(obs);
+}
+
+LaunchReport
+Runtime::finish(LaunchReport report)
+{
+    if (observer)
+        observer(report);
+    return report;
 }
 
 ProfilingMode
@@ -198,12 +244,15 @@ Runtime::launchKernel(const std::string &signature,
             support::warn("DySelLaunchKernel(%s): profiling off with no "
                           "cached selection; using default variant",
                           signature.c_str());
-        return runPlain(signature, entry, cached.value_or(default_variant),
-                        total_units, args, opt, cached.has_value());
+        return finish(runPlain(signature, entry,
+                               cached.value_or(default_variant),
+                               total_units, args, opt,
+                               cached.has_value()));
     }
 
     if (num_variants == 1)
-        return runPlain(signature, entry, 0, total_units, args, opt, false);
+        return finish(
+            runPlain(signature, entry, 0, total_units, args, opt, false));
 
     ProfilingMode mode = resolveMode(entry, opt);
     Orchestration orch = opt.orch;
@@ -236,8 +285,8 @@ Runtime::launchKernel(const std::string &signature,
     if (total_units < config.minUnitsForProfiling
         || plan.unitsPerVariant == 0) {
         // Small workload: profiling-based selection is deactivated.
-        return runPlain(signature, entry, default_variant, total_units,
-                        args, opt, false);
+        return finish(runPlain(signature, entry, default_variant,
+                               total_units, args, opt, false));
     }
 
     const std::uint64_t slice = plan.unitsPerVariant;
@@ -427,7 +476,11 @@ Runtime::launchKernel(const std::string &signature,
         chunk = roundUp(chunk, plan.lcm);
 
         auto pump = std::make_shared<std::function<void()>>();
-        *pump = [this, st, &entry, &args, total_units, chunk, pump] {
+        // The continuations capture pump weakly: the local shared_ptr
+        // outlives dev.run() below, and a strong self-capture would
+        // cycle and leak the profiling state.
+        std::weak_ptr<std::function<void()>> pump_weak = pump;
+        *pump = [this, st, &entry, &args, total_units, chunk, pump_weak] {
             if (st->profilingDone || st->batchSubmitted)
                 return; // the remainder goes out as one batch
             if (st->nextUnit >= total_units)
@@ -440,10 +493,11 @@ Runtime::launchKernel(const std::string &signature,
             const std::uint64_t first = st->nextUnit;
             st->nextUnit += units;
             submitBatch(variant, args, first, units, 0, 0,
-                        [this, pump](const sim::LaunchStats &) {
+                        [this, pump_weak](const sim::LaunchStats &) {
                             dev.engine().scheduleAfter(
-                                dev.hostQueryLatencyNs(), [pump] {
-                                    (*pump)();
+                                dev.hostQueryLatencyNs(), [pump_weak] {
+                                    if (auto p = pump_weak.lock())
+                                        (*p)();
                                 });
                         });
         };
@@ -475,7 +529,7 @@ Runtime::launchKernel(const std::string &signature,
                         100.0 * static_cast<double>(report.profiledUnits)
                             / static_cast<double>(total_units));
     }
-    return report;
+    return finish(std::move(report));
 }
 
 } // namespace runtime

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -77,6 +78,17 @@ class Runtime
     void addKernel(const std::string &signature,
                    kdp::KernelVariant variant);
 
+    /** Whether any variant is registered under @p signature. */
+    bool hasKernel(const std::string &signature) const;
+
+    /**
+     * Drop a signature's variants, metadata, and cached selection.
+     * No-op when the signature was never registered.  Lets a serving
+     * layer re-register a kernel pool whose variants were generated
+     * for a different problem geometry.
+     */
+    void removeKernel(const std::string &signature);
+
     /**
      * Attach compiler metadata to a signature; enables the automatic
      * profiling-mode recommendation of §3.4.
@@ -108,6 +120,27 @@ class Runtime
     std::optional<int>
     cachedSelection(const std::string &signature) const;
 
+    /**
+     * Seed the selection cache from an external source (a persistent
+     * selection store): subsequent non-profiled launches of
+     * @p signature run @p variant directly.  Throws std::out_of_range
+     * for an unknown signature and std::invalid_argument for a
+     * variant index outside the registered pool.
+     */
+    void importSelection(const std::string &signature, int variant);
+
+    /** Snapshot of all cached selections (for export to a store). */
+    std::map<std::string, int> exportSelections() const;
+
+    /**
+     * Post-launch observation callback, invoked with the final
+     * LaunchReport of every launchKernel() call (profiled or plain).
+     * A serving layer hooks this to feed the selection store without
+     * wrapping every call site.
+     */
+    using LaunchObserver = std::function<void(const LaunchReport &)>;
+    void setLaunchObserver(LaunchObserver observer);
+
     /** The bound device. */
     sim::Device &device() { return dev; }
 
@@ -121,6 +154,9 @@ class Runtime
 
     KernelEntry &entryOf(const std::string &signature);
     const KernelEntry &entryOf(const std::string &signature) const;
+
+    /** Notify the launch observer (if any) and forward the report. */
+    LaunchReport finish(LaunchReport report);
 
     /** Resolve the effective profiling mode for this launch. */
     ProfilingMode resolveMode(const KernelEntry &entry,
@@ -143,6 +179,7 @@ class Runtime
     RuntimeConfig config;
     std::map<std::string, KernelEntry> pool;
     std::map<std::string, int> selectionCache;
+    LaunchObserver observer;
 };
 
 } // namespace runtime

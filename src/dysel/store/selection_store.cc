@@ -1,0 +1,285 @@
+#include "selection_store.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dysel {
+namespace store {
+
+using support::Json;
+
+unsigned
+bucketOf(std::uint64_t units)
+{
+    unsigned b = 0;
+    while (units > 1) {
+        units >>= 1;
+        ++b;
+    }
+    return b;
+}
+
+std::pair<std::uint64_t, std::uint64_t>
+bucketRange(unsigned bucket)
+{
+    if (bucket == 0)
+        return {0, 1};
+    if (bucket >= 63)
+        return {std::uint64_t{1} << 63, ~std::uint64_t{0}};
+    const std::uint64_t lo = std::uint64_t{1} << bucket;
+    return {lo, lo * 2 - 1};
+}
+
+SelectionStore::SelectionStore(StoreConfig cfg) : cfg_(cfg) {}
+
+std::optional<SelectionRecord>
+SelectionStore::lookup(const std::string &signature,
+                       const std::string &device,
+                       std::uint64_t units) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = recs.find(Key{signature, device, bucketOf(units)});
+    if (it == recs.end() || !it->second.valid) {
+        ++misses_;
+        return std::nullopt;
+    }
+    ++hits_;
+    return it->second;
+}
+
+void
+SelectionStore::recordProfile(const std::string &device,
+                              const runtime::LaunchReport &report)
+{
+    if (!report.profiled || report.selected < 0)
+        return;
+    std::lock_guard<std::mutex> lock(mu);
+    const unsigned bucket = bucketOf(report.totalUnits);
+    SelectionRecord &rec =
+        recs[Key{report.signature, device, bucket}];
+    rec.signature = report.signature;
+    rec.device = device;
+    rec.bucket = bucket;
+    rec.selected = report.selected;
+    rec.selectedName = report.selectedName;
+    rec.profiles.clear();
+    rec.profiles.reserve(report.profiles.size());
+    for (const auto &p : report.profiles) {
+        StoredProfile sp;
+        sp.name = p.name;
+        sp.metricNs = static_cast<double>(p.metric);
+        sp.spanNs = static_cast<double>(p.span);
+        sp.busyNs = static_cast<double>(p.busy);
+        sp.units = p.units;
+        rec.profiles.push_back(std::move(sp));
+    }
+    rec.launches++;
+    rec.profiledLaunches++;
+    // A fresh profile starts a fresh observation history.
+    rec.confidence = 0;
+    rec.unitTimeNs = 0.0;
+    rec.valid = true;
+}
+
+bool
+SelectionStore::observePlain(const std::string &device,
+                             const runtime::LaunchReport &report)
+{
+    if (report.profiled || report.totalUnits == 0)
+        return true;
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = recs.find(
+        Key{report.signature, device, bucketOf(report.totalUnits)});
+    if (it == recs.end() || !it->second.valid)
+        return true; // nothing to check against
+    SelectionRecord &rec = it->second;
+    rec.launches++;
+
+    const double observed = static_cast<double>(report.elapsed())
+                            / static_cast<double>(report.totalUnits);
+    if (rec.unitTimeNs <= 0.0) {
+        // First plain run after (re-)profiling seeds the baseline.
+        rec.unitTimeNs = observed;
+        rec.confidence = 1;
+        return true;
+    }
+    const double ratio = observed > rec.unitTimeNs
+                             ? observed / rec.unitTimeNs
+                             : rec.unitTimeNs / observed;
+    if (ratio > cfg_.driftFactor) {
+        rec.valid = false;
+        rec.confidence = 0;
+        rec.unitTimeNs = 0.0;
+        ++drifts_;
+        return false;
+    }
+    rec.unitTimeNs =
+        (1.0 - cfg_.emaAlpha) * rec.unitTimeNs + cfg_.emaAlpha * observed;
+    if (rec.confidence < cfg_.maxConfidence)
+        rec.confidence++;
+    return true;
+}
+
+void
+SelectionStore::invalidate(const std::string &signature,
+                           const std::string &device, unsigned bucket)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = recs.find(Key{signature, device, bucket});
+    if (it != recs.end()) {
+        it->second.valid = false;
+        it->second.confidence = 0;
+        it->second.unitTimeNs = 0.0;
+    }
+}
+
+void
+SelectionStore::clear()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    recs.clear();
+}
+
+std::size_t
+SelectionStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return recs.size();
+}
+
+std::vector<SelectionRecord>
+SelectionStore::records() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<SelectionRecord> out;
+    out.reserve(recs.size());
+    for (const auto &[key, rec] : recs)
+        out.push_back(rec);
+    return out;
+}
+
+std::uint64_t
+SelectionStore::hits() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return hits_;
+}
+
+std::uint64_t
+SelectionStore::misses() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return misses_;
+}
+
+std::uint64_t
+SelectionStore::driftInvalidations() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return drifts_;
+}
+
+Json
+SelectionStore::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    Json arr = Json::array();
+    for (const auto &[key, rec] : recs) {
+        Json profiles = Json::array();
+        for (const auto &p : rec.profiles) {
+            Json jp = Json::object();
+            jp.set("name", Json(p.name));
+            jp.set("metric_ns", Json(p.metricNs));
+            jp.set("span_ns", Json(p.spanNs));
+            jp.set("busy_ns", Json(p.busyNs));
+            jp.set("units", Json(p.units));
+            profiles.push(std::move(jp));
+        }
+        Json jr = Json::object();
+        jr.set("signature", Json(rec.signature));
+        jr.set("device", Json(rec.device));
+        jr.set("bucket", Json(rec.bucket));
+        jr.set("selected", Json(rec.selected));
+        jr.set("selected_name", Json(rec.selectedName));
+        jr.set("profiles", std::move(profiles));
+        jr.set("launches", Json(rec.launches));
+        jr.set("profiled_launches", Json(rec.profiledLaunches));
+        jr.set("confidence", Json(rec.confidence));
+        jr.set("unit_time_ns", Json(rec.unitTimeNs));
+        jr.set("valid", Json(rec.valid));
+        arr.push(std::move(jr));
+    }
+    Json root = Json::object();
+    root.set("version", Json(1));
+    root.set("records", std::move(arr));
+    return root;
+}
+
+void
+SelectionStore::loadJson(const Json &doc)
+{
+    if (!doc.isObject() || doc.intOr("version", 0) != 1)
+        throw std::runtime_error(
+            "selection store: unsupported document version");
+    std::map<Key, SelectionRecord> loaded;
+    for (const Json &jr : doc.at("records").items()) {
+        SelectionRecord rec;
+        rec.signature = jr.at("signature").asString();
+        rec.device = jr.at("device").asString();
+        rec.bucket = static_cast<unsigned>(jr.at("bucket").asUint());
+        rec.selected = static_cast<int>(jr.at("selected").asInt());
+        rec.selectedName = jr.stringOr("selected_name", "");
+        rec.launches = jr.at("launches").asUint();
+        rec.profiledLaunches = jr.intOr("profiled_launches", 0);
+        rec.confidence = jr.intOr("confidence", 0);
+        rec.unitTimeNs = jr.numberOr("unit_time_ns", 0.0);
+        rec.valid = jr.boolOr("valid", true);
+        if (jr.has("profiles")) {
+            for (const Json &jp : jr.at("profiles").items()) {
+                StoredProfile sp;
+                sp.name = jp.stringOr("name", "");
+                sp.metricNs = jp.numberOr("metric_ns", 0.0);
+                sp.spanNs = jp.numberOr("span_ns", 0.0);
+                sp.busyNs = jp.numberOr("busy_ns", 0.0);
+                sp.units = jp.intOr("units", 0);
+                rec.profiles.push_back(std::move(sp));
+            }
+        }
+        Key key{rec.signature, rec.device, rec.bucket};
+        loaded[std::move(key)] = std::move(rec);
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    recs = std::move(loaded);
+}
+
+bool
+SelectionStore::saveFile(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    out << toJson().dump(2) << '\n';
+    return static_cast<bool>(out);
+}
+
+bool
+SelectionStore::loadFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    try {
+        loadJson(Json::parse(buf.str()));
+    } catch (const std::exception &) {
+        return false;
+    }
+    return true;
+}
+
+} // namespace store
+} // namespace dysel

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Persistent, device-aware selection store.
+ *
+ * The in-process Runtime remembers selections per signature and
+ * forgets them at exit.  The store is the serving-layer complement:
+ * records keyed by (kernel signature, device fingerprint,
+ * workload-size bucket) that hold the winning variant, the
+ * per-variant micro-profiling metrics it was chosen from, usage
+ * counts, and a drift-tracked throughput baseline.  JSON save/load
+ * gives cross-run warm starts; drift detection invalidates a record
+ * (forcing re-profiling) when observed plain-run throughput deviates
+ * from the baseline by more than a configurable factor.
+ *
+ * All public methods are thread-safe; the dispatch service shares one
+ * store across all device workers.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "dysel/report.hh"
+#include "support/json.hh"
+
+namespace dysel {
+namespace store {
+
+/**
+ * Workload-size bucket of a launch: floor(log2(units)), so bucket b
+ * covers [2^b, 2^(b+1)) units.  Selections generalize across nearby
+ * sizes but not across order-of-magnitude changes (the paper's §4.2
+ * input-dependence experiments are exactly about the latter).
+ */
+unsigned bucketOf(std::uint64_t units);
+
+/** Inclusive [lo, hi] unit range covered by @p bucket. */
+std::pair<std::uint64_t, std::uint64_t> bucketRange(unsigned bucket);
+
+/** Store tuning knobs. */
+struct StoreConfig
+{
+    /**
+     * Drift threshold: a plain run whose per-unit time differs from
+     * the record's baseline by more than this factor (either
+     * direction) invalidates the record.
+     */
+    double driftFactor = 1.5;
+
+    /** EMA weight of a new observation in the throughput baseline. */
+    double emaAlpha = 0.3;
+
+    /** Confidence cap (consistent observations since last profile). */
+    std::uint64_t maxConfidence = 1000;
+};
+
+/** One variant's metrics as captured at selection time. */
+struct StoredProfile
+{
+    std::string name;
+    double metricNs = 0; ///< selection metric (span on GPU, busy on CPU)
+    double spanNs = 0;
+    double busyNs = 0;
+    std::uint64_t units = 0; ///< units the variant profiled
+};
+
+/** One (signature, device, bucket) selection record. */
+struct SelectionRecord
+{
+    std::string signature;
+    std::string device; ///< sim::Device::fingerprint()
+    unsigned bucket = 0;
+
+    int selected = -1; ///< registration index of the winner
+    std::string selectedName;
+    std::vector<StoredProfile> profiles;
+
+    std::uint64_t launches = 0;         ///< launches this record served
+    std::uint64_t profiledLaunches = 0; ///< times profiling refreshed it
+    /**
+     * Staleness/confidence: consistent plain-run observations since
+     * the last profile.  Reset to 0 by drift invalidation.
+     */
+    std::uint64_t confidence = 0;
+    /**
+     * Plain-run per-unit time baseline (ns/unit), EMA-updated;
+     * 0 until the first plain run seeds it.
+     */
+    double unitTimeNs = 0.0;
+    /** False after drift invalidation; invalid records never serve. */
+    bool valid = true;
+};
+
+/**
+ * The persistent selection database.
+ */
+class SelectionStore
+{
+  public:
+    explicit SelectionStore(StoreConfig cfg = StoreConfig());
+
+    const StoreConfig &config() const { return cfg_; }
+
+    /**
+     * Valid record for (@p signature, @p device, bucketOf(@p units)),
+     * or nullopt.  Counts toward the hit/miss statistics.
+     */
+    std::optional<SelectionRecord>
+    lookup(const std::string &signature, const std::string &device,
+           std::uint64_t units) const;
+
+    /**
+     * Ingest a profiled launch: create or refresh the record for the
+     * report's (signature, bucket) on @p device.  Ignores reports
+     * that did not profile.
+     */
+    void recordProfile(const std::string &device,
+                       const runtime::LaunchReport &report);
+
+    /**
+     * Ingest a plain (cache-served) launch: update the throughput
+     * baseline and confidence.  Returns false when the observation
+     * drifted beyond config().driftFactor and invalidated the record
+     * (the next lookup misses, which triggers re-profiling upstream).
+     */
+    bool observePlain(const std::string &device,
+                      const runtime::LaunchReport &report);
+
+    /** Mark one record invalid (administrative invalidation). */
+    void invalidate(const std::string &signature,
+                    const std::string &device, unsigned bucket);
+
+    /** Remove every record. */
+    void clear();
+
+    /** Number of records (valid and invalid). */
+    std::size_t size() const;
+
+    /** Copy of all records, ordered by (signature, device, bucket). */
+    std::vector<SelectionRecord> records() const;
+
+    /** Lifetime statistics. */
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+    std::uint64_t driftInvalidations() const;
+
+    /** Serialize all records (deterministic field and record order). */
+    support::Json toJson() const;
+
+    /**
+     * Replace the contents from toJson() output.  Throws
+     * std::runtime_error on a malformed document.
+     */
+    void loadJson(const support::Json &doc);
+
+    /** Save to / load from a JSON file.  Return success. */
+    bool saveFile(const std::string &path) const;
+    bool loadFile(const std::string &path);
+
+  private:
+    using Key = std::tuple<std::string, std::string, unsigned>;
+
+    mutable std::mutex mu;
+    StoreConfig cfg_;
+    std::map<Key, SelectionRecord> recs;
+    mutable std::uint64_t hits_ = 0;
+    mutable std::uint64_t misses_ = 0;
+    std::uint64_t drifts_ = 0;
+};
+
+} // namespace store
+} // namespace dysel

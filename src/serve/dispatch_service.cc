@@ -1,0 +1,240 @@
+#include "dispatch_service.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/logging.hh"
+
+namespace dysel {
+namespace serve {
+
+namespace {
+
+std::string
+devKey(unsigned idx)
+{
+    return "dev" + std::to_string(idx);
+}
+
+} // namespace
+
+DispatchService::DispatchService(store::SelectionStore &st,
+                                 ServiceConfig cfg)
+    : store_(st), config(cfg)
+{
+}
+
+DispatchService::~DispatchService()
+{
+    stop();
+}
+
+unsigned
+DispatchService::addDevice(std::unique_ptr<sim::Device> device)
+{
+    if (started)
+        throw std::logic_error(
+            "DispatchService: addDevice after start()");
+    if (!device)
+        throw std::invalid_argument("DispatchService: null device");
+    auto w = std::make_unique<Worker>();
+    w->dev = std::move(device);
+    w->rt = std::make_unique<runtime::Runtime>(*w->dev, config.runtime);
+    w->fingerprint = w->dev->fingerprint();
+    const auto idx = static_cast<unsigned>(workers.size());
+
+    // Feed the store from every launch on this runtime: profiled
+    // launches refresh their record, plain cache-served launches
+    // update the drift baseline (and may invalidate).
+    w->rt->setLaunchObserver(
+        [this, fp = w->fingerprint](const runtime::LaunchReport &r) {
+            if (r.profiled) {
+                store_.recordProfile(fp, r);
+                reg.counter("store.record").inc();
+            } else if (r.fromCache) {
+                if (!store_.observePlain(fp, r))
+                    reg.counter("store.drift_invalidation").inc();
+            }
+        });
+
+    workers.push_back(std::move(w));
+    return idx;
+}
+
+sim::Device &
+DispatchService::device(unsigned idx)
+{
+    return *workers.at(idx)->dev;
+}
+
+runtime::Runtime &
+DispatchService::runtimeAt(unsigned idx)
+{
+    return *workers.at(idx)->rt;
+}
+
+void
+DispatchService::start()
+{
+    if (started)
+        return;
+    if (workers.empty())
+        throw std::logic_error("DispatchService: start() with no devices");
+    stopping = false;
+    started = true;
+    for (unsigned i = 0; i < workers.size(); ++i)
+        workers[i]->thread = std::thread([this, i] { workerLoop(i); });
+}
+
+unsigned
+DispatchService::route(const Job &job)
+{
+    if (config.affinity) {
+        auto it = affinityMap.find(job.signature);
+        if (it != affinityMap.end())
+            return it->second;
+    }
+    unsigned best = 0;
+    for (unsigned i = 1; i < workers.size(); ++i)
+        if (workers[i]->load < workers[best]->load)
+            best = i;
+    return best;
+}
+
+std::uint64_t
+DispatchService::submit(Job job)
+{
+    std::unique_lock<std::mutex> lock(mu);
+    if (!started)
+        throw std::logic_error("DispatchService: submit before start()");
+    job.id = nextId++;
+    const std::uint64_t id = job.id;
+    const unsigned idx = route(job);
+    workers[idx]->queue.push_back(std::move(job));
+    workers[idx]->load++;
+    inFlight++;
+    lock.unlock();
+    wake.notify_all();
+    return id;
+}
+
+void
+DispatchService::drain()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    idle.wait(lock, [this] { return inFlight == 0; });
+}
+
+void
+DispatchService::stop()
+{
+    if (!started)
+        return;
+    drain();
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopping = true;
+    }
+    wake.notify_all();
+    for (auto &w : workers)
+        if (w->thread.joinable())
+            w->thread.join();
+    started = false;
+}
+
+void
+DispatchService::workerLoop(unsigned idx)
+{
+    Worker &w = *workers[idx];
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            wake.wait(lock,
+                      [&] { return stopping || !w.queue.empty(); });
+            if (w.queue.empty()) {
+                if (stopping)
+                    return;
+                continue;
+            }
+            job = std::move(w.queue.front());
+            w.queue.pop_front();
+        }
+
+        JobResult res = runJob(idx, job);
+
+        if (config.affinity && res.ok
+            && (res.report.profiled || res.report.fromCache)) {
+            std::lock_guard<std::mutex> lock(mu);
+            affinityMap.emplace(job.signature, idx);
+        }
+        if (job.done)
+            job.done(res);
+
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            w.load--;
+            if (--inFlight == 0)
+                idle.notify_all();
+        }
+    }
+}
+
+JobResult
+DispatchService::runJob(unsigned idx, Job &job)
+{
+    Worker &w = *workers[idx];
+    JobResult res;
+    res.id = job.id;
+    res.deviceIndex = idx;
+    res.deviceName = w.dev->name();
+
+    try {
+        if (job.ensureRegistered)
+            job.ensureRegistered(*w.rt);
+
+        runtime::LaunchOptions opt = job.opt;
+        auto rec =
+            store_.lookup(job.signature, w.fingerprint, job.units);
+        if (rec) {
+            // Warm start: resolve the stored winner (by name, so
+            // records survive re-registration) and skip profiling.
+            int variant = rec->selected;
+            const auto &variants = w.rt->variants(job.signature);
+            for (std::size_t i = 0; i < variants.size(); ++i)
+                if (variants[i].name == rec->selectedName)
+                    variant = static_cast<int>(i);
+            w.rt->importSelection(job.signature, variant);
+            opt.profiling = false;
+            res.warmStart = true;
+            reg.counter("store.hit").inc();
+            reg.counter(devKey(idx) + ".hits").inc();
+        } else {
+            opt.profiling = true;
+            reg.counter("store.miss").inc();
+        }
+
+        const sim::TimeNs before = w.dev->now();
+        res.report =
+            w.rt->launchKernel(job.signature, job.units, job.args, opt);
+        res.deviceTimeNs = w.dev->now() - before;
+        res.ok = true;
+
+        reg.counter(devKey(idx) + ".jobs").inc();
+        reg.counter("jobs.completed").inc();
+        reg.histogram("job.device_ns")
+            .observe(static_cast<double>(res.deviceTimeNs));
+        reg.histogram(devKey(idx) + ".device_ns")
+            .observe(static_cast<double>(res.deviceTimeNs));
+        if (res.report.profiled)
+            reg.counter(devKey(idx) + ".profiled").inc();
+    } catch (const std::exception &e) {
+        res.ok = false;
+        res.error = e.what();
+        reg.counter("jobs.failed").inc();
+    }
+    return res;
+}
+
+} // namespace serve
+} // namespace dysel

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Multi-device dispatch service (dyseld core).
+ *
+ * Owns one DySel Runtime per registered device, each driven by a
+ * dedicated worker thread.  Launch jobs enter through a thread-safe
+ * queue and are routed least-loaded, with a per-signature affinity
+ * once a selection exists so repeated launches of a kernel keep
+ * hitting the device whose selection is cached.  Every worker is
+ * warm-started from a shared persistent SelectionStore: a job whose
+ * (signature, device fingerprint, size bucket) has a valid record
+ * runs plain with the stored winner (zero profiled units); a miss
+ * runs with micro-profiling and feeds the store through the runtime's
+ * launch observer.  Counters and latency histograms are exposed
+ * through a support::MetricsRegistry.
+ *
+ * The simulated devices are single-threaded event loops, so each
+ * runtime is touched only by its worker thread; the store and the
+ * metrics registry are the only shared state and are thread-safe.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dysel/options.hh"
+#include "dysel/report.hh"
+#include "dysel/runtime.hh"
+#include "dysel/store/selection_store.hh"
+#include "kdp/args.hh"
+#include "sim/device.hh"
+#include "support/metrics.hh"
+
+namespace dysel {
+namespace serve {
+
+/** Service-wide configuration. */
+struct ServiceConfig
+{
+    /** Configuration applied to every per-device runtime. */
+    runtime::RuntimeConfig runtime;
+
+    /**
+     * Route every job of a signature to the device that first cached
+     * a selection for it (keeps cache warm and outputs ordered);
+     * disable for pure least-loaded spreading.
+     */
+    bool affinity = true;
+};
+
+/** Completion record of one job. */
+struct JobResult
+{
+    std::uint64_t id = 0;
+    bool ok = false;
+    std::string error; ///< set when ok is false
+
+    unsigned deviceIndex = 0;
+    std::string deviceName;
+    /** Selection came from the persistent store (no profiling ran). */
+    bool warmStart = false;
+    runtime::LaunchReport report;
+    /** Virtual device time the launch consumed. */
+    sim::TimeNs deviceTimeNs = 0;
+};
+
+/** One launch job. */
+struct Job
+{
+    std::string signature;
+    std::uint64_t units = 0;
+    kdp::KernelArgs args;
+    runtime::LaunchOptions opt;
+
+    /**
+     * Ensures the job's kernel pool is registered on the runtime it
+     * lands on (called from the worker thread before the launch).
+     * Typically `w.registerWith(rt)` guarded by Runtime::hasKernel,
+     * or a removeKernel + re-register when the pool's geometry
+     * changed.  Optional: jobs may rely on pre-registered kernels.
+     */
+    std::function<void(runtime::Runtime &)> ensureRegistered;
+
+    /** Completion callback (invoked on the worker thread). */
+    std::function<void(const JobResult &)> done;
+
+    /** Assigned by submit(). */
+    std::uint64_t id = 0;
+};
+
+/**
+ * The dispatch service.
+ */
+class DispatchService
+{
+  public:
+    /**
+     * @p st is the shared selection store; it must outlive the
+     * service (the caller typically loads it from disk before and
+     * saves it after).
+     */
+    explicit DispatchService(store::SelectionStore &st,
+                             ServiceConfig cfg = ServiceConfig());
+    ~DispatchService();
+
+    DispatchService(const DispatchService &) = delete;
+    DispatchService &operator=(const DispatchService &) = delete;
+
+    /**
+     * Register a device (before start()).  The service owns the
+     * device and its runtime.  Returns the device index.
+     */
+    unsigned addDevice(std::unique_ptr<sim::Device> device);
+
+    std::size_t deviceCount() const { return workers.size(); }
+    sim::Device &device(unsigned idx);
+
+    /**
+     * Direct runtime access for kernel pre-registration before
+     * start(); not thread-safe once workers run.
+     */
+    runtime::Runtime &runtimeAt(unsigned idx);
+
+    /** Spawn one worker thread per device. */
+    void start();
+
+    /** Enqueue a job; returns its id.  Requires start(). */
+    std::uint64_t submit(Job job);
+
+    /** Block until every submitted job has completed. */
+    void drain();
+
+    /** Drain, then join all workers.  Idempotent. */
+    void stop();
+
+    support::MetricsRegistry &metrics() { return reg; }
+    const store::SelectionStore &selectionStore() const { return store_; }
+
+  private:
+    struct Worker
+    {
+        std::unique_ptr<sim::Device> dev;
+        std::unique_ptr<runtime::Runtime> rt;
+        std::string fingerprint;
+        std::deque<Job> queue;
+        std::uint64_t load = 0; ///< queued + running jobs
+        std::thread thread;
+    };
+
+    void workerLoop(unsigned idx);
+    JobResult runJob(unsigned idx, Job &job);
+
+    /** Pick the worker for @p job (mu held). */
+    unsigned route(const Job &job);
+
+    store::SelectionStore &store_;
+    ServiceConfig config;
+    support::MetricsRegistry reg;
+    std::vector<std::unique_ptr<Worker>> workers;
+
+    mutable std::mutex mu;
+    std::condition_variable wake; ///< workers: new job or stop
+    std::condition_variable idle; ///< drain(): inFlight hit zero
+    std::map<std::string, unsigned> affinityMap;
+    std::uint64_t nextId = 1;
+    std::uint64_t inFlight = 0;
+    bool started = false;
+    bool stopping = false;
+};
+
+} // namespace serve
+} // namespace dysel

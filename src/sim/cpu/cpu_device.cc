@@ -1,6 +1,7 @@
 #include "cpu_device.hh"
 
 #include <cmath>
+#include <cstdio>
 
 #include "kdp/context.hh"
 #include "support/logging.hh"
@@ -16,6 +17,19 @@ CpuDevice::CpuDevice(const CpuConfig &cfg)
     cores.reserve(cfg.cores);
     for (unsigned i = 0; i < cfg.cores; ++i)
         cores.emplace_back(cfg);
+}
+
+std::string
+CpuDevice::fingerprint() const
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "cpu/%s/c%u@%.2fGHz/l1=%llu/l2=%llu/l3=%llu",
+                  config.name.c_str(), config.cores, config.ghz,
+                  (unsigned long long)config.l1.sizeBytes,
+                  (unsigned long long)config.l2.sizeBytes,
+                  (unsigned long long)config.l3.sizeBytes);
+    return buf;
 }
 
 void

@@ -62,6 +62,7 @@ class CpuDevice : public Device
     explicit CpuDevice(const CpuConfig &cfg = CpuConfig());
 
     const std::string &name() const override { return config.name; }
+    std::string fingerprint() const override;
     DeviceKind kind() const override { return DeviceKind::Cpu; }
     unsigned computeUnits() const override { return config.cores; }
     TimeNs launchOverheadNs() const override

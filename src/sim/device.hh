@@ -36,6 +36,14 @@ class Device
     /** Human-readable device name. */
     virtual const std::string &name() const = 0;
 
+    /**
+     * Stable identity string derived from the device configuration
+     * (kind, name, compute units, clock, cache geometry).  Equal
+     * fingerprints mean "selections made on one are valid on the
+     * other"; the persistent selection store keys its records by this.
+     */
+    virtual std::string fingerprint() const = 0;
+
     /** Broad device class. */
     virtual DeviceKind kind() const = 0;
 

@@ -21,6 +21,20 @@ GpuDevice::GpuDevice(const GpuConfig &cfg)
         sms.emplace_back(cfg.tex);
 }
 
+std::string
+GpuDevice::fingerprint() const
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "gpu/%s/sm%u@%.3fGHz/t%llu/b%u/l2=%llu/tex=%llu",
+                  config.name.c_str(), config.sms, config.ghz,
+                  (unsigned long long)config.threadsPerSm,
+                  config.blocksPerSm,
+                  (unsigned long long)config.l2.sizeBytes,
+                  (unsigned long long)config.tex.sizeBytes);
+    return buf;
+}
+
 GpuDevice::Footprint
 GpuDevice::footprintOf(const kdp::KernelVariant &variant) const
 {

@@ -66,6 +66,7 @@ class GpuDevice : public Device
     explicit GpuDevice(const GpuConfig &cfg = GpuConfig());
 
     const std::string &name() const override { return config.name; }
+    std::string fingerprint() const override;
     DeviceKind kind() const override { return DeviceKind::Gpu; }
     unsigned computeUnits() const override { return config.sms; }
     TimeNs launchOverheadNs() const override

@@ -1,0 +1,197 @@
+#include "metrics.hh"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace dysel {
+namespace support {
+
+namespace {
+
+std::size_t
+bucketIndex(double v)
+{
+    if (v < 1.0)
+        return 0;
+    const auto idx = static_cast<std::size_t>(std::floor(std::log2(v)));
+    return idx >= Histogram::numBuckets ? Histogram::numBuckets - 1 : idx;
+}
+
+double
+bitsToDouble(std::uint64_t bits)
+{
+    return std::bit_cast<double>(bits);
+}
+
+/** Atomically apply min/max on a double stored as bits. */
+template <typename Cmp>
+void
+atomicExtreme(std::atomic<std::uint64_t> &slot, double v, Cmp better)
+{
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (better(v, bitsToDouble(cur))
+           && !slot.compare_exchange_weak(cur, std::bit_cast<std::uint64_t>(v),
+                                          std::memory_order_relaxed)) {
+    }
+}
+
+void
+atomicAdd(std::atomic<std::uint64_t> &slot, double v)
+{
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (!slot.compare_exchange_weak(
+        cur, std::bit_cast<std::uint64_t>(bitsToDouble(cur) + v),
+        std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace
+
+void
+Histogram::observe(double v)
+{
+    if (v < 0)
+        v = 0;
+    count_.fetch_add(1, std::memory_order_relaxed);
+    atomicAdd(sumBits, v);
+    atomicExtreme(minBits, v, [](double a, double b) { return a < b; });
+    atomicExtreme(maxBits, v, [](double a, double b) { return a > b; });
+    bucket_[bucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+double
+Histogram::sum() const
+{
+    return bitsToDouble(sumBits.load(std::memory_order_relaxed));
+}
+
+double
+Histogram::mean() const
+{
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double
+Histogram::min() const
+{
+    return count() == 0
+               ? 0.0
+               : bitsToDouble(minBits.load(std::memory_order_relaxed));
+}
+
+double
+Histogram::max() const
+{
+    return count() == 0
+               ? 0.0
+               : bitsToDouble(maxBits.load(std::memory_order_relaxed));
+}
+
+double
+Histogram::quantile(double q) const
+{
+    const std::uint64_t n = count();
+    if (n == 0)
+        return 0.0;
+    if (q < 0)
+        q = 0;
+    if (q > 1)
+        q = 1;
+    const auto target =
+        static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n)));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < numBuckets; ++i) {
+        seen += bucket_[i].load(std::memory_order_relaxed);
+        if (seen >= target && seen > 0)
+            return std::ldexp(1.0, static_cast<int>(i) + 1); // 2^(i+1)
+    }
+    return max();
+}
+
+std::vector<std::uint64_t>
+Histogram::buckets() const
+{
+    std::vector<std::uint64_t> out(numBuckets);
+    for (std::size_t i = 0; i < numBuckets; ++i)
+        out[i] = bucket_[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto &slot = counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto &slot = histograms[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+std::uint64_t
+MetricsRegistry::counterValue(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second->value();
+}
+
+std::string
+MetricsRegistry::renderText() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::ostringstream os;
+    for (const auto &[name, c] : counters)
+        os << name << ' ' << c->value() << '\n';
+    for (const auto &[name, h] : histograms) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "%s{count=%llu mean=%.1f p50=%.0f p99=%.0f "
+                      "max=%.0f}\n",
+                      name.c_str(), (unsigned long long)h->count(),
+                      h->mean(), h->quantile(0.5), h->quantile(0.99),
+                      h->max());
+        os << buf;
+    }
+    return os.str();
+}
+
+Json
+MetricsRegistry::renderJson() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    Json counterObj = Json::object();
+    for (const auto &[name, c] : counters)
+        counterObj.set(name, Json(c->value()));
+    Json histObj = Json::object();
+    for (const auto &[name, h] : histograms) {
+        Json entry = Json::object();
+        entry.set("count", Json(h->count()));
+        entry.set("sum", Json(h->sum()));
+        entry.set("mean", Json(h->mean()));
+        entry.set("min", Json(h->min()));
+        entry.set("max", Json(h->max()));
+        entry.set("p50", Json(h->quantile(0.5)));
+        entry.set("p99", Json(h->quantile(0.99)));
+        histObj.set(name, std::move(entry));
+    }
+    Json root = Json::object();
+    root.set("counters", std::move(counterObj));
+    root.set("histograms", std::move(histObj));
+    return root;
+}
+
+} // namespace support
+} // namespace dysel

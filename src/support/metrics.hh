@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Serving-layer metrics: named counters and log-scale latency
+ * histograms with text and JSON export.
+ *
+ * Counters and histogram cells are atomics, so recording from the
+ * dispatch-service worker threads is lock-free; the registry map
+ * itself is mutex-protected (get-or-create only).  Handles returned
+ * by counter()/histogram() stay valid for the registry's lifetime.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "json.hh"
+
+namespace dysel {
+namespace support {
+
+/** A monotonically increasing counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/**
+ * A histogram over non-negative samples with power-of-two buckets:
+ * bucket i counts samples in [2^i, 2^(i+1)) (bucket 0 additionally
+ * holds samples < 1).  Good enough resolution for latencies while
+ * keeping observation O(1) and allocation-free.
+ */
+class Histogram
+{
+  public:
+    static constexpr std::size_t numBuckets = 64;
+
+    /** Record one sample (negative samples clamp to 0). */
+    void observe(double v);
+
+    std::uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    double sum() const;
+    double mean() const;
+    double min() const;
+    double max() const;
+
+    /** Approximate quantile (bucket upper bound); q in [0,1]. */
+    double quantile(double q) const;
+
+    /** Per-bucket counts (index i covers [2^i, 2^(i+1))). */
+    std::vector<std::uint64_t> buckets() const;
+
+  private:
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sumBits{0};  ///< double stored as bits
+    std::atomic<std::uint64_t> minBits{0x7ff0000000000000ull}; ///< +inf
+    std::atomic<std::uint64_t> maxBits{0xfff0000000000000ull}; ///< -inf
+    std::atomic<std::uint64_t> bucket_[numBuckets] = {};
+};
+
+/**
+ * Named metrics, created on first use.  Names are free-form; the
+ * serving layer uses dotted paths like "store.hit" or
+ * "dev0.jobs".
+ */
+class MetricsRegistry
+{
+  public:
+    /** Get or create the counter named @p name. */
+    Counter &counter(const std::string &name);
+
+    /** Get or create the histogram named @p name. */
+    Histogram &histogram(const std::string &name);
+
+    /** Value of a counter; 0 when it does not exist. */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    /**
+     * Plain-text export, one metric per line:
+     *   name value
+     *   name{count,mean,p50,p99,max}  for histograms
+     */
+    std::string renderText() const;
+
+    /** JSON export: {"counters": {...}, "histograms": {...}}. */
+    Json renderJson() const;
+
+  private:
+    mutable std::mutex mu;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+} // namespace support
+} // namespace dysel

@@ -6,6 +6,10 @@
  */
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+#include <vector>
+
 #include "dysel/runtime.hh"
 #include "sim/cpu/cpu_device.hh"
 #include "sim/gpu/gpu_device.hh"
@@ -105,11 +109,93 @@ TEST(RuntimeRegistrationDeath, DuplicateVariantName)
                 ::testing::ExitedWithCode(1), "");
 }
 
-TEST(RuntimeRegistrationDeath, UnknownSignature)
+TEST(RuntimeRegistration, UnknownSignatureThrows)
 {
     Fixture f;
-    EXPECT_EXIT(f.rt.launchKernel("nope", 100, f.args),
-                ::testing::ExitedWithCode(1), "");
+    // Unknown signatures are a recoverable caller error (the dispatch
+    // service catches them per job), so they throw instead of
+    // fatalling, and the message names the offending signature.
+    try {
+        f.rt.launchKernel("nope", 100, f.args);
+        FAIL() << "launchKernel on an unknown signature did not throw";
+    } catch (const std::out_of_range &e) {
+        EXPECT_NE(std::string(e.what()).find("nope"),
+                  std::string::npos);
+    }
+    EXPECT_THROW(f.rt.variants("nope"), std::out_of_range);
+    EXPECT_THROW(f.rt.importSelection("nope", 0), std::out_of_range);
+    EXPECT_FALSE(f.rt.hasKernel("nope"));
+}
+
+TEST(RuntimeRegistration, RemoveKernelForgetsPoolAndSelection)
+{
+    Fixture f;
+    f.rt.addKernel("k", markerKernel("slow", 1, 4000));
+    f.rt.addKernel("k", markerKernel("fast", 2, 100));
+    f.rt.setKernelInfo("k", regularInfo("k"));
+    f.rt.launchKernel("k", 2048, f.args);
+    ASSERT_TRUE(f.rt.cachedSelection("k").has_value());
+
+    EXPECT_TRUE(f.rt.hasKernel("k"));
+    f.rt.removeKernel("k");
+    EXPECT_FALSE(f.rt.hasKernel("k"));
+    EXPECT_FALSE(f.rt.cachedSelection("k").has_value());
+    EXPECT_EQ(f.rt.variantCount("k"), 0u);
+    f.rt.removeKernel("k"); // removing a missing pool is a no-op
+
+    // The signature can be re-registered from scratch.
+    f.rt.addKernel("k", markerKernel("only", 7, 10));
+    EXPECT_EQ(f.rt.variantCount("k"), 1u);
+}
+
+TEST(Runtime, ImportedSelectionServesPlainLaunches)
+{
+    Fixture f;
+    f.rt.addKernel("k", markerKernel("slow", 1, 4000));
+    f.rt.addKernel("k", markerKernel("fast", 2, 100));
+    f.rt.setKernelInfo("k", regularInfo("k"));
+
+    f.rt.importSelection("k", 1);
+    LaunchOptions opt;
+    opt.profiling = false;
+    auto report = f.rt.launchKernel("k", 2048, f.args, opt);
+    EXPECT_TRUE(report.fromCache);
+    EXPECT_FALSE(report.profiled);
+    EXPECT_EQ(report.selectedName, "fast");
+    EXPECT_EQ(f.countMarker(2, 2048), 2048u);
+
+    EXPECT_THROW(f.rt.importSelection("k", 5), std::invalid_argument);
+
+    auto exported = f.rt.exportSelections();
+    ASSERT_EQ(exported.count("k"), 1u);
+    EXPECT_EQ(exported["k"], 1);
+}
+
+TEST(Runtime, LaunchObserverSeesEveryLaunch)
+{
+    Fixture f;
+    f.rt.addKernel("k", markerKernel("slow", 1, 4000));
+    f.rt.addKernel("k", markerKernel("fast", 2, 100));
+    f.rt.setKernelInfo("k", regularInfo("k"));
+
+    std::vector<LaunchReport> seen;
+    f.rt.setLaunchObserver(
+        [&seen](const LaunchReport &r) { seen.push_back(r); });
+
+    f.rt.launchKernel("k", 2048, f.args);
+    LaunchOptions opt;
+    opt.profiling = false;
+    f.rt.launchKernel("k", 2048, f.args, opt);
+
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_TRUE(seen[0].profiled);
+    EXPECT_FALSE(seen[1].profiled);
+    EXPECT_TRUE(seen[1].fromCache);
+    EXPECT_EQ(seen[1].selectedName, "fast");
+
+    f.rt.setLaunchObserver(nullptr); // detaching is allowed
+    f.rt.launchKernel("k", 2048, f.args, opt);
+    EXPECT_EQ(seen.size(), 2u);
 }
 
 TEST(Runtime, SingleVariantRunsPlainly)

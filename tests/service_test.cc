@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Tests for the multi-device dispatch service: multi-threaded smoke
+ * test against single-runtime ground truth, warm start from the
+ * shared selection store, size-bucket sensitivity, drift-triggered
+ * re-profiling, error propagation for unknown signatures, and the
+ * metrics export.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "serve/dispatch_service.hh"
+#include "sim/cpu/cpu_device.hh"
+
+using namespace dysel;
+using namespace dysel::serve;
+
+namespace {
+
+constexpr std::uint32_t laneCount = 8;
+
+/** Same marker-kernel scheme as runtime_test: writes `marker` into
+ *  out[unit] and burns `flops_per_unit` ALU ops per unit. */
+kdp::KernelVariant
+markerKernel(const char *name, std::int32_t marker,
+             std::uint64_t flops_per_unit)
+{
+    kdp::KernelVariant v;
+    v.name = name;
+    v.groupSize = laneCount;
+    v.waFactor = 1;
+    v.sandboxIndex = {0};
+    v.fn = [marker, flops_per_unit](kdp::GroupCtx &g,
+                                    const kdp::KernelArgs &args) {
+        auto &out = args.buf<std::int32_t>(0);
+        const auto units = static_cast<std::uint64_t>(args.scalarInt(1));
+        for (std::uint64_t u = g.unitBase();
+             u < g.unitBase() + g.waFactor(); ++u) {
+            if (u >= units)
+                break;
+            const auto lane = static_cast<std::uint32_t>(u % laneCount);
+            g.store(out, u, marker, lane);
+            g.flops(lane, flops_per_unit);
+        }
+    };
+    return v;
+}
+
+compiler::KernelInfo
+regularInfo(const std::string &sig)
+{
+    compiler::KernelInfo info;
+    info.signature = sig;
+    info.loops = {{"wi", compiler::BoundKind::Constant, true, false,
+                   laneCount}};
+    info.outputArgs = {0};
+    return info;
+}
+
+void
+registerPool(runtime::Runtime &rt, const std::string &sig,
+             std::uint64_t slow_flops = 4000,
+             std::uint64_t fast_flops = 100)
+{
+    rt.removeKernel(sig);
+    rt.addKernel(sig, markerKernel("slow", 1, slow_flops));
+    rt.addKernel(sig, markerKernel("fast", 2, fast_flops));
+    rt.setKernelInfo(sig, regularInfo(sig));
+}
+
+/** One job's state: its output buffer, args, and completion record. */
+struct Probe
+{
+    std::string sig;
+    std::uint64_t units;
+    kdp::Buffer<std::int32_t> out;
+    kdp::KernelArgs args;
+    JobResult result;
+    bool finished = false;
+
+    Probe(std::string s, std::uint64_t n)
+        : sig(std::move(s)), units(n),
+          out(n, kdp::MemSpace::Global, "out")
+    {
+        out.fill(-1);
+        args.add(out).add(static_cast<std::int64_t>(n));
+    }
+};
+
+Job
+makeJob(Probe &p, std::mutex &mu, std::uint64_t slow_flops = 4000,
+        std::uint64_t fast_flops = 100)
+{
+    Job job;
+    job.signature = p.sig;
+    job.units = p.units;
+    job.args = p.args;
+    job.ensureRegistered = [&p, slow_flops,
+                            fast_flops](runtime::Runtime &rt) {
+        registerPool(rt, p.sig, slow_flops, fast_flops);
+    };
+    job.done = [&p, &mu](const JobResult &r) {
+        std::lock_guard<std::mutex> lock(mu);
+        p.result = r;
+        p.finished = true;
+    };
+    return job;
+}
+
+struct ServiceFixture
+{
+    store::SelectionStore store;
+    DispatchService svc{store};
+    std::mutex mu;
+
+    explicit ServiceFixture(unsigned devices = 2)
+    {
+        for (unsigned i = 0; i < devices; ++i)
+            svc.addDevice(std::make_unique<sim::CpuDevice>());
+        svc.start();
+    }
+};
+
+} // namespace
+
+TEST(DispatchService, SmokeMatchesSingleRuntime)
+{
+    // N jobs with distinct signatures spread across two identical CPU
+    // devices; each job's output must match the same launch on a
+    // standalone single-device runtime.
+    constexpr unsigned N = 8;
+    constexpr std::uint64_t units = 2048;
+
+    ServiceFixture f;
+    std::vector<std::unique_ptr<Probe>> probes;
+    for (unsigned i = 0; i < N; ++i)
+        probes.push_back(
+            std::make_unique<Probe>("k" + std::to_string(i), units));
+    for (auto &p : probes)
+        f.svc.submit(makeJob(*p, f.mu));
+    f.svc.stop();
+
+    for (auto &p : probes) {
+        ASSERT_TRUE(p->finished);
+        ASSERT_TRUE(p->result.ok) << p->result.error;
+        EXPECT_TRUE(p->result.report.profiled); // cold store
+        EXPECT_EQ(p->result.report.selectedName, "fast");
+
+        // Ground truth: the same cold launch on a lone runtime.
+        sim::CpuDevice dev;
+        runtime::Runtime rt(dev);
+        registerPool(rt, p->sig);
+        Probe ref(p->sig, units);
+        auto report = rt.launchKernel(ref.sig, units, ref.args);
+        EXPECT_EQ(report.selectedName, p->result.report.selectedName);
+        EXPECT_EQ(report.profiledUnits, p->result.report.profiledUnits);
+        for (std::uint64_t u = 0; u < units; ++u)
+            ASSERT_EQ(p->out.at(u), ref.out.at(u))
+                << p->sig << " unit " << u;
+    }
+
+    // Least-loaded routing used both devices.
+    const auto &m = f.svc.metrics();
+    EXPECT_GT(m.counterValue("dev0.jobs"), 0u);
+    EXPECT_GT(m.counterValue("dev1.jobs"), 0u);
+    EXPECT_EQ(m.counterValue("dev0.jobs") + m.counterValue("dev1.jobs"),
+              std::uint64_t{N});
+    EXPECT_EQ(m.counterValue("jobs.completed"), std::uint64_t{N});
+    EXPECT_EQ(m.counterValue("jobs.failed"), 0u);
+}
+
+TEST(DispatchService, SecondLaunchWarmStartsFromStore)
+{
+    ServiceFixture f;
+    Probe first("k", 2048);
+    f.svc.submit(makeJob(first, f.mu));
+    f.svc.drain();
+    ASSERT_TRUE(first.result.ok) << first.result.error;
+    EXPECT_FALSE(first.result.warmStart);
+    EXPECT_TRUE(first.result.report.profiled);
+
+    Probe second("k", 2048);
+    f.svc.submit(makeJob(second, f.mu));
+    f.svc.drain();
+    ASSERT_TRUE(second.result.ok) << second.result.error;
+    EXPECT_TRUE(second.result.warmStart);
+    EXPECT_EQ(second.result.report.profiledUnits, 0u);
+    EXPECT_EQ(second.result.report.selectedName, "fast");
+    // The whole output carries the winner's marker: no profiling ran.
+    for (std::uint64_t u = 0; u < second.units; ++u)
+        ASSERT_EQ(second.out.at(u), 2);
+    // Affinity pinned the signature to the profiling device.
+    EXPECT_EQ(second.result.deviceIndex, first.result.deviceIndex);
+
+    EXPECT_EQ(f.store.hits(), 1u);
+    EXPECT_EQ(f.store.misses(), 1u);
+    EXPECT_EQ(f.svc.metrics().counterValue("store.hit"), 1u);
+    EXPECT_EQ(f.svc.metrics().counterValue("store.miss"), 1u);
+}
+
+TEST(DispatchService, ChangedSizeBucketReprofiles)
+{
+    ServiceFixture f;
+    Probe small("k", 2048); // bucket 11
+    f.svc.submit(makeJob(small, f.mu));
+    f.svc.drain();
+
+    Probe large("k", 8192); // bucket 13: a store miss
+    f.svc.submit(makeJob(large, f.mu));
+    f.svc.drain();
+    ASSERT_TRUE(large.result.ok) << large.result.error;
+    EXPECT_FALSE(large.result.warmStart);
+    EXPECT_TRUE(large.result.report.profiled);
+    EXPECT_GT(large.result.report.profiledUnits, 0u);
+    EXPECT_EQ(f.store.size(), 2u);
+}
+
+TEST(DispatchService, DriftForcesReprofile)
+{
+    ServiceFixture f(1);
+    // Job 1 profiles; jobs 2-3 warm-start and seed/confirm the plain
+    // throughput baseline.
+    for (int i = 0; i < 3; ++i) {
+        Probe p("k", 2048);
+        f.svc.submit(makeJob(p, f.mu));
+        f.svc.drain();
+        ASSERT_TRUE(p.result.ok) << p.result.error;
+        EXPECT_EQ(p.result.warmStart, i > 0);
+    }
+
+    // The kernel's behaviour shifts: the cached winner is now 20x
+    // slower.  The plain run deviates from the stored baseline beyond
+    // the drift factor, invalidating the record...
+    Probe shifted("k", 2048);
+    f.svc.submit(makeJob(shifted, f.mu, 4000, 2000));
+    f.svc.drain();
+    ASSERT_TRUE(shifted.result.ok) << shifted.result.error;
+    EXPECT_TRUE(shifted.result.warmStart); // served before detection
+    EXPECT_EQ(f.store.driftInvalidations(), 1u);
+    EXPECT_EQ(
+        f.svc.metrics().counterValue("store.drift_invalidation"), 1u);
+
+    // ...so the next launch re-profiles against the new behaviour.
+    Probe after("k", 2048);
+    f.svc.submit(makeJob(after, f.mu, 4000, 2000));
+    f.svc.drain();
+    ASSERT_TRUE(after.result.ok) << after.result.error;
+    EXPECT_FALSE(after.result.warmStart);
+    EXPECT_TRUE(after.result.report.profiled);
+}
+
+TEST(DispatchService, UnknownSignatureFailsTheJobNotTheService)
+{
+    ServiceFixture f;
+    Probe bad("unregistered", 2048);
+    Job job = makeJob(bad, f.mu);
+    job.ensureRegistered = nullptr; // nothing registers the kernel
+    f.svc.submit(job);
+    f.svc.drain();
+    ASSERT_TRUE(bad.finished);
+    EXPECT_FALSE(bad.result.ok);
+    EXPECT_NE(bad.result.error.find("unregistered"), std::string::npos);
+    EXPECT_EQ(f.svc.metrics().counterValue("jobs.failed"), 1u);
+
+    // The worker survives and serves the next job.
+    Probe good("k", 2048);
+    f.svc.submit(makeJob(good, f.mu));
+    f.svc.drain();
+    ASSERT_TRUE(good.result.ok) << good.result.error;
+}
+
+TEST(DispatchService, SubmitBeforeStartThrows)
+{
+    store::SelectionStore store;
+    DispatchService svc(store);
+    svc.addDevice(std::make_unique<sim::CpuDevice>());
+    std::mutex mu;
+    Probe p("k", 2048);
+    EXPECT_THROW(svc.submit(makeJob(p, mu)), std::logic_error);
+}
+
+TEST(DispatchService, MetricsExportCoversJobsAndStore)
+{
+    ServiceFixture f;
+    for (int i = 0; i < 2; ++i) {
+        Probe p("k", 2048);
+        f.svc.submit(makeJob(p, f.mu));
+        f.svc.drain();
+    }
+    const std::string text = f.svc.metrics().renderText();
+    EXPECT_NE(text.find("jobs.completed 2"), std::string::npos);
+    EXPECT_NE(text.find("store.hit 1"), std::string::npos);
+    EXPECT_NE(text.find("store.miss 1"), std::string::npos);
+    EXPECT_NE(text.find("job.device_ns{"), std::string::npos);
+
+    const auto json = f.svc.metrics().renderJson();
+    EXPECT_EQ(json.at("counters").at("jobs.completed").asUint(), 2u);
+    EXPECT_TRUE(json.at("histograms").has("job.device_ns"));
+}

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the persistent selection store: size-bucket boundaries,
+ * JSON round-trip, drift detection / invalidation, and the hit/miss
+ * statistics.  Also covers the support JSON primitives the store's
+ * format is built on.
+ */
+#include <cstdio>
+#include <gtest/gtest.h>
+
+#include "dysel/store/selection_store.hh"
+
+using namespace dysel;
+using namespace dysel::store;
+
+namespace {
+
+constexpr const char *kDev = "cpu/test-device/c8@3.60GHz";
+
+/** A synthetic profiled launch report with two variants. */
+runtime::LaunchReport
+profiledReport(const std::string &sig, std::uint64_t units,
+               int selected = 1)
+{
+    runtime::LaunchReport r;
+    r.signature = sig;
+    r.profiled = true;
+    r.totalUnits = units;
+    r.profiledUnits = 256;
+    r.selected = selected;
+    r.profiles.resize(2);
+    r.profiles[0] = {"slow", 4000, 4200, 3900, 128};
+    r.profiles[1] = {"fast", 1000, 1100, 950, 128};
+    r.selectedName = r.profiles[static_cast<std::size_t>(selected)].name;
+    return r;
+}
+
+/** A plain (cache-served) launch taking @p unit_ns per unit. */
+runtime::LaunchReport
+plainReport(const std::string &sig, std::uint64_t units, double unit_ns)
+{
+    runtime::LaunchReport r;
+    r.signature = sig;
+    r.profiled = false;
+    r.fromCache = true;
+    r.totalUnits = units;
+    r.startTime = 0;
+    r.endTime = static_cast<sim::TimeNs>(unit_ns
+                                         * static_cast<double>(units));
+    return r;
+}
+
+} // namespace
+
+TEST(Bucket, Boundaries)
+{
+    EXPECT_EQ(bucketOf(0), 0u);
+    EXPECT_EQ(bucketOf(1), 0u);
+    EXPECT_EQ(bucketOf(2), 1u);
+    EXPECT_EQ(bucketOf(3), 1u);
+    EXPECT_EQ(bucketOf(4), 2u);
+    EXPECT_EQ(bucketOf(1023), 9u);
+    EXPECT_EQ(bucketOf(1024), 10u);
+    EXPECT_EQ(bucketOf(2047), 10u);
+    EXPECT_EQ(bucketOf(2048), 11u);
+}
+
+TEST(Bucket, RangeRoundTrips)
+{
+    for (unsigned b = 1; b < 40; ++b) {
+        const auto [lo, hi] = bucketRange(b);
+        EXPECT_EQ(bucketOf(lo), b);
+        EXPECT_EQ(bucketOf(hi), b);
+        EXPECT_EQ(bucketOf(hi + 1), b + 1);
+    }
+}
+
+TEST(SelectionStore, LookupMissesThenHitsAfterProfile)
+{
+    SelectionStore store;
+    EXPECT_FALSE(store.lookup("k", kDev, 2048).has_value());
+    EXPECT_EQ(store.misses(), 1u);
+
+    store.recordProfile(kDev, profiledReport("k", 2048));
+    auto rec = store.lookup("k", kDev, 2048);
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(rec->selected, 1);
+    EXPECT_EQ(rec->selectedName, "fast");
+    EXPECT_EQ(rec->bucket, 11u);
+    ASSERT_EQ(rec->profiles.size(), 2u);
+    EXPECT_EQ(rec->profiles[0].name, "slow");
+    EXPECT_EQ(store.hits(), 1u);
+
+    // Same signature, different size bucket: still a miss.
+    EXPECT_FALSE(store.lookup("k", kDev, 8192).has_value());
+    // Same bucket, different device: still a miss.
+    EXPECT_FALSE(store.lookup("k", "gpu/other", 2048).has_value());
+}
+
+TEST(SelectionStore, SameBucketDifferentUnitsHits)
+{
+    SelectionStore store;
+    store.recordProfile(kDev, profiledReport("k", 2048));
+    // 2048..4095 share bucket 11.
+    EXPECT_TRUE(store.lookup("k", kDev, 4095).has_value());
+    EXPECT_FALSE(store.lookup("k", kDev, 4096).has_value());
+}
+
+TEST(SelectionStore, UnprofiledReportsAreIgnored)
+{
+    SelectionStore store;
+    store.recordProfile(kDev, plainReport("k", 2048, 10.0));
+    EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(SelectionStore, DriftInvalidatesAndReprofileRevalidates)
+{
+    StoreConfig cfg;
+    cfg.driftFactor = 1.5;
+    SelectionStore store(cfg);
+    store.recordProfile(kDev, profiledReport("k", 2048));
+
+    // First plain run seeds the baseline; consistent runs confirm it.
+    EXPECT_TRUE(store.observePlain(kDev, plainReport("k", 2048, 10.0)));
+    EXPECT_TRUE(store.observePlain(kDev, plainReport("k", 2048, 10.5)));
+    auto rec = store.lookup("k", kDev, 2048);
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(rec->confidence, 2u);
+    EXPECT_GT(rec->unitTimeNs, 0.0);
+
+    // A 3x slowdown exceeds the 1.5x drift factor: invalidated.
+    EXPECT_FALSE(store.observePlain(kDev, plainReport("k", 2048, 30.0)));
+    EXPECT_EQ(store.driftInvalidations(), 1u);
+    EXPECT_FALSE(store.lookup("k", kDev, 2048).has_value());
+
+    // Re-profiling revalidates the record.
+    store.recordProfile(kDev, profiledReport("k", 2048, 0));
+    rec = store.lookup("k", kDev, 2048);
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_TRUE(rec->valid);
+    EXPECT_EQ(rec->selectedName, "slow");
+    EXPECT_EQ(rec->profiledLaunches, 2u);
+}
+
+TEST(SelectionStore, SpeedupDriftAlsoInvalidates)
+{
+    SelectionStore store; // default driftFactor 1.5
+    store.recordProfile(kDev, profiledReport("k", 2048));
+    EXPECT_TRUE(store.observePlain(kDev, plainReport("k", 2048, 30.0)));
+    // Getting much *faster* also means the stored ranking is stale.
+    EXPECT_FALSE(store.observePlain(kDev, plainReport("k", 2048, 10.0)));
+}
+
+TEST(SelectionStore, ObservationsOfUnknownKeysAreIgnored)
+{
+    SelectionStore store;
+    EXPECT_TRUE(store.observePlain(kDev, plainReport("k", 2048, 10.0)));
+    EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(SelectionStore, JsonRoundTripPreservesEverything)
+{
+    SelectionStore store;
+    store.recordProfile(kDev, profiledReport("a", 2048));
+    store.recordProfile(kDev, profiledReport("b", 300, 0));
+    store.recordProfile("gpu/dev2", profiledReport("a", 2048));
+    store.observePlain(kDev, plainReport("a", 2048, 12.5));
+    store.invalidate("b", kDev, bucketOf(300));
+
+    SelectionStore loaded;
+    loaded.loadJson(store.toJson());
+
+    const auto before = store.records();
+    const auto after = loaded.records();
+    ASSERT_EQ(before.size(), after.size());
+    for (std::size_t i = 0; i < before.size(); ++i) {
+        EXPECT_EQ(before[i].signature, after[i].signature);
+        EXPECT_EQ(before[i].device, after[i].device);
+        EXPECT_EQ(before[i].bucket, after[i].bucket);
+        EXPECT_EQ(before[i].selected, after[i].selected);
+        EXPECT_EQ(before[i].selectedName, after[i].selectedName);
+        EXPECT_EQ(before[i].launches, after[i].launches);
+        EXPECT_EQ(before[i].profiledLaunches, after[i].profiledLaunches);
+        EXPECT_EQ(before[i].confidence, after[i].confidence);
+        EXPECT_DOUBLE_EQ(before[i].unitTimeNs, after[i].unitTimeNs);
+        EXPECT_EQ(before[i].valid, after[i].valid);
+        ASSERT_EQ(before[i].profiles.size(), after[i].profiles.size());
+        for (std::size_t j = 0; j < before[i].profiles.size(); ++j) {
+            EXPECT_EQ(before[i].profiles[j].name,
+                      after[i].profiles[j].name);
+            EXPECT_DOUBLE_EQ(before[i].profiles[j].metricNs,
+                             after[i].profiles[j].metricNs);
+            EXPECT_EQ(before[i].profiles[j].units,
+                      after[i].profiles[j].units);
+        }
+    }
+    // Identical selections serve identically after the round trip.
+    auto rec = loaded.lookup("a", kDev, 2048);
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(rec->selectedName, "fast");
+    EXPECT_FALSE(loaded.lookup("b", kDev, 300).has_value()); // invalid
+}
+
+TEST(SelectionStore, FileRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "store_test.json";
+    {
+        SelectionStore store;
+        store.recordProfile(kDev, profiledReport("k", 2048));
+        ASSERT_TRUE(store.saveFile(path));
+    }
+    SelectionStore loaded;
+    ASSERT_TRUE(loaded.loadFile(path));
+    EXPECT_EQ(loaded.size(), 1u);
+    EXPECT_TRUE(loaded.lookup("k", kDev, 2048).has_value());
+    std::remove(path.c_str());
+}
+
+TEST(SelectionStore, LoadRejectsGarbage)
+{
+    SelectionStore store;
+    EXPECT_FALSE(store.loadFile("/nonexistent/path/store.json"));
+    EXPECT_THROW(store.loadJson(support::Json::parse("{\"version\":99}")),
+                 std::runtime_error);
+}

@@ -1,14 +1,17 @@
 /**
  * @file
  * Unit tests for the support library: RNG, statistics, tables, math
- * helpers, and logging levels.
+ * helpers, logging levels, JSON, and the metrics registry.
  */
 #include <sstream>
+#include <thread>
 
 #include <gtest/gtest.h>
 
+#include "support/json.hh"
 #include "support/logging.hh"
 #include "support/math_util.hh"
+#include "support/metrics.hh"
 #include "support/rng.hh"
 #include "support/stats.hh"
 #include "support/table.hh"
@@ -190,4 +193,101 @@ TEST(Logging, ThresholdControlsOutput)
 TEST(LoggingDeath, PanicAborts)
 {
     EXPECT_DEATH(panic("intentional test panic"), "");
+}
+
+TEST(Json, ParseDumpRoundTrip)
+{
+    const std::string text = R"({"a":[1,2.5,-3],"b":{"c":true,)"
+                             R"("d":null,"e":"hi\n\"there\""}})";
+    Json v = Json::parse(text);
+    EXPECT_EQ(v.at("a").items().size(), 3u);
+    EXPECT_EQ(v.at("a").items()[0].asInt(), 1);
+    EXPECT_DOUBLE_EQ(v.at("a").items()[1].asNumber(), 2.5);
+    EXPECT_EQ(v.at("a").items()[2].asInt(), -3);
+    EXPECT_TRUE(v.at("b").at("c").asBool());
+    EXPECT_TRUE(v.at("b").at("d").isNull());
+    EXPECT_EQ(v.at("b").at("e").asString(), "hi\n\"there\"");
+
+    // dump -> parse is the identity.
+    Json again = Json::parse(v.dump());
+    EXPECT_EQ(again.dump(), v.dump());
+    Json pretty = Json::parse(v.dump(2));
+    EXPECT_EQ(pretty.dump(), v.dump());
+}
+
+TEST(Json, BuildersAndDefaults)
+{
+    Json obj = Json::object();
+    obj.set("n", Json(std::uint64_t{1234567890123ull}));
+    obj.set("s", Json("x"));
+    Json arr = Json::array();
+    arr.push(Json(1));
+    obj.set("a", std::move(arr));
+    EXPECT_EQ(obj.at("n").asUint(), 1234567890123ull);
+    EXPECT_EQ(obj.numberOr("missing", 7.0), 7.0);
+    EXPECT_EQ(obj.stringOr("s", ""), "x");
+    EXPECT_FALSE(obj.has("missing"));
+    EXPECT_TRUE(obj.boolOr("missing", true));
+}
+
+TEST(Json, ParseErrorsCarryOffsets)
+{
+    EXPECT_THROW(Json::parse(""), std::runtime_error);
+    EXPECT_THROW(Json::parse("{\"a\":}"), std::runtime_error);
+    EXPECT_THROW(Json::parse("[1,2"), std::runtime_error);
+    EXPECT_THROW(Json::parse("[1] trailing"), std::runtime_error);
+    try {
+        Json::parse("{\"a\": nope}");
+        FAIL() << "expected a parse error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("offset"),
+                  std::string::npos);
+    }
+}
+
+TEST(Metrics, CountersAccumulateAcrossThreads)
+{
+    MetricsRegistry reg;
+    Counter &c = reg.counter("jobs");
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t)
+        threads.emplace_back([&c] {
+            for (int i = 0; i < 1000; ++i)
+                c.inc();
+        });
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(reg.counterValue("jobs"), 4000u);
+    EXPECT_EQ(reg.counterValue("absent"), 0u);
+    // counter() returns the same instance for the same name.
+    EXPECT_EQ(&reg.counter("jobs"), &c);
+}
+
+TEST(Metrics, HistogramStatistics)
+{
+    Histogram h;
+    for (double v : {1.0, 2.0, 4.0, 8.0, 1024.0})
+        h.observe(v);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_DOUBLE_EQ(h.sum(), 1039.0);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 1024.0);
+    EXPECT_NEAR(h.mean(), 1039.0 / 5.0, 1e-9);
+    // p50 lands in the bucket holding the 3rd sample (4.0 -> [4,8)).
+    EXPECT_GE(h.quantile(0.5), 4.0);
+    EXPECT_LE(h.quantile(0.5), 8.0);
+    EXPECT_GE(h.quantile(1.0), 1024.0);
+}
+
+TEST(Metrics, RenderTextAndJson)
+{
+    MetricsRegistry reg;
+    reg.counter("store.hit").inc(3);
+    reg.histogram("lat").observe(10.0);
+    const std::string text = reg.renderText();
+    EXPECT_NE(text.find("store.hit 3"), std::string::npos);
+    EXPECT_NE(text.find("lat{"), std::string::npos);
+    const Json json = reg.renderJson();
+    EXPECT_EQ(json.at("counters").at("store.hit").asUint(), 3u);
+    EXPECT_EQ(json.at("histograms").at("lat").at("count").asUint(), 1u);
 }

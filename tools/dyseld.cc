@@ -1,0 +1,218 @@
+/**
+ * @file
+ * dyseld: the DySel dispatch service driven end-to-end.
+ *
+ * Builds a two-device service (simulated CPU + GPU), warm-started
+ * from a persistent selection store, and pushes a mix of the standard
+ * workloads (sgemm, spmv, stencil) through it in two passes:
+ *
+ *   pass 1: the base mix -- cold keys micro-profile, and their
+ *           selections land in the store;
+ *   pass 2: the same mix again (every previously-seen key must run
+ *           with profiledUnits == 0) plus an sgemm whose problem size
+ *           falls in a different workload-size bucket, which must
+ *           micro-profile despite the signature being warm.
+ *
+ * Afterwards prints the per-job log, the store contents, and the
+ * metrics export.  Run it twice with the same --store file to see a
+ * fully warm pass 1.
+ */
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/dispatch_service.hh"
+#include "support/table.hh"
+#include "workloads/devices.hh"
+#include "workloads/sgemm.hh"
+#include "workloads/spmv_csr.hh"
+#include "workloads/stencil.hh"
+
+using namespace dysel;
+
+namespace {
+
+struct Options
+{
+    std::string storePath = "dyseld.store.json";
+    bool load = true;
+    bool save = true;
+    bool jsonMetrics = false;
+};
+
+/** One submitted job's bookkeeping: the workload instance (owns the
+ *  buffers the job's args point at) plus its completion record. */
+struct Entry
+{
+    std::string label;
+    workloads::Workload w;
+    serve::JobResult result;
+    bool checked = false;
+};
+
+void
+submitEntry(serve::DispatchService &svc, Entry &e, std::mutex &mu)
+{
+    serve::Job job;
+    job.signature = e.w.signature;
+    job.units = e.w.units;
+    job.args = e.w.args;
+    // Kernel variants capture their problem geometry, so a runtime
+    // that already has this signature registered for a different
+    // instance must be re-registered.
+    job.ensureRegistered = [&e](runtime::Runtime &rt) {
+        rt.removeKernel(e.w.signature);
+        e.w.registerWith(rt);
+    };
+    job.done = [&e, &mu](const serve::JobResult &r) {
+        std::lock_guard<std::mutex> lock(mu);
+        e.result = r;
+        e.checked = r.ok && e.w.check();
+    };
+    svc.submit(job);
+}
+
+void
+printPass(const char *title, const std::vector<std::unique_ptr<Entry>> &entries)
+{
+    std::cout << "\n--- " << title << " ---\n";
+    support::Table table({"workload", "signature", "device", "bucket",
+                          "units", "warm", "profiledUnits", "selected",
+                          "ok"});
+    for (const auto &e : entries) {
+        table.row()
+            .cell(e->label)
+            .cell(e->w.signature)
+            .cell(e->result.ok ? e->result.deviceName : "-")
+            .cell(std::uint64_t{store::bucketOf(e->w.units)})
+            .cell(std::uint64_t{e->w.units})
+            .cell(e->result.warmStart ? "yes" : "no")
+            .cell(std::uint64_t{e->result.report.profiledUnits})
+            .cell(e->result.ok ? e->result.report.selectedName
+                               : e->result.error)
+            .cell(e->checked ? "yes" : "NO");
+    }
+    table.print(std::cout);
+}
+
+/** The base workload mix; @p grown adds the bucket-changing sgemm. */
+std::vector<std::unique_ptr<Entry>>
+makeMix(bool grown)
+{
+    std::vector<std::unique_ptr<Entry>> mix;
+    auto add = [&](const char *label, workloads::Workload w) {
+        auto e = std::make_unique<Entry>();
+        e->label = label;
+        e->w = std::move(w);
+        mix.push_back(std::move(e));
+    };
+    add("sgemm-mixed-256", workloads::makeSgemmMixed(256, 256, 256));
+    add("spmv-csr-random",
+        workloads::makeSpmvCsrCpuInputDep(workloads::SpmvInput::Random));
+    add("spmv-csr-diagonal",
+        workloads::makeSpmvCsrCpuInputDep(workloads::SpmvInput::Diagonal));
+    add("stencil-mixed", workloads::makeStencilMixed());
+    if (grown) {
+        // Same signature as sgemm-mixed-256 but ~2300 units instead
+        // of 1024: a different size bucket, so the store must miss
+        // and the service must re-profile.
+        add("sgemm-mixed-384", workloads::makeSgemmMixed(384, 384, 384));
+    }
+    return mix;
+}
+
+void
+runPass(serve::DispatchService &svc,
+        std::vector<std::unique_ptr<Entry>> &mix, std::mutex &mu)
+{
+    for (auto &e : mix)
+        submitEntry(svc, *e, mu);
+    svc.drain();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--store" && i + 1 < argc) {
+            opt.storePath = argv[++i];
+        } else if (arg == "--no-load") {
+            opt.load = false;
+        } else if (arg == "--no-save") {
+            opt.save = false;
+        } else if (arg == "--metrics" && i + 1 < argc) {
+            opt.jsonMetrics = std::strcmp(argv[++i], "json") == 0;
+        } else {
+            std::cerr << "usage: dyseld [--store FILE] [--no-load] "
+                         "[--no-save] [--metrics text|json]\n";
+            return arg == "--help" ? 0 : 1;
+        }
+    }
+
+    store::SelectionStore store;
+    if (opt.load && store.loadFile(opt.storePath))
+        std::cout << "loaded " << store.size() << " selection records"
+                  << " from " << opt.storePath << " (warm start)\n";
+    else
+        std::cout << "starting with an empty selection store\n";
+
+    serve::DispatchService svc(store);
+    svc.addDevice(workloads::cpuFactory()());
+    svc.addDevice(workloads::gpuFactory()());
+    svc.start();
+
+    std::mutex mu;
+    auto pass1 = makeMix(false);
+    runPass(svc, pass1, mu);
+    printPass("pass 1 (base mix)", pass1);
+
+    auto pass2 = makeMix(true);
+    runPass(svc, pass2, mu);
+    printPass("pass 2 (same mix + changed sgemm size bucket)", pass2);
+
+    svc.stop();
+
+    std::cout << "\n--- selection store ---\n";
+    support::Table srec({"signature", "device", "bucket", "selected",
+                         "launches", "profiled", "confidence",
+                         "unit ns", "valid"});
+    for (const auto &r : store.records()) {
+        srec.row()
+            .cell(r.signature)
+            .cell(r.device.substr(0, r.device.find('/', 4)))
+            .cell(std::uint64_t{r.bucket})
+            .cell(r.selectedName)
+            .cell(r.launches)
+            .cell(r.profiledLaunches)
+            .cell(r.confidence)
+            .cell(r.unitTimeNs, 1)
+            .cell(r.valid ? "yes" : "no");
+    }
+    srec.print(std::cout);
+    std::cout << "store: " << store.hits() << " hits, " << store.misses()
+              << " misses, " << store.driftInvalidations()
+              << " drift invalidations\n";
+
+    std::cout << "\n--- metrics ---\n";
+    if (opt.jsonMetrics)
+        std::cout << svc.metrics().renderJson().dump(2) << '\n';
+    else
+        std::cout << svc.metrics().renderText();
+
+    if (opt.save) {
+        if (store.saveFile(opt.storePath))
+            std::cout << "\nsaved " << store.size() << " records to "
+                      << opt.storePath << '\n';
+        else
+            std::cerr << "\nfailed to save store to " << opt.storePath
+                      << '\n';
+    }
+    return 0;
+}
