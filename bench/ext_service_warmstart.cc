@@ -13,7 +13,6 @@
  */
 #include <iostream>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "serve/dispatch_service.hh"
@@ -59,8 +58,8 @@ runPhase(store::SelectionStore &store)
     svc.start();
 
     auto mix = makeMix();
-    PhaseStats stats;
-    std::mutex mu;
+    std::vector<serve::JobHandle> handles;
+    handles.reserve(mix.size());
     for (auto &w : mix) {
         serve::Job job;
         job.signature = w.signature;
@@ -70,14 +69,15 @@ runPhase(store::SelectionStore &store)
             rt.removeKernel(w.signature);
             w.registerWith(rt);
         };
-        job.done = [&stats, &mu](const serve::JobResult &r) {
-            std::lock_guard<std::mutex> lock(mu);
-            stats.jobs++;
-            stats.profiledUnits += r.report.profiledUnits;
-            stats.warmJobs += r.warmStart ? 1 : 0;
-            stats.deviceTime += r.deviceTimeNs;
-        };
-        svc.submit(job);
+        handles.push_back(svc.submit(std::move(job)));
+    }
+    PhaseStats stats;
+    for (const auto &h : handles) {
+        const serve::JobResult &r = h.result();
+        stats.jobs++;
+        stats.profiledUnits += r.report.profiledUnits;
+        stats.warmJobs += r.warmStart ? 1 : 0;
+        stats.deviceTime += r.deviceTimeNs;
     }
     svc.stop();
     return stats;

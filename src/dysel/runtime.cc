@@ -30,23 +30,32 @@ Runtime::Runtime(sim::Device &device, const RuntimeConfig &cfg)
 {
 }
 
-void
-Runtime::addKernel(const std::string &signature, kdp::KernelVariant variant)
+support::Status
+Runtime::tryAddKernel(const std::string &signature,
+                      kdp::KernelVariant variant)
 {
     if (!variant.fn)
-        support::fatal("DySelAddKernel(%s): variant '%s' has no "
-                       "implementation",
-                       signature.c_str(), variant.name.c_str());
+        return support::Status::invalidArgument(
+            "DySelAddKernel(" + signature + "): variant '" + variant.name
+            + "' has no implementation");
     if (variant.waFactor == 0 || variant.groupSize == 0)
-        support::fatal("DySelAddKernel(%s): variant '%s' has zero work "
-                       "assignment factor or group size",
-                       signature.c_str(), variant.name.c_str());
+        return support::Status::invalidArgument(
+            "DySelAddKernel(" + signature + "): variant '" + variant.name
+            + "' has zero work assignment factor or group size");
     KernelEntry &entry = pool[signature];
     for (const auto &v : entry.variants)
         if (v.name == variant.name)
-            support::fatal("DySelAddKernel(%s): duplicate variant '%s'",
-                           signature.c_str(), variant.name.c_str());
+            return support::Status::invalidArgument(
+                "DySelAddKernel(" + signature + "): duplicate variant '"
+                + variant.name + "'");
     entry.variants.push_back(std::move(variant));
+    return support::Status();
+}
+
+void
+Runtime::addKernel(const std::string &signature, kdp::KernelVariant variant)
+{
+    tryAddKernel(signature, std::move(variant)).throwIfError();
 }
 
 void
@@ -69,6 +78,35 @@ const std::vector<kdp::KernelVariant> &
 Runtime::variants(const std::string &signature) const
 {
     return entryOf(signature).variants;
+}
+
+const std::vector<kdp::KernelVariant> *
+Runtime::findVariants(const std::string &signature) const noexcept
+{
+    const KernelEntry *entry = findEntry(signature);
+    return entry ? &entry->variants : nullptr;
+}
+
+const Runtime::KernelEntry *
+Runtime::findEntry(const std::string &signature) const noexcept
+{
+    auto it = pool.find(signature);
+    return it == pool.end() ? nullptr : &it->second;
+}
+
+support::Status
+Runtime::consumeDeviceFault()
+{
+    const auto fault = dev.takeFault();
+    if (!fault)
+        return support::Status();
+    const std::string where =
+        " (variant '" + fault->variant + "' on " + fault->device + ")";
+    if (fault->kind == sim::FaultKind::Hang)
+        return support::Status::deadlineExceeded(
+            "DySel: device hung during launch" + where);
+    return support::Status::unavailable(
+        "DySel: injected launch failure" + where);
 }
 
 Runtime::KernelEntry &
@@ -119,16 +157,26 @@ Runtime::cachedSelection(const std::string &signature) const
     return it->second;
 }
 
-void
-Runtime::importSelection(const std::string &signature, int variant)
+support::Status
+Runtime::tryImportSelection(const std::string &signature, int variant)
 {
-    const KernelEntry &entry = entryOf(signature);
+    const KernelEntry *entry = findEntry(signature);
+    if (!entry)
+        return support::Status::notFound(
+            "DySel: unknown kernel signature '" + signature + "'");
     if (variant < 0
-        || variant >= static_cast<int>(entry.variants.size()))
-        throw std::invalid_argument(
+        || variant >= static_cast<int>(entry->variants.size()))
+        return support::Status::invalidArgument(
             "DySel: imported selection " + std::to_string(variant)
             + " out of range for '" + signature + "'");
     selectionCache[signature] = variant;
+    return support::Status();
+}
+
+void
+Runtime::importSelection(const std::string &signature, int variant)
+{
+    tryImportSelection(signature, variant).throwIfError();
 }
 
 std::map<std::string, int>
@@ -193,11 +241,11 @@ Runtime::submitBatch(const kdp::KernelVariant &variant,
     dev.submit(std::move(launch));
 }
 
-LaunchReport
+support::Status
 Runtime::runPlain(const std::string &signature, const KernelEntry &entry,
                   int variant, std::uint64_t total_units,
                   const kdp::KernelArgs &args, const LaunchOptions &opt,
-                  bool from_cache)
+                  bool from_cache, LaunchReport &out)
 {
     LaunchReport report;
     report.signature = signature;
@@ -211,8 +259,11 @@ Runtime::runPlain(const std::string &signature, const KernelEntry &entry,
     submitBatch(entry.variants[variant], args, 0, total_units, 0, 0,
                 nullptr);
     dev.run();
+    if (auto fault = consumeDeviceFault(); !fault.ok())
+        return fault;
     report.endTime = dev.now();
-    return report;
+    out = finish(std::move(report));
+    return support::Status();
 }
 
 LaunchReport
@@ -220,18 +271,33 @@ Runtime::launchKernel(const std::string &signature,
                       std::uint64_t total_units,
                       const kdp::KernelArgs &args, const LaunchOptions &opt)
 {
-    KernelEntry &entry = entryOf(signature);
+    LaunchReport report;
+    launch(signature, total_units, args, opt, report).throwIfError();
+    return report;
+}
+
+support::Status
+Runtime::launch(const std::string &signature, std::uint64_t total_units,
+                const kdp::KernelArgs &args, const LaunchOptions &opt,
+                LaunchReport &out)
+{
+    const KernelEntry *entryp = findEntry(signature);
+    if (!entryp)
+        return support::Status::notFound(
+            "DySel: unknown kernel signature '" + signature + "'");
+    const KernelEntry &entry = *entryp;
     const auto num_variants = entry.variants.size();
     if (num_variants == 0)
-        support::fatal("DySelLaunchKernel(%s): no variants registered",
-                       signature.c_str());
+        return support::Status::failedPrecondition(
+            "DySelLaunchKernel(" + signature
+            + "): no variants registered");
     if (total_units == 0)
-        support::fatal("DySelLaunchKernel(%s): empty workload",
-                       signature.c_str());
+        return support::Status::invalidArgument(
+            "DySelLaunchKernel(" + signature + "): empty workload");
     if (opt.initialVariant >= static_cast<int>(num_variants))
-        support::fatal("DySelLaunchKernel(%s): initial variant %d out of "
-                       "range",
-                       signature.c_str(), opt.initialVariant);
+        return support::Status::invalidArgument(
+            "DySelLaunchKernel(" + signature + "): initial variant "
+            + std::to_string(opt.initialVariant) + " out of range");
     const int default_variant =
         opt.initialVariant >= 0 ? opt.initialVariant : 0;
 
@@ -244,15 +310,14 @@ Runtime::launchKernel(const std::string &signature,
             support::warn("DySelLaunchKernel(%s): profiling off with no "
                           "cached selection; using default variant",
                           signature.c_str());
-        return finish(runPlain(signature, entry,
-                               cached.value_or(default_variant),
-                               total_units, args, opt,
-                               cached.has_value()));
+        return runPlain(signature, entry,
+                        cached.value_or(default_variant), total_units,
+                        args, opt, cached.has_value(), out);
     }
 
     if (num_variants == 1)
-        return finish(
-            runPlain(signature, entry, 0, total_units, args, opt, false));
+        return runPlain(signature, entry, 0, total_units, args, opt,
+                        false, out);
 
     ProfilingMode mode = resolveMode(entry, opt);
     Orchestration orch = opt.orch;
@@ -285,8 +350,8 @@ Runtime::launchKernel(const std::string &signature,
     if (total_units < config.minUnitsForProfiling
         || plan.unitsPerVariant == 0) {
         // Small workload: profiling-based selection is deactivated.
-        return finish(runPlain(signature, entry, default_variant,
-                               total_units, args, opt, false));
+        return runPlain(signature, entry, default_variant, total_units,
+                        args, opt, false, out);
     }
 
     const std::uint64_t slice = plan.unitsPerVariant;
@@ -325,10 +390,11 @@ Runtime::launchKernel(const std::string &signature,
         for (std::size_t i = first_cloned; i < num_variants; ++i) {
             const auto outs = outputs_of(entry.variants[i]);
             if (outs.empty())
-                support::fatal("DySelLaunchKernel(%s): %s profiling needs "
-                               "sandbox indices or output-arg metadata",
-                               signature.c_str(),
-                               compiler::profilingModeName(mode));
+                return support::Status::failedPrecondition(
+                    "DySelLaunchKernel(" + signature + "): "
+                    + std::string(compiler::profilingModeName(mode))
+                    + " profiling needs sandbox indices or output-arg "
+                      "metadata");
             for (std::size_t idx : outs) {
                 auto clone = args.bufBase(idx).clone();
                 report.extraBytes += clone->sizeBytes();
@@ -507,6 +573,9 @@ Runtime::launchKernel(const std::string &signature,
 
     dev.run();
 
+    if (auto fault = consumeDeviceFault(); !fault.ok())
+        return fault;
+
     if (!st->profilingDone)
         support::panic("profiling did not complete for '%s'",
                        signature.c_str());
@@ -529,7 +598,8 @@ Runtime::launchKernel(const std::string &signature,
                         100.0 * static_cast<double>(report.profiledUnits)
                             / static_cast<double>(total_units));
     }
-    return finish(std::move(report));
+    out = finish(std::move(report));
+    return support::Status();
 }
 
 } // namespace runtime

@@ -28,6 +28,7 @@
 #include "kdp/args.hh"
 #include "kdp/kernel.hh"
 #include "sim/device.hh"
+#include "support/status.hh"
 
 #include "options.hh"
 #include "report.hh"
@@ -74,7 +75,13 @@ class Runtime
     /**
      * Register a kernel variant (DySelAddKernel).  Variants of a
      * signature are ordered by registration; index 0 is the default.
+     * Fails with InvalidArgument for a variant without an
+     * implementation, with zero geometry, or with a duplicate name.
      */
+    support::Status tryAddKernel(const std::string &signature,
+                                 kdp::KernelVariant variant);
+
+    /** Throwing wrapper of tryAddKernel (std::invalid_argument). */
     void addKernel(const std::string &signature,
                    kdp::KernelVariant variant);
 
@@ -99,14 +106,41 @@ class Runtime
     /** Number of variants registered under @p signature. */
     std::size_t variantCount(const std::string &signature) const;
 
-    /** The registered variants of @p signature. */
+    /**
+     * The registered variants of @p signature; throws
+     * std::out_of_range for an unknown signature.
+     */
     const std::vector<kdp::KernelVariant> &
     variants(const std::string &signature) const;
 
     /**
+     * The registered variants of @p signature, or nullptr for an
+     * unknown signature (the non-throwing lookup).
+     */
+    const std::vector<kdp::KernelVariant> *
+    findVariants(const std::string &signature) const noexcept;
+
+    /**
      * Launch a kernel over @p total_units workload units
-     * (DySelLaunchKernel).  Runs the device's event loop to
-     * completion and returns the full report.
+     * (DySelLaunchKernel), the fallible entry point.  Runs the
+     * device's event loop to completion; on success fills @p report.
+     *
+     * Failure codes:
+     *   NotFound            -- unknown signature
+     *   InvalidArgument     -- zero units / initial variant range
+     *   FailedPrecondition  -- empty pool, missing sandbox metadata
+     *   Unavailable         -- injected launch failure (retryable)
+     *   DeadlineExceeded    -- the device hung
+     */
+    support::Status launch(const std::string &signature,
+                           std::uint64_t total_units,
+                           const kdp::KernelArgs &args,
+                           const LaunchOptions &opt, LaunchReport &report);
+
+    /**
+     * Throwing wrapper of launch(): returns the report on success,
+     * throws std::out_of_range for an unknown signature and
+     * std::runtime_error / std::invalid_argument otherwise.
      */
     LaunchReport launchKernel(const std::string &signature,
                               std::uint64_t total_units,
@@ -123,9 +157,16 @@ class Runtime
     /**
      * Seed the selection cache from an external source (a persistent
      * selection store): subsequent non-profiled launches of
-     * @p signature run @p variant directly.  Throws std::out_of_range
-     * for an unknown signature and std::invalid_argument for a
-     * variant index outside the registered pool.
+     * @p signature run @p variant directly.  Fails with NotFound for
+     * an unknown signature and InvalidArgument for a variant index
+     * outside the registered pool.
+     */
+    support::Status tryImportSelection(const std::string &signature,
+                                       int variant);
+
+    /**
+     * Throwing wrapper of tryImportSelection (std::out_of_range /
+     * std::invalid_argument).
      */
     void importSelection(const std::string &signature, int variant);
 
@@ -155,6 +196,17 @@ class Runtime
     KernelEntry &entryOf(const std::string &signature);
     const KernelEntry &entryOf(const std::string &signature) const;
 
+    /** Non-throwing pool lookup; nullptr for an unknown signature. */
+    const KernelEntry *findEntry(const std::string &signature)
+        const noexcept;
+
+    /**
+     * Turn a pending launch-aborting device fault into a Status
+     * (Unavailable for a launch failure, DeadlineExceeded for a
+     * hang); Ok when no fault is pending.
+     */
+    support::Status consumeDeviceFault();
+
     /** Notify the launch observer (if any) and forward the report. */
     LaunchReport finish(LaunchReport report);
 
@@ -169,11 +221,12 @@ class Runtime
                      std::function<void(const sim::LaunchStats &)> done);
 
     /** Non-profiled path: run everything with one variant. */
-    LaunchReport runPlain(const std::string &signature,
-                          const KernelEntry &entry, int variant,
-                          std::uint64_t total_units,
-                          const kdp::KernelArgs &args,
-                          const LaunchOptions &opt, bool from_cache);
+    support::Status runPlain(const std::string &signature,
+                             const KernelEntry &entry, int variant,
+                             std::uint64_t total_units,
+                             const kdp::KernelArgs &args,
+                             const LaunchOptions &opt, bool from_cache,
+                             LaunchReport &report);
 
     sim::Device &dev;
     RuntimeConfig config;

@@ -33,6 +33,17 @@ bucketRange(unsigned bucket)
     return {lo, lo * 2 - 1};
 }
 
+const char *
+observationName(Observation obs)
+{
+    switch (obs) {
+      case Observation::Ok: return "ok";
+      case Observation::Quarantined: return "quarantined";
+      case Observation::Invalidated: return "invalidated";
+    }
+    return "?";
+}
+
 SelectionStore::SelectionStore(StoreConfig cfg) : cfg_(cfg) {}
 
 std::optional<SelectionRecord>
@@ -78,49 +89,118 @@ SelectionStore::recordProfile(const std::string &device,
     }
     rec.launches++;
     rec.profiledLaunches++;
-    // A fresh profile starts a fresh observation history.
+    // A fresh profile starts a fresh observation history and lifts
+    // any quarantine: the offending variant competed again and the
+    // measurements above are the new truth.
     rec.confidence = 0;
     rec.unitTimeNs = 0.0;
     rec.valid = true;
+    rec.quarantinedVariant = -1;
+    rec.cooldownLeft = 0;
 }
 
-bool
+void
+SelectionStore::invalidateLocked(SelectionRecord &rec)
+{
+    rec.valid = false;
+    rec.confidence = 0;
+    rec.unitTimeNs = 0.0;
+    rec.quarantinedVariant = -1;
+    rec.cooldownLeft = 0;
+}
+
+Observation
+SelectionStore::demoteLocked(SelectionRecord &rec)
+{
+    if (rec.quarantinedVariant >= 0) {
+        // The fallback misbehaved too; nothing left to trust.
+        invalidateLocked(rec);
+        ++drifts_;
+        return Observation::Invalidated;
+    }
+    // Best profiled runner-up (lowest metric, not the offender).
+    int runnerUp = -1;
+    for (std::size_t i = 0; i < rec.profiles.size(); ++i) {
+        if (static_cast<int>(i) == rec.selected)
+            continue;
+        if (rec.profiles[i].metricNs <= 0.0)
+            continue;
+        if (runnerUp < 0
+            || rec.profiles[i].metricNs
+                   < rec.profiles[runnerUp].metricNs) {
+            runnerUp = static_cast<int>(i);
+        }
+    }
+    if (runnerUp < 0) {
+        invalidateLocked(rec);
+        ++drifts_;
+        return Observation::Invalidated;
+    }
+    rec.quarantinedVariant = rec.selected;
+    rec.selected = runnerUp;
+    rec.selectedName = rec.profiles[runnerUp].name;
+    rec.cooldownLeft = cfg_.quarantineCooldown;
+    rec.quarantines++;
+    // The fallback needs its own baseline.
+    rec.confidence = 0;
+    rec.unitTimeNs = 0.0;
+    ++quarantines_;
+    return Observation::Quarantined;
+}
+
+Observation
 SelectionStore::observePlain(const std::string &device,
                              const runtime::LaunchReport &report)
 {
     if (report.profiled || report.totalUnits == 0)
-        return true;
+        return Observation::Ok;
     std::lock_guard<std::mutex> lock(mu);
     auto it = recs.find(
         Key{report.signature, device, bucketOf(report.totalUnits)});
     if (it == recs.end() || !it->second.valid)
-        return true; // nothing to check against
+        return Observation::Ok; // nothing to check against
     SelectionRecord &rec = it->second;
     rec.launches++;
 
     const double observed = static_cast<double>(report.elapsed())
                             / static_cast<double>(report.totalUnits);
-    if (rec.unitTimeNs <= 0.0) {
+    const bool seeding = rec.unitTimeNs <= 0.0;
+    if (!seeding) {
+        const double ratio = observed > rec.unitTimeNs
+                                 ? observed / rec.unitTimeNs
+                                 : rec.unitTimeNs / observed;
+        if (ratio > cfg_.driftFactor)
+            return demoteLocked(rec);
+    }
+    if (seeding) {
         // First plain run after (re-)profiling seeds the baseline.
         rec.unitTimeNs = observed;
         rec.confidence = 1;
-        return true;
+    } else {
+        rec.unitTimeNs = (1.0 - cfg_.emaAlpha) * rec.unitTimeNs
+                         + cfg_.emaAlpha * observed;
+        if (rec.confidence < cfg_.maxConfidence)
+            rec.confidence++;
     }
-    const double ratio = observed > rec.unitTimeNs
-                             ? observed / rec.unitTimeNs
-                             : rec.unitTimeNs / observed;
-    if (ratio > cfg_.driftFactor) {
-        rec.valid = false;
-        rec.confidence = 0;
-        rec.unitTimeNs = 0.0;
-        ++drifts_;
-        return false;
+    if (rec.quarantinedVariant >= 0 && --rec.cooldownLeft == 0) {
+        // Cooldown over: force a fresh profile so the quarantined
+        // variant gets re-evaluated instead of being exiled forever.
+        invalidateLocked(rec);
+        return Observation::Invalidated;
     }
-    rec.unitTimeNs =
-        (1.0 - cfg_.emaAlpha) * rec.unitTimeNs + cfg_.emaAlpha * observed;
-    if (rec.confidence < cfg_.maxConfidence)
-        rec.confidence++;
-    return true;
+    return Observation::Ok;
+}
+
+Observation
+SelectionStore::reportFailure(const std::string &signature,
+                              const std::string &device,
+                              std::uint64_t units)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = recs.find(Key{signature, device, bucketOf(units)});
+    if (it == recs.end() || !it->second.valid)
+        return Observation::Ok;
+    return demoteLocked(it->second);
 }
 
 void
@@ -129,11 +209,8 @@ SelectionStore::invalidate(const std::string &signature,
 {
     std::lock_guard<std::mutex> lock(mu);
     auto it = recs.find(Key{signature, device, bucket});
-    if (it != recs.end()) {
-        it->second.valid = false;
-        it->second.confidence = 0;
-        it->second.unitTimeNs = 0.0;
-    }
+    if (it != recs.end())
+        invalidateLocked(it->second);
 }
 
 void
@@ -182,6 +259,13 @@ SelectionStore::driftInvalidations() const
     return drifts_;
 }
 
+std::uint64_t
+SelectionStore::quarantineCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return quarantines_;
+}
+
 Json
 SelectionStore::toJson() const
 {
@@ -210,10 +294,13 @@ SelectionStore::toJson() const
         jr.set("confidence", Json(rec.confidence));
         jr.set("unit_time_ns", Json(rec.unitTimeNs));
         jr.set("valid", Json(rec.valid));
+        jr.set("quarantined_variant", Json(rec.quarantinedVariant));
+        jr.set("cooldown_left", Json(rec.cooldownLeft));
+        jr.set("quarantines", Json(rec.quarantines));
         arr.push(std::move(jr));
     }
     Json root = Json::object();
-    root.set("version", Json(1));
+    root.set("version", Json(2));
     root.set("records", std::move(arr));
     return root;
 }
@@ -221,7 +308,10 @@ SelectionStore::toJson() const
 void
 SelectionStore::loadJson(const Json &doc)
 {
-    if (!doc.isObject() || doc.intOr("version", 0) != 1)
+    // Version 2 added the quarantine fields; version-1 documents
+    // load with quarantine state at rest.
+    const auto version = doc.isObject() ? doc.intOr("version", 0) : 0;
+    if (version != 1 && version != 2)
         throw std::runtime_error(
             "selection store: unsupported document version");
     std::map<Key, SelectionRecord> loaded;
@@ -237,6 +327,10 @@ SelectionStore::loadJson(const Json &doc)
         rec.confidence = jr.intOr("confidence", 0);
         rec.unitTimeNs = jr.numberOr("unit_time_ns", 0.0);
         rec.valid = jr.boolOr("valid", true);
+        rec.quarantinedVariant =
+            static_cast<int>(jr.intOr("quarantined_variant", -1));
+        rec.cooldownLeft = jr.intOr("cooldown_left", 0);
+        rec.quarantines = jr.intOr("quarantines", 0);
         if (jr.has("profiles")) {
             for (const Json &jp : jr.at("profiles").items()) {
                 StoredProfile sp;

@@ -48,7 +48,7 @@ struct StoreConfig
     /**
      * Drift threshold: a plain run whose per-unit time differs from
      * the record's baseline by more than this factor (either
-     * direction) invalidates the record.
+     * direction) quarantines or invalidates the record.
      */
     double driftFactor = 1.5;
 
@@ -57,7 +57,34 @@ struct StoreConfig
 
     /** Confidence cap (consistent observations since last profile). */
     std::uint64_t maxConfidence = 1000;
+
+    /**
+     * Plain-run observations a quarantined record serves its
+     * fallback variant before it is invalidated anyway (forcing a
+     * fresh profile to re-evaluate the quarantined variant).
+     */
+    std::uint64_t quarantineCooldown = 8;
 };
+
+/** What observePlain() / reportFailure() did to the record. */
+enum class Observation {
+    /** Observation consistent with the baseline (or no record). */
+    Ok,
+    /**
+     * The selected variant misbehaved; the record now serves the
+     * next-best profiled variant and will re-profile after a
+     * cooldown.
+     */
+    Quarantined,
+    /**
+     * The record was invalidated; the next lookup misses, which
+     * triggers re-profiling upstream.
+     */
+    Invalidated,
+};
+
+/** Stable lower-case name of @p obs (e.g. "quarantined"). */
+const char *observationName(Observation obs);
 
 /** One variant's metrics as captured at selection time. */
 struct StoredProfile
@@ -94,6 +121,20 @@ struct SelectionRecord
     double unitTimeNs = 0.0;
     /** False after drift invalidation; invalid records never serve. */
     bool valid = true;
+
+    /**
+     * Registration index of the variant quarantine demoted, or -1
+     * when the record is not quarantined.  While quarantined, the
+     * record serves the next-best profiled variant.
+     */
+    int quarantinedVariant = -1;
+    /**
+     * Plain-run observations left before a quarantined record is
+     * invalidated (forced re-profile); 0 when not quarantined.
+     */
+    std::uint64_t cooldownLeft = 0;
+    /** Times this record's selection was quarantined, lifetime. */
+    std::uint64_t quarantines = 0;
 };
 
 /**
@@ -124,12 +165,23 @@ class SelectionStore
 
     /**
      * Ingest a plain (cache-served) launch: update the throughput
-     * baseline and confidence.  Returns false when the observation
-     * drifted beyond config().driftFactor and invalidated the record
-     * (the next lookup misses, which triggers re-profiling upstream).
+     * baseline and confidence.  An observation that drifts beyond
+     * config().driftFactor quarantines the record (first offense
+     * with a known runner-up) or invalidates it; a quarantined
+     * record is also invalidated once its cooldown runs out.
      */
-    bool observePlain(const std::string &device,
-                      const runtime::LaunchReport &report);
+    Observation observePlain(const std::string &device,
+                             const runtime::LaunchReport &report);
+
+    /**
+     * Report that a launch served from this record failed outright
+     * (e.g. an injected launch failure on a warm-started selection).
+     * Same escalation as a drifted observation: quarantine first,
+     * invalidate on repeat.  Ok when no record covers the key.
+     */
+    Observation reportFailure(const std::string &signature,
+                              const std::string &device,
+                              std::uint64_t units);
 
     /** Mark one record invalid (administrative invalidation). */
     void invalidate(const std::string &signature,
@@ -148,6 +200,7 @@ class SelectionStore
     std::uint64_t hits() const;
     std::uint64_t misses() const;
     std::uint64_t driftInvalidations() const;
+    std::uint64_t quarantineCount() const;
 
     /** Serialize all records (deterministic field and record order). */
     support::Json toJson() const;
@@ -165,12 +218,24 @@ class SelectionStore
   private:
     using Key = std::tuple<std::string, std::string, unsigned>;
 
+    /**
+     * Demote @p rec's selection: switch to the best profiled
+     * runner-up and start the cooldown, or invalidate when the
+     * record is already quarantined / has no runner-up.  Caller
+     * holds the lock.
+     */
+    Observation demoteLocked(SelectionRecord &rec);
+
+    /** Invalidate @p rec in place.  Caller holds the lock. */
+    void invalidateLocked(SelectionRecord &rec);
+
     mutable std::mutex mu;
     StoreConfig cfg_;
     std::map<Key, SelectionRecord> recs;
     mutable std::uint64_t hits_ = 0;
     mutable std::uint64_t misses_ = 0;
     std::uint64_t drifts_ = 0;
+    std::uint64_t quarantines_ = 0;
 };
 
 } // namespace store

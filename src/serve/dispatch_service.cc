@@ -16,7 +16,80 @@ devKey(unsigned idx)
     return "dev" + std::to_string(idx);
 }
 
+bool
+contains(const std::vector<unsigned> &v, unsigned x)
+{
+    return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+/** Whether a failed attempt with @p code is worth another device. */
+bool
+retryableCode(support::StatusCode code)
+{
+    switch (code) {
+      case support::StatusCode::Unavailable:
+      case support::StatusCode::DeadlineExceeded:
+      case support::StatusCode::Internal:
+        return true;
+      default:
+        return false;
+    }
+}
+
 } // namespace
+
+bool
+JobHandle::done() const
+{
+    if (!state_)
+        return false;
+    const int p = state_->phase.load(std::memory_order_acquire);
+    return p == detail::JobState::Done
+           || p == detail::JobState::Cancelled;
+}
+
+void
+JobHandle::wait() const
+{
+    if (!state_)
+        return;
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [this] {
+        const int p = state_->phase.load(std::memory_order_acquire);
+        return p == detail::JobState::Done
+               || p == detail::JobState::Cancelled;
+    });
+}
+
+const JobResult &
+JobHandle::result() const
+{
+    if (!state_)
+        throw std::logic_error("JobHandle: result() on empty handle");
+    wait();
+    return state_->result;
+}
+
+bool
+JobHandle::cancel()
+{
+    if (!state_)
+        return false;
+    int expected = detail::JobState::Queued;
+    if (!state_->phase.compare_exchange_strong(
+            expected, detail::JobState::Cancelled)) {
+        return false;
+    }
+    {
+        std::lock_guard<std::mutex> lock(state_->mu);
+        state_->result.id = state_->id;
+        state_->result.status = support::Status::cancelled(
+            "job " + std::to_string(state_->id)
+            + " cancelled before dispatch");
+    }
+    state_->cv.notify_all();
+    return true;
+}
 
 DispatchService::DispatchService(store::SelectionStore &st,
                                  ServiceConfig cfg)
@@ -45,15 +118,23 @@ DispatchService::addDevice(std::unique_ptr<sim::Device> device)
 
     // Feed the store from every launch on this runtime: profiled
     // launches refresh their record, plain cache-served launches
-    // update the drift baseline (and may invalidate).
+    // update the drift baseline (and may quarantine / invalidate).
     w->rt->setLaunchObserver(
         [this, fp = w->fingerprint](const runtime::LaunchReport &r) {
             if (r.profiled) {
                 store_.recordProfile(fp, r);
                 reg.counter("store.record").inc();
             } else if (r.fromCache) {
-                if (!store_.observePlain(fp, r))
+                switch (store_.observePlain(fp, r)) {
+                  case store::Observation::Quarantined:
+                    reg.counter("store.quarantine").inc();
+                    break;
+                  case store::Observation::Invalidated:
                     reg.counter("store.drift_invalidation").inc();
+                    break;
+                  case store::Observation::Ok:
+                    break;
+                }
             }
         });
 
@@ -87,35 +168,106 @@ DispatchService::start()
 }
 
 unsigned
-DispatchService::route(const Job &job)
+DispatchService::route(const std::string &signature,
+                       const std::vector<unsigned> &excluded)
 {
-    if (config.affinity) {
-        auto it = affinityMap.find(job.signature);
-        if (it != affinityMap.end())
-            return it->second;
+    // An open breaker sheds load for breakerCooldown routing
+    // decisions; once the cooldown is spent the device becomes
+    // eligible for exactly one probe job (the cooldown is re-armed
+    // when the probe is placed, and the breaker closes or reopens on
+    // the probe's result).
+    auto admissible = [this](unsigned i) {
+        Worker &w = *workers[i];
+        if (!w.breakerOpen)
+            return true;
+        if (w.breakerCooldownLeft > 0) {
+            w.breakerCooldownLeft--;
+            return false;
+        }
+        return true; // half-open: probe allowed
+    };
+
+    std::vector<unsigned> pool;
+    for (unsigned i = 0; i < workers.size(); ++i)
+        if (!contains(excluded, i) && admissible(i))
+            pool.push_back(i);
+    if (pool.empty()) {
+        // Everything is excluded or shedding: fall back to the
+        // non-excluded devices, then to all of them.
+        for (unsigned i = 0; i < workers.size(); ++i)
+            if (!contains(excluded, i))
+                pool.push_back(i);
     }
-    unsigned best = 0;
-    for (unsigned i = 1; i < workers.size(); ++i)
+    if (pool.empty()) {
+        pool.resize(workers.size());
+        for (unsigned i = 0; i < workers.size(); ++i)
+            pool[i] = i;
+    }
+
+    if (config.affinity) {
+        auto it = affinityMap.find(signature);
+        if (it != affinityMap.end() && contains(pool, it->second)) {
+            Worker &w = *workers[it->second];
+            if (w.breakerOpen)
+                w.breakerCooldownLeft = config.breakerCooldown;
+            return it->second;
+        }
+    }
+    unsigned best = pool[0];
+    for (unsigned i : pool)
         if (workers[i]->load < workers[best]->load)
             best = i;
+    if (workers[best]->breakerOpen)
+        workers[best]->breakerCooldownLeft = config.breakerCooldown;
     return best;
 }
 
-std::uint64_t
+void
+DispatchService::breakerObserve(unsigned idx, bool deviceFault)
+{
+    Worker &w = *workers[idx];
+    if (deviceFault) {
+        w.consecFailures++;
+        if (w.breakerOpen) {
+            // The half-open probe failed: re-arm the cooldown.
+            w.breakerCooldownLeft = config.breakerCooldown;
+            reg.counter("breaker.reopens").inc();
+        } else if (w.consecFailures >= config.breakerThreshold) {
+            w.breakerOpen = true;
+            w.breakerCooldownLeft = config.breakerCooldown;
+            reg.counter("breaker.trips").inc();
+            reg.counter(devKey(idx) + ".breaker_trips").inc();
+        }
+    } else {
+        w.consecFailures = 0;
+        if (w.breakerOpen) {
+            w.breakerOpen = false;
+            w.breakerCooldownLeft = 0;
+            reg.counter("breaker.closes").inc();
+        }
+    }
+}
+
+JobHandle
 DispatchService::submit(Job job)
 {
     std::unique_lock<std::mutex> lock(mu);
     if (!started)
         throw std::logic_error("DispatchService: submit before start()");
     job.id = nextId++;
-    const std::uint64_t id = job.id;
-    const unsigned idx = route(job);
-    workers[idx]->queue.push_back(std::move(job));
+    auto state = std::make_shared<detail::JobState>();
+    state->id = job.id;
+
+    QueuedJob qj;
+    qj.job = std::move(job);
+    qj.state = state;
+    const unsigned idx = route(qj.job.signature, qj.excluded);
+    workers[idx]->queue.push_back(std::move(qj));
     workers[idx]->load++;
     inFlight++;
     lock.unlock();
     wake.notify_all();
-    return id;
+    return JobHandle(std::move(state));
 }
 
 void
@@ -143,11 +295,29 @@ DispatchService::stop()
 }
 
 void
+DispatchService::finishJob(QueuedJob &qj, JobResult res)
+{
+    // The callback runs before the handle reports Done: once a
+    // waiter wakes from result() the job -- callback included -- is
+    // truly finished, and the caller may tear its captures down.
+    if (qj.job.done)
+        qj.job.done(res);
+    detail::JobState &st = *qj.state;
+    {
+        std::lock_guard<std::mutex> lock(st.mu);
+        st.result = std::move(res);
+        st.phase.store(detail::JobState::Done,
+                       std::memory_order_release);
+    }
+    st.cv.notify_all();
+}
+
+void
 DispatchService::workerLoop(unsigned idx)
 {
     Worker &w = *workers[idx];
     for (;;) {
-        Job job;
+        QueuedJob qj;
         {
             std::unique_lock<std::mutex> lock(mu);
             wake.wait(lock,
@@ -157,19 +327,109 @@ DispatchService::workerLoop(unsigned idx)
                     return;
                 continue;
             }
-            job = std::move(w.queue.front());
+            qj = std::move(w.queue.front());
             w.queue.pop_front();
         }
 
-        JobResult res = runJob(idx, job);
-
-        if (config.affinity && res.ok
-            && (res.report.profiled || res.report.fromCache)) {
+        // Claim the job; a lost race means it was cancelled while
+        // queued and the handle already carries the Cancelled result.
+        int expected = detail::JobState::Queued;
+        if (!qj.state->phase.compare_exchange_strong(
+                expected, detail::JobState::Running)) {
+            reg.counter("jobs.cancelled").inc();
             std::lock_guard<std::mutex> lock(mu);
-            affinityMap.emplace(job.signature, idx);
+            w.load--;
+            if (--inFlight == 0)
+                idle.notify_all();
+            continue;
         }
-        if (job.done)
-            job.done(res);
+
+        JobResult res = runJob(idx, qj);
+        res.attempts = qj.attempt + 1;
+        res.backoffNs = qj.backoffNs;
+        qj.spentNs += res.deviceTimeNs;
+
+        // The breaker watches device faults, not job-level failures
+        // (an unknown signature says nothing about device health).
+        const support::StatusCode launchCode = res.status.code();
+        const bool deviceFault =
+            launchCode == support::StatusCode::Unavailable
+            || launchCode == support::StatusCode::DeadlineExceeded;
+        if (launchCode == support::StatusCode::DeadlineExceeded) {
+            // A hung device timed the attempt out.
+            reg.counter("recover.timeouts").inc();
+        }
+
+        // Job-level deadline: device time plus charged backoff.
+        if (res.ok() && qj.job.deadlineNs != 0
+            && qj.spentNs + qj.backoffNs > qj.job.deadlineNs) {
+            res.status = support::Status::deadlineExceeded(
+                "job " + std::to_string(qj.job.id)
+                + " exceeded its deadline");
+            reg.counter("recover.timeouts").inc();
+        }
+
+        bool retry = false;
+        sim::TimeNs backoff = 0;
+        if (!res.ok() && retryableCode(launchCode)
+            && res.attempts < config.maxAttempts) {
+            backoff = config.backoffBaseNs
+                      << (res.attempts - 1);
+            if (qj.job.deadlineNs == 0
+                || qj.spentNs + qj.backoffNs + backoff
+                       < qj.job.deadlineNs) {
+                retry = true;
+            } else {
+                res.status = support::Status::deadlineExceeded(
+                    "job " + std::to_string(qj.job.id)
+                    + " out of retry budget: "
+                    + res.status.message());
+                reg.counter("recover.timeouts").inc();
+            }
+        }
+
+        if (retry) {
+            // Back to Queued so the next worker can claim it (and a
+            // cancel() between attempts still wins the race).
+            qj.state->phase.store(detail::JobState::Queued,
+                                  std::memory_order_release);
+            std::lock_guard<std::mutex> lock(mu);
+            breakerObserve(idx, deviceFault);
+            qj.attempt = res.attempts;
+            qj.excluded.push_back(idx);
+            qj.backoffNs += backoff;
+            std::vector<unsigned> excluded = qj.excluded;
+            if (excluded.size() >= workers.size())
+                excluded.clear(); // every device failed it: restart
+            const unsigned target = route(qj.job.signature, excluded);
+            reg.counter("recover.retries").inc();
+            reg.counter(devKey(idx) + ".retries_out").inc();
+            workers[target]->queue.push_back(std::move(qj));
+            workers[target]->load++;
+            w.load--;
+            wake.notify_all();
+            continue;
+        }
+
+        const bool succeeded = res.ok();
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            breakerObserve(idx, deviceFault);
+            if (config.affinity && succeeded
+                && (res.report.profiled || res.report.fromCache)) {
+                // Insert-or-re-pin: after a re-routed retry the
+                // signature sticks to the device that worked.
+                affinityMap[qj.job.signature] = idx;
+            }
+        }
+
+        reg.counter(succeeded ? "jobs.completed" : "jobs.failed").inc();
+        reg.histogram("job.attempts")
+            .observe(static_cast<double>(res.attempts));
+        if (res.backoffNs > 0)
+            reg.histogram("job.backoff_ns")
+                .observe(static_cast<double>(res.backoffNs));
+        finishJob(qj, std::move(res));
 
         {
             std::lock_guard<std::mutex> lock(mu);
@@ -181,9 +441,10 @@ DispatchService::workerLoop(unsigned idx)
 }
 
 JobResult
-DispatchService::runJob(unsigned idx, Job &job)
+DispatchService::runJob(unsigned idx, QueuedJob &qj)
 {
     Worker &w = *workers[idx];
+    Job &job = qj.job;
     JobResult res;
     res.id = job.id;
     res.deviceIndex = idx;
@@ -192,46 +453,66 @@ DispatchService::runJob(unsigned idx, Job &job)
     try {
         if (job.ensureRegistered)
             job.ensureRegistered(*w.rt);
+    } catch (const std::exception &e) {
+        res.status = support::Status::internal(
+            std::string("ensureRegistered: ") + e.what());
+        return res;
+    }
 
-        runtime::LaunchOptions opt = job.opt;
-        auto rec =
-            store_.lookup(job.signature, w.fingerprint, job.units);
-        if (rec) {
-            // Warm start: resolve the stored winner (by name, so
-            // records survive re-registration) and skip profiling.
-            int variant = rec->selected;
-            const auto &variants = w.rt->variants(job.signature);
-            for (std::size_t i = 0; i < variants.size(); ++i)
-                if (variants[i].name == rec->selectedName)
+    runtime::LaunchOptions opt = job.opt;
+    auto rec = store_.lookup(job.signature, w.fingerprint, job.units);
+    if (rec) {
+        // Warm start: resolve the stored winner (by name, so records
+        // survive re-registration) and skip profiling.
+        int variant = rec->selected;
+        if (const auto *variants = w.rt->findVariants(job.signature)) {
+            for (std::size_t i = 0; i < variants->size(); ++i)
+                if ((*variants)[i].name == rec->selectedName)
                     variant = static_cast<int>(i);
-            w.rt->importSelection(job.signature, variant);
-            opt.profiling = false;
-            res.warmStart = true;
-            reg.counter("store.hit").inc();
-            reg.counter(devKey(idx) + ".hits").inc();
-        } else {
-            opt.profiling = true;
-            reg.counter("store.miss").inc();
         }
+        if (auto st = w.rt->tryImportSelection(job.signature, variant);
+            !st.ok()) {
+            res.status = std::move(st);
+            return res;
+        }
+        opt.profiling = false;
+        res.warmStart = true;
+        reg.counter("store.hit").inc();
+        reg.counter(devKey(idx) + ".hits").inc();
+    } else {
+        opt.profiling = true;
+        reg.counter("store.miss").inc();
+    }
 
-        const sim::TimeNs before = w.dev->now();
-        res.report =
-            w.rt->launchKernel(job.signature, job.units, job.args, opt);
-        res.deviceTimeNs = w.dev->now() - before;
-        res.ok = true;
+    const sim::TimeNs before = w.dev->now();
+    res.status =
+        w.rt->launch(job.signature, job.units, job.args, opt,
+                     res.report);
+    res.deviceTimeNs = w.dev->now() - before;
 
+    if (res.ok()) {
         reg.counter(devKey(idx) + ".jobs").inc();
-        reg.counter("jobs.completed").inc();
         reg.histogram("job.device_ns")
             .observe(static_cast<double>(res.deviceTimeNs));
         reg.histogram(devKey(idx) + ".device_ns")
             .observe(static_cast<double>(res.deviceTimeNs));
         if (res.report.profiled)
             reg.counter(devKey(idx) + ".profiled").inc();
-    } catch (const std::exception &e) {
-        res.ok = false;
-        res.error = e.what();
-        reg.counter("jobs.failed").inc();
+    } else if (res.warmStart
+               && retryableCode(res.status.code())) {
+        // The stored selection failed to even launch: demote it so
+        // the next lookup serves the runner-up (or re-profiles).
+        switch (store_.reportFailure(job.signature, w.fingerprint,
+                                     job.units)) {
+          case store::Observation::Quarantined:
+            reg.counter("store.quarantine").inc();
+            break;
+          case store::Observation::Invalidated:
+            reg.counter("store.drift_invalidation").inc();
+            break;
+          case store::Observation::Ok:
+            break;
+        }
     }
     return res;
 }

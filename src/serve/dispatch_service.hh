@@ -14,12 +14,24 @@
  * launch observer.  Counters and latency histograms are exposed
  * through a support::MetricsRegistry.
  *
+ * Fault tolerance: a job whose launch fails with a retryable code
+ * (Unavailable, DeadlineExceeded, Internal) is retried up to
+ * maxAttempts times with exponential virtual backoff, re-routed away
+ * from the devices that already failed it.  Devices that fail
+ * breakerThreshold jobs in a row trip a circuit breaker and stop
+ * receiving work for breakerCooldown routing decisions, after which
+ * a single probe job decides whether the breaker closes or reopens.
+ * Warm-started launch failures also feed SelectionStore::
+ * reportFailure so a bad stored selection is quarantined.  All
+ * recovery events are counted in the metrics registry.
+ *
  * The simulated devices are single-threaded event loops, so each
  * runtime is touched only by its worker thread; the store and the
  * metrics registry are the only shared state and are thread-safe.
  */
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -38,6 +50,7 @@
 #include "kdp/args.hh"
 #include "sim/device.hh"
 #include "support/metrics.hh"
+#include "support/status.hh"
 
 namespace dysel {
 namespace serve {
@@ -51,25 +64,53 @@ struct ServiceConfig
     /**
      * Route every job of a signature to the device that first cached
      * a selection for it (keeps cache warm and outputs ordered);
-     * disable for pure least-loaded spreading.
+     * disable for pure least-loaded spreading.  A retry re-pins the
+     * affinity to the device that eventually succeeded.
      */
     bool affinity = true;
+
+    /** Attempts per job (first run + retries) before giving up. */
+    unsigned maxAttempts = 3;
+
+    /**
+     * Virtual backoff charged before retry n is
+     * backoffBaseNs << (n - 1).  Backoff is accounted, not slept:
+     * the simulated devices keep their own clocks, so the service
+     * records the penalty in JobResult::backoffNs and the
+     * job.backoff_ns histogram instead of stalling a worker thread.
+     */
+    sim::TimeNs backoffBaseNs = 1'000'000;
+
+    /** Consecutive device faults that trip its circuit breaker. */
+    unsigned breakerThreshold = 3;
+
+    /**
+     * Routing decisions an open breaker sheds before it lets one
+     * probe job through (half-open).
+     */
+    unsigned breakerCooldown = 4;
 };
 
 /** Completion record of one job. */
 struct JobResult
 {
     std::uint64_t id = 0;
-    bool ok = false;
-    std::string error; ///< set when ok is false
+    /** Ok, or why the job ultimately failed. */
+    support::Status status;
+    bool ok() const { return status.ok(); }
 
     unsigned deviceIndex = 0;
     std::string deviceName;
     /** Selection came from the persistent store (no profiling ran). */
     bool warmStart = false;
     runtime::LaunchReport report;
-    /** Virtual device time the launch consumed. */
+    /** Virtual device time the last attempt consumed. */
     sim::TimeNs deviceTimeNs = 0;
+
+    /** Attempts the job took (1 = no retries). */
+    unsigned attempts = 1;
+    /** Total virtual backoff charged across retries. */
+    sim::TimeNs backoffNs = 0;
 };
 
 /** One launch job. */
@@ -89,11 +130,84 @@ struct Job
      */
     std::function<void(runtime::Runtime &)> ensureRegistered;
 
-    /** Completion callback (invoked on the worker thread). */
+    /**
+     * Optional completion callback (invoked on the worker thread);
+     * JobHandle::wait() / result() cover the common case.
+     */
     std::function<void(const JobResult &)> done;
+
+    /**
+     * Virtual-time budget (device time + charged backoff) across all
+     * attempts; 0 disables the deadline.  A job that exhausts it
+     * fails with DeadlineExceeded instead of retrying further.
+     */
+    sim::TimeNs deadlineNs = 0;
 
     /** Assigned by submit(). */
     std::uint64_t id = 0;
+};
+
+namespace detail {
+
+/** Shared completion state behind a JobHandle. */
+struct JobState
+{
+    enum Phase { Queued = 0, Running = 1, Done = 2, Cancelled = 3 };
+
+    std::uint64_t id = 0;
+    std::atomic<int> phase{Queued};
+    mutable std::mutex mu;
+    mutable std::condition_variable cv;
+    JobResult result; ///< valid once phase is Done or Cancelled
+};
+
+} // namespace detail
+
+/**
+ * Caller-side handle of a submitted job: wait for it, read its
+ * result, or cancel it while it is still queued.  Copyable; all
+ * copies refer to the same job.  A default-constructed handle is
+ * empty.
+ */
+class JobHandle
+{
+  public:
+    JobHandle() = default;
+
+    /** Whether the handle refers to a job. */
+    bool valid() const { return static_cast<bool>(state_); }
+
+    /** The job id assigned by submit(). */
+    std::uint64_t id() const { return state_ ? state_->id : 0; }
+
+    /** Whether the job has finished (done or cancelled). */
+    bool done() const;
+
+    /** Block until the job is done or cancelled. */
+    void wait() const;
+
+    /**
+     * Block until completion, then the final JobResult.  A cancelled
+     * job's result carries StatusCode::Cancelled.  The reference is
+     * only valid while this handle (or a copy) is alive -- don't
+     * bind it off a temporary handle.
+     */
+    const JobResult &result() const;
+
+    /**
+     * Withdraw the job if it has not started running.  Returns true
+     * on success (the job will never run; its result is Cancelled);
+     * false once the job is running or finished.
+     */
+    bool cancel();
+
+  private:
+    friend class DispatchService;
+    explicit JobHandle(std::shared_ptr<detail::JobState> state)
+        : state_(std::move(state))
+    {}
+
+    std::shared_ptr<detail::JobState> state_;
 };
 
 /**
@@ -132,8 +246,8 @@ class DispatchService
     /** Spawn one worker thread per device. */
     void start();
 
-    /** Enqueue a job; returns its id.  Requires start(). */
-    std::uint64_t submit(Job job);
+    /** Enqueue a job; returns its handle.  Requires start(). */
+    JobHandle submit(Job job);
 
     /** Block until every submitted job has completed. */
     void drain();
@@ -145,21 +259,50 @@ class DispatchService
     const store::SelectionStore &selectionStore() const { return store_; }
 
   private:
+    /** A job in flight, with its retry state. */
+    struct QueuedJob
+    {
+        Job job;
+        std::shared_ptr<detail::JobState> state;
+        unsigned attempt = 0; ///< failed attempts so far
+        std::vector<unsigned> excluded; ///< devices that failed it
+        sim::TimeNs backoffNs = 0; ///< charged virtual backoff
+        sim::TimeNs spentNs = 0; ///< device time across attempts
+    };
+
     struct Worker
     {
         std::unique_ptr<sim::Device> dev;
         std::unique_ptr<runtime::Runtime> rt;
         std::string fingerprint;
-        std::deque<Job> queue;
+        std::deque<QueuedJob> queue;
         std::uint64_t load = 0; ///< queued + running jobs
         std::thread thread;
+
+        /** Circuit breaker (guarded by DispatchService::mu). */
+        unsigned consecFailures = 0;
+        bool breakerOpen = false;
+        /** Routing decisions left before a half-open probe. */
+        unsigned breakerCooldownLeft = 0;
     };
 
     void workerLoop(unsigned idx);
-    JobResult runJob(unsigned idx, Job &job);
+    JobResult runJob(unsigned idx, QueuedJob &qj);
 
-    /** Pick the worker for @p job (mu held). */
-    unsigned route(const Job &job);
+    /** Deliver @p res to the handle and the done callback. */
+    static void finishJob(QueuedJob &qj, JobResult res);
+
+    /**
+     * Pick the worker for @p signature, skipping @p excluded devices
+     * and open breakers (mu held).  Decrements open-breaker
+     * cooldowns as a side effect; an expired cooldown makes the
+     * device eligible for one probe job.
+     */
+    unsigned route(const std::string &signature,
+                   const std::vector<unsigned> &excluded);
+
+    /** Breaker bookkeeping after an attempt on @p idx (mu held). */
+    void breakerObserve(unsigned idx, bool deviceFault);
 
     store::SelectionStore &store_;
     ServiceConfig config;

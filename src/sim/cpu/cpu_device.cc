@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 
 #include "kdp/context.hh"
 #include "support/logging.hh"
@@ -13,7 +14,7 @@ CpuDevice::CpuDevice(const CpuConfig &cfg)
     : config(cfg), l3(cfg.l3), rng(cfg.seed)
 {
     if (cfg.cores == 0)
-        support::fatal("CpuDevice needs at least one core");
+        throw std::invalid_argument("CpuDevice needs at least one core");
     cores.reserve(cfg.cores);
     for (unsigned i = 0; i < cfg.cores; ++i)
         cores.emplace_back(cfg);
@@ -40,6 +41,23 @@ CpuDevice::submit(Launch launch)
     al->stats.submitTime = now();
     if (al->launch.numGroups == 0)
         support::panic("CpuDevice::submit with zero work-groups");
+    switch (checkLaunchFault(al->launch)) {
+      case FaultKind::LaunchFail:
+        // The launch is dropped after its submission overhead; the
+        // runtime observes the aborting fault after run().
+        events.scheduleAfter(config.launchOverheadNs, [] {});
+        return;
+      case FaultKind::Hang:
+        events.scheduleAfter(
+            config.launchOverheadNs + faults->config().hangStallNs,
+            [] {});
+        return;
+      case FaultKind::LatencySpike:
+        al->timeScale = faults->config().latencySpikeFactor;
+        break;
+      default:
+        break;
+    }
     events.scheduleAfter(config.launchOverheadNs, [this, al] {
         queue.add(al);
         kick();
@@ -70,6 +88,9 @@ CpuDevice::startNext(unsigned idx)
 
     const TimeNs start = now();
     TimeNs dur = runGroup(core, *al, grid) + config.taskOverheadNs;
+    if (al->timeScale != 1.0)
+        dur = static_cast<TimeNs>(static_cast<double>(dur)
+                                  * al->timeScale);
     dur = addNoise(dur);
 
     if (al->done == 0 && issue == 0) {

@@ -12,9 +12,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "event_engine.hh"
+#include "fault.hh"
 #include "launch.hh"
 #include "time.hh"
 
@@ -76,8 +79,57 @@ class Device
     /** Run the event loop until everything submitted has completed. */
     void run() { events.run(); }
 
+    /**
+     * Attach a fault injector consulted on every submit(); nullptr
+     * (the default) disables injection.  The injector must outlive
+     * the device.
+     */
+    void setFaultInjector(FaultInjector *injector) { faults = injector; }
+
+    /** The attached fault injector, if any. */
+    FaultInjector *faultInjector() const { return faults; }
+
+    /**
+     * A launch-aborting fault (LaunchFail or Hang) fired since the
+     * last takeFault().  The runtime checks this after run(): an
+     * aborted launch never completes, so the orchestrator would
+     * otherwise mistake the drained event queue for a lost wakeup.
+     */
+    bool faulted() const { return pendingFault.has_value(); }
+
+    /** Consume and return the pending launch-aborting fault. */
+    std::optional<FaultEvent> takeFault()
+    {
+        auto fault = std::move(pendingFault);
+        pendingFault.reset();
+        return fault;
+    }
+
   protected:
+    /**
+     * Consult the injector for @p launch (device subclasses call this
+     * from submit()).  At most one launch-aborting fault is raised
+     * per run: once a pending fault exists the attempt is doomed, so
+     * further draws would only skew the event-log/metrics
+     * reconciliation.  Returns the fault to apply.
+     */
+    FaultKind checkLaunchFault(const Launch &launch)
+    {
+        if (!faults || pendingFault)
+            return FaultKind::None;
+        const FaultKind kind = faults->decide(
+            name(), launch.variant ? launch.variant->name : "?", now());
+        if (kind == FaultKind::LaunchFail || kind == FaultKind::Hang) {
+            pendingFault = FaultEvent{
+                kind, name(), launch.variant ? launch.variant->name : "?",
+                now()};
+        }
+        return kind;
+    }
+
     EventEngine events;
+    FaultInjector *faults = nullptr;
+    std::optional<FaultEvent> pendingFault;
 };
 
 } // namespace sim

@@ -1,0 +1,100 @@
+#include "fault.hh"
+
+#include <algorithm>
+
+namespace dysel {
+namespace sim {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::None: return "none";
+      case FaultKind::LaunchFail: return "launch_fail";
+      case FaultKind::LatencySpike: return "latency_spike";
+      case FaultKind::Hang: return "hang";
+    }
+    return "?";
+}
+
+FaultInjector::FaultInjector(FaultConfig cfg)
+    : cfg_(cfg), rng(cfg.seed)
+{
+}
+
+FaultKind
+FaultInjector::decide(const std::string &device,
+                      const std::string &variant, TimeNs now)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    FaultKind kind = FaultKind::None;
+    if (!scripted.empty()) {
+        kind = scripted.front();
+        scripted.erase(scripted.begin());
+    } else {
+        // One draw per launch keeps the decision stream independent
+        // of which probabilities are enabled.
+        const double u = rng.nextDouble();
+        double edge = cfg_.launchFailProb;
+        if (u < edge) {
+            kind = FaultKind::LaunchFail;
+        } else if (u < (edge += cfg_.hangProb)) {
+            kind = FaultKind::Hang;
+        } else if (u < (edge += cfg_.latencySpikeProb)) {
+            kind = FaultKind::LatencySpike;
+        }
+    }
+    if (kind != FaultKind::None) {
+        log.push_back(FaultEvent{kind, device, variant, now});
+        counts[static_cast<std::size_t>(kind)]++;
+    }
+    return kind;
+}
+
+void
+FaultInjector::failNext(unsigned n)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    scripted.insert(scripted.end(), n, FaultKind::LaunchFail);
+}
+
+void
+FaultInjector::hangNext(unsigned n)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    scripted.insert(scripted.end(), n, FaultKind::Hang);
+}
+
+void
+FaultInjector::spikeNext(unsigned n)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    scripted.insert(scripted.end(), n, FaultKind::LatencySpike);
+}
+
+std::vector<FaultEvent>
+FaultInjector::events() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return log;
+}
+
+std::uint64_t
+FaultInjector::count(FaultKind kind) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return counts[static_cast<std::size_t>(kind)];
+}
+
+std::uint64_t
+FaultInjector::total() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::uint64_t sum = 0;
+    for (const auto c : counts)
+        sum += c;
+    return sum;
+}
+
+} // namespace sim
+} // namespace dysel

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Seeded, deterministic fault injection for the simulated devices.
+ *
+ * A FaultInjector is attached to a device (Device::setFaultInjector)
+ * and consulted once per submitted launch.  It can inject three
+ * fault classes:
+ *
+ *   LaunchFail   -- the launch is dropped after its submission
+ *                   overhead; the runtime surfaces it as an
+ *                   UNAVAILABLE Status.
+ *   Hang         -- the launch never executes but stalls the device
+ *                   for a configurable virtual time; surfaced as
+ *                   DEADLINE_EXCEEDED.
+ *   LatencySpike -- every work-group of the launch is stretched by a
+ *                   factor; the launch completes with correct output,
+ *                   just slowly (what drift detection and per-job
+ *                   deadlines exist to catch).
+ *
+ * Decisions are drawn from the injector's own support::Rng, so a
+ * fixed seed and a fixed consultation order reproduce the same fault
+ * schedule bit-for-bit.  Scripted faults (`failNext` etc.) take
+ * precedence over the probabilistic draw, which is how tests force an
+ * exact failure pattern.  Every injected fault is appended to an
+ * event log the recovery tests reconcile against the service's
+ * MetricsRegistry counters.
+ *
+ * All methods are thread-safe: one injector may be shared by several
+ * devices (their worker threads interleave draws, but the totals in
+ * the log remain exact).
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/rng.hh"
+
+#include "time.hh"
+
+namespace dysel {
+namespace sim {
+
+/** Fault class of one injection decision. */
+enum class FaultKind {
+    None = 0,
+    LaunchFail,
+    LatencySpike,
+    Hang,
+};
+
+/** Stable lower-case name of @p kind. */
+const char *faultKindName(FaultKind kind);
+
+/** Injection probabilities and magnitudes. */
+struct FaultConfig
+{
+    /** Per-launch probability of a dropped launch. */
+    double launchFailProb = 0.0;
+
+    /** Per-launch probability of a latency spike. */
+    double latencySpikeProb = 0.0;
+
+    /** Duration multiplier applied to a spiked launch's work-groups. */
+    double latencySpikeFactor = 8.0;
+
+    /** Per-launch probability of a hang. */
+    double hangProb = 0.0;
+
+    /** Virtual time a hung launch stalls its device. */
+    TimeNs hangStallNs = 50'000'000;
+
+    /** RNG seed; equal seeds give equal decision streams. */
+    std::uint64_t seed = 0xfa01d;
+};
+
+/** One injected fault, as recorded in the event log. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::None;
+    std::string device;  ///< device name at the injection site
+    std::string variant; ///< kernel variant of the affected launch
+    TimeNs time = 0;     ///< device virtual time of the decision
+};
+
+/**
+ * The fault decision source.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultConfig cfg = FaultConfig());
+
+    const FaultConfig &config() const { return cfg_; }
+
+    /**
+     * Decide the fault (if any) for one launch of @p variant on
+     * @p device at virtual time @p now.  Injected faults are logged;
+     * None is not.
+     */
+    FaultKind decide(const std::string &device,
+                     const std::string &variant, TimeNs now);
+
+    /** Script @p n LaunchFail decisions ahead of the random draw. */
+    void failNext(unsigned n = 1);
+
+    /** Script @p n Hang decisions ahead of the random draw. */
+    void hangNext(unsigned n = 1);
+
+    /** Script @p n LatencySpike decisions ahead of the random draw. */
+    void spikeNext(unsigned n = 1);
+
+    /** Copy of the full event log. */
+    std::vector<FaultEvent> events() const;
+
+    /** Injected faults of @p kind. */
+    std::uint64_t count(FaultKind kind) const;
+
+    /** Injected faults of every kind. */
+    std::uint64_t total() const;
+
+    /** Launches the device aborts (LaunchFail + Hang). */
+    std::uint64_t aborts() const
+    {
+        return count(FaultKind::LaunchFail) + count(FaultKind::Hang);
+    }
+
+  private:
+    mutable std::mutex mu;
+    FaultConfig cfg_;
+    support::Rng rng;
+    std::vector<FaultKind> scripted; ///< consumed front-first
+    std::vector<FaultEvent> log;
+    std::array<std::uint64_t, 4> counts{};
+};
+
+} // namespace sim
+} // namespace dysel

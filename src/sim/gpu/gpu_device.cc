@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cmath>
+#include <stdexcept>
 
 #include "kdp/context.hh"
 #include "support/logging.hh"
@@ -15,7 +16,7 @@ GpuDevice::GpuDevice(const GpuConfig &cfg)
     : config(cfg), l2(cfg.l2), rng(cfg.seed)
 {
     if (cfg.sms == 0)
-        support::fatal("GpuDevice needs at least one SM");
+        throw std::invalid_argument("GpuDevice needs at least one SM");
     sms.reserve(cfg.sms);
     for (unsigned i = 0; i < cfg.sms; ++i)
         sms.emplace_back(cfg.tex);
@@ -79,6 +80,21 @@ GpuDevice::submit(Launch launch)
     al->stats.submitTime = now();
     if (al->launch.numGroups == 0)
         support::panic("GpuDevice::submit with zero work-groups");
+    switch (checkLaunchFault(al->launch)) {
+      case FaultKind::LaunchFail:
+        events.scheduleAfter(config.launchOverheadNs, [] {});
+        return;
+      case FaultKind::Hang:
+        events.scheduleAfter(
+            config.launchOverheadNs + faults->config().hangStallNs,
+            [] {});
+        return;
+      case FaultKind::LatencySpike:
+        al->timeScale = faults->config().latencySpikeFactor;
+        break;
+      default:
+        break;
+    }
     events.scheduleAfter(config.launchOverheadNs, [this, al] {
         queue.add(al);
         kick();
@@ -169,6 +185,9 @@ GpuDevice::place(unsigned idx, const LaunchPtr &al)
                      cycles / config.ghz / 1000.0);
     }
     TimeNs dur = cyclesToNs(cycles, config.ghz);
+    if (al->timeScale != 1.0)
+        dur = static_cast<TimeNs>(static_cast<double>(dur)
+                                  * al->timeScale);
     dur = addNoise(dur);
 
     const TimeNs start = now();

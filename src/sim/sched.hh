@@ -28,6 +28,8 @@ struct ActiveLaunch
     std::uint64_t submitSeq = 0;  ///< global FIFO order
     std::uint64_t nextGroup = 0;  ///< next group index to issue
     std::uint64_t done = 0;       ///< completed groups
+    /** Work-group duration multiplier (injected latency spike). */
+    double timeScale = 1.0;
 
     bool allIssued() const { return nextGroup >= launch.numGroups; }
     bool finished() const { return done >= launch.numGroups; }

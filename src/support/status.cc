@@ -1,0 +1,54 @@
+#include "status.hh"
+
+#include <stdexcept>
+
+namespace dysel {
+namespace support {
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "OK";
+      case StatusCode::InvalidArgument: return "INVALID_ARGUMENT";
+      case StatusCode::NotFound: return "NOT_FOUND";
+      case StatusCode::DeadlineExceeded: return "DEADLINE_EXCEEDED";
+      case StatusCode::Unavailable: return "UNAVAILABLE";
+      case StatusCode::FailedPrecondition: return "FAILED_PRECONDITION";
+      case StatusCode::Cancelled: return "CANCELLED";
+      case StatusCode::Aborted: return "ABORTED";
+      case StatusCode::Internal: return "INTERNAL";
+    }
+    return "?";
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "OK";
+    std::string out = statusCodeName(code_);
+    if (!message_.empty()) {
+        out += ": ";
+        out += message_;
+    }
+    return out;
+}
+
+void
+Status::throwIfError() const
+{
+    switch (code_) {
+      case StatusCode::Ok:
+        return;
+      case StatusCode::NotFound:
+        throw std::out_of_range(message_);
+      case StatusCode::InvalidArgument:
+        throw std::invalid_argument(message_);
+      default:
+        throw std::runtime_error(toString());
+    }
+}
+
+} // namespace support
+} // namespace dysel

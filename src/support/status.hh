@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Typed error reporting for recoverable failures.
+ *
+ * The original layers each grew their own error channel: the runtime
+ * threw `std::out_of_range`, the dispatch service carried a
+ * `bool ok + std::string error` pair, and the simulators called
+ * `fatal()`.  `Status` unifies them: fallible entry points return a
+ * Status (code + human-readable message), results carry one, and the
+ * legacy throwing entry points are thin wrappers over
+ * `Status::throwIfError()`.
+ *
+ * `panic()` remains the channel for internal invariant violations --
+ * a Status is for conditions a caller can meaningfully handle
+ * (retry, re-route, reject the request), not for bugs.
+ */
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace dysel {
+namespace support {
+
+/** Machine-readable failure class of a Status. */
+enum class StatusCode {
+    Ok = 0,
+    /** Malformed request (bad variant index, zero-unit workload). */
+    InvalidArgument,
+    /** The named entity (kernel signature, record) does not exist. */
+    NotFound,
+    /** The operation ran out of time (deadline, hung device). */
+    DeadlineExceeded,
+    /** Transient resource failure (launch failure); retry elsewhere. */
+    Unavailable,
+    /** The system is not in a state that permits the operation. */
+    FailedPrecondition,
+    /** The caller withdrew the request before it ran. */
+    Cancelled,
+    /** Gave up after exhausting retries / recovery options. */
+    Aborted,
+    /** Unclassified internal error. */
+    Internal,
+};
+
+/** Stable upper-case name of @p code (e.g. "NOT_FOUND"). */
+const char *statusCodeName(StatusCode code);
+
+/**
+ * An error code plus a human-readable message; the default-constructed
+ * Status is success.  Cheap to move, comparable by code.
+ */
+class Status
+{
+  public:
+    /** Success. */
+    Status() = default;
+
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {}
+
+    /** Named constructors, one per failure class. */
+    static Status invalidArgument(std::string msg)
+    {
+        return Status(StatusCode::InvalidArgument, std::move(msg));
+    }
+    static Status notFound(std::string msg)
+    {
+        return Status(StatusCode::NotFound, std::move(msg));
+    }
+    static Status deadlineExceeded(std::string msg)
+    {
+        return Status(StatusCode::DeadlineExceeded, std::move(msg));
+    }
+    static Status unavailable(std::string msg)
+    {
+        return Status(StatusCode::Unavailable, std::move(msg));
+    }
+    static Status failedPrecondition(std::string msg)
+    {
+        return Status(StatusCode::FailedPrecondition, std::move(msg));
+    }
+    static Status cancelled(std::string msg)
+    {
+        return Status(StatusCode::Cancelled, std::move(msg));
+    }
+    static Status aborted(std::string msg)
+    {
+        return Status(StatusCode::Aborted, std::move(msg));
+    }
+    static Status internal(std::string msg)
+    {
+        return Status(StatusCode::Internal, std::move(msg));
+    }
+
+    bool ok() const { return code_ == StatusCode::Ok; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "OK", or "NOT_FOUND: no such kernel". */
+    std::string toString() const;
+
+    /**
+     * Throw the std:: exception matching the code (NotFound ->
+     * std::out_of_range, InvalidArgument -> std::invalid_argument,
+     * anything else -> std::runtime_error); no-op when ok.  The
+     * legacy throwing APIs are implemented with this, which is what
+     * keeps their exception types unchanged.
+     */
+    void throwIfError() const;
+
+  private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+};
+
+} // namespace support
+} // namespace dysel

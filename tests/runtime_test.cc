@@ -100,13 +100,48 @@ TEST(RuntimeRegistration, CountsVariants)
     EXPECT_EQ(rt.variants("k")[1].name, "b");
 }
 
-TEST(RuntimeRegistrationDeath, DuplicateVariantName)
+TEST(RuntimeRegistration, DuplicateVariantNameIsRejected)
 {
     sim::CpuDevice device;
     Runtime rt(device);
     rt.addKernel("k", markerKernel("a", 0, 10));
-    EXPECT_EXIT(rt.addKernel("k", markerKernel("a", 1, 10)),
-                ::testing::ExitedWithCode(1), "");
+    // Registration errors are recoverable caller errors: the fallible
+    // API reports InvalidArgument, the legacy wrapper throws.
+    const auto st = rt.tryAddKernel("k", markerKernel("a", 1, 10));
+    EXPECT_EQ(st.code(), support::StatusCode::InvalidArgument);
+    EXPECT_NE(st.message().find("duplicate"), std::string::npos);
+    EXPECT_THROW(rt.addKernel("k", markerKernel("a", 1, 10)),
+                 std::invalid_argument);
+    EXPECT_EQ(rt.variantCount("k"), 1u);
+}
+
+TEST(RuntimeRegistration, StatusApiReportsCodesWithoutThrowing)
+{
+    Fixture f;
+    f.rt.addKernel("k", markerKernel("only", 1, 10));
+    f.rt.setKernelInfo("k", regularInfo("k"));
+
+    EXPECT_EQ(f.rt.findVariants("nope"), nullptr);
+    ASSERT_NE(f.rt.findVariants("k"), nullptr);
+    EXPECT_EQ(f.rt.findVariants("k")->size(), 1u);
+
+    runtime::LaunchReport report;
+    EXPECT_EQ(f.rt.launch("nope", 100, f.args, LaunchOptions(), report)
+                  .code(),
+              support::StatusCode::NotFound);
+    EXPECT_EQ(f.rt.launch("k", 0, f.args, LaunchOptions(), report)
+                  .code(),
+              support::StatusCode::InvalidArgument);
+    EXPECT_EQ(f.rt.tryImportSelection("nope", 0).code(),
+              support::StatusCode::NotFound);
+    EXPECT_EQ(f.rt.tryImportSelection("k", 5).code(),
+              support::StatusCode::InvalidArgument);
+
+    const auto ok = f.rt.launch("k", 2048, f.args, LaunchOptions(),
+                                report);
+    EXPECT_TRUE(ok.ok()) << ok.toString();
+    EXPECT_EQ(report.selectedName, "only");
+    EXPECT_EQ(f.countMarker(1, 2048), 2048u);
 }
 
 TEST(RuntimeRegistration, UnknownSignatureThrows)
@@ -430,20 +465,23 @@ TEST(Runtime, GpuPathSelectsCorrectlyToo)
         EXPECT_NE(out.at(i), -1);
 }
 
-TEST(RuntimeDeath, InitialVariantOutOfRange)
+TEST(Runtime, InitialVariantOutOfRangeIsInvalidArgument)
 {
     Fixture f;
     f.rt.addKernel("k", markerKernel("a", 1, 100));
     LaunchOptions opt;
     opt.initialVariant = 5;
-    EXPECT_EXIT(f.rt.launchKernel("k", 1024, f.args, opt),
-                ::testing::ExitedWithCode(1), "");
+    runtime::LaunchReport report;
+    EXPECT_EQ(f.rt.launch("k", 1024, f.args, opt, report).code(),
+              support::StatusCode::InvalidArgument);
+    EXPECT_THROW(f.rt.launchKernel("k", 1024, f.args, opt),
+                 std::invalid_argument);
 }
 
-TEST(RuntimeDeath, EmptyWorkload)
+TEST(Runtime, EmptyWorkloadIsInvalidArgument)
 {
     Fixture f;
     f.rt.addKernel("k", markerKernel("a", 1, 100));
-    EXPECT_EXIT(f.rt.launchKernel("k", 0, f.args),
-                ::testing::ExitedWithCode(1), "");
+    EXPECT_THROW(f.rt.launchKernel("k", 0, f.args),
+                 std::invalid_argument);
 }

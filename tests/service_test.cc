@@ -3,11 +3,12 @@
  * Tests for the multi-device dispatch service: multi-threaded smoke
  * test against single-runtime ground truth, warm start from the
  * shared selection store, size-bucket sensitivity, drift-triggered
- * re-profiling, error propagation for unknown signatures, and the
- * metrics export.
+ * quarantine and re-profiling, job handles and cancellation, error
+ * propagation for unknown signatures, and the metrics export.
  */
 #include <gtest/gtest.h>
 
+#include <future>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -113,10 +114,14 @@ makeJob(Probe &p, std::mutex &mu, std::uint64_t slow_flops = 4000,
 struct ServiceFixture
 {
     store::SelectionStore store;
-    DispatchService svc{store};
+    DispatchService svc;
     std::mutex mu;
 
-    explicit ServiceFixture(unsigned devices = 2)
+    explicit ServiceFixture(unsigned devices = 2,
+                            store::StoreConfig scfg =
+                                store::StoreConfig(),
+                            ServiceConfig cfg = ServiceConfig())
+        : store(scfg), svc(store, cfg)
     {
         for (unsigned i = 0; i < devices; ++i)
             svc.addDevice(std::make_unique<sim::CpuDevice>());
@@ -145,7 +150,8 @@ TEST(DispatchService, SmokeMatchesSingleRuntime)
 
     for (auto &p : probes) {
         ASSERT_TRUE(p->finished);
-        ASSERT_TRUE(p->result.ok) << p->result.error;
+        ASSERT_TRUE(p->result.ok()) << p->result.status.toString();
+        EXPECT_EQ(p->result.attempts, 1u);
         EXPECT_TRUE(p->result.report.profiled); // cold store
         EXPECT_EQ(p->result.report.selectedName, "fast");
 
@@ -178,14 +184,14 @@ TEST(DispatchService, SecondLaunchWarmStartsFromStore)
     Probe first("k", 2048);
     f.svc.submit(makeJob(first, f.mu));
     f.svc.drain();
-    ASSERT_TRUE(first.result.ok) << first.result.error;
+    ASSERT_TRUE(first.result.ok()) << first.result.status.toString();
     EXPECT_FALSE(first.result.warmStart);
     EXPECT_TRUE(first.result.report.profiled);
 
     Probe second("k", 2048);
     f.svc.submit(makeJob(second, f.mu));
     f.svc.drain();
-    ASSERT_TRUE(second.result.ok) << second.result.error;
+    ASSERT_TRUE(second.result.ok()) << second.result.status.toString();
     EXPECT_TRUE(second.result.warmStart);
     EXPECT_EQ(second.result.report.profiledUnits, 0u);
     EXPECT_EQ(second.result.report.selectedName, "fast");
@@ -211,43 +217,66 @@ TEST(DispatchService, ChangedSizeBucketReprofiles)
     Probe large("k", 8192); // bucket 13: a store miss
     f.svc.submit(makeJob(large, f.mu));
     f.svc.drain();
-    ASSERT_TRUE(large.result.ok) << large.result.error;
+    ASSERT_TRUE(large.result.ok()) << large.result.status.toString();
     EXPECT_FALSE(large.result.warmStart);
     EXPECT_TRUE(large.result.report.profiled);
     EXPECT_GT(large.result.report.profiledUnits, 0u);
     EXPECT_EQ(f.store.size(), 2u);
 }
 
-TEST(DispatchService, DriftForcesReprofile)
+TEST(DispatchService, DriftQuarantinesThenReprofilesAfterCooldown)
 {
-    ServiceFixture f(1);
+    store::StoreConfig scfg;
+    scfg.quarantineCooldown = 2;
+    ServiceFixture f(1, scfg);
     // Job 1 profiles; jobs 2-3 warm-start and seed/confirm the plain
     // throughput baseline.
     for (int i = 0; i < 3; ++i) {
         Probe p("k", 2048);
         f.svc.submit(makeJob(p, f.mu));
         f.svc.drain();
-        ASSERT_TRUE(p.result.ok) << p.result.error;
+        ASSERT_TRUE(p.result.ok()) << p.result.status.toString();
         EXPECT_EQ(p.result.warmStart, i > 0);
     }
 
     // The kernel's behaviour shifts: the cached winner is now 20x
     // slower.  The plain run deviates from the stored baseline beyond
-    // the drift factor, invalidating the record...
+    // the drift factor, quarantining the winner...
     Probe shifted("k", 2048);
     f.svc.submit(makeJob(shifted, f.mu, 4000, 2000));
     f.svc.drain();
-    ASSERT_TRUE(shifted.result.ok) << shifted.result.error;
+    ASSERT_TRUE(shifted.result.ok()) << shifted.result.status.toString();
     EXPECT_TRUE(shifted.result.warmStart); // served before detection
-    EXPECT_EQ(f.store.driftInvalidations(), 1u);
+    EXPECT_EQ(f.store.quarantineCount(), 1u);
+    EXPECT_EQ(f.svc.metrics().counterValue("store.quarantine"), 1u);
+
+    // ...so the record still serves warm, but with the runner-up.
+    Probe fallback("k", 2048);
+    f.svc.submit(makeJob(fallback, f.mu, 4000, 2000));
+    f.svc.drain();
+    ASSERT_TRUE(fallback.result.ok())
+        << fallback.result.status.toString();
+    EXPECT_TRUE(fallback.result.warmStart);
+    EXPECT_EQ(fallback.result.report.selectedName, "slow");
+    // The whole output carries the fallback's marker.
+    for (std::uint64_t u = 0; u < fallback.units; ++u)
+        ASSERT_EQ(fallback.out.at(u), 1);
+
+    // The second cooldown observation invalidates the record...
+    Probe cooled("k", 2048);
+    f.svc.submit(makeJob(cooled, f.mu, 4000, 2000));
+    f.svc.drain();
+    ASSERT_TRUE(cooled.result.ok()) << cooled.result.status.toString();
+    EXPECT_EQ(f.store.driftInvalidations(), 0u);
     EXPECT_EQ(
         f.svc.metrics().counterValue("store.drift_invalidation"), 1u);
 
-    // ...so the next launch re-profiles against the new behaviour.
+    // ...so the next launch re-profiles against the new behaviour,
+    // and the once-quarantined pool competes from scratch.
     Probe after("k", 2048);
     f.svc.submit(makeJob(after, f.mu, 4000, 2000));
     f.svc.drain();
-    ASSERT_TRUE(after.result.ok) << after.result.error;
+    ASSERT_TRUE(after.result.ok()) << after.result.status.toString();
     EXPECT_FALSE(after.result.warmStart);
     EXPECT_TRUE(after.result.report.profiled);
 }
@@ -261,15 +290,21 @@ TEST(DispatchService, UnknownSignatureFailsTheJobNotTheService)
     f.svc.submit(job);
     f.svc.drain();
     ASSERT_TRUE(bad.finished);
-    EXPECT_FALSE(bad.result.ok);
-    EXPECT_NE(bad.result.error.find("unregistered"), std::string::npos);
+    EXPECT_FALSE(bad.result.ok());
+    EXPECT_EQ(bad.result.status.code(),
+              support::StatusCode::NotFound);
+    EXPECT_NE(bad.result.status.message().find("unregistered"),
+              std::string::npos);
+    // NotFound is not retryable: one attempt, no re-routing.
+    EXPECT_EQ(bad.result.attempts, 1u);
     EXPECT_EQ(f.svc.metrics().counterValue("jobs.failed"), 1u);
+    EXPECT_EQ(f.svc.metrics().counterValue("recover.retries"), 0u);
 
     // The worker survives and serves the next job.
     Probe good("k", 2048);
     f.svc.submit(makeJob(good, f.mu));
     f.svc.drain();
-    ASSERT_TRUE(good.result.ok) << good.result.error;
+    ASSERT_TRUE(good.result.ok()) << good.result.status.toString();
 }
 
 TEST(DispatchService, SubmitBeforeStartThrows)
@@ -280,6 +315,65 @@ TEST(DispatchService, SubmitBeforeStartThrows)
     std::mutex mu;
     Probe p("k", 2048);
     EXPECT_THROW(svc.submit(makeJob(p, mu)), std::logic_error);
+}
+
+TEST(DispatchService, HandleWaitsAndExposesResult)
+{
+    ServiceFixture f;
+    Probe p("k", 2048);
+    JobHandle h = f.svc.submit(makeJob(p, f.mu));
+    ASSERT_TRUE(h.valid());
+    EXPECT_GT(h.id(), 0u);
+    const JobResult &r = h.result(); // blocks until completion
+    EXPECT_TRUE(h.done());
+    EXPECT_TRUE(r.ok()) << r.status.toString();
+    EXPECT_EQ(r.id, h.id());
+    EXPECT_EQ(r.report.selectedName, "fast");
+    // Too late to cancel a finished job.
+    EXPECT_FALSE(h.cancel());
+
+    JobHandle empty;
+    EXPECT_FALSE(empty.valid());
+    EXPECT_FALSE(empty.done());
+    EXPECT_FALSE(empty.cancel());
+    EXPECT_THROW(empty.result(), std::logic_error);
+}
+
+TEST(DispatchService, CancelPendingJobBeforeDispatch)
+{
+    ServiceFixture f(1); // one device: jobs queue strictly in order
+    std::promise<void> release;
+    auto released = release.get_future().share();
+
+    // Job 1 parks the single worker inside ensureRegistered, so job 2
+    // is guaranteed to still be queued when it is cancelled.
+    Probe blocker("k", 2048);
+    Job job1 = makeJob(blocker, f.mu);
+    auto inner = job1.ensureRegistered;
+    job1.ensureRegistered = [inner, released](runtime::Runtime &rt) {
+        released.wait();
+        inner(rt);
+    };
+    JobHandle h1 = f.svc.submit(std::move(job1));
+
+    Probe victim("k", 2048);
+    JobHandle h2 = f.svc.submit(makeJob(victim, f.mu));
+    EXPECT_TRUE(h2.cancel());
+    EXPECT_FALSE(h2.cancel()); // idempotence: already cancelled
+    EXPECT_TRUE(h2.done());
+    EXPECT_EQ(h2.result().status.code(),
+              support::StatusCode::Cancelled);
+
+    release.set_value();
+    f.svc.drain();
+    EXPECT_TRUE(h1.result().ok()) << h1.result().status.toString();
+    // The cancelled job never ran: no output was written and the
+    // worker only counted it as cancelled.
+    for (std::uint64_t u = 0; u < victim.units; ++u)
+        ASSERT_EQ(victim.out.at(u), -1);
+    EXPECT_FALSE(victim.finished); // done callback never fires
+    EXPECT_EQ(f.svc.metrics().counterValue("jobs.cancelled"), 1u);
+    EXPECT_EQ(f.svc.metrics().counterValue("jobs.completed"), 1u);
 }
 
 TEST(DispatchService, MetricsExportCoversJobsAndStore)

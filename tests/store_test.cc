@@ -1,9 +1,8 @@
 /**
  * @file
  * Tests for the persistent selection store: size-bucket boundaries,
- * JSON round-trip, drift detection / invalidation, and the hit/miss
- * statistics.  Also covers the support JSON primitives the store's
- * format is built on.
+ * JSON round-trip, drift detection with quarantine / invalidation
+ * escalation, failure reporting, and the hit/miss statistics.
  */
 #include <cstdio>
 #include <gtest/gtest.h>
@@ -113,7 +112,7 @@ TEST(SelectionStore, UnprofiledReportsAreIgnored)
     EXPECT_EQ(store.size(), 0u);
 }
 
-TEST(SelectionStore, DriftInvalidatesAndReprofileRevalidates)
+TEST(SelectionStore, DriftQuarantinesThenServesRunnerUp)
 {
     StoreConfig cfg;
     cfg.driftFactor = 1.5;
@@ -121,40 +120,118 @@ TEST(SelectionStore, DriftInvalidatesAndReprofileRevalidates)
     store.recordProfile(kDev, profiledReport("k", 2048));
 
     // First plain run seeds the baseline; consistent runs confirm it.
-    EXPECT_TRUE(store.observePlain(kDev, plainReport("k", 2048, 10.0)));
-    EXPECT_TRUE(store.observePlain(kDev, plainReport("k", 2048, 10.5)));
+    EXPECT_EQ(store.observePlain(kDev, plainReport("k", 2048, 10.0)),
+              Observation::Ok);
+    EXPECT_EQ(store.observePlain(kDev, plainReport("k", 2048, 10.5)),
+              Observation::Ok);
     auto rec = store.lookup("k", kDev, 2048);
     ASSERT_TRUE(rec.has_value());
     EXPECT_EQ(rec->confidence, 2u);
     EXPECT_GT(rec->unitTimeNs, 0.0);
 
-    // A 3x slowdown exceeds the 1.5x drift factor: invalidated.
-    EXPECT_FALSE(store.observePlain(kDev, plainReport("k", 2048, 30.0)));
+    // A 3x slowdown exceeds the 1.5x drift factor.  A record with a
+    // profiled runner-up is quarantined, not dropped: it keeps
+    // serving, with the next-best variant.
+    EXPECT_EQ(store.observePlain(kDev, plainReport("k", 2048, 30.0)),
+              Observation::Quarantined);
+    EXPECT_EQ(store.quarantineCount(), 1u);
+    EXPECT_EQ(store.driftInvalidations(), 0u);
+    rec = store.lookup("k", kDev, 2048);
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(rec->selectedName, "slow");
+    EXPECT_EQ(rec->quarantinedVariant, 1);
+    EXPECT_EQ(rec->cooldownLeft, cfg.quarantineCooldown);
+
+    // The fallback drifting too exhausts the record: invalidated.
+    EXPECT_EQ(store.observePlain(kDev, plainReport("k", 2048, 40.0)),
+              Observation::Ok); // seeds the fallback's baseline
+    EXPECT_EQ(store.observePlain(kDev, plainReport("k", 2048, 10.0)),
+              Observation::Invalidated);
     EXPECT_EQ(store.driftInvalidations(), 1u);
     EXPECT_FALSE(store.lookup("k", kDev, 2048).has_value());
 
-    // Re-profiling revalidates the record.
+    // Re-profiling revalidates the record and lifts the quarantine.
     store.recordProfile(kDev, profiledReport("k", 2048, 0));
     rec = store.lookup("k", kDev, 2048);
     ASSERT_TRUE(rec.has_value());
     EXPECT_TRUE(rec->valid);
     EXPECT_EQ(rec->selectedName, "slow");
+    EXPECT_EQ(rec->quarantinedVariant, -1);
     EXPECT_EQ(rec->profiledLaunches, 2u);
 }
 
-TEST(SelectionStore, SpeedupDriftAlsoInvalidates)
+TEST(SelectionStore, QuarantineCooldownForcesReprofile)
+{
+    StoreConfig cfg;
+    cfg.quarantineCooldown = 3;
+    SelectionStore store(cfg);
+    store.recordProfile(kDev, profiledReport("k", 2048));
+    store.observePlain(kDev, plainReport("k", 2048, 10.0));
+    ASSERT_EQ(store.observePlain(kDev, plainReport("k", 2048, 30.0)),
+              Observation::Quarantined);
+
+    // Three well-behaved fallback runs spend the cooldown; the last
+    // one invalidates the record so the next launch re-profiles and
+    // the quarantined variant gets to compete again.
+    EXPECT_EQ(store.observePlain(kDev, plainReport("k", 2048, 20.0)),
+              Observation::Ok);
+    EXPECT_EQ(store.observePlain(kDev, plainReport("k", 2048, 20.0)),
+              Observation::Ok);
+    EXPECT_EQ(store.observePlain(kDev, plainReport("k", 2048, 20.0)),
+              Observation::Invalidated);
+    EXPECT_FALSE(store.lookup("k", kDev, 2048).has_value());
+}
+
+TEST(SelectionStore, ReportFailureQuarantinesThenInvalidates)
+{
+    SelectionStore store;
+    store.recordProfile(kDev, profiledReport("k", 2048));
+
+    // A launch failure on the stored winner demotes it immediately.
+    EXPECT_EQ(store.reportFailure("k", kDev, 2048),
+              Observation::Quarantined);
+    auto rec = store.lookup("k", kDev, 2048);
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(rec->selectedName, "slow");
+
+    // The fallback failing too gives up on the record entirely.
+    EXPECT_EQ(store.reportFailure("k", kDev, 2048),
+              Observation::Invalidated);
+    EXPECT_FALSE(store.lookup("k", kDev, 2048).has_value());
+    // Unknown keys are ignored.
+    EXPECT_EQ(store.reportFailure("other", kDev, 2048),
+              Observation::Ok);
+}
+
+TEST(SelectionStore, SingleVariantRecordInvalidatesOnDrift)
+{
+    SelectionStore store;
+    runtime::LaunchReport r = profiledReport("k", 2048, 0);
+    r.profiles.resize(1); // no runner-up to fall back on
+    store.recordProfile(kDev, r);
+    store.observePlain(kDev, plainReport("k", 2048, 10.0));
+    EXPECT_EQ(store.observePlain(kDev, plainReport("k", 2048, 30.0)),
+              Observation::Invalidated);
+    EXPECT_EQ(store.quarantineCount(), 0u);
+    EXPECT_EQ(store.driftInvalidations(), 1u);
+}
+
+TEST(SelectionStore, SpeedupDriftAlsoQuarantines)
 {
     SelectionStore store; // default driftFactor 1.5
     store.recordProfile(kDev, profiledReport("k", 2048));
-    EXPECT_TRUE(store.observePlain(kDev, plainReport("k", 2048, 30.0)));
+    EXPECT_EQ(store.observePlain(kDev, plainReport("k", 2048, 30.0)),
+              Observation::Ok);
     // Getting much *faster* also means the stored ranking is stale.
-    EXPECT_FALSE(store.observePlain(kDev, plainReport("k", 2048, 10.0)));
+    EXPECT_EQ(store.observePlain(kDev, plainReport("k", 2048, 10.0)),
+              Observation::Quarantined);
 }
 
 TEST(SelectionStore, ObservationsOfUnknownKeysAreIgnored)
 {
     SelectionStore store;
-    EXPECT_TRUE(store.observePlain(kDev, plainReport("k", 2048, 10.0)));
+    EXPECT_EQ(store.observePlain(kDev, plainReport("k", 2048, 10.0)),
+              Observation::Ok);
     EXPECT_EQ(store.size(), 0u);
 }
 
@@ -166,6 +243,9 @@ TEST(SelectionStore, JsonRoundTripPreservesEverything)
     store.recordProfile("gpu/dev2", profiledReport("a", 2048));
     store.observePlain(kDev, plainReport("a", 2048, 12.5));
     store.invalidate("b", kDev, bucketOf(300));
+    // A quarantined record must survive the round trip mid-cooldown.
+    store.recordProfile(kDev, profiledReport("c", 512));
+    store.reportFailure("c", kDev, 512);
 
     SelectionStore loaded;
     loaded.loadJson(store.toJson());
@@ -184,6 +264,10 @@ TEST(SelectionStore, JsonRoundTripPreservesEverything)
         EXPECT_EQ(before[i].confidence, after[i].confidence);
         EXPECT_DOUBLE_EQ(before[i].unitTimeNs, after[i].unitTimeNs);
         EXPECT_EQ(before[i].valid, after[i].valid);
+        EXPECT_EQ(before[i].quarantinedVariant,
+                  after[i].quarantinedVariant);
+        EXPECT_EQ(before[i].cooldownLeft, after[i].cooldownLeft);
+        EXPECT_EQ(before[i].quarantines, after[i].quarantines);
         ASSERT_EQ(before[i].profiles.size(), after[i].profiles.size());
         for (std::size_t j = 0; j < before[i].profiles.size(); ++j) {
             EXPECT_EQ(before[i].profiles[j].name,
@@ -199,11 +283,33 @@ TEST(SelectionStore, JsonRoundTripPreservesEverything)
     ASSERT_TRUE(rec.has_value());
     EXPECT_EQ(rec->selectedName, "fast");
     EXPECT_FALSE(loaded.lookup("b", kDev, 300).has_value()); // invalid
+    auto quarantined = loaded.lookup("c", kDev, 512);
+    ASSERT_TRUE(quarantined.has_value());
+    EXPECT_EQ(quarantined->selectedName, "slow");
+    EXPECT_EQ(quarantined->quarantinedVariant, 1);
+}
+
+TEST(SelectionStore, LoadsVersionOneDocuments)
+{
+    SelectionStore store;
+    store.recordProfile(kDev, profiledReport("k", 2048));
+    // A pre-quarantine (version 1) document is the same format minus
+    // the quarantine fields; it must load with quarantine at rest.
+    support::Json doc = store.toJson();
+    doc.set("version", support::Json(1));
+    SelectionStore loaded;
+    loaded.loadJson(doc);
+    auto rec = loaded.lookup("k", kDev, 2048);
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(rec->quarantinedVariant, -1);
+    EXPECT_EQ(rec->cooldownLeft, 0u);
 }
 
 TEST(SelectionStore, FileRoundTrip)
 {
-    const std::string path = ::testing::TempDir() + "store_test.json";
+    // Written relative to the test's working directory, i.e. under
+    // build/ when run through ctest; *.store.json is gitignored.
+    const std::string path = "store_test.tmp.store.json";
     {
         SelectionStore store;
         store.recordProfile(kDev, profiledReport("k", 2048));

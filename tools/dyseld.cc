@@ -13,18 +13,21 @@
  *           falls in a different workload-size bucket, which must
  *           micro-profile despite the signature being warm.
  *
- * Afterwards prints the per-job log, the store contents, and the
- * metrics export.  Run it twice with the same --store file to see a
- * fully warm pass 1.
+ * With --fault-rate, a seeded fault injector per device drops or
+ * slows launches; the service's retry / breaker / quarantine
+ * machinery keeps the jobs completing, and the recovery counters and
+ * the injectors' event logs are printed alongside the usual tables.
+ * Run it twice with the same --store file to see a fully warm pass 1.
  */
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "serve/dispatch_service.hh"
+#include "sim/fault.hh"
 #include "support/table.hh"
 #include "workloads/devices.hh"
 #include "workloads/sgemm.hh"
@@ -41,20 +44,22 @@ struct Options
     bool load = true;
     bool save = true;
     bool jsonMetrics = false;
+    double faultRate = 0.0;
+    std::uint64_t faultSeed = 0xfa01d;
 };
 
 /** One submitted job's bookkeeping: the workload instance (owns the
- *  buffers the job's args point at) plus its completion record. */
+ *  buffers the job's args point at) plus its completion handle. */
 struct Entry
 {
     std::string label;
     workloads::Workload w;
-    serve::JobResult result;
+    serve::JobHandle handle;
     bool checked = false;
 };
 
 void
-submitEntry(serve::DispatchService &svc, Entry &e, std::mutex &mu)
+submitEntry(serve::DispatchService &svc, Entry &e)
 {
     serve::Job job;
     job.signature = e.w.signature;
@@ -67,12 +72,7 @@ submitEntry(serve::DispatchService &svc, Entry &e, std::mutex &mu)
         rt.removeKernel(e.w.signature);
         e.w.registerWith(rt);
     };
-    job.done = [&e, &mu](const serve::JobResult &r) {
-        std::lock_guard<std::mutex> lock(mu);
-        e.result = r;
-        e.checked = r.ok && e.w.check();
-    };
-    svc.submit(job);
+    e.handle = svc.submit(std::move(job));
 }
 
 void
@@ -80,19 +80,20 @@ printPass(const char *title, const std::vector<std::unique_ptr<Entry>> &entries)
 {
     std::cout << "\n--- " << title << " ---\n";
     support::Table table({"workload", "signature", "device", "bucket",
-                          "units", "warm", "profiledUnits", "selected",
-                          "ok"});
+                          "units", "warm", "attempts", "profiledUnits",
+                          "selected", "ok"});
     for (const auto &e : entries) {
+        const serve::JobResult &r = e->handle.result();
         table.row()
             .cell(e->label)
             .cell(e->w.signature)
-            .cell(e->result.ok ? e->result.deviceName : "-")
+            .cell(r.ok() ? r.deviceName : "-")
             .cell(std::uint64_t{store::bucketOf(e->w.units)})
             .cell(std::uint64_t{e->w.units})
-            .cell(e->result.warmStart ? "yes" : "no")
-            .cell(std::uint64_t{e->result.report.profiledUnits})
-            .cell(e->result.ok ? e->result.report.selectedName
-                               : e->result.error)
+            .cell(r.warmStart ? "yes" : "no")
+            .cell(std::uint64_t{r.attempts})
+            .cell(std::uint64_t{r.report.profiledUnits})
+            .cell(r.ok() ? r.report.selectedName : r.status.toString())
             .cell(e->checked ? "yes" : "NO");
     }
     table.print(std::cout);
@@ -126,11 +127,22 @@ makeMix(bool grown)
 
 void
 runPass(serve::DispatchService &svc,
-        std::vector<std::unique_ptr<Entry>> &mix, std::mutex &mu)
+        std::vector<std::unique_ptr<Entry>> &mix)
 {
     for (auto &e : mix)
-        submitEntry(svc, *e, mu);
+        submitEntry(svc, *e);
     svc.drain();
+    for (auto &e : mix)
+        e->checked = e->handle.result().ok() && e->w.check();
+}
+
+void
+printInjector(const char *name, const sim::FaultInjector &inj)
+{
+    std::cout << name << ": " << inj.total() << " faults ("
+              << inj.count(sim::FaultKind::LaunchFail) << " launch-fail, "
+              << inj.count(sim::FaultKind::Hang) << " hang, "
+              << inj.count(sim::FaultKind::LatencySpike) << " spike)\n";
 }
 
 } // namespace
@@ -149,9 +161,14 @@ main(int argc, char **argv)
             opt.save = false;
         } else if (arg == "--metrics" && i + 1 < argc) {
             opt.jsonMetrics = std::strcmp(argv[++i], "json") == 0;
+        } else if (arg == "--fault-rate" && i + 1 < argc) {
+            opt.faultRate = std::atof(argv[++i]);
+        } else if (arg == "--fault-seed" && i + 1 < argc) {
+            opt.faultSeed = std::strtoull(argv[++i], nullptr, 0);
         } else {
             std::cerr << "usage: dyseld [--store FILE] [--no-load] "
-                         "[--no-save] [--metrics text|json]\n";
+                         "[--no-save] [--metrics text|json] "
+                         "[--fault-rate P] [--fault-seed S]\n";
             return arg == "--help" ? 0 : 1;
         }
     }
@@ -163,18 +180,35 @@ main(int argc, char **argv)
     else
         std::cout << "starting with an empty selection store\n";
 
+    // Per-device injectors: 70% of faults drop the launch, 20% slow
+    // it down, 10% hang the device for a while.
+    sim::FaultConfig fcfg;
+    fcfg.launchFailProb = opt.faultRate * 0.7;
+    fcfg.latencySpikeProb = opt.faultRate * 0.2;
+    fcfg.hangProb = opt.faultRate * 0.1;
+    fcfg.seed = opt.faultSeed;
+    sim::FaultInjector cpuFaults(fcfg);
+    fcfg.seed = opt.faultSeed + 1;
+    sim::FaultInjector gpuFaults(fcfg);
+
     serve::DispatchService svc(store);
     svc.addDevice(workloads::cpuFactory()());
     svc.addDevice(workloads::gpuFactory()());
+    if (opt.faultRate > 0.0) {
+        svc.device(0).setFaultInjector(&cpuFaults);
+        svc.device(1).setFaultInjector(&gpuFaults);
+        std::cout << "fault injection on: rate " << opt.faultRate
+                  << ", seed 0x" << std::hex << opt.faultSeed
+                  << std::dec << '\n';
+    }
     svc.start();
 
-    std::mutex mu;
     auto pass1 = makeMix(false);
-    runPass(svc, pass1, mu);
+    runPass(svc, pass1);
     printPass("pass 1 (base mix)", pass1);
 
     auto pass2 = makeMix(true);
-    runPass(svc, pass2, mu);
+    runPass(svc, pass2);
     printPass("pass 2 (same mix + changed sgemm size bucket)", pass2);
 
     svc.stop();
@@ -182,7 +216,7 @@ main(int argc, char **argv)
     std::cout << "\n--- selection store ---\n";
     support::Table srec({"signature", "device", "bucket", "selected",
                          "launches", "profiled", "confidence",
-                         "unit ns", "valid"});
+                         "unit ns", "valid", "quarantined"});
     for (const auto &r : store.records()) {
         srec.row()
             .cell(r.signature)
@@ -193,12 +227,29 @@ main(int argc, char **argv)
             .cell(r.profiledLaunches)
             .cell(r.confidence)
             .cell(r.unitTimeNs, 1)
-            .cell(r.valid ? "yes" : "no");
+            .cell(r.valid ? "yes" : "no")
+            .cell(r.quarantinedVariant >= 0 ? "yes" : "no");
     }
     srec.print(std::cout);
     std::cout << "store: " << store.hits() << " hits, " << store.misses()
               << " misses, " << store.driftInvalidations()
-              << " drift invalidations\n";
+              << " drift invalidations, " << store.quarantineCount()
+              << " quarantines\n";
+
+    if (opt.faultRate > 0.0) {
+        std::cout << "\n--- fault injection ---\n";
+        printInjector("cpu", cpuFaults);
+        printInjector("gpu", gpuFaults);
+        auto counter = [&](const char *name) {
+            return svc.metrics().counter(name).value();
+        };
+        std::cout << "recovery: " << counter("recover.retries")
+                  << " retries, " << counter("recover.timeouts")
+                  << " timeouts, " << counter("breaker.trips")
+                  << " breaker trips, " << counter("store.quarantine")
+                  << " quarantines, " << counter("jobs.failed")
+                  << " jobs failed\n";
+    }
 
     std::cout << "\n--- metrics ---\n";
     if (opt.jsonMetrics)
