@@ -29,6 +29,13 @@ struct VariantProfile
     std::uint64_t units = 0;
 };
 
+/** One guard detection during a launch (a variant tripped a check). */
+struct GuardEvent
+{
+    std::string variant; ///< offending variant name
+    std::string check;   ///< guard::checkKindName of the tripped check
+};
+
 /** Everything the runtime can tell about one launch. */
 struct LaunchReport
 {
@@ -55,6 +62,13 @@ struct LaunchReport
     std::uint64_t eagerChunks = 0;
 
     std::vector<VariantProfile> profiles;
+
+    /** Guard detections during this launch (profiled launches only). */
+    std::vector<GuardEvent> guardEvents;
+    /** Variants excluded up front because they were blacklisted. */
+    std::uint64_t guardExcluded = 0;
+    /** Productive slices re-executed after their producer failed. */
+    std::uint64_t guardRepairs = 0;
 
     /** End-to-end virtual time of the call. */
     sim::TimeNs elapsed() const { return endTime - startTime; }

@@ -26,7 +26,7 @@ orchestrationName(Orchestration o)
 }
 
 Runtime::Runtime(sim::Device &device, const RuntimeConfig &cfg)
-    : dev(device), config(cfg)
+    : dev(device), config(cfg), guard_(cfg.guard)
 {
 }
 
@@ -169,6 +169,12 @@ Runtime::tryImportSelection(const std::string &signature, int variant)
         return support::Status::invalidArgument(
             "DySel: imported selection " + std::to_string(variant)
             + " out of range for '" + signature + "'");
+    if (guard_.enabled()
+        && guard_.isBlacklisted(signature,
+                                entry->variants[variant].name))
+        return support::Status::failedPrecondition(
+            "DySel: variant '" + entry->variants[variant].name
+            + "' is blacklisted for '" + signature + "'");
     selectionCache[signature] = variant;
     return support::Status();
 }
@@ -301,6 +307,31 @@ Runtime::launch(const std::string &signature, std::uint64_t total_units,
     const int default_variant =
         opt.initialVariant >= 0 ? opt.initialVariant : 0;
 
+    // ---- Guard: exclude blacklisted variants up front ----------------
+    // `act` maps active-local index j -> original variant index; every
+    // profiling-side vector below is indexed by j.
+    std::vector<std::size_t> act;
+    act.reserve(num_variants);
+    for (std::size_t i = 0; i < num_variants; ++i) {
+        if (guard_.enabled()
+            && guard_.isBlacklisted(signature, entry.variants[i].name))
+            continue;
+        act.push_back(i);
+    }
+    if (act.empty())
+        return support::Status::failedPrecondition(
+            "DySelLaunchKernel(" + signature
+            + "): every variant is blacklisted");
+    const std::uint64_t excluded = num_variants - act.size();
+    // A requested variant that is blacklisted falls back to the first
+    // healthy one.
+    auto healthy = [&](int v) {
+        if (std::find(act.begin(), act.end(),
+                      static_cast<std::size_t>(v)) != act.end())
+            return v;
+        return static_cast<int>(act.front());
+    };
+
     // Profiling deactivated: reuse the cached selection (iterative
     // kernels profile only their first launch) or fall back to the
     // default variant.
@@ -310,20 +341,27 @@ Runtime::launch(const std::string &signature, std::uint64_t total_units,
             support::warn("DySelLaunchKernel(%s): profiling off with no "
                           "cached selection; using default variant",
                           signature.c_str());
-        return runPlain(signature, entry,
-                        cached.value_or(default_variant), total_units,
-                        args, opt, cached.has_value(), out);
+        const int want = cached.value_or(default_variant);
+        const int use = healthy(want);
+        return runPlain(signature, entry, use, total_units, args, opt,
+                        cached.has_value() && use == want, out);
     }
 
-    if (num_variants == 1)
-        return runPlain(signature, entry, 0, total_units, args, opt,
-                        false, out);
+    if (act.size() == 1)
+        return runPlain(signature, entry, static_cast<int>(act.front()),
+                        total_units, args, opt, false, out);
 
     ProfilingMode mode = resolveMode(entry, opt);
     Orchestration orch = opt.orch;
     if (mode == ProfilingMode::Swap && orch == Orchestration::Async) {
         // The final output space is unknown until profiling completes
         // (Table 1): swap cannot run eagerly.
+        orch = Orchestration::Sync;
+    }
+    if (guard_.enabled() && orch == Orchestration::Async) {
+        // The guard must validate a variant before its output becomes
+        // real; eager chunks by an unvalidated best-so-far would leak
+        // unchecked writes into the final buffer.
         orch = Orchestration::Sync;
     }
     unsigned repeats = opt.profileRepeats;
@@ -336,11 +374,13 @@ Runtime::launch(const std::string &signature, std::uint64_t total_units,
         repeats = 1;
     }
 
-    // Safe point analysis: how much each variant profiles.
+    const std::size_t num_active = act.size();
+
+    // Safe point analysis: how much each active variant profiles.
     std::vector<std::uint64_t> wafs;
-    wafs.reserve(num_variants);
-    for (const auto &v : entry.variants)
-        wafs.push_back(v.waFactor);
+    wafs.reserve(num_active);
+    for (std::size_t i : act)
+        wafs.push_back(entry.variants[i].waFactor);
     unsigned fill_target = dev.computeUnits();
     if (dev.kind() == sim::DeviceKind::Gpu)
         fill_target *= std::max(1u, config.gpuSaturationBoost);
@@ -350,13 +390,13 @@ Runtime::launch(const std::string &signature, std::uint64_t total_units,
     if (total_units < config.minUnitsForProfiling
         || plan.unitsPerVariant == 0) {
         // Small workload: profiling-based selection is deactivated.
-        return runPlain(signature, entry, default_variant, total_units,
-                        args, opt, false, out);
+        return runPlain(signature, entry, healthy(default_variant),
+                        total_units, args, opt, false, out);
     }
 
     const std::uint64_t slice = plan.unitsPerVariant;
     const std::uint64_t profiled_span_units =
-        mode == ProfilingMode::Fully ? slice * num_variants : slice;
+        mode == ProfilingMode::Fully ? slice * num_active : slice;
 
     LaunchReport report;
     report.signature = signature;
@@ -364,9 +404,10 @@ Runtime::launch(const std::string &signature, std::uint64_t total_units,
     report.mode = mode;
     report.orch = orch;
     report.totalUnits = total_units;
-    report.profiledUnits = slice * num_variants * repeats;
+    report.profiledUnits = slice * num_active * repeats;
     report.productiveUnits =
-        mode == ProfilingMode::Fully ? slice * num_variants : slice;
+        mode == ProfilingMode::Fully ? slice * num_active : slice;
+    report.guardExcluded = excluded;
     report.startTime = dev.now();
 
     // ---- Sandbox / private output spaces -----------------------------
@@ -378,17 +419,17 @@ Runtime::launch(const std::string &signature, std::uint64_t total_units,
         return std::vector<std::size_t>{};
     };
 
-    std::vector<kdp::KernelArgs> vargs(num_variants, args);
+    std::vector<kdp::KernelArgs> vargs(num_active, args);
     std::vector<std::unique_ptr<kdp::BufferBase>> extras;
     // Winner's (arg index, private clone) pairs for the final swap.
     std::vector<std::vector<std::pair<std::size_t, kdp::BufferBase *>>>
-        swap_map(num_variants);
+        swap_map(num_active);
 
     if (mode != ProfilingMode::Fully) {
         const std::size_t first_cloned =
             mode == ProfilingMode::Hybrid ? 1 : 0;
-        for (std::size_t i = first_cloned; i < num_variants; ++i) {
-            const auto outs = outputs_of(entry.variants[i]);
+        for (std::size_t j = first_cloned; j < num_active; ++j) {
+            const auto outs = outputs_of(entry.variants[act[j]]);
             if (outs.empty())
                 return support::Status::failedPrecondition(
                     "DySelLaunchKernel(" + signature + "): "
@@ -396,10 +437,17 @@ Runtime::launch(const std::string &signature, std::uint64_t total_units,
                     + " profiling needs sandbox indices or output-arg "
                       "metadata");
             for (std::size_t idx : outs) {
-                auto clone = args.bufBase(idx).clone();
+                // With the guard on, sandboxes grow a trailing canary
+                // redzone so an out-of-bounds writer is caught.
+                auto clone = guard_.enabled()
+                    ? args.bufBase(idx).clonePadded(
+                          guard_.config().redzoneElems)
+                    : args.bufBase(idx).clone();
+                if (guard_.enabled())
+                    guard::VariantGuard::paintRedzone(*clone);
                 report.extraBytes += clone->sizeBytes();
-                vargs[i].rebind(idx, *clone);
-                swap_map[i].emplace_back(idx, clone.get());
+                vargs[j].rebind(idx, *clone);
+                swap_map[j].emplace_back(idx, clone.get());
                 extras.push_back(std::move(clone));
             }
         }
@@ -424,22 +472,36 @@ Runtime::launch(const std::string &signature, std::uint64_t total_units,
         std::uint64_t nextUnit = 0;
         bool batchSubmitted = false;
         std::uint64_t eagerChunks = 0;
+        // Guard bookkeeping (all indexed by active-local j).
+        std::vector<unsigned> completions;
+        std::vector<bool> failed;
+        std::vector<GuardEvent> guardEvents;
+        std::uint64_t repairs = 0;
+        bool allFailed = false;
     };
     auto st = std::make_shared<PState>();
-    st->metric.assign(num_variants,
+    st->metric.assign(num_active,
                       std::numeric_limits<sim::TimeNs>::max());
-    st->metricSum.assign(num_variants, 0.0);
-    st->metricCount.assign(num_variants, 0);
-    st->profiles.resize(num_variants);
-    st->outstanding = static_cast<unsigned>(num_variants) * repeats;
-    st->bestSoFar = default_variant;
+    st->metricSum.assign(num_active, 0.0);
+    st->metricCount.assign(num_active, 0);
+    st->profiles.resize(num_active);
+    st->outstanding = static_cast<unsigned>(num_active) * repeats;
+    st->completions.assign(num_active, 0);
+    st->failed.assign(num_active, false);
     st->nextUnit = profiled_span_units;
+
+    // bestSoFar is active-local; start at the default variant (or the
+    // first healthy one if the default is blacklisted).
+    st->bestSoFar = 0;
+    for (std::size_t j = 0; j < num_active; ++j)
+        if (static_cast<int>(act[j]) == healthy(default_variant))
+            st->bestSoFar = static_cast<int>(j);
 
     // The Fig. 7 in-kernel timer (GPU path).
     std::shared_ptr<GpuTimer> timer;
     if (dev.kind() == sim::DeviceKind::Gpu) {
         timer = std::make_shared<GpuTimer>(
-            static_cast<unsigned>(num_variants), plan.groups);
+            static_cast<unsigned>(num_active), plan.groups);
     }
 
     const bool gpu = dev.kind() == sim::DeviceKind::Gpu;
@@ -448,49 +510,50 @@ Runtime::launch(const std::string &signature, std::uint64_t total_units,
     auto finish_profiling = std::make_shared<std::function<void()>>();
 
     // ---- Submit the profiling launches -------------------------------
-    for (std::size_t i = 0; i < num_variants; ++i) {
-        const kdp::KernelVariant &variant = entry.variants[i];
+    for (std::size_t j = 0; j < num_active; ++j) {
+        const kdp::KernelVariant &variant = entry.variants[act[j]];
         const std::uint64_t first_unit =
-            mode == ProfilingMode::Fully ? i * slice : 0;
+            mode == ProfilingMode::Fully ? j * slice : 0;
         for (unsigned r = 0; r < repeats; ++r) {
             sim::Launch launch;
             launch.variant = &variant;
-            launch.args = vargs[i];
+            launch.args = vargs[j];
             launch.firstGroup = first_unit / variant.waFactor;
-            launch.numGroups = plan.groups[i];
+            launch.numGroups = plan.groups[j];
             launch.priority = 1;
-            launch.stream = 1 + static_cast<int>(i);
+            launch.stream = 1 + static_cast<int>(j);
             // GPU profiling kernels measure in effective isolation
             // (concurrent kernels overlap only at tails on Kepler).
             launch.exclusive = gpu;
             if (timer && r == 0) {
-                launch.onGroupStamp = [timer, i](sim::TimeNs s,
+                launch.onGroupStamp = [timer, j](sim::TimeNs s,
                                                  sim::TimeNs e) {
-                    timer->blockDone(static_cast<unsigned>(i), s, e);
+                    timer->blockDone(static_cast<unsigned>(j), s, e);
                 };
             }
-            launch.onComplete = [this, st, finish_profiling, i, gpu, slice,
+            launch.onComplete = [this, st, finish_profiling, j, gpu, slice,
                                  r, repeats](const sim::LaunchStats &stats) {
                 const sim::TimeNs m =
                     gpu ? stats.span() : stats.busyTime;
+                st->completions[j]++;
                 if (repeats == 1 || r > 0) {
                     // With repeats, the first execution is a cache
                     // warmup; steady-state repeats are averaged.
-                    st->metricSum[i] += static_cast<double>(m);
-                    st->metricCount[i]++;
-                    st->metric[i] = static_cast<sim::TimeNs>(
-                        st->metricSum[i] / st->metricCount[i]);
+                    st->metricSum[j] += static_cast<double>(m);
+                    st->metricCount[j]++;
+                    st->metric[j] = static_cast<sim::TimeNs>(
+                        st->metricSum[j] / st->metricCount[j]);
                 }
-                VariantProfile &prof = st->profiles[i];
+                VariantProfile &prof = st->profiles[j];
                 if (r == 0) {
                     prof.span = stats.span();
                     prof.busy = stats.busyTime;
                     prof.units = slice;
                 }
-                prof.metric = st->metric[i];
-                if (st->metric[i] < st->bestMetric) {
-                    st->bestMetric = st->metric[i];
-                    st->bestSoFar = static_cast<int>(i);
+                prof.metric = st->metric[j];
+                if (st->metric[j] < st->bestMetric) {
+                    st->bestMetric = st->metric[j];
+                    st->bestSoFar = static_cast<int>(j);
                 }
                 if (--st->outstanding == 0)
                     (*finish_profiling)();
@@ -499,23 +562,135 @@ Runtime::launch(const std::string &signature, std::uint64_t total_units,
         }
     }
 
-    // ---- Post-profiling: select, swap, launch the remainder ----------
-    *finish_profiling = [this, st, &entry, &args, &vargs, &swap_map, mode,
-                         orch, total_units, signature] {
+    // ---- Post-profiling: validate, select, swap, launch the rest -----
+    *finish_profiling = [this, st, &entry, &args, &swap_map, &act, mode,
+                         orch, total_units, signature, slice] {
         st->profilingDone = true;
-        int best = 0;
-        for (std::size_t i = 1; i < st->metric.size(); ++i)
-            if (st->metric[i] < st->metric[best])
-                best = static_cast<int>(i);
-        st->selected = best;
-        selectionCache[signature] = best;
+        const std::size_t n = act.size();
+
+        if (guard_.enabled()) {
+            auto strike = [&](std::size_t j, guard::CheckKind ck) {
+                st->failed[j] = true;
+                guard_.strike(signature, entry.variants[act[j]].name,
+                              ck);
+                st->guardEvents.push_back(
+                    {entry.variants[act[j]].name,
+                     guard::checkKindName(ck)});
+            };
+            if (mode != ProfilingMode::Fully) {
+                // Self checks on each variant's private clones (in
+                // hybrid mode variant 0 has none; only the watchdog
+                // covers it).  At most one strike per variant per
+                // pass, in check order: redzone, NaN, mismatch.
+                for (std::size_t j = 0; j < n; ++j) {
+                    if (st->failed[j])
+                        continue;
+                    bool bad_rz = false;
+                    bool bad_nan = false;
+                    for (const auto &[idx, clone] : swap_map[j]) {
+                        (void)idx;
+                        if (!guard::VariantGuard::redzoneIntact(*clone))
+                            bad_rz = true;
+                        else if (guard::VariantGuard::hasNanOrInf(
+                                     *clone))
+                            bad_nan = true;
+                    }
+                    if (bad_rz)
+                        strike(j, guard::CheckKind::Redzone);
+                    else if (bad_nan)
+                        strike(j, guard::CheckKind::NanInf);
+                }
+                // Cross-check everyone against the reference: the
+                // first variant that passed its self checks.  (A
+                // corrupt reference with plausible values defeats
+                // this -- a documented reference-trust limitation.)
+                std::size_t ref = n;
+                for (std::size_t j = 0; j < n; ++j) {
+                    if (!st->failed[j]) {
+                        ref = j;
+                        break;
+                    }
+                }
+                for (std::size_t j = 0; ref < n && j < n; ++j) {
+                    if (j == ref || st->failed[j])
+                        continue;
+                    bool match = true;
+                    for (const auto &[idx, clone] : swap_map[j]) {
+                        // The reference output for this arg: its own
+                        // clone, or the real buffer (hybrid ref 0).
+                        const kdp::BufferBase *refbuf =
+                            &args.bufBase(idx);
+                        for (const auto &[ridx, rclone] : swap_map[ref])
+                            if (ridx == idx)
+                                refbuf = rclone;
+                        if (!guard_.outputsMatch(*refbuf, *clone)) {
+                            match = false;
+                            break;
+                        }
+                    }
+                    if (!match)
+                        strike(j, guard::CheckKind::Mismatch);
+                }
+                for (std::size_t j = 0; j < n; ++j)
+                    if (!st->failed[j])
+                        guard_.pass(signature,
+                                    entry.variants[act[j]].name);
+            }
+        }
+
+        // Select the fastest variant that survived validation.
+        std::size_t best = n;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (st->failed[j])
+                continue;
+            if (best == n || st->metric[j] < st->metric[best])
+                best = j;
+        }
+        if (best == n) {
+            // Every variant failed validation: there is no
+            // trustworthy implementation to run the remainder with.
+            st->allFailed = true;
+            st->selected = -1;
+            return;
+        }
+        st->selected = static_cast<int>(act[best]);
+        selectionCache[signature] = st->selected;
 
         if (mode == ProfilingMode::Swap) {
             // Swap the winner's private outputs into place; the
             // losers' copies are discarded.  On real hardware this is
-            // a pointer swap, so no virtual time is charged.
-            for (const auto &[idx, clone] : swap_map[best])
-                args.bufBase(idx).copyFrom(*clone);
+            // a pointer swap, so no virtual time is charged.  Guarded
+            // clones are redzone-padded, so only the data prefix is
+            // copied.
+            for (const auto &[idx, clone] : swap_map[best]) {
+                if (guard_.enabled())
+                    guard::VariantGuard::copyData(args.bufBase(idx),
+                                                  *clone);
+                else
+                    args.bufBase(idx).copyFrom(*clone);
+            }
+        }
+
+        if (guard_.enabled()) {
+            // Repair productive slices whose producer failed, so
+            // profiling stays productive: in hybrid mode a failed
+            // variant 0 invalidates units [0, slice) of the real
+            // output; in fully mode each failed variant leaves its
+            // own slice unwritten or corrupt.
+            const kdp::KernelVariant &winner =
+                entry.variants[st->selected];
+            if (mode == ProfilingMode::Hybrid && st->failed[0]) {
+                st->repairs++;
+                submitBatch(winner, args, 0, slice, 1, 0, nullptr);
+            } else if (mode == ProfilingMode::Fully) {
+                for (std::size_t j = 0; j < n; ++j) {
+                    if (!st->failed[j])
+                        continue;
+                    st->repairs++;
+                    submitBatch(winner, args, j * slice, slice, 1, 0,
+                                nullptr);
+                }
+            }
         }
 
         if (st->nextUnit < total_units && !st->batchSubmitted) {
@@ -546,7 +721,8 @@ Runtime::launch(const std::string &signature, std::uint64_t total_units,
         // outlives dev.run() below, and a strong self-capture would
         // cycle and leak the profiling state.
         std::weak_ptr<std::function<void()>> pump_weak = pump;
-        *pump = [this, st, &entry, &args, total_units, chunk, pump_weak] {
+        *pump = [this, st, &entry, &args, &act, total_units, chunk,
+                 pump_weak] {
             if (st->profilingDone || st->batchSubmitted)
                 return; // the remainder goes out as one batch
             if (st->nextUnit >= total_units)
@@ -554,7 +730,7 @@ Runtime::launch(const std::string &signature, std::uint64_t total_units,
             const std::uint64_t units =
                 std::min<std::uint64_t>(chunk, total_units - st->nextUnit);
             const kdp::KernelVariant &variant =
-                entry.variants[st->bestSoFar];
+                entry.variants[act[st->bestSoFar]];
             st->eagerChunks++;
             const std::uint64_t first = st->nextUnit;
             st->nextUnit += units;
@@ -576,16 +752,48 @@ Runtime::launch(const std::string &signature, std::uint64_t total_units,
     if (auto fault = consumeDeviceFault(); !fault.ok())
         return fault;
 
-    if (!st->profilingDone)
-        support::panic("profiling did not complete for '%s'",
-                       signature.c_str());
+    if (!st->profilingDone) {
+        if (!guard_.enabled())
+            support::panic("profiling did not complete for '%s'",
+                           signature.c_str());
+        // Watchdog: the event queue drained with profiling slices
+        // still missing -- a hung variant's launches never completed.
+        // Strike the laggards and finish selection with the
+        // survivors, then drain the repair / remainder work.
+        bool any_hung = false;
+        for (std::size_t j = 0; j < num_active; ++j) {
+            if (st->completions[j] >= repeats)
+                continue;
+            any_hung = true;
+            st->failed[j] = true;
+            guard_.strike(signature, entry.variants[act[j]].name,
+                          guard::CheckKind::Watchdog);
+            st->guardEvents.push_back(
+                {entry.variants[act[j]].name,
+                 guard::checkKindName(guard::CheckKind::Watchdog)});
+        }
+        if (!any_hung)
+            support::panic("profiling did not complete for '%s'",
+                           signature.c_str());
+        (*finish_profiling)();
+        dev.run();
+        if (auto fault = consumeDeviceFault(); !fault.ok())
+            return fault;
+    }
+
+    if (st->allFailed)
+        return support::Status::dataLoss(
+            "DySelLaunchKernel(" + signature + "): every variant "
+            "failed guard validation; no trustworthy output");
 
     report.selected = st->selected;
     report.selectedName = entry.variants[st->selected].name;
     report.eagerChunks = st->eagerChunks;
-    for (std::size_t i = 0; i < num_variants; ++i)
-        st->profiles[i].name = entry.variants[i].name;
+    for (std::size_t j = 0; j < num_active; ++j)
+        st->profiles[j].name = entry.variants[act[j]].name;
     report.profiles = st->profiles;
+    report.guardEvents = st->guardEvents;
+    report.guardRepairs = st->repairs;
     report.endTime = dev.now();
 
     if (config.verbose) {

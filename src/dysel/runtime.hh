@@ -25,6 +25,7 @@
 
 #include "compiler/analysis.hh"
 #include "compiler/kernel_info.hh"
+#include "guard/guard.hh"
 #include "kdp/args.hh"
 #include "kdp/kernel.hh"
 #include "sim/device.hh"
@@ -60,6 +61,15 @@ struct RuntimeConfig
 
     /** Emit inform() lines on selection decisions. */
     bool verbose = false;
+
+    /**
+     * Variant guard configuration.  When guard.enabled, profiling
+     * launches validate every variant's sandbox output (cross-check,
+     * canary redzones, NaN screen, watchdog); misbehaving variants
+     * are excluded mid-selection and blacklisted after
+     * guard.strikeLimit strikes.
+     */
+    guard::GuardConfig guard;
 };
 
 /**
@@ -185,6 +195,10 @@ class Runtime
     /** The bound device. */
     sim::Device &device() { return dev; }
 
+    /** The variant guard (health ledger + blacklist). */
+    guard::VariantGuard &guard() { return guard_; }
+    const guard::VariantGuard &guard() const { return guard_; }
+
   private:
     struct KernelEntry
     {
@@ -230,6 +244,7 @@ class Runtime
 
     sim::Device &dev;
     RuntimeConfig config;
+    guard::VariantGuard guard_;
     std::map<std::string, KernelEntry> pool;
     std::map<std::string, int> selectionCache;
     LaunchObserver observer;

@@ -1,10 +1,16 @@
 #include "selection_store.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 namespace dysel {
 namespace store {
@@ -214,10 +220,79 @@ SelectionStore::invalidate(const std::string &signature,
 }
 
 void
+SelectionStore::blacklistVariant(const std::string &signature,
+                                 const std::string &variant,
+                                 const std::string &device,
+                                 const std::string &reason)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    BlacklistEntry &e = blacklist[BlKey{signature, variant, device}];
+    e.signature = signature;
+    e.variant = variant;
+    e.device = device;
+    e.reason = reason;
+    e.strikes++;
+    // A record serving the blacklisted variant must never warm-start
+    // anyone again, whatever its bucket: force a miss, which forces a
+    // re-profile that excludes the variant.
+    for (auto &[key, rec] : recs) {
+        (void)key;
+        if (rec.signature == signature && rec.device == device
+            && rec.valid && rec.selectedName == variant) {
+            invalidateLocked(rec);
+        }
+    }
+}
+
+bool
+SelectionStore::isBlacklisted(const std::string &signature,
+                              const std::string &variant,
+                              const std::string &device) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return blacklist.count(BlKey{signature, variant, device}) > 0;
+}
+
+std::vector<std::pair<std::string, std::string>>
+SelectionStore::blacklistedVariants(const std::string &signature,
+                                    const std::string &device) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<std::pair<std::string, std::string>> out;
+    for (const auto &[key, e] : blacklist) {
+        (void)key;
+        if (e.signature == signature && e.device == device)
+            out.emplace_back(e.variant, e.reason);
+    }
+    return out;
+}
+
+std::vector<BlacklistEntry>
+SelectionStore::blacklistEntries() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<BlacklistEntry> out;
+    out.reserve(blacklist.size());
+    for (const auto &[key, e] : blacklist) {
+        (void)key;
+        out.push_back(e);
+    }
+    return out;
+}
+
+std::size_t
+SelectionStore::blacklistSize() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return blacklist.size();
+}
+
+void
 SelectionStore::clear()
 {
     std::lock_guard<std::mutex> lock(mu);
     recs.clear();
+    blacklist.clear();
 }
 
 std::size_t
@@ -299,19 +374,32 @@ SelectionStore::toJson() const
         jr.set("quarantines", Json(rec.quarantines));
         arr.push(std::move(jr));
     }
+    Json blarr = Json::array();
+    for (const auto &[key, e] : blacklist) {
+        (void)key;
+        Json jb = Json::object();
+        jb.set("signature", Json(e.signature));
+        jb.set("variant", Json(e.variant));
+        jb.set("device", Json(e.device));
+        jb.set("reason", Json(e.reason));
+        jb.set("strikes", Json(e.strikes));
+        blarr.push(std::move(jb));
+    }
     Json root = Json::object();
-    root.set("version", Json(2));
+    root.set("version", Json(3));
     root.set("records", std::move(arr));
+    root.set("blacklist", std::move(blarr));
     return root;
 }
 
 void
 SelectionStore::loadJson(const Json &doc)
 {
-    // Version 2 added the quarantine fields; version-1 documents
-    // load with quarantine state at rest.
+    // Version 2 added the quarantine fields; version 3 the variant
+    // blacklist.  Older documents load with the missing state at
+    // rest.
     const auto version = doc.isObject() ? doc.intOr("version", 0) : 0;
-    if (version != 1 && version != 2)
+    if (version < 1 || version > 3)
         throw std::runtime_error(
             "selection store: unsupported document version");
     std::map<Key, SelectionRecord> loaded;
@@ -345,34 +433,147 @@ SelectionStore::loadJson(const Json &doc)
         Key key{rec.signature, rec.device, rec.bucket};
         loaded[std::move(key)] = std::move(rec);
     }
+    std::map<BlKey, BlacklistEntry> loadedBl;
+    if (doc.has("blacklist")) {
+        for (const Json &jb : doc.at("blacklist").items()) {
+            BlacklistEntry e;
+            e.signature = jb.at("signature").asString();
+            e.variant = jb.at("variant").asString();
+            e.device = jb.at("device").asString();
+            e.reason = jb.stringOr("reason", "");
+            e.strikes = jb.intOr("strikes", 1);
+            BlKey key{e.signature, e.variant, e.device};
+            loadedBl[std::move(key)] = std::move(e);
+        }
+    }
+    // Everything parsed; only now replace the contents (a malformed
+    // document above must not leave a half-loaded store).
     std::lock_guard<std::mutex> lock(mu);
     recs = std::move(loaded);
+    blacklist = std::move(loadedBl);
 }
 
-bool
+namespace {
+
+/** FNV-1a 64-bit hash, the file-content checksum. */
+std::uint64_t
+fnv1a64(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** 16-hex-digit rendering of @p h. */
+std::string
+hex16(std::uint64_t h)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+support::Status
+ioError(const std::string &what, const std::string &path)
+{
+    return support::Status::unavailable(
+        "selection store: " + what + " '" + path + "': "
+        + std::strerror(errno));
+}
+
+} // namespace
+
+support::Status
 SelectionStore::saveFile(const std::string &path) const
 {
-    std::ofstream out(path, std::ios::trunc);
-    if (!out)
-        return false;
-    out << toJson().dump(2) << '\n';
-    return static_cast<bool>(out);
+    // The checksum covers the compact dump of the payload; dump() is
+    // deterministic (sorted keys, stable number formatting), so a
+    // loader can re-dump the parsed payload and compare.
+    const Json payload = toJson();
+    Json root = Json::object();
+    root.set("checksum", Json(hex16(fnv1a64(payload.dump(0)))));
+    root.set("payload", payload);
+    const std::string text = root.dump(2) + "\n";
+
+    // Crash-safe sequence: write a sibling temp file, fsync it, then
+    // atomically rename over the target.  A crash anywhere in between
+    // leaves the previous file intact.
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                          0644);
+    if (fd < 0)
+        return ioError("cannot create", tmp);
+    std::size_t off = 0;
+    while (off < text.size()) {
+        const ssize_t n =
+            ::write(fd, text.data() + off, text.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return ioError("cannot write", tmp);
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return ioError("cannot fsync", tmp);
+    }
+    if (::close(fd) != 0) {
+        ::unlink(tmp.c_str());
+        return ioError("cannot close", tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        return ioError("cannot rename over", path);
+    }
+    return support::Status();
 }
 
-bool
+support::Status
 SelectionStore::loadFile(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        return false;
+        return support::Status::notFound(
+            "selection store: cannot read '" + path + "'");
     std::ostringstream buf;
     buf << in.rdbuf();
+
+    Json doc;
     try {
-        loadJson(Json::parse(buf.str()));
-    } catch (const std::exception &) {
-        return false;
+        doc = Json::parse(buf.str());
+    } catch (const std::exception &e) {
+        return support::Status::dataLoss(
+            "selection store: '" + path + "' is not valid JSON ("
+            + e.what() + "); file truncated or corrupt");
     }
-    return true;
+    try {
+        if (doc.isObject() && doc.has("checksum")) {
+            const std::string want = doc.at("checksum").asString();
+            const Json &payload = doc.at("payload");
+            const std::string got = hex16(fnv1a64(payload.dump(0)));
+            if (got != want)
+                return support::Status::dataLoss(
+                    "selection store: '" + path + "' failed its "
+                    "content checksum (expected " + want + ", got "
+                    + got + "); refusing to load corrupt data");
+            loadJson(payload);
+        } else {
+            // Legacy naked document (pre-checksum saveFile).
+            loadJson(doc);
+        }
+    } catch (const std::exception &e) {
+        return support::Status::dataLoss(
+            "selection store: '" + path + "': " + e.what());
+    }
+    return support::Status();
 }
 
 } // namespace store

@@ -27,6 +27,7 @@
 
 #include "dysel/report.hh"
 #include "support/json.hh"
+#include "support/status.hh"
 
 namespace dysel {
 namespace store {
@@ -138,6 +139,23 @@ struct SelectionRecord
 };
 
 /**
+ * One blacklisted variant: the guard caught it misbehaving
+ * (corrupt output, out-of-bounds write, NaN poisoning, or a hang)
+ * strikeLimit times.  Keyed by (signature, variant, device
+ * fingerprint): a variant miscompiled for one device may be fine on
+ * another.  Blacklist entries survive save/load, so dyseld never
+ * re-serves a known-bad variant across restarts.
+ */
+struct BlacklistEntry
+{
+    std::string signature;
+    std::string variant; ///< variant name (stable across reloads)
+    std::string device;  ///< sim::Device::fingerprint()
+    std::string reason;  ///< guard check name of the final strike
+    std::uint64_t strikes = 0; ///< times the guard reported it
+};
+
+/**
  * The persistent selection database.
  */
 class SelectionStore
@@ -187,6 +205,38 @@ class SelectionStore
     void invalidate(const std::string &signature,
                     const std::string &device, unsigned bucket);
 
+    /**
+     * Blacklist (@p signature, @p variant) on @p device: the guard
+     * caught the variant misbehaving.  Repeated calls bump the strike
+     * count and keep the latest reason.  Any valid record of the
+     * signature on the device whose selection is the variant is
+     * invalidated (whatever its bucket), so lookups miss and
+     * re-profiling -- which excludes the variant -- is forced.
+     */
+    void blacklistVariant(const std::string &signature,
+                          const std::string &variant,
+                          const std::string &device,
+                          const std::string &reason);
+
+    /** Whether (@p signature, @p variant, @p device) is blacklisted. */
+    bool isBlacklisted(const std::string &signature,
+                       const std::string &variant,
+                       const std::string &device) const;
+
+    /**
+     * (variant name, reason) of every blacklisted variant of
+     * @p signature on @p device; used to seed a Runtime's guard.
+     */
+    std::vector<std::pair<std::string, std::string>>
+    blacklistedVariants(const std::string &signature,
+                        const std::string &device) const;
+
+    /** Copy of the whole blacklist, deterministically ordered. */
+    std::vector<BlacklistEntry> blacklistEntries() const;
+
+    /** Number of blacklist entries. */
+    std::size_t blacklistSize() const;
+
     /** Remove every record. */
     void clear();
 
@@ -211,12 +261,30 @@ class SelectionStore
      */
     void loadJson(const support::Json &doc);
 
-    /** Save to / load from a JSON file.  Return success. */
-    bool saveFile(const std::string &path) const;
-    bool loadFile(const std::string &path);
+    /**
+     * Crash-safe save: the document is written to "<path>.tmp",
+     * fsync'd, and atomically renamed over @p path, so a crash at any
+     * point leaves either the old or the new file -- never a torn
+     * one.  The file embeds an FNV-1a checksum of its payload.
+     * Unavailable on I/O errors (the previous file, if any, is left
+     * untouched).
+     */
+    support::Status saveFile(const std::string &path) const;
+
+    /**
+     * Load a saveFile() product.  NotFound when @p path does not
+     * exist (callers usually treat that as a cold start); DataLoss
+     * when the file is truncated, unparseable, fails its checksum, or
+     * carries an unsupported version.  On any failure the in-memory
+     * contents are left untouched -- the store never partially loads.
+     * Legacy (pre-checksum) naked documents still load.
+     */
+    support::Status loadFile(const std::string &path);
 
   private:
     using Key = std::tuple<std::string, std::string, unsigned>;
+    /** (signature, variant name, device fingerprint). */
+    using BlKey = std::tuple<std::string, std::string, std::string>;
 
     /**
      * Demote @p rec's selection: switch to the best profiled
@@ -232,6 +300,7 @@ class SelectionStore
     mutable std::mutex mu;
     StoreConfig cfg_;
     std::map<Key, SelectionRecord> recs;
+    std::map<BlKey, BlacklistEntry> blacklist;
     mutable std::uint64_t hits_ = 0;
     mutable std::uint64_t misses_ = 0;
     std::uint64_t drifts_ = 0;

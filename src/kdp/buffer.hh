@@ -13,6 +13,7 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstring>
@@ -58,11 +59,37 @@ class BufferBase
     /** Debug name. */
     const std::string &name() const { return label; }
 
+    /**
+     * Trailing elements of the allocation reserved as a guard
+     * redzone (clonePadded() sets this); kernels own only the first
+     * size() - redzone() elements.  0 for ordinary buffers.
+     */
+    std::uint64_t redzone() const { return redzoneCount; }
+
+    /** Elements that carry data (size() minus the redzone). */
+    std::uint64_t dataElems() const { return size() - redzoneCount; }
+
     /** Deep copy with a fresh address range. */
     virtual std::unique_ptr<BufferBase> clone() const = 0;
 
+    /**
+     * Deep copy extended by @p extra trailing redzone elements (a
+     * fresh address range, like clone()).  The redzone contents are
+     * whatever the guard paints them with; kernels indexing past
+     * dataElems() land in it instead of out of the allocation.
+     */
+    virtual std::unique_ptr<BufferBase>
+    clonePadded(std::uint64_t extra) const = 0;
+
     /** Copy contents from @p other (sizes and types must match). */
     virtual void copyFrom(const BufferBase &other) = 0;
+
+    /** Raw byte view of the storage (guard checks, fault injection). */
+    virtual void *rawData() = 0;
+    const void *rawData() const
+    {
+        return const_cast<BufferBase *>(this)->rawData();
+    }
 
     /** typeid of the element type, for checked downcasts. */
     virtual const std::type_info &elemType() const = 0;
@@ -74,12 +101,16 @@ class BufferBase
     /** Allocate a fresh virtual address range of @p bytes. */
     static std::uint64_t allocAddr(std::uint64_t bytes);
 
+    /** Mark the last @p n elements as redzone (clonePadded). */
+    void setRedzone(std::uint64_t n) { redzoneCount = n; }
+
   private:
     std::uint64_t base;
     std::uint64_t count;
     std::uint32_t elemBytes;
     MemSpace memSpace;
     std::string label;
+    std::uint64_t redzoneCount = 0;
 };
 
 /**
@@ -136,6 +167,16 @@ class Buffer : public BufferBase
         return copy;
     }
 
+    std::unique_ptr<BufferBase>
+    clonePadded(std::uint64_t extra) const override
+    {
+        auto copy = std::make_unique<Buffer<T>>(size() + extra, space(),
+                                                name() + ".clone");
+        std::copy(data.begin(), data.end(), copy->data.begin());
+        copy->setRedzone(extra);
+        return copy;
+    }
+
     void
     copyFrom(const BufferBase &other) override
     {
@@ -146,6 +187,8 @@ class Buffer : public BufferBase
     }
 
     const std::type_info &elemType() const override { return typeid(T); }
+
+    void *rawData() override { return data.data(); }
 
     /** Fill with a constant. */
     void

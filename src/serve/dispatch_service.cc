@@ -136,6 +136,26 @@ DispatchService::addDevice(std::unique_ptr<sim::Device> device)
                     break;
                 }
             }
+            // Guard telemetry: one "guard.<check>" count per
+            // detection, reconcilable 1:1 with the fault injector's
+            // variant-fault log.
+            for (const auto &ev : r.guardEvents)
+                reg.counter("guard." + ev.check).inc();
+            if (r.guardExcluded > 0)
+                reg.counter("guard.excluded").inc(r.guardExcluded);
+            if (r.guardRepairs > 0)
+                reg.counter("guard.repair").inc(r.guardRepairs);
+        });
+
+    // Persist guard blacklistings: a variant that struck out on this
+    // device is recorded in the store under the device fingerprint,
+    // so it is never re-served -- across restarts included.
+    w->rt->guard().setBlacklistObserver(
+        [this, fp = w->fingerprint](const std::string &sig,
+                                    const std::string &variant,
+                                    const std::string &reason) {
+            store_.blacklistVariant(sig, variant, fp, reason);
+            reg.counter("guard.blacklist").inc();
         });
 
     workers.push_back(std::move(w));
@@ -459,8 +479,25 @@ DispatchService::runJob(unsigned idx, QueuedJob &qj)
         return res;
     }
 
+    if (w.rt->guard().enabled()) {
+        // Seed the runtime's guard with the store's blacklist for
+        // this (signature, device): entries loaded from disk must
+        // keep excluding their variants after a restart.
+        for (const auto &[variant, reason] :
+             store_.blacklistedVariants(job.signature, w.fingerprint))
+            w.rt->guard().blacklist(job.signature, variant, reason);
+    }
+
     runtime::LaunchOptions opt = job.opt;
     auto rec = store_.lookup(job.signature, w.fingerprint, job.units);
+    if (rec && w.rt->guard().enabled()
+        && store_.isBlacklisted(job.signature, rec->selectedName,
+                                w.fingerprint)) {
+        // The stored winner has since been blacklisted (e.g. on a
+        // peer worker): treat the lookup as a miss and re-profile.
+        rec.reset();
+        reg.counter("guard.blocked_warmstart").inc();
+    }
     if (rec) {
         // Warm start: resolve the stored winner (by name, so records
         // survive re-registration) and skip profiling.

@@ -25,6 +25,16 @@
  * reportFailure so a bad stored selection is quarantined.  All
  * recovery events are counted in the metrics registry.
  *
+ * Variant guard: with runtime.guard.enabled, each runtime validates
+ * variants during micro-profiling (output cross-check, canary
+ * redzones, NaN screen, watchdog); detections surface as guard.*
+ * counters, and a variant that strikes out is blacklisted in the
+ * shared store keyed by (signature, variant, device fingerprint).
+ * Jobs seed their runtime's guard from the store, so blacklist
+ * entries loaded from disk keep excluding their variants after a
+ * restart, and a warm start whose stored winner was since
+ * blacklisted is demoted to a re-profiling miss.
+ *
  * The simulated devices are single-threaded event loops, so each
  * runtime is touched only by its worker thread; the store and the
  * metrics registry are the only shared state and are thread-safe.

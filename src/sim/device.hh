@@ -11,10 +11,13 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "event_engine.hh"
 #include "fault.hh"
@@ -120,11 +123,94 @@ class Device
         const FaultKind kind = faults->decide(
             name(), launch.variant ? launch.variant->name : "?", now());
         if (kind == FaultKind::LaunchFail || kind == FaultKind::Hang) {
-            pendingFault = FaultEvent{
-                kind, name(), launch.variant ? launch.variant->name : "?",
-                now()};
+            FaultEvent ev;
+            ev.kind = kind;
+            ev.device = name();
+            ev.variant = launch.variant ? launch.variant->name : "?";
+            ev.time = now();
+            pendingFault = std::move(ev);
         }
         return kind;
+    }
+
+    /**
+     * Consult the injector for a persistent variant-level fault of
+     * @p launch's variant (device subclasses call this from submit()
+     * after checkLaunchFault()).
+     *
+     * KernelHang is returned to the caller, which must drop the
+     * launch and charge the watchdog stall itself; unlike a device
+     * Hang it does NOT raise pendingFault -- the slice is contained,
+     * the launch attempt as a whole is not doomed.  The output-
+     * corrupting kinds are armed here: the launch's onComplete is
+     * wrapped so the corruption lands after the kernel really ran,
+     * overwriting computed results the way a buggy store would.
+     * Every *applied* fault is logged (an OobWrite against a buffer
+     * without a redzone has nowhere to land, so it neither applies
+     * nor logs); that keeps the injector log reconcilable 1:1 with
+     * the guard's detections.
+     */
+    VariantFaultKind checkVariantFault(Launch &launch)
+    {
+        if (!faults || !launch.variant)
+            return VariantFaultKind::None;
+        const VariantFaultKind kind =
+            faults->variantFaultOf(launch.variant->name);
+        if (kind == VariantFaultKind::None)
+            return kind;
+        if (kind == VariantFaultKind::KernelHang) {
+            faults->logVariantFault(kind, name(), launch.variant->name,
+                                    now());
+            return kind;
+        }
+        // Output-corrupting kinds: find the output buffers this
+        // fault can actually reach.
+        std::vector<std::size_t> targets;
+        for (std::size_t idx : launch.variant->sandboxIndex) {
+            const kdp::BufferBase &buf = launch.args.bufBase(idx);
+            if (buf.dataElems() == 0)
+                continue;
+            if (kind == VariantFaultKind::OobWrite && buf.redzone() == 0)
+                continue;
+            targets.push_back(idx);
+        }
+        if (targets.empty())
+            return VariantFaultKind::None;
+        faults->logVariantFault(kind, name(), launch.variant->name,
+                                now());
+        auto orig = std::move(launch.onComplete);
+        kdp::KernelArgs args = launch.args; // shallow; buffers outlive
+        launch.onComplete = [args, targets, kind,
+                             orig](const LaunchStats &stats) {
+            for (std::size_t idx : targets)
+                applyOutputFault(kind, args.bufBase(idx));
+            if (orig)
+                orig(stats);
+        };
+        return kind;
+    }
+
+    /** Scribble @p kind's signature bytes into @p buf. */
+    static void applyOutputFault(VariantFaultKind kind,
+                                 kdp::BufferBase &buf)
+    {
+        auto *bytes = static_cast<unsigned char *>(buf.rawData());
+        const std::uint64_t elem = buf.elemSize();
+        if (kind == VariantFaultKind::OobWrite) {
+            // Trash the redzone: an out-of-bounds store past the end
+            // of the output allocation.
+            std::memset(bytes + buf.dataElems() * elem, 0xdb,
+                        buf.redzone() * elem);
+            return;
+        }
+        // Garble a prefix of the data region.  0xff-filled floats are
+        // NaN (the NaN screen's prey); 0xdb-filled ones are huge but
+        // finite garbage (the cross-check's prey).
+        const std::uint64_t n = std::min<std::uint64_t>(
+            buf.dataElems(), 64);
+        const unsigned char pattern =
+            kind == VariantFaultKind::NanOutput ? 0xff : 0xdb;
+        std::memset(bytes, pattern, n * elem);
     }
 
     EventEngine events;

@@ -17,6 +17,19 @@ faultKindName(FaultKind kind)
     return "?";
 }
 
+const char *
+variantFaultKindName(VariantFaultKind kind)
+{
+    switch (kind) {
+      case VariantFaultKind::None: return "none";
+      case VariantFaultKind::CorruptOutput: return "corrupt_output";
+      case VariantFaultKind::OobWrite: return "oob_write";
+      case VariantFaultKind::NanOutput: return "nan_output";
+      case VariantFaultKind::KernelHang: return "kernel_hang";
+    }
+    return "?";
+}
+
 FaultInjector::FaultInjector(FaultConfig cfg)
     : cfg_(cfg), rng(cfg.seed)
 {
@@ -45,10 +58,70 @@ FaultInjector::decide(const std::string &device,
         }
     }
     if (kind != FaultKind::None) {
-        log.push_back(FaultEvent{kind, device, variant, now});
+        FaultEvent ev;
+        ev.kind = kind;
+        ev.device = device;
+        ev.variant = variant;
+        ev.time = now;
+        log.push_back(std::move(ev));
         counts[static_cast<std::size_t>(kind)]++;
     }
     return kind;
+}
+
+void
+FaultInjector::setVariantFault(const std::string &variant,
+                               VariantFaultKind kind)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (kind == VariantFaultKind::None)
+        variantFaults.erase(variant);
+    else
+        variantFaults[variant] = kind;
+}
+
+VariantFaultKind
+FaultInjector::variantFaultOf(const std::string &variant)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = variantFaults.find(variant);
+    if (it != variantFaults.end())
+        return it->second;
+    if (cfg_.variantFaultProb <= 0.0)
+        return VariantFaultKind::None;
+    // First sight of this name: draw once and memoize, so the variant
+    // is consistently healthy or consistently broken (a miscompile,
+    // not a coin flip per launch).
+    VariantFaultKind kind = VariantFaultKind::None;
+    if (rng.nextDouble() < cfg_.variantFaultProb) {
+        static const VariantFaultKind modes[] = {
+            VariantFaultKind::CorruptOutput,
+            VariantFaultKind::OobWrite,
+            VariantFaultKind::NanOutput,
+            VariantFaultKind::KernelHang,
+        };
+        kind = modes[static_cast<std::size_t>(rng.nextDouble() * 4.0)
+                     % 4];
+    }
+    variantFaults[variant] = kind;
+    return kind;
+}
+
+void
+FaultInjector::logVariantFault(VariantFaultKind kind,
+                               const std::string &device,
+                               const std::string &variant, TimeNs now)
+{
+    if (kind == VariantFaultKind::None)
+        return;
+    std::lock_guard<std::mutex> lock(mu);
+    FaultEvent ev;
+    ev.vkind = kind;
+    ev.device = device;
+    ev.variant = variant;
+    ev.time = now;
+    log.push_back(std::move(ev));
+    vcounts[static_cast<std::size_t>(kind)]++;
 }
 
 void
@@ -87,11 +160,28 @@ FaultInjector::count(FaultKind kind) const
 }
 
 std::uint64_t
+FaultInjector::variantCount(VariantFaultKind kind) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return vcounts[static_cast<std::size_t>(kind)];
+}
+
+std::uint64_t
 FaultInjector::total() const
 {
     std::lock_guard<std::mutex> lock(mu);
     std::uint64_t sum = 0;
     for (const auto c : counts)
+        sum += c;
+    return sum;
+}
+
+std::uint64_t
+FaultInjector::variantTotal() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::uint64_t sum = 0;
+    for (const auto c : vcounts)
         sum += c;
     return sum;
 }

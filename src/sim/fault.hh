@@ -33,6 +33,7 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -55,6 +56,36 @@ enum class FaultKind {
 /** Stable lower-case name of @p kind. */
 const char *faultKindName(FaultKind kind);
 
+/**
+ * Variant-level fault class: models a miscompiled or buggy kernel
+ * variant rather than a flaky device.  Variant faults are persistent
+ * -- once a variant is assigned one (scripted or drawn), every
+ * execution of that variant misbehaves the same way -- which is the
+ * hazard the guard layer's validation and blacklist exist to contain.
+ *
+ *   CorruptOutput -- the variant overwrites part of its output with
+ *                    garbage (wrong values, caught by the guard's
+ *                    reference cross-check).
+ *   OobWrite      -- the variant writes past the end of its output
+ *                    buffer (caught by the guard's canary redzone;
+ *                    applies only to redzone-padded sandbox buffers).
+ *   NanOutput     -- the variant poisons part of its output with
+ *                    NaN bit patterns (caught by the NaN/Inf screen).
+ *   KernelHang    -- the variant never completes; the launch is
+ *                    dropped after a watchdog-sized stall (caught by
+ *                    the guard's per-slice watchdog).
+ */
+enum class VariantFaultKind {
+    None = 0,
+    CorruptOutput,
+    OobWrite,
+    NanOutput,
+    KernelHang,
+};
+
+/** Stable lower-case name of @p kind. */
+const char *variantFaultKindName(VariantFaultKind kind);
+
 /** Injection probabilities and magnitudes. */
 struct FaultConfig
 {
@@ -73,6 +104,21 @@ struct FaultConfig
     /** Virtual time a hung launch stalls its device. */
     TimeNs hangStallNs = 50'000'000;
 
+    /**
+     * Probability that a kernel variant is "miscompiled": drawn once
+     * per distinct variant name on first execution, and persistent
+     * from then on.  An afflicted variant gets a VariantFaultKind
+     * drawn uniformly from the four modes.
+     */
+    double variantFaultProb = 0.0;
+
+    /**
+     * Virtual time a KernelHang launch stalls before the simulated
+     * watchdog gives up on it (much shorter than hangStallNs: the
+     * slice is contained, the device is not wedged).
+     */
+    TimeNs variantHangStallNs = 2'000'000;
+
     /** RNG seed; equal seeds give equal decision streams. */
     std::uint64_t seed = 0xfa01d;
 };
@@ -81,6 +127,8 @@ struct FaultConfig
 struct FaultEvent
 {
     FaultKind kind = FaultKind::None;
+    /** Set instead of kind for a variant-level fault application. */
+    VariantFaultKind vkind = VariantFaultKind::None;
     std::string device;  ///< device name at the injection site
     std::string variant; ///< kernel variant of the affected launch
     TimeNs time = 0;     ///< device virtual time of the decision
@@ -113,14 +161,44 @@ class FaultInjector
     /** Script @p n LatencySpike decisions ahead of the random draw. */
     void spikeNext(unsigned n = 1);
 
-    /** Copy of the full event log. */
+    /**
+     * Pin @p variant to a persistent variant-level fault (None clears
+     * it).  Scripted assignments take precedence over the
+     * variantFaultProb draw, which is how tests build an exact pool
+     * of misbehaving variants.
+     */
+    void setVariantFault(const std::string &variant,
+                         VariantFaultKind kind);
+
+    /**
+     * The persistent fault afflicting @p variant: the scripted
+     * assignment if one exists, otherwise a once-per-name draw with
+     * probability variantFaultProb (memoized -- the same name always
+     * gets the same answer).  Devices consult this on every submit.
+     * Nothing is logged here; applications are logged by
+     * logVariantFault() so the event log reconciles 1:1 with what the
+     * guard can actually observe.
+     */
+    VariantFaultKind variantFaultOf(const std::string &variant);
+
+    /** Record one applied variant fault in the event log. */
+    void logVariantFault(VariantFaultKind kind, const std::string &device,
+                         const std::string &variant, TimeNs now);
+
+    /** Copy of the full event log (device and variant faults). */
     std::vector<FaultEvent> events() const;
 
     /** Injected faults of @p kind. */
     std::uint64_t count(FaultKind kind) const;
 
-    /** Injected faults of every kind. */
+    /** Applied variant faults of @p kind. */
+    std::uint64_t variantCount(VariantFaultKind kind) const;
+
+    /** Injected device-level faults of every kind. */
     std::uint64_t total() const;
+
+    /** Applied variant-level faults of every kind. */
+    std::uint64_t variantTotal() const;
 
     /** Launches the device aborts (LaunchFail + Hang). */
     std::uint64_t aborts() const
@@ -133,8 +211,11 @@ class FaultInjector
     FaultConfig cfg_;
     support::Rng rng;
     std::vector<FaultKind> scripted; ///< consumed front-first
+    /** Persistent per-variant assignment (scripted or memoized draw). */
+    std::map<std::string, VariantFaultKind> variantFaults;
     std::vector<FaultEvent> log;
     std::array<std::uint64_t, 4> counts{};
+    std::array<std::uint64_t, 5> vcounts{};
 };
 
 } // namespace sim

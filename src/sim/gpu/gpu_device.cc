@@ -95,6 +95,15 @@ GpuDevice::submit(Launch launch)
       default:
         break;
     }
+    if (checkVariantFault(al->launch) == VariantFaultKind::KernelHang) {
+        // The variant never finishes; the slice is dropped after the
+        // watchdog stall.  The device is not wedged and no aborting
+        // fault is raised -- the guard notices the missing completion.
+        events.scheduleAfter(
+            config.launchOverheadNs + faults->config().variantHangStallNs,
+            [] {});
+        return;
+    }
     events.scheduleAfter(config.launchOverheadNs, [this, al] {
         queue.add(al);
         kick();

@@ -18,6 +18,7 @@ statusCodeName(StatusCode code)
       case StatusCode::Cancelled: return "CANCELLED";
       case StatusCode::Aborted: return "ABORTED";
       case StatusCode::Internal: return "INTERNAL";
+      case StatusCode::DataLoss: return "DATA_LOSS";
     }
     return "?";
 }

@@ -41,6 +41,13 @@ enum class StatusCode {
     Aborted,
     /** Unclassified internal error. */
     Internal,
+    /**
+     * Unrecoverable data corruption: a persistence file failed its
+     * checksum, or every kernel variant failed output validation.
+     * Unlike Unavailable this is not retryable -- the data itself is
+     * wrong, not the path to it.
+     */
+    DataLoss,
 };
 
 /** Stable upper-case name of @p code (e.g. "NOT_FOUND"). */
@@ -92,6 +99,10 @@ class Status
     static Status internal(std::string msg)
     {
         return Status(StatusCode::Internal, std::move(msg));
+    }
+    static Status dataLoss(std::string msg)
+    {
+        return Status(StatusCode::DataLoss, std::move(msg));
     }
 
     bool ok() const { return code_ == StatusCode::Ok; }

@@ -2,9 +2,13 @@
  * @file
  * Tests for the persistent selection store: size-bucket boundaries,
  * JSON round-trip, drift detection with quarantine / invalidation
- * escalation, failure reporting, and the hit/miss statistics.
+ * escalation, failure reporting, the hit/miss statistics, the
+ * variant blacklist, and crash-safe persistence (checksum envelope,
+ * corruption rejection, version migration).
  */
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <gtest/gtest.h>
 
 #include "dysel/store/selection_store.hh"
@@ -313,10 +317,10 @@ TEST(SelectionStore, FileRoundTrip)
     {
         SelectionStore store;
         store.recordProfile(kDev, profiledReport("k", 2048));
-        ASSERT_TRUE(store.saveFile(path));
+        ASSERT_TRUE(store.saveFile(path).ok());
     }
     SelectionStore loaded;
-    ASSERT_TRUE(loaded.loadFile(path));
+    ASSERT_TRUE(loaded.loadFile(path).ok());
     EXPECT_EQ(loaded.size(), 1u);
     EXPECT_TRUE(loaded.lookup("k", kDev, 2048).has_value());
     std::remove(path.c_str());
@@ -325,7 +329,175 @@ TEST(SelectionStore, FileRoundTrip)
 TEST(SelectionStore, LoadRejectsGarbage)
 {
     SelectionStore store;
-    EXPECT_FALSE(store.loadFile("/nonexistent/path/store.json"));
+    EXPECT_EQ(store.loadFile("/nonexistent/path/store.json").code(),
+              support::StatusCode::NotFound);
     EXPECT_THROW(store.loadJson(support::Json::parse("{\"version\":99}")),
                  std::runtime_error);
+}
+
+TEST(SelectionStore, SaveToUnwritablePathFails)
+{
+    SelectionStore store;
+    const auto st = store.saveFile("/nonexistent/dir/store.json");
+    EXPECT_EQ(st.code(), support::StatusCode::Unavailable);
+}
+
+namespace {
+
+/** Read a whole file into a string. */
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** Overwrite a file with @p text. */
+void
+spit(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+}
+
+/** A store with one record and one blacklist entry, saved to @p path. */
+void
+savePopulated(const std::string &path)
+{
+    SelectionStore store;
+    store.recordProfile(kDev, profiledReport("k", 2048));
+    store.blacklistVariant("k", "oob-writer", kDev, "redzone");
+    ASSERT_TRUE(store.saveFile(path).ok());
+}
+
+} // namespace
+
+TEST(SelectionStore, TruncatedFileRejectedWithoutPartialLoad)
+{
+    const std::string path = "store_test.truncated.store.json";
+    savePopulated(path);
+    const std::string text = slurp(path);
+    ASSERT_GT(text.size(), 40u);
+    spit(path, text.substr(0, text.size() / 2));
+
+    SelectionStore loaded;
+    loaded.recordProfile(kDev, profiledReport("existing", 512));
+    const auto st = loaded.loadFile(path);
+    EXPECT_EQ(st.code(), support::StatusCode::DataLoss);
+    // The failed load must leave the previous contents untouched.
+    EXPECT_EQ(loaded.size(), 1u);
+    EXPECT_TRUE(loaded.lookup("existing", kDev, 512).has_value());
+    std::remove(path.c_str());
+}
+
+TEST(SelectionStore, ChecksumMismatchRejected)
+{
+    const std::string path = "store_test.badsum.store.json";
+    savePopulated(path);
+    // Corrupt the payload while keeping the JSON well-formed: the
+    // stored winner's name changes, the checksum does not.
+    std::string text = slurp(path);
+    const auto pos = text.find("\"fast\"");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 6, "\"fist\"");
+    spit(path, text);
+
+    SelectionStore loaded;
+    const auto st = loaded.loadFile(path);
+    EXPECT_EQ(st.code(), support::StatusCode::DataLoss);
+    EXPECT_NE(st.message().find("checksum"), std::string::npos);
+    EXPECT_EQ(loaded.size(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(SelectionStore, LegacyNakedDocumentStillLoads)
+{
+    // Pre-checksum saveFile wrote the version-2 document naked (no
+    // envelope); such files must keep loading after an upgrade.
+    const std::string path = "store_test.legacy.store.json";
+    SelectionStore store;
+    store.recordProfile(kDev, profiledReport("k", 2048));
+    support::Json doc = store.toJson();
+    doc.set("version", support::Json(2));
+    // v2 had no blacklist array either.
+    spit(path, doc.dump(2) + "\n");
+
+    SelectionStore loaded;
+    ASSERT_TRUE(loaded.loadFile(path).ok());
+    EXPECT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(loaded.blacklistSize(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(SelectionStore, MigrationRoundTripsAcrossVersions)
+{
+    SelectionStore store;
+    store.recordProfile(kDev, profiledReport("k", 2048));
+    store.blacklistVariant("k", "bad", kDev, "nan");
+
+    // v1 and v2: quarantine / blacklist state at rest.
+    for (int v = 1; v <= 2; ++v) {
+        support::Json doc = store.toJson();
+        doc.set("version", support::Json(v));
+        SelectionStore loaded;
+        loaded.loadJson(doc);
+        EXPECT_EQ(loaded.size(), 1u);
+        // The v3 save carried the blacklist array, so even a
+        // down-versioned document keeps it; a true v1/v2 document
+        // simply has none.
+        auto rec = loaded.lookup("k", kDev, 2048);
+        ASSERT_TRUE(rec.has_value());
+        EXPECT_EQ(rec->selectedName, "fast");
+    }
+
+    // v3: the full round trip, blacklist included.
+    SelectionStore loaded;
+    loaded.loadJson(store.toJson());
+    EXPECT_TRUE(loaded.isBlacklisted("k", "bad", kDev));
+    EXPECT_FALSE(loaded.isBlacklisted("k", "bad", "gpu/other"));
+    ASSERT_EQ(loaded.blacklistEntries().size(), 1u);
+    EXPECT_EQ(loaded.blacklistEntries()[0].reason, "nan");
+    EXPECT_EQ(loaded.blacklistEntries()[0].strikes, 1u);
+}
+
+TEST(SelectionStore, BlacklistInvalidatesMatchingRecords)
+{
+    SelectionStore store;
+    store.recordProfile(kDev, profiledReport("k", 2048));     // fast
+    store.recordProfile(kDev, profiledReport("k", 300));      // fast
+    store.recordProfile(kDev, profiledReport("other", 2048, 0)); // slow
+    ASSERT_TRUE(store.lookup("k", kDev, 2048).has_value());
+
+    // Blacklisting the winner kills its records in every bucket of
+    // the (signature, device), but not other signatures.
+    store.blacklistVariant("k", "fast", kDev, "mismatch");
+    EXPECT_FALSE(store.lookup("k", kDev, 2048).has_value());
+    EXPECT_FALSE(store.lookup("k", kDev, 300).has_value());
+    EXPECT_TRUE(store.lookup("other", kDev, 2048).has_value());
+
+    EXPECT_TRUE(store.isBlacklisted("k", "fast", kDev));
+    const auto bl = store.blacklistedVariants("k", kDev);
+    ASSERT_EQ(bl.size(), 1u);
+    EXPECT_EQ(bl[0].first, "fast");
+    EXPECT_EQ(bl[0].second, "mismatch");
+
+    // Repeat reports bump the strike count, not the entry count.
+    store.blacklistVariant("k", "fast", kDev, "redzone");
+    EXPECT_EQ(store.blacklistSize(), 1u);
+    EXPECT_EQ(store.blacklistEntries()[0].strikes, 2u);
+    EXPECT_EQ(store.blacklistEntries()[0].reason, "redzone");
+}
+
+TEST(SelectionStore, BlacklistSurvivesFileRoundTrip)
+{
+    const std::string path = "store_test.blacklist.store.json";
+    savePopulated(path);
+
+    SelectionStore loaded;
+    ASSERT_TRUE(loaded.loadFile(path).ok());
+    EXPECT_TRUE(loaded.isBlacklisted("k", "oob-writer", kDev));
+    EXPECT_EQ(loaded.blacklistSize(), 1u);
+    std::remove(path.c_str());
 }

@@ -18,6 +18,17 @@
  * machinery keeps the jobs completing, and the recovery counters and
  * the injectors' event logs are printed alongside the usual tables.
  * Run it twice with the same --store file to see a fully warm pass 1.
+ *
+ * With --guard, each runtime validates variants during
+ * micro-profiling (output cross-check, canary redzones, NaN screen,
+ * watchdog).  --variant-fault-rate P (implies --guard) makes each
+ * variant name miscompiled with probability P -- persistently, the
+ * same way a bad code path misbehaves on every run; the guard
+ * excludes the culprits mid-selection and blacklists them into the
+ * store, and the guard.* counters are printed against the injector
+ * variant-fault logs.  Persistence failures (unreadable or corrupt
+ * store file, failed save) exit nonzero; a missing store file is a
+ * normal cold start.
  */
 #include <cstdlib>
 #include <cstring>
@@ -44,7 +55,9 @@ struct Options
     bool load = true;
     bool save = true;
     bool jsonMetrics = false;
+    bool guard = false;
     double faultRate = 0.0;
+    double variantFaultRate = 0.0;
     std::uint64_t faultSeed = 0xfa01d;
 };
 
@@ -142,7 +155,19 @@ printInjector(const char *name, const sim::FaultInjector &inj)
     std::cout << name << ": " << inj.total() << " faults ("
               << inj.count(sim::FaultKind::LaunchFail) << " launch-fail, "
               << inj.count(sim::FaultKind::Hang) << " hang, "
-              << inj.count(sim::FaultKind::LatencySpike) << " spike)\n";
+              << inj.count(sim::FaultKind::LatencySpike) << " spike)";
+    if (inj.variantTotal() > 0) {
+        std::cout << ", " << inj.variantTotal() << " variant faults ("
+                  << inj.variantCount(sim::VariantFaultKind::CorruptOutput)
+                  << " corrupt, "
+                  << inj.variantCount(sim::VariantFaultKind::OobWrite)
+                  << " oob, "
+                  << inj.variantCount(sim::VariantFaultKind::NanOutput)
+                  << " nan, "
+                  << inj.variantCount(sim::VariantFaultKind::KernelHang)
+                  << " hang)";
+    }
+    std::cout << '\n';
 }
 
 } // namespace
@@ -165,42 +190,69 @@ main(int argc, char **argv)
             opt.faultRate = std::atof(argv[++i]);
         } else if (arg == "--fault-seed" && i + 1 < argc) {
             opt.faultSeed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--guard") {
+            opt.guard = true;
+        } else if (arg == "--variant-fault-rate" && i + 1 < argc) {
+            opt.variantFaultRate = std::atof(argv[++i]);
+            opt.guard = true; // pointless without the guard watching
         } else {
             std::cerr << "usage: dyseld [--store FILE] [--no-load] "
                          "[--no-save] [--metrics text|json] "
-                         "[--fault-rate P] [--fault-seed S]\n";
+                         "[--fault-rate P] [--fault-seed S] [--guard] "
+                         "[--variant-fault-rate P]\n";
             return arg == "--help" ? 0 : 1;
         }
     }
 
     store::SelectionStore store;
-    if (opt.load && store.loadFile(opt.storePath))
-        std::cout << "loaded " << store.size() << " selection records"
-                  << " from " << opt.storePath << " (warm start)\n";
-    else
+    if (opt.load) {
+        const support::Status loaded = store.loadFile(opt.storePath);
+        if (loaded.ok()) {
+            std::cout << "loaded " << store.size()
+                      << " selection records from " << opt.storePath
+                      << " (warm start)\n";
+        } else if (loaded.code() == support::StatusCode::NotFound) {
+            std::cout << "starting with an empty selection store\n";
+        } else {
+            // Corrupt persistence is not silently ignored: serving
+            // stale-but-valid selections is fine, serving from a
+            // half-read store is not.
+            std::cerr << "dyseld: " << loaded.toString() << '\n';
+            return 1;
+        }
+    } else {
         std::cout << "starting with an empty selection store\n";
+    }
 
     // Per-device injectors: 70% of faults drop the launch, 20% slow
-    // it down, 10% hang the device for a while.
+    // it down, 10% hang the device for a while.  Variant faults are
+    // drawn once per variant name and persist (a miscompiled variant
+    // misbehaves on every execution).
     sim::FaultConfig fcfg;
     fcfg.launchFailProb = opt.faultRate * 0.7;
     fcfg.latencySpikeProb = opt.faultRate * 0.2;
     fcfg.hangProb = opt.faultRate * 0.1;
+    fcfg.variantFaultProb = opt.variantFaultRate;
     fcfg.seed = opt.faultSeed;
     sim::FaultInjector cpuFaults(fcfg);
     fcfg.seed = opt.faultSeed + 1;
     sim::FaultInjector gpuFaults(fcfg);
 
-    serve::DispatchService svc(store);
+    serve::ServiceConfig scfg;
+    scfg.runtime.guard.enabled = opt.guard;
+    serve::DispatchService svc(store, scfg);
     svc.addDevice(workloads::cpuFactory()());
     svc.addDevice(workloads::gpuFactory()());
-    if (opt.faultRate > 0.0) {
+    if (opt.faultRate > 0.0 || opt.variantFaultRate > 0.0) {
         svc.device(0).setFaultInjector(&cpuFaults);
         svc.device(1).setFaultInjector(&gpuFaults);
         std::cout << "fault injection on: rate " << opt.faultRate
+                  << ", variant rate " << opt.variantFaultRate
                   << ", seed 0x" << std::hex << opt.faultSeed
                   << std::dec << '\n';
     }
+    if (opt.guard)
+        std::cout << "variant guard on\n";
     svc.start();
 
     auto pass1 = makeMix(false);
@@ -236,7 +288,7 @@ main(int argc, char **argv)
               << " drift invalidations, " << store.quarantineCount()
               << " quarantines\n";
 
-    if (opt.faultRate > 0.0) {
+    if (opt.faultRate > 0.0 || opt.variantFaultRate > 0.0) {
         std::cout << "\n--- fault injection ---\n";
         printInjector("cpu", cpuFaults);
         printInjector("gpu", gpuFaults);
@@ -251,6 +303,34 @@ main(int argc, char **argv)
                   << " jobs failed\n";
     }
 
+    if (opt.guard) {
+        auto counter = [&](const char *name) {
+            return svc.metrics().counter(name).value();
+        };
+        std::cout << "\n--- variant guard ---\n"
+                  << "detections: " << counter("guard.mismatch")
+                  << " mismatch, " << counter("guard.redzone")
+                  << " redzone, " << counter("guard.nan") << " nan, "
+                  << counter("guard.watchdog") << " watchdog; "
+                  << counter("guard.excluded") << " exclusions, "
+                  << counter("guard.repair") << " repairs\n";
+        if (store.blacklistSize() > 0) {
+            support::Table bl({"signature", "variant", "device",
+                               "reason", "strikes"});
+            for (const auto &e : store.blacklistEntries()) {
+                bl.row()
+                    .cell(e.signature)
+                    .cell(e.variant)
+                    .cell(e.device.substr(0, e.device.find('/', 4)))
+                    .cell(e.reason)
+                    .cell(e.strikes);
+            }
+            bl.print(std::cout);
+        }
+        std::cout << "blacklist: " << store.blacklistSize()
+                  << " entries\n";
+    }
+
     std::cout << "\n--- metrics ---\n";
     if (opt.jsonMetrics)
         std::cout << svc.metrics().renderJson().dump(2) << '\n';
@@ -258,12 +338,16 @@ main(int argc, char **argv)
         std::cout << svc.metrics().renderText();
 
     if (opt.save) {
-        if (store.saveFile(opt.storePath))
-            std::cout << "\nsaved " << store.size() << " records to "
-                      << opt.storePath << '\n';
-        else
-            std::cerr << "\nfailed to save store to " << opt.storePath
-                      << '\n';
+        const support::Status saved = store.saveFile(opt.storePath);
+        if (!saved.ok()) {
+            // A silent save failure would cost every selection (and
+            // blacklist entry) earned this run.
+            std::cerr << "dyseld: " << saved.toString() << '\n';
+            return 1;
+        }
+        std::cout << "\nsaved " << store.size() << " records ("
+                  << store.blacklistSize() << " blacklisted) to "
+                  << opt.storePath << '\n';
     }
     return 0;
 }
