@@ -65,6 +65,14 @@ struct LaunchOptions
      * internally).
      */
     unsigned profileRepeats = 0;
+
+    /**
+     * Correlation id stamped on every trace event this launch emits
+     * (see support/tracing).  The dispatch service propagates the job
+     * id here so a job's spans line up across service, runtime, and
+     * device layers; 0 means "not job-scoped".
+     */
+    std::uint64_t correlationId = 0;
 };
 
 } // namespace runtime

@@ -27,6 +27,34 @@ struct VariantProfile
     sim::TimeNs busy = 0;
     /** Workload units the variant profiled. */
     std::uint64_t units = 0;
+    /** Virtual start/end of the first profiling execution. */
+    sim::TimeNs startTime = 0;
+    sim::TimeNs endTime = 0;
+};
+
+/**
+ * One entry of the structured selection timeline: what happened to
+ * one variant during this launch's micro-profiling.
+ */
+struct SelectionPass
+{
+    std::string variant;
+    /** Workload units the pass profiled (0 for a skipped variant). */
+    std::uint64_t units = 0;
+    /** Virtual start/end of the pass (0/0 for a skipped variant). */
+    sim::TimeNs startTime = 0;
+    sim::TimeNs endTime = 0;
+    /** Measured cost (profiling metric, averaged over repeats). */
+    sim::TimeNs metric = 0;
+    /**
+     * Guard verdict of the pass: "pass", a tripped check's name
+     * ("mismatch", "redzone", "nan", "watchdog"), or "blacklisted"
+     * for a variant excluded before profiling.  "pass" also covers
+     * launches with the guard off.
+     */
+    std::string guardOutcome;
+    /** This variant won the selection. */
+    bool selected = false;
 };
 
 /** One guard detection during a launch (a variant tripped a check). */
@@ -62,6 +90,14 @@ struct LaunchReport
     std::uint64_t eagerChunks = 0;
 
     std::vector<VariantProfile> profiles;
+
+    /**
+     * Per-pass selection timeline (profiled launches only): one entry
+     * per registered variant -- profiled, struck, or excluded -- in
+     * registration order.  This is the structured record a serving
+     * layer renders as "why did this variant win".
+     */
+    std::vector<SelectionPass> timeline;
 
     /** Guard detections during this launch (profiled launches only). */
     std::vector<GuardEvent> guardEvents;

@@ -197,6 +197,15 @@ Runtime::setLaunchObserver(LaunchObserver obs)
     observer = std::move(obs);
 }
 
+void
+Runtime::setTracer(support::tracing::Tracer *tracer,
+                   const std::string &trackName)
+{
+    tracer_ = tracer;
+    trackName_ = trackName.empty() ? dev.name() : trackName;
+    traceTrack = tracer_ ? tracer_->track(trackName_) : 0;
+}
+
 LaunchReport
 Runtime::finish(LaunchReport report)
 {
@@ -244,6 +253,13 @@ Runtime::submitBatch(const kdp::KernelVariant &variant,
                         (unsigned long long)first_unit,
                         (unsigned long long)(first_unit + units),
                         (unsigned long long)launch.numGroups, priority);
+    if (tracing()) {
+        tracer_->instant(
+            traceTrack, "device.submit", dev.now(), activeCorrelation,
+            {{"variant", variant.name},
+             {"units", std::to_string(units)},
+             {"groups", std::to_string(launch.numGroups)}});
+    }
     dev.submit(std::move(launch));
 }
 
@@ -261,6 +277,7 @@ Runtime::runPlain(const std::string &signature, const KernelEntry &entry,
     report.orch = opt.orch;
     report.totalUnits = total_units;
     report.startTime = dev.now();
+    activeCorrelation = opt.correlationId;
 
     submitBatch(entry.variants[variant], args, 0, total_units, 0, 0,
                 nullptr);
@@ -268,6 +285,14 @@ Runtime::runPlain(const std::string &signature, const KernelEntry &entry,
     if (auto fault = consumeDeviceFault(); !fault.ok())
         return fault;
     report.endTime = dev.now();
+    if (tracing()) {
+        tracer_->complete(
+            traceTrack, "execute", report.startTime, report.endTime,
+            opt.correlationId,
+            {{"variant", report.selectedName},
+             {"units", std::to_string(total_units)},
+             {"cached", from_cache ? "yes" : "no"}});
+    }
     out = finish(std::move(report));
     return support::Status();
 }
@@ -293,6 +318,7 @@ Runtime::launch(const std::string &signature, std::uint64_t total_units,
             "DySel: unknown kernel signature '" + signature + "'");
     const KernelEntry &entry = *entryp;
     const auto num_variants = entry.variants.size();
+    activeCorrelation = opt.correlationId;
     if (num_variants == 0)
         return support::Status::failedPrecondition(
             "DySelLaunchKernel(" + signature
@@ -478,6 +504,9 @@ Runtime::launch(const std::string &signature, std::uint64_t total_units,
         std::vector<GuardEvent> guardEvents;
         std::uint64_t repairs = 0;
         bool allFailed = false;
+        // Telemetry (indexed by active-local j).
+        std::vector<std::string> outcome;
+        sim::TimeNs remainderStart = 0;
     };
     auto st = std::make_shared<PState>();
     st->metric.assign(num_active,
@@ -485,9 +514,12 @@ Runtime::launch(const std::string &signature, std::uint64_t total_units,
     st->metricSum.assign(num_active, 0.0);
     st->metricCount.assign(num_active, 0);
     st->profiles.resize(num_active);
+    for (std::size_t j = 0; j < num_active; ++j)
+        st->profiles[j].name = entry.variants[act[j]].name;
     st->outstanding = static_cast<unsigned>(num_active) * repeats;
     st->completions.assign(num_active, 0);
     st->failed.assign(num_active, false);
+    st->outcome.assign(num_active, "pass");
     st->nextUnit = profiled_span_units;
 
     // bestSoFar is active-local; start at the default variant (or the
@@ -514,6 +546,12 @@ Runtime::launch(const std::string &signature, std::uint64_t total_units,
         const kdp::KernelVariant &variant = entry.variants[act[j]];
         const std::uint64_t first_unit =
             mode == ProfilingMode::Fully ? j * slice : 0;
+        // Profiling passes render on a subtrack per (device, variant)
+        // so concurrent passes don't overlap on one timeline row.
+        const std::uint64_t passTrack =
+            tracing() ? tracer_->track(trackName_ + "/profile/"
+                                       + variant.name)
+                      : 0;
         for (unsigned r = 0; r < repeats; ++r) {
             sim::Launch launch;
             launch.variant = &variant;
@@ -532,7 +570,8 @@ Runtime::launch(const std::string &signature, std::uint64_t total_units,
                 };
             }
             launch.onComplete = [this, st, finish_profiling, j, gpu, slice,
-                                 r, repeats](const sim::LaunchStats &stats) {
+                                 r, repeats,
+                                 passTrack](const sim::LaunchStats &stats) {
                 const sim::TimeNs m =
                     gpu ? stats.span() : stats.busyTime;
                 st->completions[j]++;
@@ -549,6 +588,18 @@ Runtime::launch(const std::string &signature, std::uint64_t total_units,
                     prof.span = stats.span();
                     prof.busy = stats.busyTime;
                     prof.units = slice;
+                    prof.startTime = stats.firstStamp;
+                    prof.endTime = stats.lastStamp;
+                }
+                if (tracing()) {
+                    tracer_->complete(
+                        passTrack, "profile:" + st->profiles[j].name,
+                        stats.firstStamp, stats.lastStamp,
+                        activeCorrelation,
+                        {{"variant", st->profiles[j].name},
+                         {"repeat", std::to_string(r)},
+                         {"units", std::to_string(slice)},
+                         {"metric", std::to_string(m)}});
                 }
                 prof.metric = st->metric[j];
                 if (st->metric[j] < st->bestMetric) {
@@ -571,11 +622,19 @@ Runtime::launch(const std::string &signature, std::uint64_t total_units,
         if (guard_.enabled()) {
             auto strike = [&](std::size_t j, guard::CheckKind ck) {
                 st->failed[j] = true;
+                st->outcome[j] = guard::checkKindName(ck);
                 guard_.strike(signature, entry.variants[act[j]].name,
                               ck);
                 st->guardEvents.push_back(
                     {entry.variants[act[j]].name,
                      guard::checkKindName(ck)});
+                if (tracing()) {
+                    tracer_->instant(
+                        traceTrack, "guard.strike", dev.now(),
+                        activeCorrelation,
+                        {{"variant", entry.variants[act[j]].name},
+                         {"check", guard::checkKindName(ck)}});
+                }
             };
             if (mode != ProfilingMode::Fully) {
                 // Self checks on each variant's private clones (in
@@ -699,6 +758,7 @@ Runtime::launch(const std::string &signature, std::uint64_t total_units,
             dev.engine().scheduleAfter(
                 dev.hostQueryLatencyNs(),
                 [this, st, &entry, &args, total_units] {
+                    st->remainderStart = dev.now();
                     submitBatch(entry.variants[st->selected], args,
                                 st->nextUnit, total_units - st->nextUnit,
                                 0, 0, nullptr);
@@ -766,11 +826,21 @@ Runtime::launch(const std::string &signature, std::uint64_t total_units,
                 continue;
             any_hung = true;
             st->failed[j] = true;
+            st->outcome[j] =
+                guard::checkKindName(guard::CheckKind::Watchdog);
             guard_.strike(signature, entry.variants[act[j]].name,
                           guard::CheckKind::Watchdog);
             st->guardEvents.push_back(
                 {entry.variants[act[j]].name,
                  guard::checkKindName(guard::CheckKind::Watchdog)});
+            if (tracing()) {
+                tracer_->instant(
+                    traceTrack, "guard.strike", dev.now(),
+                    activeCorrelation,
+                    {{"variant", entry.variants[act[j]].name},
+                     {"check", guard::checkKindName(
+                                   guard::CheckKind::Watchdog)}});
+            }
         }
         if (!any_hung)
             support::panic("profiling did not complete for '%s'",
@@ -789,12 +859,54 @@ Runtime::launch(const std::string &signature, std::uint64_t total_units,
     report.selected = st->selected;
     report.selectedName = entry.variants[st->selected].name;
     report.eagerChunks = st->eagerChunks;
-    for (std::size_t j = 0; j < num_active; ++j)
-        st->profiles[j].name = entry.variants[act[j]].name;
     report.profiles = st->profiles;
     report.guardEvents = st->guardEvents;
     report.guardRepairs = st->repairs;
     report.endTime = dev.now();
+
+    // Structured selection timeline: one pass record per registered
+    // variant, registration order, skipped variants included.
+    const sim::TimeNs unmeasured =
+        std::numeric_limits<sim::TimeNs>::max();
+    for (std::size_t i = 0; i < num_variants; ++i) {
+        SelectionPass pass;
+        pass.variant = entry.variants[i].name;
+        const auto jt = std::find(act.begin(), act.end(), i);
+        if (jt == act.end()) {
+            pass.guardOutcome = "blacklisted";
+        } else {
+            const auto j = static_cast<std::size_t>(jt - act.begin());
+            pass.units = slice;
+            pass.startTime = st->profiles[j].startTime;
+            pass.endTime = st->profiles[j].endTime;
+            pass.metric = st->metric[j] == unmeasured ? 0 : st->metric[j];
+            pass.guardOutcome = st->outcome[j];
+            pass.selected = static_cast<int>(i) == st->selected;
+        }
+        report.timeline.push_back(std::move(pass));
+    }
+
+    if (tracing()) {
+        if (st->batchSubmitted) {
+            // The winner's bulk execution of the remainder.
+            tracer_->complete(
+                traceTrack, "execute", st->remainderStart,
+                report.endTime, opt.correlationId,
+                {{"variant", report.selectedName},
+                 {"units",
+                  std::to_string(total_units - profiled_span_units)},
+                 {"winner", "yes"}});
+        }
+        tracer_->complete(
+            traceTrack, "launch", report.startTime, report.endTime,
+            opt.correlationId,
+            {{"signature", signature},
+             {"mode", compiler::profilingModeName(mode)},
+             {"orch", orchestrationName(orch)},
+             {"selected", report.selectedName},
+             {"profiledUnits", std::to_string(report.profiledUnits)},
+             {"totalUnits", std::to_string(total_units)}});
+    }
 
     if (config.verbose) {
         support::inform("DySel[%s]: selected '%s' (%s, %s), %llu eager "

@@ -30,6 +30,7 @@
 #include "kdp/kernel.hh"
 #include "sim/device.hh"
 #include "support/status.hh"
+#include "support/tracing/tracer.hh"
 
 #include "options.hh"
 #include "report.hh"
@@ -192,6 +193,19 @@ class Runtime
     using LaunchObserver = std::function<void(const LaunchReport &)>;
     void setLaunchObserver(LaunchObserver observer);
 
+    /**
+     * Attach a trace sink (must outlive the runtime; nullptr
+     * detaches).  When the tracer is enabled, every launch emits
+     * spans on a track named @p trackName (default: the device name;
+     * the dispatch service passes "devN:<name>" so same-named devices
+     * stay distinguishable) -- the end-to-end launch, each
+     * micro-profiling pass (on per-variant subtracks), guard strikes,
+     * and the winner's bulk execution -- all stamped with
+     * LaunchOptions::correlationId.
+     */
+    void setTracer(support::tracing::Tracer *tracer,
+                   const std::string &trackName = std::string());
+
     /** The bound device. */
     sim::Device &device() { return dev; }
 
@@ -242,12 +256,23 @@ class Runtime
                              const LaunchOptions &opt, bool from_cache,
                              LaunchReport &report);
 
+    /** Whether trace emission is live for the current launch. */
+    bool tracing() const { return tracer_ && tracer_->enabled(); }
+
     sim::Device &dev;
     RuntimeConfig config;
     guard::VariantGuard guard_;
     std::map<std::string, KernelEntry> pool;
     std::map<std::string, int> selectionCache;
     LaunchObserver observer;
+
+    support::tracing::Tracer *tracer_ = nullptr;
+    /** Base track name (profiling subtracks append "/profile/..."). */
+    std::string trackName_;
+    /** The device's main trace track (valid while tracer_ is set). */
+    std::uint64_t traceTrack = 0;
+    /** Correlation id of the launch in flight (single-threaded). */
+    std::uint64_t activeCorrelation = 0;
 };
 
 } // namespace runtime

@@ -16,6 +16,18 @@ devKey(unsigned idx)
     return "dev" + std::to_string(idx);
 }
 
+/**
+ * Canonical per-device metric name (DESIGN §7): a shared family name
+ * plus a device label, e.g. `device.jobs{device="dev0"}`, replacing
+ * the old ad-hoc "dev0.jobs" dotted prefixes.
+ */
+std::string
+devMetric(const char *family, unsigned idx)
+{
+    return support::MetricsRegistry::labeled(family, "device",
+                                             devKey(idx));
+}
+
 bool
 contains(const std::vector<unsigned> &v, unsigned x)
 {
@@ -115,6 +127,14 @@ DispatchService::addDevice(std::unique_ptr<sim::Device> device)
     w->rt = std::make_unique<runtime::Runtime>(*w->dev, config.runtime);
     w->fingerprint = w->dev->fingerprint();
     const auto idx = static_cast<unsigned>(workers.size());
+
+    w->flight = support::tracing::FlightRecorder(
+        config.flightRecorderCapacity);
+    // One trace track per device worker; the runtime draws its spans
+    // on the same track (profiling passes get subtracks of it).
+    const std::string trackName = devKey(idx) + ":" + w->dev->name();
+    w->traceTrack = tracer_.track(trackName);
+    w->rt->setTracer(&tracer_, trackName);
 
     // Feed the store from every launch on this runtime: profiled
     // launches refresh their record, plain cache-served launches
@@ -256,7 +276,7 @@ DispatchService::breakerObserve(unsigned idx, bool deviceFault)
             w.breakerOpen = true;
             w.breakerCooldownLeft = config.breakerCooldown;
             reg.counter("breaker.trips").inc();
-            reg.counter(devKey(idx) + ".breaker_trips").inc();
+            reg.counter(devMetric("device.breaker_trips", idx)).inc();
         }
     } else {
         w.consecFailures = 0;
@@ -282,6 +302,11 @@ DispatchService::submit(Job job)
     qj.job = std::move(job);
     qj.state = state;
     const unsigned idx = route(qj.job.signature, qj.excluded);
+    // Timestamp from the destination worker's published clock
+    // snapshot -- its event engine may be running right now and
+    // cannot be read from this thread.
+    qj.enqueuedNs =
+        workers[idx]->clockNs.load(std::memory_order_relaxed);
     workers[idx]->queue.push_back(std::move(qj));
     workers[idx]->load++;
     inFlight++;
@@ -364,10 +389,25 @@ DispatchService::workerLoop(unsigned idx)
             continue;
         }
 
+        // The device is idle between jobs, so its clock is safe to
+        // read here: close the queue span and record the claim.
+        const sim::TimeNs claimNs = w.dev->now();
+        if (tracer_.enabled()) {
+            tracer_.complete(
+                w.traceTrack, "queue", qj.enqueuedNs, claimNs,
+                qj.job.id,
+                {{"signature", qj.job.signature},
+                 {"attempt", std::to_string(qj.attempt + 1)}});
+        }
+        w.flight.record(claimNs, qj.job.id, "claim",
+                        "dev=" + w.dev->name() + " attempt="
+                            + std::to_string(qj.attempt + 1));
+
         JobResult res = runJob(idx, qj);
         res.attempts = qj.attempt + 1;
         res.backoffNs = qj.backoffNs;
         qj.spentNs += res.deviceTimeNs;
+        w.clockNs.store(w.dev->now(), std::memory_order_relaxed);
 
         // The breaker watches device faults, not job-level failures
         // (an unknown signature says nothing about device health).
@@ -423,7 +463,21 @@ DispatchService::workerLoop(unsigned idx)
                 excluded.clear(); // every device failed it: restart
             const unsigned target = route(qj.job.signature, excluded);
             reg.counter("recover.retries").inc();
-            reg.counter(devKey(idx) + ".retries_out").inc();
+            reg.counter(devMetric("device.retries_out", idx)).inc();
+            if (tracer_.enabled()) {
+                tracer_.instant(
+                    w.traceTrack, "retry", w.dev->now(), qj.job.id,
+                    {{"from", devKey(idx)},
+                     {"to", devKey(target)},
+                     {"attempt", std::to_string(qj.attempt + 1)},
+                     {"code",
+                      support::statusCodeName(res.status.code())}});
+            }
+            w.flight.record(w.dev->now(), qj.job.id, "retry",
+                            "to=" + devKey(target) + " "
+                                + res.status.toString());
+            qj.enqueuedNs = workers[target]->clockNs.load(
+                std::memory_order_relaxed);
             workers[target]->queue.push_back(std::move(qj));
             workers[target]->load++;
             w.load--;
@@ -449,6 +503,14 @@ DispatchService::workerLoop(unsigned idx)
         if (res.backoffNs > 0)
             reg.histogram("job.backoff_ns")
                 .observe(static_cast<double>(res.backoffNs));
+        if (!succeeded) {
+            // Attach the worker's flight-recorder dump to the failure
+            // so the caller sees the device's last phases post-mortem.
+            w.flight.record(w.dev->now(), qj.job.id, "failed",
+                            "dev=" + w.dev->name() + " "
+                                + res.status.toString());
+            res.status.withPayload(w.flight.dump());
+        }
         finishJob(qj, std::move(res));
 
         {
@@ -470,6 +532,8 @@ DispatchService::runJob(unsigned idx, QueuedJob &qj)
     res.deviceIndex = idx;
     res.deviceName = w.dev->name();
 
+    w.flight.record(w.dev->now(), job.id, "register",
+                    "sig=" + job.signature);
     try {
         if (job.ensureRegistered)
             job.ensureRegistered(*w.rt);
@@ -489,12 +553,20 @@ DispatchService::runJob(unsigned idx, QueuedJob &qj)
     }
 
     runtime::LaunchOptions opt = job.opt;
+    // The job id doubles as the trace correlation id: every span the
+    // runtime emits for this launch carries it.
+    opt.correlationId = job.id;
     auto rec = store_.lookup(job.signature, w.fingerprint, job.units);
     if (rec && w.rt->guard().enabled()
         && store_.isBlacklisted(job.signature, rec->selectedName,
                                 w.fingerprint)) {
         // The stored winner has since been blacklisted (e.g. on a
         // peer worker): treat the lookup as a miss and re-profile.
+        if (tracer_.enabled()) {
+            tracer_.instant(w.traceTrack, "store.blocked_warmstart",
+                            w.dev->now(), job.id,
+                            {{"variant", rec->selectedName}});
+        }
         rec.reset();
         reg.counter("guard.blocked_warmstart").inc();
     }
@@ -515,12 +587,23 @@ DispatchService::runJob(unsigned idx, QueuedJob &qj)
         opt.profiling = false;
         res.warmStart = true;
         reg.counter("store.hit").inc();
-        reg.counter(devKey(idx) + ".hits").inc();
+        reg.counter(devMetric("device.store_hits", idx)).inc();
+        if (tracer_.enabled()) {
+            tracer_.instant(w.traceTrack, "store.hit", w.dev->now(),
+                            job.id,
+                            {{"variant", rec->selectedName}});
+        }
+        w.flight.record(w.dev->now(), job.id, "lookup",
+                        "warm variant=" + rec->selectedName);
     } else {
         opt.profiling = true;
         reg.counter("store.miss").inc();
+        w.flight.record(w.dev->now(), job.id, "lookup", "miss");
     }
 
+    w.flight.record(w.dev->now(), job.id, "launch",
+                    "sig=" + job.signature + " units="
+                        + std::to_string(job.units));
     const sim::TimeNs before = w.dev->now();
     res.status =
         w.rt->launch(job.signature, job.units, job.args, opt,
@@ -528,13 +611,13 @@ DispatchService::runJob(unsigned idx, QueuedJob &qj)
     res.deviceTimeNs = w.dev->now() - before;
 
     if (res.ok()) {
-        reg.counter(devKey(idx) + ".jobs").inc();
+        reg.counter(devMetric("device.jobs", idx)).inc();
         reg.histogram("job.device_ns")
             .observe(static_cast<double>(res.deviceTimeNs));
-        reg.histogram(devKey(idx) + ".device_ns")
+        reg.histogram(devMetric("device.latency_ns", idx))
             .observe(static_cast<double>(res.deviceTimeNs));
         if (res.report.profiled)
-            reg.counter(devKey(idx) + ".profiled").inc();
+            reg.counter(devMetric("device.profiled", idx)).inc();
     } else if (res.warmStart
                && retryableCode(res.status.code())) {
         // The stored selection failed to even launch: demote it so
@@ -543,6 +626,11 @@ DispatchService::runJob(unsigned idx, QueuedJob &qj)
                                      job.units)) {
           case store::Observation::Quarantined:
             reg.counter("store.quarantine").inc();
+            if (tracer_.enabled()) {
+                tracer_.instant(w.traceTrack, "store.quarantine",
+                                w.dev->now(), job.id,
+                                {{"signature", job.signature}});
+            }
             break;
           case store::Observation::Invalidated:
             reg.counter("store.drift_invalidation").inc();

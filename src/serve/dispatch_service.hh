@@ -61,6 +61,8 @@
 #include "sim/device.hh"
 #include "support/metrics.hh"
 #include "support/status.hh"
+#include "support/tracing/flight_recorder.hh"
+#include "support/tracing/tracer.hh"
 
 namespace dysel {
 namespace serve {
@@ -99,6 +101,13 @@ struct ServiceConfig
      * probe job through (half-open).
      */
     unsigned breakerCooldown = 4;
+
+    /**
+     * Entries each worker's always-on flight recorder retains; a
+     * failing job's Status payload carries the dump (the last things
+     * its worker did: device, phase, detail).
+     */
+    std::size_t flightRecorderCapacity = 64;
 };
 
 /** Completion record of one job. */
@@ -268,6 +277,16 @@ class DispatchService
     support::MetricsRegistry &metrics() { return reg; }
     const store::SelectionStore &selectionStore() const { return store_; }
 
+    /**
+     * The service-wide trace sink (disabled by default; call
+     * tracer().setEnabled(true) before start()).  Jobs emit queue
+     * spans, retry/re-route instants, and store hit/quarantine
+     * instants here, and every per-device runtime is wired to the
+     * same sink with the job id as correlation id -- so one job's
+     * service-, runtime-, and device-level events share a cid.
+     */
+    support::tracing::Tracer &tracer() { return tracer_; }
+
   private:
     /** A job in flight, with its retry state. */
     struct QueuedJob
@@ -278,6 +297,8 @@ class DispatchService
         std::vector<unsigned> excluded; ///< devices that failed it
         sim::TimeNs backoffNs = 0; ///< charged virtual backoff
         sim::TimeNs spentNs = 0; ///< device time across attempts
+        /** Destination device's clock when (re-)enqueued (queue span). */
+        sim::TimeNs enqueuedNs = 0;
     };
 
     struct Worker
@@ -294,6 +315,18 @@ class DispatchService
         bool breakerOpen = false;
         /** Routing decisions left before a half-open probe. */
         unsigned breakerCooldownLeft = 0;
+
+        /** This worker's trace track id. */
+        std::uint64_t traceTrack = 0;
+        /** Always-on ring of recent phases (worker thread only). */
+        support::tracing::FlightRecorder flight;
+        /**
+         * Published device-clock snapshot: the worker stores its
+         * device's virtual time whenever the device is idle, so
+         * submit() can timestamp queue spans without touching the
+         * (possibly running) event engine from another thread.
+         */
+        std::atomic<sim::TimeNs> clockNs{0};
     };
 
     void workerLoop(unsigned idx);
@@ -317,6 +350,7 @@ class DispatchService
     store::SelectionStore &store_;
     ServiceConfig config;
     support::MetricsRegistry reg;
+    support::tracing::Tracer tracer_;
     std::vector<std::unique_ptr<Worker>> workers;
 
     mutable std::mutex mu;

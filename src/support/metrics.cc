@@ -105,8 +105,13 @@ Histogram::quantile(double q) const
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < numBuckets; ++i) {
         seen += bucket_[i].load(std::memory_order_relaxed);
-        if (seen >= target && seen > 0)
-            return std::ldexp(1.0, static_cast<int>(i) + 1); // 2^(i+1)
+        if (seen >= target && seen > 0) {
+            // The bucket's upper bound 2^(i+1) can overshoot the
+            // largest sample (one sample of 3 would report p50 = 4);
+            // clamp to the observed max.
+            return std::min(std::ldexp(1.0, static_cast<int>(i) + 1),
+                            max());
+        }
     }
     return max();
 }
@@ -118,6 +123,13 @@ Histogram::buckets() const
     for (std::size_t i = 0; i < numBuckets; ++i)
         out[i] = bucket_[i].load(std::memory_order_relaxed);
     return out;
+}
+
+std::string
+MetricsRegistry::labeled(const std::string &name, const std::string &key,
+                         const std::string &value)
+{
+    return name + "{" + key + "=\"" + value + "\"}";
 }
 
 Counter &
@@ -153,17 +165,31 @@ MetricsRegistry::renderText() const
 {
     std::lock_guard<std::mutex> lock(mu);
     std::ostringstream os;
-    for (const auto &[name, c] : counters)
-        os << name << ' ' << c->value() << '\n';
-    for (const auto &[name, h] : histograms) {
-        char buf[160];
+    // One name-sorted pass over both maps: the output order is a pure
+    // function of the metric names, independent of which kind a name
+    // happens to be or the order metrics were created in.
+    auto ci = counters.begin();
+    auto hi = histograms.begin();
+    auto emitHistogram = [&os](const std::string &name,
+                               const Histogram &h) {
+        char buf[200];
         std::snprintf(buf, sizeof(buf),
-                      "%s{count=%llu mean=%.1f p50=%.0f p99=%.0f "
-                      "max=%.0f}\n",
-                      name.c_str(), (unsigned long long)h->count(),
-                      h->mean(), h->quantile(0.5), h->quantile(0.99),
-                      h->max());
+                      "%s{count=%llu mean=%.1f p50=%.0f p90=%.0f "
+                      "p95=%.0f p99=%.0f max=%.0f}\n",
+                      name.c_str(), (unsigned long long)h.count(),
+                      h.mean(), h.quantile(0.5), h.quantile(0.9),
+                      h.quantile(0.95), h.quantile(0.99), h.max());
         os << buf;
+    };
+    while (ci != counters.end() || hi != histograms.end()) {
+        if (hi == histograms.end()
+            || (ci != counters.end() && ci->first <= hi->first)) {
+            os << ci->first << ' ' << ci->second->value() << '\n';
+            ++ci;
+        } else {
+            emitHistogram(hi->first, *hi->second);
+            ++hi;
+        }
     }
     return os.str();
 }
@@ -184,6 +210,8 @@ MetricsRegistry::renderJson() const
         entry.set("min", Json(h->min()));
         entry.set("max", Json(h->max()));
         entry.set("p50", Json(h->quantile(0.5)));
+        entry.set("p90", Json(h->quantile(0.9)));
+        entry.set("p95", Json(h->quantile(0.95)));
         entry.set("p99", Json(h->quantile(0.99)));
         histObj.set(name, std::move(entry));
     }
@@ -191,6 +219,112 @@ MetricsRegistry::renderJson() const
     root.set("counters", std::move(counterObj));
     root.set("histograms", std::move(histObj));
     return root;
+}
+
+namespace {
+
+/** Split `family{labels}` into its parts; labels may be empty. */
+void
+splitLabeled(const std::string &name, std::string &family,
+             std::string &labels)
+{
+    const auto brace = name.find('{');
+    if (brace == std::string::npos || name.back() != '}') {
+        family = name;
+        labels.clear();
+        return;
+    }
+    family = name.substr(0, brace);
+    labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+/** Prometheus metric-name sanitization: [a-zA-Z0-9_:], '_' elsewhere. */
+std::string
+promName(const std::string &family)
+{
+    std::string out = family;
+    for (char &c : out) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+                        || (c >= '0' && c <= '9') || c == '_' || c == ':';
+        if (!ok)
+            c = '_';
+    }
+    if (!out.empty() && out[0] >= '0' && out[0] <= '9')
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+/** Render a double the way Prometheus expects ("+Inf"-free here). */
+std::string
+promNumber(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::renderPrometheus() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::ostringstream os;
+    std::string lastFamily;
+    auto typeLine = [&](const std::string &family, const char *type) {
+        // One TYPE line per family: labeled series of one family
+        // (device="dev0", device="dev1") are adjacent in the sorted
+        // map, so emitting on family change is enough.
+        if (family == lastFamily)
+            return;
+        lastFamily = family;
+        os << "# TYPE " << family << ' ' << type << '\n';
+    };
+
+    for (const auto &[name, c] : counters) {
+        std::string family, labels;
+        splitLabeled(name, family, labels);
+        family = promName(family);
+        typeLine(family, "counter");
+        os << family;
+        if (!labels.empty())
+            os << '{' << labels << '}';
+        os << ' ' << c->value() << '\n';
+    }
+
+    lastFamily.clear();
+    for (const auto &[name, h] : histograms) {
+        std::string family, labels;
+        splitLabeled(name, family, labels);
+        family = promName(family);
+        typeLine(family, "histogram");
+        const auto buckets = h->buckets();
+        // Cumulative counts at the power-of-two upper bounds, up to
+        // the highest non-empty bucket, then the +Inf catch-all.
+        std::size_t top = 0;
+        for (std::size_t i = 0; i < buckets.size(); ++i)
+            if (buckets[i] > 0)
+                top = i + 1;
+        std::uint64_t cum = 0;
+        auto bucketLine = [&](const std::string &le, std::uint64_t n) {
+            os << family << "_bucket{";
+            if (!labels.empty())
+                os << labels << ',';
+            os << "le=\"" << le << "\"} " << n << '\n';
+        };
+        for (std::size_t i = 0; i < top; ++i) {
+            cum += buckets[i];
+            bucketLine(promNumber(std::ldexp(1.0, static_cast<int>(i) + 1)),
+                       cum);
+        }
+        bucketLine("+Inf", h->count());
+        const std::string suffix =
+            labels.empty() ? "" : "{" + labels + "}";
+        os << family << "_sum" << suffix << ' ' << promNumber(h->sum())
+           << '\n';
+        os << family << "_count" << suffix << ' ' << h->count() << '\n';
+    }
+    return os.str();
 }
 
 } // namespace support

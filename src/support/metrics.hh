@@ -65,7 +65,12 @@ class Histogram
     double min() const;
     double max() const;
 
-    /** Approximate quantile (bucket upper bound); q in [0,1]. */
+    /**
+     * Approximate quantile (bucket upper bound, clamped to the
+     * observed max so a sparse histogram never reports a quantile
+     * beyond its largest sample); q in [0,1].  0 for an empty
+     * histogram.
+     */
     double quantile(double q) const;
 
     /** Per-bucket counts (index i covers [2^i, 2^(i+1))). */
@@ -80,13 +85,24 @@ class Histogram
 };
 
 /**
- * Named metrics, created on first use.  Names are free-form; the
- * serving layer uses dotted paths like "store.hit" or
- * "dev0.jobs".
+ * Named metrics, created on first use.  Names are free-form dotted
+ * paths like "store.hit"; a per-instance breakdown appends a label
+ * suffix built with labeled(), e.g. `device.jobs{device="dev0"}`
+ * (see DESIGN §7 for the naming scheme).
  */
 class MetricsRegistry
 {
   public:
+    /**
+     * Canonical labeled metric name: `name{key="value"}`.  All
+     * per-instance metrics (per device, per pass) use this one
+     * suffix form so exporters can split name and labels
+     * mechanically.
+     */
+    static std::string labeled(const std::string &name,
+                               const std::string &key,
+                               const std::string &value);
+
     /** Get or create the counter named @p name. */
     Counter &counter(const std::string &name);
 
@@ -97,14 +113,27 @@ class MetricsRegistry
     std::uint64_t counterValue(const std::string &name) const;
 
     /**
-     * Plain-text export, one metric per line:
+     * Plain-text export, one metric per line in deterministic
+     * name-sorted order (counters and histograms interleaved by
+     * name, not segregated by kind):
      *   name value
-     *   name{count,mean,p50,p99,max}  for histograms
+     *   name{count,mean,p50,p90,p95,p99,max}  for histograms
      */
     std::string renderText() const;
 
     /** JSON export: {"counters": {...}, "histograms": {...}}. */
     Json renderJson() const;
+
+    /**
+     * Prometheus text exposition (version 0.0.4).  Metric names are
+     * sanitized ('.' and other illegal characters become '_'); a
+     * `{key="value"}` suffix built by labeled() becomes a real
+     * Prometheus label set.  Counters render as a single sample,
+     * histograms as cumulative `_bucket{le="..."}` samples over the
+     * power-of-two bucket bounds plus `_sum` and `_count`.  Output
+     * order is deterministic (name-sorted).
+     */
+    std::string renderPrometheus() const;
 
   private:
     mutable std::mutex mu;

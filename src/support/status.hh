@@ -109,6 +109,21 @@ class Status
     StatusCode code() const { return code_; }
     const std::string &message() const { return message_; }
 
+    /**
+     * Attach an out-of-band diagnostic payload (the dispatch service
+     * attaches the worker's flight-recorder dump to a failed job's
+     * Status).  The payload rides along with the Status but stays
+     * out of message()/toString(), so error strings remain short.
+     */
+    Status &withPayload(std::string payload)
+    {
+        payload_ = std::move(payload);
+        return *this;
+    }
+
+    const std::string &payload() const { return payload_; }
+    bool hasPayload() const { return !payload_.empty(); }
+
     /** "OK", or "NOT_FOUND: no such kernel". */
     std::string toString() const;
 
@@ -124,6 +139,7 @@ class Status
   private:
     StatusCode code_ = StatusCode::Ok;
     std::string message_;
+    std::string payload_;
 };
 
 } // namespace support

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Per-worker flight recorder: a lock-free, fixed-capacity ring of the
+ * most recent phase records, dumped when a job fails.
+ *
+ * Each dispatch-service worker owns one recorder and is its only
+ * writer, and dumps happen on the same worker thread at the moment a
+ * job's failure is finalized -- so the ring needs no synchronization
+ * at all, just a monotone write cursor.  Unlike the Tracer it is
+ * always on: recording is a ring-slot assignment, cheap enough for
+ * the hot dispatch path, and the bound means a long-lived service
+ * never grows it.  When a job dies, the dump shows the last
+ * `capacity` things its worker did -- device, phase, and detail --
+ * which is exactly the "where did it die" evidence the Status payload
+ * carries back to the caller.
+ */
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dysel {
+namespace support {
+namespace tracing {
+
+/** Bounded single-writer ring of phase records. */
+class FlightRecorder
+{
+  public:
+    /** One recorded phase transition. */
+    struct Entry
+    {
+        std::uint64_t ts = 0; ///< virtual ns (owner device clock)
+        std::uint64_t job = 0; ///< job id; 0 when not job-scoped
+        std::string phase;    ///< e.g. "claim", "profile", "launch"
+        std::string detail;   ///< free-form context (device, status)
+    };
+
+    explicit FlightRecorder(std::size_t capacity = 64)
+        : ring(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    std::size_t capacity() const { return ring.size(); }
+
+    /** Total records ever written (>= capacity once wrapped). */
+    std::uint64_t recorded() const { return written; }
+
+    /** Append one record, overwriting the oldest once full. */
+    void record(std::uint64_t ts, std::uint64_t job, std::string phase,
+                std::string detail = std::string())
+    {
+        Entry &slot = ring[written % ring.size()];
+        slot.ts = ts;
+        slot.job = job;
+        slot.phase = std::move(phase);
+        slot.detail = std::move(detail);
+        written++;
+    }
+
+    /** The retained records, oldest first. */
+    std::vector<Entry> snapshot() const
+    {
+        std::vector<Entry> out;
+        const std::uint64_t n =
+            written < ring.size() ? written : ring.size();
+        out.reserve(n);
+        const std::uint64_t first = written - n;
+        for (std::uint64_t i = 0; i < n; ++i)
+            out.push_back(ring[(first + i) % ring.size()]);
+        return out;
+    }
+
+    /**
+     * Human-readable dump, oldest first, one record per line:
+     *   t=<ns> job=<id> phase=<phase> <detail>
+     */
+    std::string dump() const
+    {
+        std::ostringstream os;
+        os << "flight recorder (" << recorded() << " recorded, last "
+           << snapshotSize() << "):\n";
+        for (const Entry &e : snapshot()) {
+            os << "  t=" << e.ts;
+            if (e.job != 0)
+                os << " job=" << e.job;
+            os << " phase=" << e.phase;
+            if (!e.detail.empty())
+                os << ' ' << e.detail;
+            os << '\n';
+        }
+        return os.str();
+    }
+
+  private:
+    std::uint64_t snapshotSize() const
+    {
+        return written < ring.size() ? written : ring.size();
+    }
+
+    std::vector<Entry> ring;
+    std::uint64_t written = 0;
+};
+
+} // namespace tracing
+} // namespace support
+} // namespace dysel

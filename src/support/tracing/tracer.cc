@@ -1,0 +1,189 @@
+#include "tracer.hh"
+
+namespace dysel {
+namespace support {
+namespace tracing {
+
+const char *
+phaseName(TraceEvent::Phase phase)
+{
+    switch (phase) {
+      case TraceEvent::Phase::Begin: return "B";
+      case TraceEvent::Phase::End: return "E";
+      case TraceEvent::Phase::Complete: return "X";
+      case TraceEvent::Phase::Instant: return "i";
+    }
+    return "?";
+}
+
+std::uint64_t
+Tracer::track(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = tracks.find(name);
+    if (it != tracks.end())
+        return it->second;
+    const std::uint64_t tid = tracks.size() + 1; // 0 stays "untracked"
+    tracks.emplace(name, tid);
+    return tid;
+}
+
+void
+Tracer::record(TraceEvent ev)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mu);
+    events.push_back(std::move(ev));
+}
+
+void
+Tracer::begin(std::uint64_t tid, std::string name, std::uint64_t ts,
+              std::uint64_t correlation, Attrs args)
+{
+    TraceEvent ev;
+    ev.phase = TraceEvent::Phase::Begin;
+    ev.tid = tid;
+    ev.name = std::move(name);
+    ev.ts = ts;
+    ev.correlation = correlation;
+    ev.args = std::move(args);
+    record(std::move(ev));
+}
+
+void
+Tracer::end(std::uint64_t tid, std::string name, std::uint64_t ts,
+            std::uint64_t correlation)
+{
+    TraceEvent ev;
+    ev.phase = TraceEvent::Phase::End;
+    ev.tid = tid;
+    ev.name = std::move(name);
+    ev.ts = ts;
+    ev.correlation = correlation;
+    record(std::move(ev));
+}
+
+void
+Tracer::complete(std::uint64_t tid, std::string name, std::uint64_t start,
+                 std::uint64_t end, std::uint64_t correlation, Attrs args)
+{
+    TraceEvent ev;
+    ev.phase = TraceEvent::Phase::Complete;
+    ev.tid = tid;
+    ev.name = std::move(name);
+    ev.ts = start;
+    ev.dur = end >= start ? end - start : 0;
+    ev.correlation = correlation;
+    ev.args = std::move(args);
+    record(std::move(ev));
+}
+
+void
+Tracer::instant(std::uint64_t tid, std::string name, std::uint64_t ts,
+                std::uint64_t correlation, Attrs args)
+{
+    TraceEvent ev;
+    ev.phase = TraceEvent::Phase::Instant;
+    ev.tid = tid;
+    ev.name = std::move(name);
+    ev.ts = ts;
+    ev.correlation = correlation;
+    ev.args = std::move(args);
+    record(std::move(ev));
+}
+
+std::size_t
+Tracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return events.size();
+}
+
+std::uint64_t
+Tracer::countNamed(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::uint64_t n = 0;
+    for (const auto &ev : events)
+        if (ev.name == name)
+            n++;
+    return n;
+}
+
+std::vector<TraceEvent>
+Tracer::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return events;
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    events.clear();
+}
+
+Json
+Tracer::exportChromeTrace() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    Json arr = Json::array();
+
+    // Track metadata first: a named, stably-sorted row per track.
+    for (const auto &[name, tid] : tracks) {
+        Json meta = Json::object();
+        meta.set("ph", Json("M"));
+        meta.set("name", Json("thread_name"));
+        meta.set("pid", Json(1));
+        meta.set("tid", Json(tid));
+        Json margs = Json::object();
+        margs.set("name", Json(name));
+        meta.set("args", std::move(margs));
+        arr.push(std::move(meta));
+
+        Json sort = Json::object();
+        sort.set("ph", Json("M"));
+        sort.set("name", Json("thread_sort_index"));
+        sort.set("pid", Json(1));
+        sort.set("tid", Json(tid));
+        Json sargs = Json::object();
+        sargs.set("sort_index", Json(tid));
+        sort.set("args", std::move(sargs));
+        arr.push(std::move(sort));
+    }
+
+    for (const auto &ev : events) {
+        Json e = Json::object();
+        e.set("ph", Json(phaseName(ev.phase)));
+        e.set("name", Json(ev.name));
+        if (!ev.category.empty())
+            e.set("cat", Json(ev.category));
+        e.set("pid", Json(1));
+        e.set("tid", Json(ev.tid));
+        // Trace-event timestamps are microseconds; virtual ns map to
+        // fractional us without precision loss at simulation scales.
+        e.set("ts", Json(static_cast<double>(ev.ts) / 1000.0));
+        if (ev.phase == TraceEvent::Phase::Complete)
+            e.set("dur", Json(static_cast<double>(ev.dur) / 1000.0));
+        if (ev.phase == TraceEvent::Phase::Instant)
+            e.set("s", Json("t")); // thread-scoped instant
+        Json args = Json::object();
+        if (ev.correlation != 0)
+            args.set("cid", Json(ev.correlation));
+        for (const auto &[k, v] : ev.args)
+            args.set(k, Json(v));
+        e.set("args", std::move(args));
+        arr.push(std::move(e));
+    }
+
+    Json root = Json::object();
+    root.set("traceEvents", std::move(arr));
+    root.set("displayTimeUnit", Json("ns"));
+    return root;
+}
+
+} // namespace tracing
+} // namespace support
+} // namespace dysel

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * End-to-end tracing: nested spans with attributes, correlation ids,
+ * and Chrome trace-event export.
+ *
+ * Named `tracing` (not `trace`) to avoid clashing with the execution
+ * traces of src/kdp/trace.hh: those record *what a kernel computed*,
+ * these record *where a launch's time went* -- queueing, profiling
+ * passes, guard verdicts, retries, winner execution.
+ *
+ * Timestamps are virtual nanoseconds supplied by the caller (device
+ * clocks from sim::time), so traces of a deterministic simulation are
+ * themselves deterministic.  Every event can carry a correlation id
+ * -- the dispatch service uses the job id, propagated through
+ * Runtime::launch via LaunchOptions::correlationId -- so one job's
+ * spans can be followed across service, runtime, and device layers.
+ *
+ * The tracer is a cheap central sink: recording appends to a
+ * mutex-protected vector, and a disabled tracer (the default) costs
+ * one relaxed atomic load per call site.  The latency-critical
+ * per-worker record-everything-always channel is the FlightRecorder
+ * (flight_recorder.hh), which is lock-free and bounded.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/json.hh"
+
+namespace dysel {
+namespace support {
+namespace tracing {
+
+/** Key/value attributes attached to an event. */
+using Attrs = std::vector<std::pair<std::string, std::string>>;
+
+/** One trace event (maps 1:1 onto a Chrome trace-event record). */
+struct TraceEvent
+{
+    /** Chrome trace-event phase. */
+    enum class Phase {
+        Begin,    ///< "B": span open (nests on its track)
+        End,      ///< "E": span close
+        Complete, ///< "X": span with explicit duration
+        Instant,  ///< "i": point event
+    };
+
+    Phase phase = Phase::Instant;
+    std::string name;
+    std::string category;
+    /** Virtual time (ns) of the event; span start for Complete. */
+    std::uint64_t ts = 0;
+    /** Span duration (ns); Complete events only. */
+    std::uint64_t dur = 0;
+    /** Track the event renders on (see Tracer::track). */
+    std::uint64_t tid = 0;
+    /** Job/launch correlation id; 0 means "not job-scoped". */
+    std::uint64_t correlation = 0;
+    Attrs args;
+};
+
+/** Stable Chrome "ph" string of @p phase. */
+const char *phaseName(TraceEvent::Phase phase);
+
+/**
+ * The central trace sink.  Thread-safe; disabled (and free) until
+ * setEnabled(true).
+ */
+class Tracer
+{
+  public:
+    /** Turn recording on or off; events are kept across toggles. */
+    void setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Get-or-create the track named @p name and return its id.
+     * Tracks become named Chrome timeline rows (one per device
+     * worker, one per profiling pass) via thread_name metadata in the
+     * export; ids are assigned in creation order, which doubles as
+     * the track sort order.
+     */
+    std::uint64_t track(const std::string &name);
+
+    /** Record @p ev if enabled. */
+    void record(TraceEvent ev);
+
+    /** Open a nested span on @p tid. */
+    void begin(std::uint64_t tid, std::string name, std::uint64_t ts,
+               std::uint64_t correlation = 0, Attrs args = {});
+
+    /** Close the innermost open span on @p tid. */
+    void end(std::uint64_t tid, std::string name, std::uint64_t ts,
+             std::uint64_t correlation = 0);
+
+    /** Record a span with both endpoints known. */
+    void complete(std::uint64_t tid, std::string name, std::uint64_t start,
+                  std::uint64_t end, std::uint64_t correlation = 0,
+                  Attrs args = {});
+
+    /** Record a point event. */
+    void instant(std::uint64_t tid, std::string name, std::uint64_t ts,
+                 std::uint64_t correlation = 0, Attrs args = {});
+
+    /** Number of recorded events. */
+    std::size_t eventCount() const;
+
+    /** Recorded events named @p name (for counter reconciliation). */
+    std::uint64_t countNamed(const std::string &name) const;
+
+    /** Copy of all recorded events, in recording order. */
+    std::vector<TraceEvent> snapshot() const;
+
+    /** Drop all recorded events (track ids stay assigned). */
+    void clear();
+
+    /**
+     * Export as a Chrome trace-event JSON object: {"traceEvents":
+     * [...], "displayTimeUnit": "ns"}.  Loads in chrome://tracing and
+     * Perfetto.  `ts`/`dur` are microseconds (the trace-event unit),
+     * emitted with fractional-ns precision; each track gets a
+     * thread_name + thread_sort_index metadata record.
+     */
+    Json exportChromeTrace() const;
+
+  private:
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+    std::map<std::string, std::uint64_t> tracks; ///< name -> tid
+};
+
+} // namespace tracing
+} // namespace support
+} // namespace dysel

@@ -548,9 +548,12 @@ runStorm(bool serial)
     // The permanently hung device tripped its breaker and never
     // completed a job.
     EXPECT_GE(m.counterValue("breaker.trips"), 1u);
-    EXPECT_EQ(m.counterValue("dev0.jobs"), 0u);
-    EXPECT_GT(m.counterValue("dev1.jobs")
-                  + m.counterValue("dev2.jobs"),
+    const auto devJobs = [](unsigned i) {
+        return support::MetricsRegistry::labeled(
+            "device.jobs", "device", "dev" + std::to_string(i));
+    };
+    EXPECT_EQ(m.counterValue(devJobs(0)), 0u);
+    EXPECT_GT(m.counterValue(devJobs(1)) + m.counterValue(devJobs(2)),
               0u);
     svc.stop();
 }

@@ -170,9 +170,13 @@ TEST(DispatchService, SmokeMatchesSingleRuntime)
 
     // Least-loaded routing used both devices.
     const auto &m = f.svc.metrics();
-    EXPECT_GT(m.counterValue("dev0.jobs"), 0u);
-    EXPECT_GT(m.counterValue("dev1.jobs"), 0u);
-    EXPECT_EQ(m.counterValue("dev0.jobs") + m.counterValue("dev1.jobs"),
+    const auto devJobs = [](unsigned i) {
+        return support::MetricsRegistry::labeled(
+            "device.jobs", "device", "dev" + std::to_string(i));
+    };
+    EXPECT_GT(m.counterValue(devJobs(0)), 0u);
+    EXPECT_GT(m.counterValue(devJobs(1)), 0u);
+    EXPECT_EQ(m.counterValue(devJobs(0)) + m.counterValue(devJobs(1)),
               std::uint64_t{N});
     EXPECT_EQ(m.counterValue("jobs.completed"), std::uint64_t{N});
     EXPECT_EQ(m.counterValue("jobs.failed"), 0u);

@@ -32,6 +32,7 @@
  */
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -54,7 +55,8 @@ struct Options
     std::string storePath = "dyseld.store.json";
     bool load = true;
     bool save = true;
-    bool jsonMetrics = false;
+    std::string metricsFormat = "text"; ///< text | json | prom
+    std::string tracePath;              ///< Chrome trace JSON out
     bool guard = false;
     double faultRate = 0.0;
     double variantFaultRate = 0.0;
@@ -185,7 +187,16 @@ main(int argc, char **argv)
         } else if (arg == "--no-save") {
             opt.save = false;
         } else if (arg == "--metrics" && i + 1 < argc) {
-            opt.jsonMetrics = std::strcmp(argv[++i], "json") == 0;
+            opt.metricsFormat = argv[++i];
+            if (opt.metricsFormat != "text"
+                && opt.metricsFormat != "json"
+                && opt.metricsFormat != "prom") {
+                std::cerr << "dyseld: unknown metrics format '"
+                          << opt.metricsFormat << "'\n";
+                return 1;
+            }
+        } else if (arg == "--trace" && i + 1 < argc) {
+            opt.tracePath = argv[++i];
         } else if (arg == "--fault-rate" && i + 1 < argc) {
             opt.faultRate = std::atof(argv[++i]);
         } else if (arg == "--fault-seed" && i + 1 < argc) {
@@ -197,8 +208,9 @@ main(int argc, char **argv)
             opt.guard = true; // pointless without the guard watching
         } else {
             std::cerr << "usage: dyseld [--store FILE] [--no-load] "
-                         "[--no-save] [--metrics text|json] "
-                         "[--fault-rate P] [--fault-seed S] [--guard] "
+                         "[--no-save] [--metrics text|json|prom] "
+                         "[--trace FILE] [--fault-rate P] "
+                         "[--fault-seed S] [--guard] "
                          "[--variant-fault-rate P]\n";
             return arg == "--help" ? 0 : 1;
         }
@@ -253,6 +265,10 @@ main(int argc, char **argv)
     }
     if (opt.guard)
         std::cout << "variant guard on\n";
+    if (!opt.tracePath.empty()) {
+        svc.tracer().setEnabled(true);
+        std::cout << "tracing on -> " << opt.tracePath << '\n';
+    }
     svc.start();
 
     auto pass1 = makeMix(false);
@@ -332,10 +348,30 @@ main(int argc, char **argv)
     }
 
     std::cout << "\n--- metrics ---\n";
-    if (opt.jsonMetrics)
+    if (opt.metricsFormat == "json")
         std::cout << svc.metrics().renderJson().dump(2) << '\n';
+    else if (opt.metricsFormat == "prom")
+        std::cout << svc.metrics().renderPrometheus();
     else
         std::cout << svc.metrics().renderText();
+
+    if (!opt.tracePath.empty()) {
+        std::ofstream out(opt.tracePath);
+        if (!out) {
+            std::cerr << "dyseld: cannot write trace to "
+                      << opt.tracePath << '\n';
+            return 1;
+        }
+        out << svc.tracer().exportChromeTrace().dump(1) << '\n';
+        if (!out.flush()) {
+            std::cerr << "dyseld: trace write to " << opt.tracePath
+                      << " failed\n";
+            return 1;
+        }
+        std::cout << "wrote " << svc.tracer().eventCount()
+                  << " trace events to " << opt.tracePath
+                  << " (open in chrome://tracing or ui.perfetto.dev)\n";
+    }
 
     if (opt.save) {
         const support::Status saved = store.saveFile(opt.storePath);

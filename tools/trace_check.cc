@@ -1,0 +1,203 @@
+/**
+ * @file
+ * trace_check: structural validator for dyseld --trace output.
+ *
+ * Parses a Chrome trace-event JSON file and verifies it is the shape
+ * chrome://tracing / Perfetto will accept: a "traceEvents" array
+ * whose records carry a legal "ph", numeric "ts"/"pid"/"tid" (metadata
+ * records excepted from "ts"), "dur" on "X" spans, and balanced B/E
+ * nesting per track.
+ *
+ * With --require-storm it additionally asserts the PR-3 acceptance
+ * criterion: at least one correlation id (args.cid) whose events
+ * include a queue span, two or more distinct micro-profiling pass
+ * spans ("profile:<variant>"), a guard.strike instant, a retry
+ * instant, and a winner "execute" span.  CI runs the dyseld fault
+ * storm with --trace and gates on this checker.
+ *
+ * Exits 0 when the file validates, 1 with a diagnostic otherwise.
+ */
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/json.hh"
+
+using dysel::support::Json;
+
+namespace {
+
+struct CidActivity
+{
+    bool queueSpan = false;
+    std::set<std::string> profilePasses;
+    bool guardStrike = false;
+    bool retry = false;
+    bool executeSpan = false;
+
+    bool storm() const
+    {
+        return queueSpan && profilePasses.size() >= 2 && guardStrike
+               && retry && executeSpan;
+    }
+};
+
+bool
+legalPhase(const std::string &ph)
+{
+    return ph == "B" || ph == "E" || ph == "X" || ph == "i"
+           || ph == "M";
+}
+
+int
+fail(std::size_t index, const std::string &why)
+{
+    std::cerr << "trace_check: event " << index << ": " << why << '\n';
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    bool requireStorm = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--require-storm") {
+            requireStorm = true;
+        } else if (arg == "--help" || path.size()) {
+            std::cerr << "usage: trace_check [--require-storm] FILE\n";
+            return arg == "--help" ? 0 : 1;
+        } else {
+            path = arg;
+        }
+    }
+    if (path.empty()) {
+        std::cerr << "usage: trace_check [--require-storm] FILE\n";
+        return 1;
+    }
+
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "trace_check: cannot open " << path << '\n';
+        return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+
+    Json root;
+    try {
+        root = Json::parse(buf.str());
+    } catch (const std::exception &e) {
+        std::cerr << "trace_check: " << path << ": " << e.what()
+                  << '\n';
+        return 1;
+    }
+
+    if (!root.isObject() || !root.has("traceEvents"))
+        return fail(0, "root is not an object with traceEvents");
+    const Json &events = root.at("traceEvents");
+    if (!events.isArray())
+        return fail(0, "traceEvents is not an array");
+    if (events.items().empty())
+        return fail(0, "traceEvents is empty");
+
+    // Per-track B/E nesting stacks and per-cid activity.
+    std::map<std::uint64_t, std::vector<std::string>> open;
+    std::map<std::uint64_t, CidActivity> byCid;
+    std::size_t spans = 0;
+
+    const auto &items = events.items();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        const Json &e = items[i];
+        if (!e.isObject())
+            return fail(i, "event is not an object");
+        if (!e.has("ph"))
+            return fail(i, "missing ph");
+        const std::string ph = e.at("ph").asString();
+        if (!legalPhase(ph))
+            return fail(i, "illegal ph '" + ph + "'");
+        if (!e.has("pid") || !e.has("tid"))
+            return fail(i, "missing pid/tid");
+        e.at("pid").asNumber(); // throws on a non-number
+        const auto tid = e.at("tid").asUint();
+        if (ph == "M")
+            continue; // metadata records carry no timestamp
+        if (!e.has("ts"))
+            return fail(i, "missing ts");
+        if (e.at("ts").asNumber() < 0)
+            return fail(i, "negative ts");
+        const std::string name = e.stringOr("name", "");
+        if (name.empty())
+            return fail(i, "missing name");
+
+        if (ph == "X") {
+            if (!e.has("dur"))
+                return fail(i, "X span without dur");
+            if (e.at("dur").asNumber() < 0)
+                return fail(i, "negative dur");
+            spans++;
+        } else if (ph == "B") {
+            open[tid].push_back(name);
+            spans++;
+        } else if (ph == "E") {
+            auto &stack = open[tid];
+            if (stack.empty() || stack.back() != name)
+                return fail(i, "E '" + name
+                                   + "' does not close the innermost "
+                                     "open span of tid "
+                                   + std::to_string(tid));
+            stack.pop_back();
+        }
+
+        std::uint64_t cid = 0;
+        if (e.has("args") && e.at("args").isObject()
+            && e.at("args").has("cid"))
+            cid = e.at("args").at("cid").asUint();
+        if (cid == 0)
+            continue;
+        CidActivity &act = byCid[cid];
+        if (name == "queue" && ph == "X")
+            act.queueSpan = true;
+        else if (name.rfind("profile:", 0) == 0 && ph == "X")
+            act.profilePasses.insert(name);
+        else if (name == "guard.strike")
+            act.guardStrike = true;
+        else if (name == "retry")
+            act.retry = true;
+        else if (name == "execute" && ph == "X")
+            act.executeSpan = true;
+    }
+
+    for (const auto &[tid, stack] : open)
+        if (!stack.empty()) {
+            std::cerr << "trace_check: tid " << tid << " has "
+                      << stack.size() << " unclosed span(s), innermost '"
+                      << stack.back() << "'\n";
+            return 1;
+        }
+
+    std::size_t storms = 0;
+    for (const auto &[cid, act] : byCid)
+        if (act.storm())
+            storms++;
+
+    std::cout << "trace_check: " << items.size() << " events, " << spans
+              << " spans, " << byCid.size() << " correlation ids, "
+              << storms << " full storm lifecycle(s)\n";
+
+    if (requireStorm && storms == 0) {
+        std::cerr << "trace_check: --require-storm: no correlation id "
+                     "with queue span + >=2 profile passes + "
+                     "guard.strike + retry + execute span\n";
+        return 1;
+    }
+    return 0;
+}
