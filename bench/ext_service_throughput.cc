@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Extension bench: dispatch-path throughput under contention.
+ *
+ * Runs the closed-loop load generator twice on the contended
+ * configuration (16 submitters, 8 devices, 4 hot signatures): once
+ * with profiling coalescing off -- the pre-sharding service never
+ * coalesced, so this is the baseline -- and once with it on.  With
+ * coalescing, concurrent cold misses on the same (signature,
+ * fingerprint, bucket) elect one profiling leader instead of each
+ * paying its own micro-profiling pass, so the cold window collapses
+ * and throughput rises.
+ *
+ * Emits BENCH_service_throughput.json next to the binary (override
+ * with argv[1]); the CI perf-smoke job validates the schema with
+ * tools/bench_check.  The exit code only checks invariants (all jobs
+ * terminal, coalesce hits recorded), never absolute numbers.
+ */
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "serve/loadgen.hh"
+#include "support/table.hh"
+
+using namespace dysel;
+
+namespace {
+
+serve::LoadGenConfig
+contendedConfig()
+{
+    serve::LoadGenConfig cfg;
+    cfg.submitters = 16;
+    cfg.devices = 8;
+    cfg.signatures = 4;
+    cfg.sizeClasses = 4;
+    cfg.baseUnits = 128;
+    // One lockstep lap over the 16 (signature, size-class) keys:
+    // every phase's first touch is a fleet-wide contended cold miss.
+    cfg.sweep = true;
+    cfg.jobsPerSubmitter = 16;
+    cfg.variants = 6;
+    cfg.profileRepeats = 256;
+    cfg.guard = true;
+    cfg.affinity = false;
+    cfg.slowFlops = 4000;
+    cfg.fastFlops = 100;
+    cfg.seed = 42;
+    return cfg;
+}
+
+void
+reportRow(support::Table &table, const char *name,
+          const serve::LoadGenReport &r)
+{
+    table.row()
+        .cell(name)
+        .cell(r.jobsCompleted)
+        .cell(r.jobsPerSec, 0)
+        .cell(r.p50LatencyUs, 1)
+        .cell(r.p99LatencyUs, 1)
+        .cell(r.profiledUnitRatio, 4)
+        .cell(r.coalesceHits);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string outPath =
+        argc > 1 ? argv[1] : "BENCH_service_throughput.json";
+
+    std::cout << "=== Extension: dispatch-path throughput "
+                 "(profiling coalescing) ===\n"
+              << "Closed loop, 16 submitters x 8 devices, 4 hot "
+                 "signatures x 4 size buckets.\n\n";
+
+    serve::LoadGenConfig base = contendedConfig();
+    base.coalesce = false;
+    const serve::LoadGenReport baseline = serve::runLoadGen(base);
+
+    serve::LoadGenConfig co = contendedConfig();
+    co.coalesce = true;
+    const serve::LoadGenReport coalesced = serve::runLoadGen(co);
+
+    support::Table table({"mode", "jobs", "jobs/s", "p50 (us)",
+                          "p99 (us)", "profiled ratio",
+                          "coalesce hits"});
+    reportRow(table, "baseline (no coalescing)", baseline);
+    reportRow(table, "coalesced", coalesced);
+    table.print(std::cout);
+
+    const double speedup =
+        baseline.jobsPerSec > 0.0
+            ? coalesced.jobsPerSec / baseline.jobsPerSec
+            : 0.0;
+    std::cout << "\nspeedup: " << speedup << "x; profiled units "
+              << baseline.profiledUnits << " -> "
+              << coalesced.profiledUnits << "; coalesce hit rate "
+              << coalesced.coalesceHitRate << "\n";
+
+    support::Json out = support::Json::object();
+    out.set("bench", support::Json("service_throughput"));
+    out.set("baseline", baseline.toJson());
+    out.set("coalesced", coalesced.toJson());
+    out.set("speedup", support::Json(speedup));
+    std::ofstream f(outPath);
+    f << out.dump(2) << "\n";
+    f.close();
+    std::cout << "wrote " << outPath << "\n";
+
+    const bool ok =
+        baseline.jobsSubmitted
+                == baseline.jobsCompleted + baseline.jobsFailed
+                       + baseline.jobsShed
+        && coalesced.jobsSubmitted
+               == coalesced.jobsCompleted + coalesced.jobsFailed
+                      + coalesced.jobsShed
+        && coalesced.coalesceHits > 0
+        && coalesced.profiledUnits < baseline.profiledUnits;
+    return ok ? 0 : 1;
+}

@@ -19,18 +19,25 @@ MixedReport::heterogeneous() const
     return false;
 }
 
-MixedReport
-launchKernelMixed(Runtime &rt, const std::string &signature,
-                  std::uint64_t total_units, const kdp::KernelArgs &args,
-                  unsigned segments)
+support::Status
+tryLaunchKernelMixed(Runtime &rt, const std::string &signature,
+                     std::uint64_t total_units,
+                     const kdp::KernelArgs &args, unsigned segments,
+                     MixedReport &out)
 {
     using support::ceilDiv;
 
-    const auto &variants = rt.variants(signature);
+    const auto *variantsp = rt.findVariants(signature);
+    if (!variantsp)
+        return support::Status::notFound(
+            "launchKernelMixed: unknown kernel signature '" + signature
+            + "'");
+    const auto &variants = *variantsp;
     const auto num_variants = variants.size();
     if (num_variants == 0)
-        support::fatal("launchKernelMixed(%s): no variants registered",
-                       signature.c_str());
+        return support::Status::failedPrecondition(
+            "launchKernelMixed(" + signature
+            + "): no variants registered");
     if (segments == 0)
         segments = 1;
 
@@ -57,14 +64,15 @@ launchKernelMixed(Runtime &rt, const std::string &signature,
                 break;
         }
         if (segments == 1)
-            support::fatal("launchKernelMixed(%s): workload too small "
-                           "to profile even one segment",
-                           signature.c_str());
+            return support::Status::failedPrecondition(
+                "launchKernelMixed(" + signature
+                + "): workload too small to profile even one segment");
         segments /= 2;
     }
     const std::uint64_t slice = plan.unitsPerVariant;
 
-    MixedReport report;
+    MixedReport &report = out;
+    report = MixedReport();
     report.signature = signature;
     report.totalUnits = total_units;
     report.unitsPerSegment = seg_units;
@@ -147,21 +155,44 @@ launchKernelMixed(Runtime &rt, const std::string &signature,
 
     dev.run();
     report.endTime = dev.now();
+    return support::Status();
+}
+
+MixedReport
+launchKernelMixed(Runtime &rt, const std::string &signature,
+                  std::uint64_t total_units, const kdp::KernelArgs &args,
+                  unsigned segments)
+{
+    MixedReport report;
+    tryLaunchKernelMixed(rt, signature, total_units, args, segments,
+                         report)
+        .throwIfError();
     return report;
 }
 
-void
-launchKernelMixedCached(Runtime &rt, const std::string &signature,
-                        std::uint64_t total_units,
-                        const kdp::KernelArgs &args,
-                        const MixedReport &selection)
+support::Status
+tryLaunchKernelMixedCached(Runtime &rt, const std::string &signature,
+                           std::uint64_t total_units,
+                           const kdp::KernelArgs &args,
+                           const MixedReport &selection)
 {
-    const auto &variants = rt.variants(signature);
+    const auto *variantsp = rt.findVariants(signature);
+    if (!variantsp)
+        return support::Status::notFound(
+            "launchKernelMixedCached: unknown kernel signature '"
+            + signature + "'");
+    const auto &variants = *variantsp;
     if (selection.signature != signature
         || selection.totalUnits != total_units)
-        support::fatal("launchKernelMixedCached(%s): selection does not "
-                       "match this workload",
-                       signature.c_str());
+        return support::Status::invalidArgument(
+            "launchKernelMixedCached(" + signature
+            + "): selection does not match this workload");
+    for (const int v : selection.segmentSelection)
+        if (v < 0 || v >= static_cast<int>(variants.size()))
+            return support::Status::invalidArgument(
+                "launchKernelMixedCached(" + signature
+                + "): selected variant " + std::to_string(v)
+                + " outside the registered pool");
     sim::Device &dev = rt.device();
 
     const auto segments = selection.segmentSelection.size();
@@ -186,6 +217,18 @@ launchKernelMixedCached(Runtime &rt, const std::string &signature,
         dev.submit(std::move(launch));
     }
     dev.run();
+    return support::Status();
+}
+
+void
+launchKernelMixedCached(Runtime &rt, const std::string &signature,
+                        std::uint64_t total_units,
+                        const kdp::KernelArgs &args,
+                        const MixedReport &selection)
+{
+    tryLaunchKernelMixedCached(rt, signature, total_units, args,
+                               selection)
+        .throwIfError();
 }
 
 } // namespace runtime

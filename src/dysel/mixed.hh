@@ -59,7 +59,7 @@ struct MixedReport
 
 /**
  * Launch @p signature over @p total_units with per-segment variant
- * selection.
+ * selection, the fallible entry point.
  *
  * @param rt         the runtime holding the kernel pool
  * @param signature  kernel to launch
@@ -68,7 +68,24 @@ struct MixedReport
  * @param segments   number of equal partitions (>= 1); reduced
  *                   automatically if segments are too small to
  *                   profile
- * @return the per-segment selection report
+ * @param report     filled with the per-segment selection on success
+ *
+ * Failure codes:
+ *   NotFound            -- unknown signature
+ *   FailedPrecondition  -- empty pool, or the workload is too small
+ *                          to profile even one segment
+ */
+support::Status tryLaunchKernelMixed(Runtime &rt,
+                                     const std::string &signature,
+                                     std::uint64_t total_units,
+                                     const kdp::KernelArgs &args,
+                                     unsigned segments,
+                                     MixedReport &report);
+
+/**
+ * Throwing wrapper of tryLaunchKernelMixed: returns the report on
+ * success, throws std::out_of_range for an unknown signature and
+ * std::runtime_error otherwise.
  */
 MixedReport launchKernelMixed(Runtime &rt, const std::string &signature,
                               std::uint64_t total_units,
@@ -79,10 +96,27 @@ MixedReport launchKernelMixed(Runtime &rt, const std::string &signature,
  * Re-execute a workload with a previously profiled per-segment
  * selection (the mixed-mode analogue of the profiling activation
  * flag): iterative solvers profile segments once and reuse the
- * partitioned selection for the remaining iterations.
+ * partitioned selection for the remaining iterations; the fallible
+ * entry point.
  *
  * @param selection a report from launchKernelMixed on the same
  *                  signature and workload size
+ *
+ * Failure codes:
+ *   NotFound         -- unknown signature
+ *   InvalidArgument  -- @p selection does not match this signature /
+ *                       workload size, or selects a variant outside
+ *                       the registered pool
+ */
+support::Status tryLaunchKernelMixedCached(Runtime &rt,
+                                           const std::string &signature,
+                                           std::uint64_t total_units,
+                                           const kdp::KernelArgs &args,
+                                           const MixedReport &selection);
+
+/**
+ * Throwing wrapper of tryLaunchKernelMixedCached (std::out_of_range /
+ * std::invalid_argument).
  */
 void launchKernelMixedCached(Runtime &rt, const std::string &signature,
                              std::uint64_t total_units,

@@ -77,7 +77,12 @@ Runtime::variantCount(const std::string &signature) const
 const std::vector<kdp::KernelVariant> &
 Runtime::variants(const std::string &signature) const
 {
-    return entryOf(signature).variants;
+    const std::vector<kdp::KernelVariant> *v = findVariants(signature);
+    if (!v)
+        support::Status::notFound(
+            "DySel: unknown kernel signature '" + signature + "'")
+            .throwIfError();
+    return *v;
 }
 
 const std::vector<kdp::KernelVariant> *
@@ -107,26 +112,6 @@ Runtime::consumeDeviceFault()
             "DySel: device hung during launch" + where);
     return support::Status::unavailable(
         "DySel: injected launch failure" + where);
-}
-
-Runtime::KernelEntry &
-Runtime::entryOf(const std::string &signature)
-{
-    auto it = pool.find(signature);
-    if (it == pool.end())
-        throw std::out_of_range(
-            "DySel: unknown kernel signature '" + signature + "'");
-    return it->second;
-}
-
-const Runtime::KernelEntry &
-Runtime::entryOf(const std::string &signature) const
-{
-    auto it = pool.find(signature);
-    if (it == pool.end())
-        throw std::out_of_range(
-            "DySel: unknown kernel signature '" + signature + "'");
-    return it->second;
 }
 
 bool

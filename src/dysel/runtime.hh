@@ -118,8 +118,9 @@ class Runtime
     std::size_t variantCount(const std::string &signature) const;
 
     /**
-     * The registered variants of @p signature; throws
-     * std::out_of_range for an unknown signature.
+     * The registered variants of @p signature; the throwing wrapper
+     * of findVariants() (an unknown signature surfaces as a NotFound
+     * support::Status, thrown as std::out_of_range).
      */
     const std::vector<kdp::KernelVariant> &
     variants(const std::string &signature) const;
@@ -220,9 +221,6 @@ class Runtime
         compiler::KernelInfo info;
         bool hasInfo = false;
     };
-
-    KernelEntry &entryOf(const std::string &signature);
-    const KernelEntry &entryOf(const std::string &signature) const;
 
     /** Non-throwing pool lookup; nullptr for an unknown signature. */
     const KernelEntry *findEntry(const std::string &signature)

@@ -1,6 +1,7 @@
 #include "dispatch_service.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "support/logging.hh"
@@ -46,6 +47,15 @@ retryableCode(support::StatusCode code)
       default:
         return false;
     }
+}
+
+std::uint64_t
+wallNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
 }
 
 } // namespace
@@ -117,7 +127,7 @@ DispatchService::~DispatchService()
 unsigned
 DispatchService::addDevice(std::unique_ptr<sim::Device> device)
 {
-    if (started)
+    if (started.load(std::memory_order_acquire))
         throw std::logic_error(
             "DispatchService: addDevice after start()");
     if (!device)
@@ -197,12 +207,12 @@ DispatchService::runtimeAt(unsigned idx)
 void
 DispatchService::start()
 {
-    if (started)
+    if (started.load(std::memory_order_acquire))
         return;
     if (workers.empty())
         throw std::logic_error("DispatchService: start() with no devices");
-    stopping = false;
-    started = true;
+    stopping.store(false, std::memory_order_release);
+    started.store(true, std::memory_order_release);
     for (unsigned i = 0; i < workers.size(); ++i)
         workers[i]->thread = std::thread([this, i] { workerLoop(i); });
 }
@@ -211,6 +221,7 @@ unsigned
 DispatchService::route(const std::string &signature,
                        const std::vector<unsigned> &excluded)
 {
+    std::lock_guard<std::mutex> lock(routeMu);
     // An open breaker sheds load for breakerCooldown routing
     // decisions; once the cooldown is spent the device becomes
     // eligible for exactly one probe job (the cooldown is re-armed
@@ -255,7 +266,8 @@ DispatchService::route(const std::string &signature,
     }
     unsigned best = pool[0];
     for (unsigned i : pool)
-        if (workers[i]->load < workers[best]->load)
+        if (workers[i]->load.load(std::memory_order_relaxed)
+            < workers[best]->load.load(std::memory_order_relaxed))
             best = i;
     if (workers[best]->breakerOpen)
         workers[best]->breakerCooldownLeft = config.breakerCooldown;
@@ -265,6 +277,7 @@ DispatchService::route(const std::string &signature,
 void
 DispatchService::breakerObserve(unsigned idx, bool deviceFault)
 {
+    std::lock_guard<std::mutex> lock(routeMu);
     Worker &w = *workers[idx];
     if (deviceFault) {
         w.consecFailures++;
@@ -288,55 +301,130 @@ DispatchService::breakerObserve(unsigned idx, bool deviceFault)
     }
 }
 
+void
+DispatchService::enqueue(unsigned idx, QueuedJob qj)
+{
+    Worker &w = *workers[idx];
+    {
+        std::lock_guard<std::mutex> lock(w.qmu);
+        qj.enqueuedNs = w.clockNs.load(std::memory_order_relaxed);
+        w.queue.push_back(std::move(qj));
+    }
+    w.load.fetch_add(1, std::memory_order_relaxed);
+    w.qcv.notify_one();
+}
+
+void
+DispatchService::jobDone()
+{
+    if (inFlight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(idleMu);
+        idle.notify_all();
+    }
+}
+
 JobHandle
 DispatchService::submit(Job job)
 {
-    std::unique_lock<std::mutex> lock(mu);
-    if (!started)
+    if (!started.load(std::memory_order_acquire))
         throw std::logic_error("DispatchService: submit before start()");
-    job.id = nextId++;
+    job.id = nextId.fetch_add(1, std::memory_order_relaxed);
     auto state = std::make_shared<detail::JobState>();
     state->id = job.id;
+    reg.counter("jobs.submitted").inc();
 
     QueuedJob qj;
     qj.job = std::move(job);
     qj.state = state;
     const unsigned idx = route(qj.job.signature, qj.excluded);
-    // Timestamp from the destination worker's published clock
-    // snapshot -- its event engine may be running right now and
-    // cannot be read from this thread.
-    qj.enqueuedNs =
-        workers[idx]->clockNs.load(std::memory_order_relaxed);
-    workers[idx]->queue.push_back(std::move(qj));
-    workers[idx]->load++;
-    inFlight++;
-    lock.unlock();
-    wake.notify_all();
+    Worker &w = *workers[idx];
+
+    // Admission control: only the target shard's lock is taken; the
+    // global routing lock is already released.
+    {
+        std::unique_lock<std::mutex> lock(w.qmu);
+        if (config.maxQueueDepth > 0
+            && w.queue.size() >= config.maxQueueDepth) {
+            if (config.admission == AdmissionPolicy::Shed) {
+                lock.unlock();
+                reg.counter("admission.shed").inc();
+                reg.counter(devMetric("device.shed", idx)).inc();
+                JobResult res;
+                res.id = state->id;
+                res.deviceIndex = idx;
+                res.deviceName = w.dev->name();
+                res.attempts = 0;
+                res.status = support::Status::resourceExhausted(
+                    "dispatch queue of " + devKey(idx) + " is full ("
+                    + std::to_string(config.maxQueueDepth)
+                    + " jobs); job "
+                    + std::to_string(state->id) + " shed");
+                if (tracer_.enabled()) {
+                    tracer_.instant(
+                        w.traceTrack, "admission.shed",
+                        w.clockNs.load(std::memory_order_relaxed),
+                        state->id, {{"depth",
+                                     std::to_string(
+                                         config.maxQueueDepth)}});
+                }
+                if (qj.job.done)
+                    qj.job.done(res);
+                {
+                    std::lock_guard<std::mutex> slock(state->mu);
+                    state->result = std::move(res);
+                    state->phase.store(detail::JobState::Done,
+                                       std::memory_order_release);
+                }
+                state->cv.notify_all();
+                return JobHandle(std::move(state));
+            }
+            // Backpressure: block the submitter until the shard has
+            // room (the worker notifies spaceCv on every pop).
+            reg.counter("admission.blocked").inc();
+            const std::uint64_t t0 = wallNowNs();
+            w.spaceCv.wait(lock, [&] {
+                return w.queue.size() < config.maxQueueDepth
+                       || stopping.load(std::memory_order_acquire);
+            });
+            reg.histogram("admission.block_ns")
+                .observe(static_cast<double>(wallNowNs() - t0));
+        }
+        qj.enqueuedNs = w.clockNs.load(std::memory_order_relaxed);
+        inFlight.fetch_add(1, std::memory_order_acq_rel);
+        w.queue.push_back(std::move(qj));
+    }
+    w.load.fetch_add(1, std::memory_order_relaxed);
+    w.qcv.notify_one();
     return JobHandle(std::move(state));
 }
 
 void
 DispatchService::drain()
 {
-    std::unique_lock<std::mutex> lock(mu);
-    idle.wait(lock, [this] { return inFlight == 0; });
+    std::unique_lock<std::mutex> lock(idleMu);
+    idle.wait(lock, [this] {
+        return inFlight.load(std::memory_order_acquire) == 0;
+    });
 }
 
 void
 DispatchService::stop()
 {
-    if (!started)
+    if (!started.load(std::memory_order_acquire))
         return;
     drain();
-    {
-        std::lock_guard<std::mutex> lock(mu);
-        stopping = true;
+    stopping.store(true, std::memory_order_release);
+    for (auto &w : workers) {
+        {
+            std::lock_guard<std::mutex> lock(w->qmu);
+        }
+        w->qcv.notify_all();
+        w->spaceCv.notify_all();
     }
-    wake.notify_all();
     for (auto &w : workers)
         if (w->thread.joinable())
             w->thread.join();
-    started = false;
+    started.store(false, std::memory_order_release);
 }
 
 void
@@ -364,28 +452,39 @@ DispatchService::workerLoop(unsigned idx)
     for (;;) {
         QueuedJob qj;
         {
-            std::unique_lock<std::mutex> lock(mu);
-            wake.wait(lock,
-                      [&] { return stopping || !w.queue.empty(); });
+            std::unique_lock<std::mutex> lock(w.qmu);
+            w.qcv.wait(lock, [&] {
+                return stopping.load(std::memory_order_acquire)
+                       || !w.queue.empty();
+            });
             if (w.queue.empty()) {
-                if (stopping)
+                if (stopping.load(std::memory_order_acquire))
                     return;
                 continue;
             }
             qj = std::move(w.queue.front());
             w.queue.pop_front();
         }
+        // A slot freed: admit one blocked submitter.
+        w.spaceCv.notify_one();
 
         // Claim the job; a lost race means it was cancelled while
         // queued and the handle already carries the Cancelled result.
+        // The done callback still fires exactly once, here.
         int expected = detail::JobState::Queued;
         if (!qj.state->phase.compare_exchange_strong(
                 expected, detail::JobState::Running)) {
             reg.counter("jobs.cancelled").inc();
-            std::lock_guard<std::mutex> lock(mu);
-            w.load--;
-            if (--inFlight == 0)
-                idle.notify_all();
+            if (qj.job.done) {
+                JobResult res;
+                {
+                    std::lock_guard<std::mutex> lock(qj.state->mu);
+                    res = qj.state->result;
+                }
+                qj.job.done(res);
+            }
+            w.load.fetch_sub(1, std::memory_order_relaxed);
+            jobDone();
             continue;
         }
 
@@ -453,7 +552,6 @@ DispatchService::workerLoop(unsigned idx)
             // cancel() between attempts still wins the race).
             qj.state->phase.store(detail::JobState::Queued,
                                   std::memory_order_release);
-            std::lock_guard<std::mutex> lock(mu);
             breakerObserve(idx, deviceFault);
             qj.attempt = res.attempts;
             qj.excluded.push_back(idx);
@@ -476,25 +574,21 @@ DispatchService::workerLoop(unsigned idx)
             w.flight.record(w.dev->now(), qj.job.id, "retry",
                             "to=" + devKey(target) + " "
                                 + res.status.toString());
-            qj.enqueuedNs = workers[target]->clockNs.load(
-                std::memory_order_relaxed);
-            workers[target]->queue.push_back(std::move(qj));
-            workers[target]->load++;
-            w.load--;
-            wake.notify_all();
+            // Retries bypass admission: the job is already admitted,
+            // and a worker thread must never block on a full shard.
+            enqueue(target, std::move(qj));
+            w.load.fetch_sub(1, std::memory_order_relaxed);
             continue;
         }
 
         const bool succeeded = res.ok();
-        {
-            std::lock_guard<std::mutex> lock(mu);
-            breakerObserve(idx, deviceFault);
-            if (config.affinity && succeeded
-                && (res.report.profiled || res.report.fromCache)) {
-                // Insert-or-re-pin: after a re-routed retry the
-                // signature sticks to the device that worked.
-                affinityMap[qj.job.signature] = idx;
-            }
+        breakerObserve(idx, deviceFault);
+        if (config.affinity && succeeded
+            && (res.report.profiled || res.report.fromCache)) {
+            // Insert-or-re-pin: after a re-routed retry the
+            // signature sticks to the device that worked.
+            std::lock_guard<std::mutex> lock(routeMu);
+            affinityMap[qj.job.signature] = idx;
         }
 
         reg.counter(succeeded ? "jobs.completed" : "jobs.failed").inc();
@@ -513,12 +607,8 @@ DispatchService::workerLoop(unsigned idx)
         }
         finishJob(qj, std::move(res));
 
-        {
-            std::lock_guard<std::mutex> lock(mu);
-            w.load--;
-            if (--inFlight == 0)
-                idle.notify_all();
-        }
+        w.load.fetch_sub(1, std::memory_order_relaxed);
+        jobDone();
     }
 }
 
@@ -552,24 +642,85 @@ DispatchService::runJob(unsigned idx, QueuedJob &qj)
             w.rt->guard().blacklist(job.signature, variant, reason);
     }
 
+    // Store lookup with the guard's blacklist applied: a stored
+    // winner that was since blacklisted (e.g. on a peer worker) is
+    // treated as a miss so the key re-profiles.
+    auto lookupUsable = [&]() {
+        auto rec =
+            store_.lookup(job.signature, w.fingerprint, job.units);
+        if (rec && w.rt->guard().enabled()
+            && store_.isBlacklisted(job.signature, rec->selectedName,
+                                    w.fingerprint)) {
+            if (tracer_.enabled()) {
+                tracer_.instant(w.traceTrack,
+                                "store.blocked_warmstart",
+                                w.dev->now(), job.id,
+                                {{"variant", rec->selectedName}});
+            }
+            rec.reset();
+            reg.counter("guard.blocked_warmstart").inc();
+        }
+        return rec;
+    };
+
+    auto rec = lookupUsable();
+
+    // Profiling coalescing: a miss on a profilable job bids for
+    // leadership of its (signature, fingerprint, bucket).  Losers
+    // wait for the leader's record and ride it warm; a leader that
+    // failed to record hands leadership to one of its followers.
+    CoalesceLease lease;
+    const bool profilable =
+        job.units >= config.runtime.minUnitsForProfiling
+        && job.opt.profiling;
+    if (config.coalesce && profilable) {
+        const std::string ckey = ProfileCoalescer::key(
+            job.signature, w.fingerprint,
+            store::bucketOf(job.units));
+        while (!rec) {
+            const auto ticket = coalescer.acquire(ckey, job.id);
+            if (ticket.leader) {
+                lease = CoalesceLease(coalescer, ckey);
+                reg.counter("coalesce.leader").inc();
+                break;
+            }
+            reg.counter("coalesce.follower").inc();
+            if (tracer_.enabled()) {
+                tracer_.instant(
+                    w.traceTrack, "coalesce.attach", w.dev->now(),
+                    job.id,
+                    {{"leader", std::to_string(ticket.leaderId)},
+                     {"signature", job.signature}});
+            }
+            w.flight.record(w.dev->now(), job.id, "coalesce",
+                            "follow leader="
+                                + std::to_string(ticket.leaderId));
+            coalescer.awaitRelease(ckey);
+            rec = lookupUsable();
+            if (rec) {
+                res.coalescedWith = ticket.leaderId;
+                reg.counter("coalesce.hit").inc();
+                if (tracer_.enabled()) {
+                    tracer_.instant(
+                        w.traceTrack, "coalesce.served",
+                        w.dev->now(), job.id,
+                        {{"leader",
+                          std::to_string(ticket.leaderId)},
+                         {"variant", rec->selectedName}});
+                }
+            } else {
+                // The leader released without recording (fault,
+                // guard storm): bid again -- one follower becomes
+                // the new leader, the rest keep waiting.
+                reg.counter("coalesce.leader_failed").inc();
+            }
+        }
+    }
+
     runtime::LaunchOptions opt = job.opt;
     // The job id doubles as the trace correlation id: every span the
     // runtime emits for this launch carries it.
     opt.correlationId = job.id;
-    auto rec = store_.lookup(job.signature, w.fingerprint, job.units);
-    if (rec && w.rt->guard().enabled()
-        && store_.isBlacklisted(job.signature, rec->selectedName,
-                                w.fingerprint)) {
-        // The stored winner has since been blacklisted (e.g. on a
-        // peer worker): treat the lookup as a miss and re-profile.
-        if (tracer_.enabled()) {
-            tracer_.instant(w.traceTrack, "store.blocked_warmstart",
-                            w.dev->now(), job.id,
-                            {{"variant", rec->selectedName}});
-        }
-        rec.reset();
-        reg.counter("guard.blocked_warmstart").inc();
-    }
     if (rec) {
         // Warm start: resolve the stored winner (by name, so records
         // survive re-registration) and skip profiling.
@@ -639,6 +790,9 @@ DispatchService::runJob(unsigned idx, QueuedJob &qj)
             break;
         }
     }
+    // The coalesce lease (when held) releases here: the profiled
+    // record is in the store -- or the attempt failed and a follower
+    // takes over.
     return res;
 }
 

@@ -3,16 +3,39 @@
  * Multi-device dispatch service (dyseld core).
  *
  * Owns one DySel Runtime per registered device, each driven by a
- * dedicated worker thread.  Launch jobs enter through a thread-safe
- * queue and are routed least-loaded, with a per-signature affinity
- * once a selection exists so repeated launches of a kernel keep
- * hitting the device whose selection is cached.  Every worker is
+ * dedicated worker thread.  Launch jobs enter through per-device
+ * queue shards and are routed least-loaded, with a per-signature
+ * affinity once a selection exists so repeated launches of a kernel
+ * keep hitting the device whose selection is cached.  Every worker is
  * warm-started from a shared persistent SelectionStore: a job whose
  * (signature, device fingerprint, size bucket) has a valid record
  * runs plain with the stored winner (zero profiled units); a miss
  * runs with micro-profiling and feeds the store through the runtime's
  * launch observer.  Counters and latency histograms are exposed
  * through a support::MetricsRegistry.
+ *
+ * Scaling (DESIGN §8): the hot path is sharded.  submit() and
+ * completion touch only the target device's queue shard (its own
+ * mutex + condition variables); device loads and the in-flight count
+ * are atomics, so routing reads them lock-free.  The one remaining
+ * global lock (routeMu) covers just the affinity table and the
+ * circuit-breaker state -- it is held for a map lookup, never across
+ * queue operations or wakeups.
+ *
+ * Profiling coalescing: concurrent jobs that miss the store on the
+ * same (signature, device fingerprint, size bucket) elect one
+ * *leader* which runs the micro-profiling launch; the *followers*
+ * wait for the leader's record to land in the store and then run as
+ * plain warm-started launches (coalesce.* counters; a tracer instant
+ * ties each follower to its leader's correlation id).  A leader that
+ * fails hands leadership to one of its followers.
+ *
+ * Admission control: with maxQueueDepth > 0, a submit() against a
+ * full device queue either blocks until the queue has room
+ * (AdmissionPolicy::Block, backpressure) or returns a handle already
+ * completed with RESOURCE_EXHAUSTED (AdmissionPolicy::Shed).
+ * Retried jobs bypass admission -- re-queueing an admitted job must
+ * never deadlock a worker.
  *
  * Fault tolerance: a job whose launch fails with a retryable code
  * (Unavailable, DeadlineExceeded, Internal) is retried up to
@@ -36,8 +59,9 @@
  * blacklisted is demoted to a re-profiling miss.
  *
  * The simulated devices are single-threaded event loops, so each
- * runtime is touched only by its worker thread; the store and the
- * metrics registry are the only shared state and are thread-safe.
+ * runtime is touched only by its worker thread; the store, the
+ * coalescer, and the metrics registry are the only shared state and
+ * are thread-safe.
  */
 #pragma once
 
@@ -64,8 +88,18 @@
 #include "support/tracing/flight_recorder.hh"
 #include "support/tracing/tracer.hh"
 
+#include "coalescer.hh"
+
 namespace dysel {
 namespace serve {
+
+/** What submit() does when the target device queue is full. */
+enum class AdmissionPolicy {
+    /** Block the submitter until the queue has room (backpressure). */
+    Block,
+    /** Complete the handle immediately with RESOURCE_EXHAUSTED. */
+    Shed,
+};
 
 /** Service-wide configuration. */
 struct ServiceConfig
@@ -80,6 +114,24 @@ struct ServiceConfig
      * affinity to the device that eventually succeeded.
      */
     bool affinity = true;
+
+    /**
+     * Coalesce concurrent micro-profiling of the same (signature,
+     * device fingerprint, size bucket): one leader profiles, its
+     * followers wait and then warm-start from the fresh record.
+     * Only jobs large enough to profile (runtime.minUnitsForProfiling)
+     * take part.
+     */
+    bool coalesce = true;
+
+    /**
+     * Queued jobs each device accepts before admission control kicks
+     * in; 0 means unbounded (no admission control).
+     */
+    std::size_t maxQueueDepth = 0;
+
+    /** Full-queue behaviour (only meaningful with maxQueueDepth > 0). */
+    AdmissionPolicy admission = AdmissionPolicy::Block;
 
     /** Attempts per job (first run + retries) before giving up. */
     unsigned maxAttempts = 3;
@@ -122,6 +174,11 @@ struct JobResult
     std::string deviceName;
     /** Selection came from the persistent store (no profiling ran). */
     bool warmStart = false;
+    /**
+     * Job id of the profiling leader this job coalesced behind
+     * (0 = the job did not ride another job's profiling pass).
+     */
+    std::uint64_t coalescedWith = 0;
     runtime::LaunchReport report;
     /** Virtual device time the last attempt consumed. */
     sim::TimeNs deviceTimeNs = 0;
@@ -150,8 +207,11 @@ struct Job
     std::function<void(runtime::Runtime &)> ensureRegistered;
 
     /**
-     * Optional completion callback (invoked on the worker thread);
-     * JobHandle::wait() / result() cover the common case.
+     * Optional completion callback, fired exactly once per job on
+     * every terminal path: on the worker thread for jobs that ran
+     * (or were discarded after a cancel), on the submitter's own
+     * thread for a job shed by admission control.  JobHandle::wait()
+     * / result() cover the common case.
      */
     std::function<void(const JobResult &)> done;
 
@@ -207,16 +267,20 @@ class JobHandle
 
     /**
      * Block until completion, then the final JobResult.  A cancelled
-     * job's result carries StatusCode::Cancelled.  The reference is
-     * only valid while this handle (or a copy) is alive -- don't
-     * bind it off a temporary handle.
+     * job's result carries StatusCode::Cancelled; a job shed by
+     * admission control carries StatusCode::ResourceExhausted.  The
+     * reference is only valid while this handle (or a copy) is alive
+     * -- don't bind it off a temporary handle.
      */
     const JobResult &result() const;
 
     /**
      * Withdraw the job if it has not started running.  Returns true
      * on success (the job will never run; its result is Cancelled);
-     * false once the job is running or finished.
+     * false once the job is running or finished.  Cancelling a
+     * queued duplicate never disturbs the profiling leader it would
+     * have coalesced behind -- jobs attach to a leader only once
+     * running.
      */
     bool cancel();
 
@@ -265,7 +329,13 @@ class DispatchService
     /** Spawn one worker thread per device. */
     void start();
 
-    /** Enqueue a job; returns its handle.  Requires start(). */
+    /**
+     * Enqueue a job; returns its handle.  Requires start().  With a
+     * bounded queue (maxQueueDepth > 0) this blocks while the target
+     * device's queue is full (AdmissionPolicy::Block) or returns a
+     * handle already completed with RESOURCE_EXHAUSTED
+     * (AdmissionPolicy::Shed).
+     */
     JobHandle submit(Job job);
 
     /** Block until every submitted job has completed. */
@@ -280,10 +350,11 @@ class DispatchService
     /**
      * The service-wide trace sink (disabled by default; call
      * tracer().setEnabled(true) before start()).  Jobs emit queue
-     * spans, retry/re-route instants, and store hit/quarantine
-     * instants here, and every per-device runtime is wired to the
-     * same sink with the job id as correlation id -- so one job's
-     * service-, runtime-, and device-level events share a cid.
+     * spans, retry/re-route instants, coalescing attach/served
+     * instants, and store hit/quarantine instants here, and every
+     * per-device runtime is wired to the same sink with the job id as
+     * correlation id -- so one job's service-, runtime-, and
+     * device-level events share a cid.
      */
     support::tracing::Tracer &tracer() { return tracer_; }
 
@@ -306,11 +377,20 @@ class DispatchService
         std::unique_ptr<sim::Device> dev;
         std::unique_ptr<runtime::Runtime> rt;
         std::string fingerprint;
-        std::deque<QueuedJob> queue;
-        std::uint64_t load = 0; ///< queued + running jobs
         std::thread thread;
 
-        /** Circuit breaker (guarded by DispatchService::mu). */
+        /**
+         * Queue shard: its own lock and wakeups, so submit() and
+         * completion touch only the target device's shard.
+         */
+        std::mutex qmu;
+        std::condition_variable qcv;     ///< worker: new job or stop
+        std::condition_variable spaceCv; ///< submitters: queue has room
+        std::deque<QueuedJob> queue;     ///< guarded by qmu
+        /** Queued + running jobs (lock-free routing input). */
+        std::atomic<std::uint64_t> load{0};
+
+        /** Circuit breaker (guarded by DispatchService::routeMu). */
         unsigned consecFailures = 0;
         bool breakerOpen = false;
         /** Routing decisions left before a half-open probe. */
@@ -335,32 +415,47 @@ class DispatchService
     /** Deliver @p res to the handle and the done callback. */
     static void finishJob(QueuedJob &qj, JobResult res);
 
+    /** Push @p qj onto @p idx's shard and wake its worker. */
+    void enqueue(unsigned idx, QueuedJob qj);
+
+    /** One job left the system: drop inFlight and wake drain(). */
+    void jobDone();
+
     /**
      * Pick the worker for @p signature, skipping @p excluded devices
-     * and open breakers (mu held).  Decrements open-breaker
+     * and open breakers (takes routeMu).  Decrements open-breaker
      * cooldowns as a side effect; an expired cooldown makes the
      * device eligible for one probe job.
      */
     unsigned route(const std::string &signature,
                    const std::vector<unsigned> &excluded);
 
-    /** Breaker bookkeeping after an attempt on @p idx (mu held). */
+    /** Breaker bookkeeping after an attempt on @p idx (routeMu). */
     void breakerObserve(unsigned idx, bool deviceFault);
 
     store::SelectionStore &store_;
     ServiceConfig config;
     support::MetricsRegistry reg;
     support::tracing::Tracer tracer_;
+    ProfileCoalescer coalescer;
     std::vector<std::unique_ptr<Worker>> workers;
 
-    mutable std::mutex mu;
-    std::condition_variable wake; ///< workers: new job or stop
-    std::condition_variable idle; ///< drain(): inFlight hit zero
+    /**
+     * Routing state: affinity map + circuit breakers.  Held for map
+     * lookups only -- never across queue operations, wakeups, or
+     * launches.
+     */
+    mutable std::mutex routeMu;
     std::map<std::string, unsigned> affinityMap;
-    std::uint64_t nextId = 1;
-    std::uint64_t inFlight = 0;
-    bool started = false;
-    bool stopping = false;
+
+    /** drain() support: jobs somewhere in the system. */
+    std::atomic<std::uint64_t> inFlight{0};
+    std::mutex idleMu;
+    std::condition_variable idle;
+
+    std::atomic<std::uint64_t> nextId{1};
+    std::atomic<bool> started{false};
+    std::atomic<bool> stopping{false};
 };
 
 } // namespace serve

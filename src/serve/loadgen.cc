@@ -1,0 +1,295 @@
+#include "loadgen.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "kdp/args.hh"
+#include "kdp/buffer.hh"
+#include "sim/cpu/cpu_device.hh"
+#include "sim/fault.hh"
+#include "support/rng.hh"
+
+namespace dysel {
+namespace serve {
+
+namespace {
+
+constexpr std::uint32_t laneCount = 8;
+
+/** Marker kernel: writes `marker` into out[unit], burns flops. */
+kdp::KernelVariant
+markerKernel(const char *name, std::int32_t marker,
+             std::uint64_t flops_per_unit)
+{
+    kdp::KernelVariant v;
+    v.name = name;
+    v.groupSize = laneCount;
+    v.waFactor = 1;
+    v.sandboxIndex = {0};
+    v.fn = [marker, flops_per_unit](kdp::GroupCtx &g,
+                                    const kdp::KernelArgs &args) {
+        auto &out = args.buf<std::int32_t>(0);
+        const auto units = static_cast<std::uint64_t>(args.scalarInt(1));
+        for (std::uint64_t u = g.unitBase();
+             u < g.unitBase() + g.waFactor(); ++u) {
+            if (u >= units)
+                break;
+            const auto lane = static_cast<std::uint32_t>(u % laneCount);
+            g.store(out, u, marker, lane);
+            g.flops(lane, flops_per_unit);
+        }
+    };
+    return v;
+}
+
+compiler::KernelInfo
+regularInfo(const std::string &sig)
+{
+    compiler::KernelInfo info;
+    info.signature = sig;
+    info.loops = {{"wi", compiler::BoundKind::Constant, true, false,
+                   laneCount}};
+    info.outputArgs = {0};
+    return info;
+}
+
+double
+percentile(std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+}
+
+} // namespace
+
+support::Json
+LoadGenReport::toJson() const
+{
+    using support::Json;
+    Json cfg = Json::object();
+    cfg.set("submitters", Json(static_cast<double>(config.submitters)));
+    cfg.set("devices", Json(static_cast<double>(config.devices)));
+    cfg.set("signatures", Json(static_cast<double>(config.signatures)));
+    cfg.set("size_classes",
+            Json(static_cast<double>(config.sizeClasses)));
+    cfg.set("base_units", Json(static_cast<double>(config.baseUnits)));
+    cfg.set("jobs_per_submitter",
+            Json(static_cast<double>(config.jobsPerSubmitter)));
+    cfg.set("variants", Json(static_cast<double>(config.variants)));
+    cfg.set("profile_repeats",
+            Json(static_cast<double>(config.profileRepeats)));
+    cfg.set("guard", Json(config.guard));
+    cfg.set("sweep", Json(config.sweep));
+    cfg.set("coalesce", Json(config.coalesce));
+    cfg.set("max_queue_depth",
+            Json(static_cast<double>(config.maxQueueDepth)));
+    cfg.set("admission", Json(config.admission == AdmissionPolicy::Shed
+                                  ? "shed"
+                                  : "block"));
+    cfg.set("fault_rate", Json(config.faultRate));
+    cfg.set("seed", Json(static_cast<double>(config.seed)));
+
+    Json jobs = Json::object();
+    jobs.set("submitted", Json(static_cast<double>(jobsSubmitted)));
+    jobs.set("completed", Json(static_cast<double>(jobsCompleted)));
+    jobs.set("failed", Json(static_cast<double>(jobsFailed)));
+    jobs.set("shed", Json(static_cast<double>(jobsShed)));
+
+    Json coalesce = Json::object();
+    coalesce.set("leaders",
+                 Json(static_cast<double>(coalesceLeaders)));
+    coalesce.set("followers",
+                 Json(static_cast<double>(coalesceFollowers)));
+    coalesce.set("hits", Json(static_cast<double>(coalesceHits)));
+    coalesce.set("hit_rate", Json(coalesceHitRate));
+
+    Json out = Json::object();
+    out.set("config", std::move(cfg));
+    out.set("jobs", std::move(jobs));
+    out.set("wall_seconds", Json(wallSeconds));
+    out.set("jobs_per_sec", Json(jobsPerSec));
+    out.set("p50_latency_us", Json(p50LatencyUs));
+    out.set("p99_latency_us", Json(p99LatencyUs));
+    out.set("profiled_units", Json(static_cast<double>(profiledUnits)));
+    out.set("total_units", Json(static_cast<double>(totalUnits)));
+    out.set("profiled_unit_ratio", Json(profiledUnitRatio));
+    out.set("store_hits", Json(static_cast<double>(storeHits)));
+    out.set("coalesce", std::move(coalesce));
+    return out;
+}
+
+LoadGenReport
+runLoadGen(const LoadGenConfig &cfg)
+{
+    using clock = std::chrono::steady_clock;
+
+    store::SelectionStore store;
+    ServiceConfig scfg;
+    scfg.coalesce = cfg.coalesce;
+    scfg.affinity = cfg.affinity;
+    scfg.maxQueueDepth = cfg.maxQueueDepth;
+    scfg.admission = cfg.admission;
+    scfg.runtime.guard.enabled = cfg.guard;
+    DispatchService svc(store, scfg);
+
+    sim::FaultConfig fcfg;
+    fcfg.launchFailProb = cfg.faultRate;
+    fcfg.seed = cfg.seed ^ 0xfa01d;
+    sim::FaultInjector faults(fcfg);
+
+    for (unsigned d = 0; d < cfg.devices; ++d) {
+        const unsigned idx =
+            svc.addDevice(std::make_unique<sim::CpuDevice>());
+        if (cfg.faultRate > 0.0)
+            svc.device(idx).setFaultInjector(&faults);
+    }
+
+    // Pre-register every signature's pool on every runtime so the
+    // measured loop exercises dispatch, not registration.
+    std::vector<std::string> sigs;
+    for (unsigned s = 0; s < cfg.signatures; ++s)
+        sigs.push_back("hot" + std::to_string(s));
+    // One fast winner plus variants-1 slower decoys per pool; every
+    // decoy costs a profiling slice on a cold launch.
+    const unsigned variants = std::max(2u, cfg.variants);
+    for (unsigned d = 0; d < cfg.devices; ++d) {
+        auto &rt = svc.runtimeAt(d);
+        for (const auto &sig : sigs) {
+            rt.addKernel(sig, markerKernel("fast", 1, cfg.fastFlops));
+            for (unsigned v = 1; v < variants; ++v) {
+                const std::string name = "slow" + std::to_string(v);
+                rt.addKernel(
+                    sig, markerKernel(name.c_str(),
+                                      static_cast<std::int32_t>(v + 1),
+                                      cfg.slowFlops * v));
+            }
+            rt.setKernelInfo(sig, regularInfo(sig));
+        }
+    }
+    svc.start();
+
+    const std::uint64_t maxUnits =
+        cfg.baseUnits << (cfg.sizeClasses > 0 ? cfg.sizeClasses - 1
+                                              : 0);
+
+    struct SubmitterStats
+    {
+        std::vector<double> latenciesUs;
+        std::uint64_t completed = 0;
+        std::uint64_t failed = 0;
+        std::uint64_t shed = 0;
+        std::uint64_t profiledUnits = 0;
+        std::uint64_t totalUnits = 0;
+    };
+    std::vector<SubmitterStats> stats(cfg.submitters);
+
+    const auto wallStart = clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(cfg.submitters);
+    for (unsigned t = 0; t < cfg.submitters; ++t) {
+        threads.emplace_back([&, t] {
+            SubmitterStats &st = stats[t];
+            st.latenciesUs.reserve(cfg.jobsPerSubmitter);
+            support::Rng rng(cfg.seed + 0x9e3779b9ull * (t + 1));
+            // One reusable output slot per submitter: the loop is
+            // closed, so at most one of its jobs is in flight.
+            kdp::Buffer<std::int32_t> out(maxUnits,
+                                          kdp::MemSpace::Global,
+                                          "loadgen.out");
+            const unsigned classes = std::max(1u, cfg.sizeClasses);
+            for (std::uint64_t j = 0; j < cfg.jobsPerSubmitter; ++j) {
+                std::string sig;
+                std::uint64_t units;
+                if (cfg.sweep) {
+                    // Lockstep phase schedule: every submitter's
+                    // job j hits the same (signature, size class).
+                    sig = sigs[j % sigs.size()];
+                    units = cfg.baseUnits
+                            << ((j / sigs.size()) % classes);
+                } else {
+                    sig = sigs[rng.nextBelow(sigs.size())];
+                    units = cfg.baseUnits << rng.nextBelow(classes);
+                }
+                Job job;
+                job.signature = sig;
+                job.units = units;
+                job.opt.profileRepeats = cfg.profileRepeats;
+                job.args.add(out).add(
+                    static_cast<std::int64_t>(units));
+                const auto t0 = clock::now();
+                JobHandle h = svc.submit(std::move(job));
+                const JobResult &r = h.result();
+                const auto t1 = clock::now();
+                st.latenciesUs.push_back(
+                    std::chrono::duration<double, std::micro>(t1 - t0)
+                        .count());
+                st.totalUnits += units;
+                st.profiledUnits += r.report.profiledUnits;
+                if (r.ok())
+                    st.completed++;
+                else if (r.status.code()
+                         == support::StatusCode::ResourceExhausted)
+                    st.shed++;
+                else
+                    st.failed++;
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    svc.drain();
+    const double wallSeconds =
+        std::chrono::duration<double>(clock::now() - wallStart)
+            .count();
+    svc.stop();
+
+    LoadGenReport rep;
+    rep.config = cfg;
+    rep.wallSeconds = wallSeconds;
+    std::vector<double> latencies;
+    for (auto &st : stats) {
+        rep.jobsCompleted += st.completed;
+        rep.jobsFailed += st.failed;
+        rep.jobsShed += st.shed;
+        rep.profiledUnits += st.profiledUnits;
+        rep.totalUnits += st.totalUnits;
+        latencies.insert(latencies.end(), st.latenciesUs.begin(),
+                         st.latenciesUs.end());
+    }
+    rep.jobsSubmitted =
+        static_cast<std::uint64_t>(cfg.submitters)
+        * cfg.jobsPerSubmitter;
+    std::sort(latencies.begin(), latencies.end());
+    rep.p50LatencyUs = percentile(latencies, 0.50);
+    rep.p99LatencyUs = percentile(latencies, 0.99);
+    rep.jobsPerSec =
+        wallSeconds > 0.0
+            ? static_cast<double>(rep.jobsCompleted) / wallSeconds
+            : 0.0;
+    rep.profiledUnitRatio =
+        rep.totalUnits > 0
+            ? static_cast<double>(rep.profiledUnits)
+                  / static_cast<double>(rep.totalUnits)
+            : 0.0;
+
+    const auto &m = svc.metrics();
+    rep.coalesceLeaders = m.counterValue("coalesce.leader");
+    rep.coalesceFollowers = m.counterValue("coalesce.follower");
+    rep.coalesceHits = m.counterValue("coalesce.hit");
+    rep.storeHits = m.counterValue("store.hit");
+    const std::uint64_t bids = rep.coalesceHits + rep.coalesceLeaders;
+    rep.coalesceHitRate =
+        bids > 0 ? static_cast<double>(rep.coalesceHits)
+                       / static_cast<double>(bids)
+                 : 0.0;
+    return rep;
+}
+
+} // namespace serve
+} // namespace dysel

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Closed-loop load generator for the dispatch service.
+ *
+ * Drives a fresh DispatchService with N submitter threads against M
+ * simulated devices over a mixed signature/size set: each submitter
+ * owns a job slot, submits, waits for the result, and submits the
+ * next job (closed loop -- offered concurrency equals the submitter
+ * count).  The run measures the service's hot path end to end:
+ * wall-clock throughput, submit-to-result latency percentiles, the
+ * profiled-unit ratio (how much micro-profiling the store and the
+ * coalescer eliminated), and the coalesce hit rate.
+ *
+ * Both `dyseld --loadgen` and bench/ext_service_throughput build on
+ * this; LoadGenReport::toJson() is the machine-readable schema the CI
+ * perf-smoke job validates.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/dispatch_service.hh"
+#include "support/json.hh"
+
+namespace dysel {
+namespace serve {
+
+/** One load-generator run's shape. */
+struct LoadGenConfig
+{
+    /** Closed-loop submitter threads. */
+    unsigned submitters = 4;
+
+    /** Simulated CPU devices behind the service. */
+    unsigned devices = 2;
+
+    /** Hot kernel signatures the submitters draw from. */
+    unsigned signatures = 4;
+
+    /**
+     * Distinct size classes per signature; class c launches
+     * baseUnits << c units, so each class lands in its own store
+     * bucket and profiles separately.
+     */
+    unsigned sizeClasses = 3;
+
+    /** Units of the smallest size class. */
+    std::uint64_t baseUnits = 2048;
+
+    /** Jobs each submitter pushes through its loop. */
+    std::uint64_t jobsPerSubmitter = 100;
+
+    /** Flops per unit of the slow / fast variant in every pool. */
+    std::uint64_t slowFlops = 4000;
+    std::uint64_t fastFlops = 100;
+
+    /**
+     * Variants per kernel pool (>= 2): one fast winner plus
+     * variants-1 slower decoys.  More variants make micro-profiling
+     * proportionally more expensive -- each decoy costs a profiling
+     * slice and, with the guard on, a validated sandbox.
+     */
+    unsigned variants = 2;
+
+    /**
+     * Profiling executions per variant (LaunchOptions::profileRepeats;
+     * 0 = the runtime's automatic default).  Serving deployments
+     * crank repeats up for noise-robust selections they then reuse
+     * fleet-wide from the store -- which is exactly the cost
+     * coalescing keeps off the duplicate jobs.
+     */
+    unsigned profileRepeats = 0;
+
+    /**
+     * Validate variants during profiling (reference cross-check,
+     * canary redzones, NaN screen).  Models the production setting
+     * where an unvalidated variant never reaches users; makes the
+     * cold profiling pass the expensive step that coalescing
+     * amortizes.
+     */
+    bool guard = false;
+
+    /**
+     * Draw keys in lockstep instead of randomly: job j of every
+     * submitter targets phase j's (signature, size class), so each
+     * phase's first touch is a contended cold miss -- the serving
+     * pattern (a new kernel or shape goes hot fleet-wide at once)
+     * that profiling coalescing exists for.  With sweep off, each
+     * submitter draws (signature, size) uniformly from its own RNG.
+     */
+    bool sweep = false;
+
+    /** Service knobs under test. */
+    bool coalesce = true;
+    bool affinity = true;
+    std::size_t maxQueueDepth = 0;
+    AdmissionPolicy admission = AdmissionPolicy::Block;
+
+    /** Per-launch LaunchFail probability (0 = no fault injection). */
+    double faultRate = 0.0;
+
+    /** Seed for the submitters' signature/size draws (and faults). */
+    std::uint64_t seed = 1;
+};
+
+/** What one run measured. */
+struct LoadGenReport
+{
+    LoadGenConfig config;
+
+    std::uint64_t jobsSubmitted = 0;
+    std::uint64_t jobsCompleted = 0; ///< terminal with OK status
+    std::uint64_t jobsFailed = 0;    ///< terminal with error status
+    std::uint64_t jobsShed = 0;      ///< RESOURCE_EXHAUSTED by admission
+
+    double wallSeconds = 0.0;
+    double jobsPerSec = 0.0;
+
+    /** Submit-to-result wall latency percentiles (microseconds). */
+    double p50LatencyUs = 0.0;
+    double p99LatencyUs = 0.0;
+
+    /** Micro-profiling work relative to total launched units. */
+    std::uint64_t profiledUnits = 0;
+    std::uint64_t totalUnits = 0;
+    double profiledUnitRatio = 0.0;
+
+    /** Coalescer activity (from the service's metrics registry). */
+    std::uint64_t coalesceLeaders = 0;
+    std::uint64_t coalesceFollowers = 0;
+    std::uint64_t coalesceHits = 0;
+    /** hits / (hits + leaders): share of profilable misses served
+     *  by another job's profiling pass. */
+    double coalesceHitRate = 0.0;
+
+    /** Store warm starts observed. */
+    std::uint64_t storeHits = 0;
+
+    /** Machine-readable form (the BENCH_service_throughput schema). */
+    support::Json toJson() const;
+};
+
+/** Run one closed-loop load against a fresh service. */
+LoadGenReport runLoadGen(const LoadGenConfig &cfg);
+
+} // namespace serve
+} // namespace dysel

@@ -16,6 +16,7 @@ statusCodeName(StatusCode code)
       case StatusCode::Unavailable: return "UNAVAILABLE";
       case StatusCode::FailedPrecondition: return "FAILED_PRECONDITION";
       case StatusCode::Cancelled: return "CANCELLED";
+      case StatusCode::ResourceExhausted: return "RESOURCE_EXHAUSTED";
       case StatusCode::Aborted: return "ABORTED";
       case StatusCode::Internal: return "INTERNAL";
       case StatusCode::DataLoss: return "DATA_LOSS";

@@ -37,6 +37,12 @@ enum class StatusCode {
     FailedPrecondition,
     /** The caller withdrew the request before it ran. */
     Cancelled,
+    /**
+     * A capacity limit rejected the request (a bounded dispatch queue
+     * in shed mode).  Retryable from the caller's side -- the request
+     * itself is fine, the system is momentarily full.
+     */
+    ResourceExhausted,
     /** Gave up after exhausting retries / recovery options. */
     Aborted,
     /** Unclassified internal error. */
@@ -91,6 +97,10 @@ class Status
     static Status cancelled(std::string msg)
     {
         return Status(StatusCode::Cancelled, std::move(msg));
+    }
+    static Status resourceExhausted(std::string msg)
+    {
+        return Status(StatusCode::ResourceExhausted, std::move(msg));
     }
     static Status aborted(std::string msg)
     {

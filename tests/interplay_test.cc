@@ -154,10 +154,15 @@ TEST(InterplayDeath, MixedCachedRejectsMismatchedSelection)
     const auto report =
         runtime::launchKernelMixed(rt, "k", 512, args, 2);
     ASSERT_GE(report.segmentSelection.size(), 1u);
-    // Replaying with the wrong workload size must be rejected.
-    EXPECT_EXIT(runtime::launchKernelMixedCached(rt, "k", 256, args,
-                                                 report),
-                ::testing::ExitedWithCode(1), "");
+    // Replaying with the wrong workload size must be rejected -- as a
+    // typed InvalidArgument, thrown by the wrapper, not a process
+    // abort (callers can catch and re-profile).
+    const auto st = runtime::tryLaunchKernelMixedCached(rt, "k", 256,
+                                                        args, report);
+    EXPECT_EQ(st.code(), support::StatusCode::InvalidArgument);
+    EXPECT_THROW(runtime::launchKernelMixedCached(rt, "k", 256, args,
+                                                  report),
+                 std::invalid_argument);
 }
 
 TEST(Interplay, SelectionCacheIsPerSignature)

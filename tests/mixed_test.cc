@@ -104,3 +104,56 @@ TEST(MixedVersion, CoversTheWholeWorkload)
     EXPECT_LT(report.profiledUnits, w.units);
     EXPECT_TRUE(w.check()); // every unit written correctly
 }
+
+TEST(MixedVersion, TypedStatusForCallerErrors)
+{
+    // The mixed launchers are fallible entry points now: caller
+    // errors come back as typed Statuses instead of fatalling, and
+    // the legacy wrappers translate them to the standard exceptions.
+    auto device = gpuFactory()();
+    runtime::Runtime rt(*device);
+    Workload w = makeSpmvCsrGpuInputDep(SpmvInput::Random);
+    w.registerWith(rt);
+
+    runtime::MixedReport report;
+    EXPECT_EQ(runtime::tryLaunchKernelMixed(rt, "nope", w.units, w.args,
+                                            4, report)
+                  .code(),
+              support::StatusCode::NotFound);
+    EXPECT_THROW(runtime::launchKernelMixed(rt, "nope", w.units, w.args,
+                                            4),
+                 std::out_of_range);
+
+    // A workload below one safe-point slice cannot profile even a
+    // single segment.
+    EXPECT_EQ(runtime::tryLaunchKernelMixed(rt, w.signature, 1, w.args,
+                                            1, report)
+                  .code(),
+              support::StatusCode::FailedPrecondition);
+
+    // Cached re-execution validates the selection against the
+    // workload it claims to describe.
+    const support::Status ok = runtime::tryLaunchKernelMixed(
+        rt, w.signature, w.units, w.args, 4, report);
+    ASSERT_TRUE(ok.ok()) << ok.toString();
+    EXPECT_EQ(runtime::tryLaunchKernelMixedCached(rt, "nope", w.units,
+                                                  w.args, report)
+                  .code(),
+              support::StatusCode::NotFound);
+    EXPECT_EQ(runtime::tryLaunchKernelMixedCached(rt, w.signature,
+                                                  w.units + 1, w.args,
+                                                  report)
+                  .code(),
+              support::StatusCode::InvalidArgument);
+    runtime::MixedReport bogus = report;
+    bogus.segmentSelection.assign(bogus.segmentSelection.size(), 99);
+    EXPECT_EQ(runtime::tryLaunchKernelMixedCached(rt, w.signature,
+                                                  w.units, w.args,
+                                                  bogus)
+                  .code(),
+              support::StatusCode::InvalidArgument);
+    EXPECT_THROW(runtime::launchKernelMixedCached(rt, w.signature,
+                                                  w.units, w.args,
+                                                  bogus),
+                 std::invalid_argument);
+}

@@ -162,6 +162,24 @@ TEST(RuntimeRegistration, UnknownSignatureThrows)
     EXPECT_FALSE(f.rt.hasKernel("nope"));
 }
 
+TEST(RuntimeRegistration, VariantsLookupRoutesThroughStatus)
+{
+    // variants() is now a wrapper over the typed NotFound Status: the
+    // thrown out_of_range must carry the Status message (naming the
+    // signature), and the noexcept lookup stays the primary path.
+    Fixture f;
+    f.rt.addKernel("k", markerKernel("only", 1, 10));
+    try {
+        f.rt.variants("missing_sig");
+        FAIL() << "variants() on an unknown signature did not throw";
+    } catch (const std::out_of_range &e) {
+        EXPECT_NE(std::string(e.what()).find("missing_sig"),
+                  std::string::npos);
+    }
+    ASSERT_NE(f.rt.findVariants("k"), nullptr);
+    EXPECT_EQ(&f.rt.variants("k"), f.rt.findVariants("k"));
+}
+
 TEST(RuntimeRegistration, RemoveKernelForgetsPoolAndSelection)
 {
     Fixture f;

@@ -371,11 +371,14 @@ TEST(DispatchService, CancelPendingJobBeforeDispatch)
     release.set_value();
     f.svc.drain();
     EXPECT_TRUE(h1.result().ok()) << h1.result().status.toString();
-    // The cancelled job never ran: no output was written and the
-    // worker only counted it as cancelled.
+    // The cancelled job never ran: no output was written.  Its done
+    // callback still fires exactly once, with the Cancelled result
+    // (every job reaches its callback on every terminal path).
     for (std::uint64_t u = 0; u < victim.units; ++u)
         ASSERT_EQ(victim.out.at(u), -1);
-    EXPECT_FALSE(victim.finished); // done callback never fires
+    EXPECT_TRUE(victim.finished);
+    EXPECT_EQ(victim.result.status.code(),
+              support::StatusCode::Cancelled);
     EXPECT_EQ(f.svc.metrics().counterValue("jobs.cancelled"), 1u);
     EXPECT_EQ(f.svc.metrics().counterValue("jobs.completed"), 1u);
 }

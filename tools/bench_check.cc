@@ -1,0 +1,148 @@
+/**
+ * @file
+ * bench_check: schema validator for BENCH_service_throughput.json.
+ *
+ * CI's perf-smoke job runs bench/ext_service_throughput on a small
+ * configuration and gates on this checker: the emitted report must be
+ * parseable JSON of the documented shape, with internally consistent
+ * numbers (every submitted job terminal, positive throughput,
+ * ordered latency percentiles, coalescing active in the coalesced
+ * run).  Absolute performance is deliberately NOT checked -- CI
+ * machines vary too much for jobs/s thresholds; the structural and
+ * accounting invariants are what must never regress.
+ *
+ * Exits 0 when the report validates, 1 with a diagnostic otherwise.
+ */
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "support/json.hh"
+
+using dysel::support::Json;
+
+namespace {
+
+int
+fail(const std::string &why)
+{
+    std::cerr << "bench_check: " << why << '\n';
+    return 1;
+}
+
+/** Validate one run object ("baseline" or "coalesced"). */
+bool
+checkRun(const Json &run, const std::string &name, std::string &why)
+{
+    if (!run.isObject()) {
+        why = name + " is not an object";
+        return false;
+    }
+    for (const char *key :
+         {"config", "jobs", "wall_seconds", "jobs_per_sec",
+          "p50_latency_us", "p99_latency_us", "profiled_units",
+          "total_units", "profiled_unit_ratio", "coalesce"}) {
+        if (!run.has(key)) {
+            why = name + " is missing '" + key + "'";
+            return false;
+        }
+    }
+    const Json &jobs = run.at("jobs");
+    const double submitted = jobs.numberOr("submitted", -1);
+    const double completed = jobs.numberOr("completed", -1);
+    const double failed = jobs.numberOr("failed", -1);
+    const double shed = jobs.numberOr("shed", -1);
+    if (submitted <= 0) {
+        why = name + ": no jobs were submitted";
+        return false;
+    }
+    if (completed < 0 || failed < 0 || shed < 0
+        || submitted != completed + failed + shed) {
+        why = name + ": job accounting does not reconcile ("
+              + std::to_string(submitted) + " submitted vs "
+              + std::to_string(completed) + " completed + "
+              + std::to_string(failed) + " failed + "
+              + std::to_string(shed) + " shed)";
+        return false;
+    }
+    if (run.numberOr("wall_seconds", 0) <= 0
+        || run.numberOr("jobs_per_sec", 0) <= 0) {
+        why = name + ": non-positive wall_seconds or jobs_per_sec";
+        return false;
+    }
+    const double p50 = run.numberOr("p50_latency_us", -1);
+    const double p99 = run.numberOr("p99_latency_us", -1);
+    if (p50 <= 0 || p99 < p50) {
+        why = name + ": latency percentiles out of order (p50 "
+              + std::to_string(p50) + ", p99 " + std::to_string(p99)
+              + ")";
+        return false;
+    }
+    const Json &co = run.at("coalesce");
+    for (const char *key : {"leaders", "followers", "hits", "hit_rate"}) {
+        if (!co.has(key)) {
+            why = name + ".coalesce is missing '" + key + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::cerr << "usage: bench_check BENCH_service_throughput.json\n";
+        return 1;
+    }
+    std::ifstream in(argv[1]);
+    if (!in)
+        return fail(std::string("cannot open ") + argv[1]);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    Json root;
+    try {
+        root = Json::parse(buf.str());
+    } catch (const std::exception &e) {
+        return fail(std::string("parse error: ") + e.what());
+    }
+    if (!root.isObject())
+        return fail("top level is not an object");
+    for (const char *key : {"bench", "baseline", "coalesced", "speedup"})
+        if (!root.has(key))
+            return fail(std::string("missing top-level '") + key + "'");
+
+    std::string why;
+    if (!checkRun(root.at("baseline"), "baseline", why))
+        return fail(why);
+    if (!checkRun(root.at("coalesced"), "coalesced", why))
+        return fail(why);
+
+    // The baseline run must not coalesce; the coalesced run must.
+    if (root.at("baseline").at("coalesce").numberOr("hits", -1) != 0)
+        return fail("baseline run recorded coalesce hits");
+    if (root.at("coalesced").at("coalesce").numberOr("hits", 0) <= 0)
+        return fail("coalesced run recorded no coalesce hits");
+
+    const double baseProfiled =
+        root.at("baseline").numberOr("profiled_units", 0);
+    const double coProfiled =
+        root.at("coalesced").numberOr("profiled_units", 0);
+    if (coProfiled >= baseProfiled)
+        return fail("coalescing did not reduce profiled units ("
+                    + std::to_string(baseProfiled) + " -> "
+                    + std::to_string(coProfiled) + ")");
+
+    if (root.numberOr("speedup", 0) <= 0)
+        return fail("non-positive speedup");
+
+    std::cout << "bench_check: " << argv[1] << " ok (speedup "
+              << root.numberOr("speedup", 0) << "x, coalesce hits "
+              << root.at("coalesced").at("coalesce").numberOr("hits", 0)
+              << ")\n";
+    return 0;
+}

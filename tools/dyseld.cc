@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "serve/dispatch_service.hh"
+#include "serve/loadgen.hh"
 #include "sim/fault.hh"
 #include "support/table.hh"
 #include "workloads/devices.hh"
@@ -61,7 +62,82 @@ struct Options
     double faultRate = 0.0;
     double variantFaultRate = 0.0;
     std::uint64_t faultSeed = 0xfa01d;
+
+    /** --loadgen: closed-loop load generator instead of the demo. */
+    bool loadgen = false;
+    serve::LoadGenConfig lg;
+    std::string loadgenJson; ///< report file (--loadgen-json)
 };
+
+/** Run the closed-loop load generator (`dyseld --loadgen`). */
+int
+runLoadGenMode(const Options &opt)
+{
+    serve::LoadGenConfig cfg = opt.lg;
+    cfg.guard = opt.guard;
+    cfg.faultRate = opt.faultRate;
+    std::cout << "loadgen: " << cfg.submitters << " submitters x "
+              << cfg.jobsPerSubmitter << " jobs -> " << cfg.devices
+              << " devices, " << cfg.signatures << " signatures x "
+              << cfg.sizeClasses << " size classes"
+              << (cfg.sweep ? ", lockstep sweep" : "")
+              << (cfg.coalesce ? "" : ", coalescing off")
+              << (cfg.maxQueueDepth > 0
+                      ? (cfg.admission == serve::AdmissionPolicy::Shed
+                             ? ", shed at depth "
+                             : ", backpressure at depth ")
+                            + std::to_string(cfg.maxQueueDepth)
+                      : std::string())
+              << (cfg.guard ? ", guard on" : "")
+              << (cfg.faultRate > 0.0
+                      ? ", fault rate " + std::to_string(cfg.faultRate)
+                      : std::string())
+              << '\n';
+
+    const serve::LoadGenReport rep = serve::runLoadGen(cfg);
+
+    support::Table table({"metric", "value"});
+    table.row().cell("jobs submitted").cell(rep.jobsSubmitted);
+    table.row().cell("jobs completed").cell(rep.jobsCompleted);
+    table.row().cell("jobs failed").cell(rep.jobsFailed);
+    table.row().cell("jobs shed").cell(rep.jobsShed);
+    table.row().cell("wall seconds").cell(rep.wallSeconds, 3);
+    table.row().cell("jobs/s").cell(rep.jobsPerSec, 0);
+    table.row().cell("p50 latency (us)").cell(rep.p50LatencyUs, 1);
+    table.row().cell("p99 latency (us)").cell(rep.p99LatencyUs, 1);
+    table.row().cell("profiled units").cell(rep.profiledUnits);
+    table.row().cell("profiled ratio").cell(rep.profiledUnitRatio, 4);
+    table.row().cell("store hits").cell(rep.storeHits);
+    table.row().cell("coalesce leaders").cell(rep.coalesceLeaders);
+    table.row().cell("coalesce followers").cell(rep.coalesceFollowers);
+    table.row().cell("coalesce hits").cell(rep.coalesceHits);
+    table.row().cell("coalesce hit rate").cell(rep.coalesceHitRate, 3);
+    table.print(std::cout);
+
+    if (!opt.loadgenJson.empty()) {
+        std::ofstream out(opt.loadgenJson);
+        if (!out) {
+            std::cerr << "dyseld: cannot write loadgen report to "
+                      << opt.loadgenJson << '\n';
+            return 1;
+        }
+        out << rep.toJson().dump(2) << '\n';
+        if (!out.flush()) {
+            std::cerr << "dyseld: loadgen report write failed\n";
+            return 1;
+        }
+        std::cout << "wrote " << opt.loadgenJson << '\n';
+    }
+
+    // Every submitted job must be terminal, one way or the other.
+    if (rep.jobsSubmitted
+        != rep.jobsCompleted + rep.jobsFailed + rep.jobsShed) {
+        std::cerr << "dyseld: loadgen job accounting does not "
+                     "reconcile\n";
+        return 1;
+    }
+    return 0;
+}
 
 /** One submitted job's bookkeeping: the workload instance (owns the
  *  buffers the job's args point at) plus its completion handle. */
@@ -206,15 +282,74 @@ main(int argc, char **argv)
         } else if (arg == "--variant-fault-rate" && i + 1 < argc) {
             opt.variantFaultRate = std::atof(argv[++i]);
             opt.guard = true; // pointless without the guard watching
+        } else if (arg == "--loadgen") {
+            opt.loadgen = true;
+        } else if (arg == "--submitters" && i + 1 < argc) {
+            opt.lg.submitters =
+                static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "--devices" && i + 1 < argc) {
+            opt.lg.devices =
+                static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "--signatures" && i + 1 < argc) {
+            opt.lg.signatures =
+                static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "--size-classes" && i + 1 < argc) {
+            opt.lg.sizeClasses =
+                static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            opt.lg.jobsPerSubmitter = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--base-units" && i + 1 < argc) {
+            opt.lg.baseUnits = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--variants" && i + 1 < argc) {
+            opt.lg.variants =
+                static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "--profile-repeats" && i + 1 < argc) {
+            opt.lg.profileRepeats =
+                static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "--sweep") {
+            opt.lg.sweep = true;
+        } else if (arg == "--no-coalesce") {
+            opt.lg.coalesce = false;
+        } else if (arg == "--no-affinity") {
+            opt.lg.affinity = false;
+        } else if (arg == "--queue-depth" && i + 1 < argc) {
+            opt.lg.maxQueueDepth = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--admission" && i + 1 < argc) {
+            const std::string mode = argv[++i];
+            if (mode == "block") {
+                opt.lg.admission = serve::AdmissionPolicy::Block;
+            } else if (mode == "shed") {
+                opt.lg.admission = serve::AdmissionPolicy::Shed;
+            } else {
+                std::cerr << "dyseld: unknown admission mode '" << mode
+                          << "' (block|shed)\n";
+                return 1;
+            }
+        } else if (arg == "--seed" && i + 1 < argc) {
+            opt.lg.seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--loadgen-json" && i + 1 < argc) {
+            opt.loadgenJson = argv[++i];
         } else {
             std::cerr << "usage: dyseld [--store FILE] [--no-load] "
                          "[--no-save] [--metrics text|json|prom] "
                          "[--trace FILE] [--fault-rate P] "
                          "[--fault-seed S] [--guard] "
-                         "[--variant-fault-rate P]\n";
+                         "[--variant-fault-rate P]\n"
+                         "       dyseld --loadgen [--submitters N] "
+                         "[--devices N] [--signatures N] "
+                         "[--size-classes N] [--jobs N] "
+                         "[--base-units N] [--variants N] "
+                         "[--profile-repeats N] [--sweep] "
+                         "[--no-coalesce] [--no-affinity] "
+                         "[--queue-depth N] [--admission block|shed] "
+                         "[--fault-rate P] [--guard] [--seed S] "
+                         "[--loadgen-json FILE]\n";
             return arg == "--help" ? 0 : 1;
         }
     }
+
+    if (opt.loadgen)
+        return runLoadGenMode(opt);
 
     store::SelectionStore store;
     if (opt.load) {
