@@ -2,19 +2,32 @@
  * @file
  * Extension bench: dispatch-path throughput under contention.
  *
- * Runs the closed-loop load generator twice on the contended
- * configuration (16 submitters, 8 devices, 4 hot signatures): once
- * with profiling coalescing off -- the pre-sharding service never
- * coalesced, so this is the baseline -- and once with it on.  With
- * coalescing, concurrent cold misses on the same (signature,
- * fingerprint, bucket) elect one profiling leader instead of each
- * paying its own micro-profiling pass, so the cold window collapses
- * and throughput rises.
+ * Runs the closed-loop load generator on the contended configuration
+ * (16 submitters, 8 devices, 4 hot signatures) across four axes:
+ *
+ *   baseline           -- coalescing off, predictor off (the
+ *                         pre-sharding service);
+ *   coalesced          -- profiling coalescing on: concurrent cold
+ *                         misses on the same (signature, fingerprint,
+ *                         bucket) elect one profiling leader;
+ *   predict_cold       -- coalescing + a cold-started selection
+ *                         predictor: winners recorded in early
+ *                         buckets seed neighbouring buckets
+ *                         (cross-bucket interpolation), so later
+ *                         sweep phases skip profiling entirely;
+ *   predict_pretrained -- the predictor enters the measured run
+ *                         already trained by a warm-up sweep, so even
+ *                         the first phases can hit.
+ *
+ * Every axis runs the same job set and must produce a byte-identical
+ * output checksum -- the predictor changes who profiles, never what a
+ * job computes.
  *
  * Emits BENCH_service_throughput.json next to the binary (override
  * with argv[1]); the CI perf-smoke job validates the schema with
  * tools/bench_check.  The exit code only checks invariants (all jobs
- * terminal, coalesce hits recorded), never absolute numbers.
+ * terminal, coalesce hits recorded, predictor profiled less at an
+ * equal-or-better hit rate, checksums equal), never absolute numbers.
  */
 #include <fstream>
 #include <iostream>
@@ -58,10 +71,17 @@ reportRow(support::Table &table, const char *name,
         .cell(name)
         .cell(r.jobsCompleted)
         .cell(r.jobsPerSec, 0)
-        .cell(r.p50LatencyUs, 1)
         .cell(r.p99LatencyUs, 1)
-        .cell(r.profiledUnitRatio, 4)
-        .cell(r.coalesceHits);
+        .cell(r.profiledUnits)
+        .cell(r.storeHitRate, 4)
+        .cell(r.predictHits);
+}
+
+bool
+allTerminal(const serve::LoadGenReport &r)
+{
+    return r.jobsSubmitted
+           == r.jobsCompleted + r.jobsFailed + r.jobsShed;
 }
 
 } // namespace
@@ -73,7 +93,7 @@ main(int argc, char **argv)
         argc > 1 ? argv[1] : "BENCH_service_throughput.json";
 
     std::cout << "=== Extension: dispatch-path throughput "
-                 "(profiling coalescing) ===\n"
+                 "(coalescing + learned selection) ===\n"
               << "Closed loop, 16 submitters x 8 devices, 4 hot "
                  "signatures x 4 size buckets.\n\n";
 
@@ -85,40 +105,69 @@ main(int argc, char **argv)
     co.coalesce = true;
     const serve::LoadGenReport coalesced = serve::runLoadGen(co);
 
-    support::Table table({"mode", "jobs", "jobs/s", "p50 (us)",
-                          "p99 (us)", "profiled ratio",
-                          "coalesce hits"});
+    serve::LoadGenConfig pc = contendedConfig();
+    pc.coalesce = true;
+    pc.predict = true;
+    const serve::LoadGenReport predictCold = serve::runLoadGen(pc);
+
+    serve::LoadGenConfig pp = contendedConfig();
+    pp.coalesce = true;
+    pp.predict = true;
+    pp.pretrainLaps = 1;
+    const serve::LoadGenReport predictTrained = serve::runLoadGen(pp);
+
+    support::Table table({"mode", "jobs", "jobs/s", "p99 (us)",
+                          "profiled units", "hit rate",
+                          "predict hits"});
     reportRow(table, "baseline (no coalescing)", baseline);
     reportRow(table, "coalesced", coalesced);
+    reportRow(table, "predict (cold start)", predictCold);
+    reportRow(table, "predict (pretrained)", predictTrained);
     table.print(std::cout);
 
     const double speedup =
         baseline.jobsPerSec > 0.0
             ? coalesced.jobsPerSec / baseline.jobsPerSec
             : 0.0;
-    std::cout << "\nspeedup: " << speedup << "x; profiled units "
-              << baseline.profiledUnits << " -> "
-              << coalesced.profiledUnits << "; coalesce hit rate "
-              << coalesced.coalesceHitRate << "\n";
+    std::cout << "\nspeedup (coalescing): " << speedup
+              << "x; profiled units " << baseline.profiledUnits
+              << " -> " << coalesced.profiledUnits
+              << " (coalesce) -> " << predictCold.profiledUnits
+              << " (predict cold) -> " << predictTrained.profiledUnits
+              << " (predict pretrained)\n";
 
     support::Json out = support::Json::object();
     out.set("bench", support::Json("service_throughput"));
     out.set("baseline", baseline.toJson());
     out.set("coalesced", coalesced.toJson());
+    out.set("predict_cold", predictCold.toJson());
+    out.set("predict_pretrained", predictTrained.toJson());
     out.set("speedup", support::Json(speedup));
     std::ofstream f(outPath);
     f << out.dump(2) << "\n";
     f.close();
     std::cout << "wrote " << outPath << "\n";
 
+    const bool checksumsEqual =
+        baseline.outputChecksum == coalesced.outputChecksum
+        && baseline.outputChecksum == predictCold.outputChecksum
+        && baseline.outputChecksum == predictTrained.outputChecksum;
     const bool ok =
-        baseline.jobsSubmitted
-                == baseline.jobsCompleted + baseline.jobsFailed
-                       + baseline.jobsShed
-        && coalesced.jobsSubmitted
-               == coalesced.jobsCompleted + coalesced.jobsFailed
-                      + coalesced.jobsShed
+        allTerminal(baseline) && allTerminal(coalesced)
+        && allTerminal(predictCold) && allTerminal(predictTrained)
         && coalesced.coalesceHits > 0
-        && coalesced.profiledUnits < baseline.profiledUnits;
+        && coalesced.profiledUnits < baseline.profiledUnits
+        // The predictor must skip profiling the coalescer alone
+        // could not, at an equal-or-better warm-start rate...
+        && predictCold.predictHits > 0
+        && predictCold.profiledUnits < coalesced.profiledUnits
+        && predictCold.storeHitRate >= coalesced.storeHitRate
+        // ...pretraining must not profile more than cold start...
+        && predictTrained.profiledUnits <= predictCold.profiledUnits
+        // ...and selection policy must never change job outputs.
+        && checksumsEqual;
+    if (!ok)
+        std::cout << "invariant check FAILED (checksums "
+                  << (checksumsEqual ? "equal" : "DIFFER") << ")\n";
     return ok ? 0 : 1;
 }

@@ -1,0 +1,112 @@
+#include "features.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "compiler/analysis.hh"
+
+namespace dysel {
+namespace predict {
+
+namespace {
+
+/**
+ * Feature layout.  Dimensions 1 (bucket) and 11 (device class) are
+ * launch-dependent and stamped by composeFeatures(); the rest are
+ * kernel structure.
+ */
+enum Feature : std::size_t {
+    FBias = 0,
+    FBucket,        ///< size bucket / 64
+    FLoopCount,     ///< loop-nest depth, capped at 8
+    FTripMagnitude, ///< log2(max trip hint) / 32
+    FWorkItemFrac,  ///< fraction of loops iterating work-items
+    FIrregular,     ///< data-dependent bounds or early exits
+    FUniform,       ///< uniformWorkloadAnalysis verdict
+    FSideEffects,   ///< sideEffectAnalysis verdict (global atomics)
+    FAccessCount,   ///< access patterns, capped at 16
+    FWriteFrac,     ///< fraction of accesses that write
+    FAffineFrac,    ///< fraction of accesses with affine indices
+    FDeviceClass,   ///< deviceClassOf() / 2
+};
+
+static_assert(FDeviceClass + 1 == kFeatureDim,
+              "feature layout out of sync with kFeatureDim");
+
+constexpr const char *kFeatureNames[kFeatureDim] = {
+    "bias",        "bucket",       "loop_count",  "trip_magnitude",
+    "workitem_frac", "irregular",  "uniform",     "side_effects",
+    "access_count", "write_frac",  "affine_frac", "device_class",
+};
+
+} // namespace
+
+const char *
+featureName(std::size_t i)
+{
+    return i < kFeatureDim ? kFeatureNames[i] : "?";
+}
+
+unsigned
+deviceClassOf(const std::string &fingerprint)
+{
+    const auto slash = fingerprint.find('/');
+    const std::string cls = fingerprint.substr(0, slash);
+    if (cls == "cpu")
+        return 0;
+    if (cls == "gpu")
+        return 1;
+    return 2;
+}
+
+FeatureVector
+kernelFeatures(const compiler::KernelInfo &info)
+{
+    FeatureVector f{};
+    f[FBias] = 1.0;
+
+    const double nLoops = static_cast<double>(info.loops.size());
+    f[FLoopCount] = std::min(nLoops, 8.0) / 8.0;
+
+    std::uint64_t maxTrip = 1;
+    double workItemLoops = 0.0;
+    for (const auto &l : info.loops) {
+        maxTrip = std::max(maxTrip, l.tripHint);
+        if (l.workItemLoop)
+            workItemLoops += 1.0;
+    }
+    f[FTripMagnitude] =
+        std::min(std::log2(static_cast<double>(maxTrip)), 32.0) / 32.0;
+    f[FWorkItemFrac] = nLoops > 0.0 ? workItemLoops / nLoops : 0.0;
+
+    f[FIrregular] = info.hasIrregularLoops() ? 1.0 : 0.0;
+    f[FUniform] = compiler::uniformWorkloadAnalysis(info) ? 1.0 : 0.0;
+    f[FSideEffects] = compiler::sideEffectAnalysis(info) ? 1.0 : 0.0;
+
+    const double nAccesses = static_cast<double>(info.accesses.size());
+    f[FAccessCount] = std::min(nAccesses, 16.0) / 16.0;
+    double writes = 0.0, affine = 0.0;
+    for (const auto &a : info.accesses) {
+        if (a.write)
+            writes += 1.0;
+        if (a.affine)
+            affine += 1.0;
+    }
+    f[FWriteFrac] = nAccesses > 0.0 ? writes / nAccesses : 0.0;
+    f[FAffineFrac] = nAccesses > 0.0 ? affine / nAccesses : 0.0;
+    return f;
+}
+
+FeatureVector
+composeFeatures(const FeatureVector &base, unsigned bucket,
+                unsigned deviceClass)
+{
+    FeatureVector f = base;
+    f[FBias] = 1.0;
+    f[FBucket] = static_cast<double>(std::min(bucket, 63u)) / 64.0;
+    f[FDeviceClass] = static_cast<double>(std::min(deviceClass, 2u)) / 2.0;
+    return f;
+}
+
+} // namespace predict
+} // namespace dysel

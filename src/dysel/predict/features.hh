@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Feature extraction for the selection predictor.
+ *
+ * A prediction key is the same triple the store uses -- (kernel
+ * signature, device fingerprint, workload-size bucket) -- but the
+ * *model* never sees the raw strings: it sees a fixed-dimension
+ * numeric feature vector built from the compiler's structural kernel
+ * metadata (loop nest shape, access-pattern character, uniformity,
+ * side effects -- the same KernelInfo the §3.4 analyses consume), the
+ * device class parsed off the fingerprint, and the size bucket.  Two
+ * kernels with the same structure therefore share model evidence even
+ * when their signatures differ -- that is what lets the predictor
+ * warm-start keys it has never profiled.
+ *
+ * All features are normalized into [0, 1] so one perceptron learning
+ * rate fits every dimension.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "compiler/kernel_info.hh"
+
+namespace dysel {
+namespace predict {
+
+/** Fixed model dimensionality (see featureName() for the layout). */
+constexpr std::size_t kFeatureDim = 12;
+
+/** One point in feature space. */
+using FeatureVector = std::array<double, kFeatureDim>;
+
+/** Stable name of feature dimension @p i (diagnostics, persistence). */
+const char *featureName(std::size_t i);
+
+/**
+ * Device class parsed from a sim::Device fingerprint (the prefix
+ * before the first '/'): 0 for "cpu/...", 1 for "gpu/...", 2 for
+ * anything else.  Model weights are kept per device class -- a CPU
+ * winner says little about a GPU.
+ */
+unsigned deviceClassOf(const std::string &fingerprint);
+
+/**
+ * Kernel-structure features of @p info: everything except the
+ * size-bucket and device-class dimensions, which depend on the launch
+ * rather than the kernel (composeFeatures() fills those in).
+ */
+FeatureVector kernelFeatures(const compiler::KernelInfo &info);
+
+/**
+ * Complete a kernel feature vector for one prediction key: stamp the
+ * size bucket and the device class into their dimensions.  @p base is
+ * kernelFeatures() output (or a zero vector when no KernelInfo was
+ * ever attached -- bias, bucket, and device class still carry signal).
+ */
+FeatureVector composeFeatures(const FeatureVector &base, unsigned bucket,
+                              unsigned deviceClass);
+
+} // namespace predict
+} // namespace dysel

@@ -1,0 +1,386 @@
+#include "predictor.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dysel {
+namespace predict {
+
+using support::Json;
+
+const char *
+sourceName(Source source)
+{
+    switch (source) {
+      case Source::Exact: return "exact";
+      case Source::Interpolated: return "interpolated";
+      case Source::Model: return "model";
+    }
+    return "?";
+}
+
+SelectionPredictor::SelectionPredictor(PredictorConfig cfg) : cfg_(cfg) {}
+
+void
+SelectionPredictor::noteKernel(const std::string &signature,
+                               const compiler::KernelInfo &info)
+{
+    const FeatureVector f = kernelFeatures(info);
+    std::lock_guard<std::mutex> lock(mu);
+    kernelFeats[signature] = f;
+}
+
+double
+SelectionPredictor::calibrationLocked() const
+{
+    const double c = (cfg_.priorCorrect + shadowCorrect_)
+                     / (cfg_.priorTotal + shadowTotal_);
+    return std::clamp(c, 0.0, 1.0);
+}
+
+FeatureVector
+SelectionPredictor::featuresLocked(const std::string &signature,
+                                   unsigned bucket,
+                                   unsigned deviceClass) const
+{
+    auto it = kernelFeats.find(signature);
+    const FeatureVector base =
+        it != kernelFeats.end() ? it->second : FeatureVector{};
+    return composeFeatures(base, bucket, deviceClass);
+}
+
+std::optional<Prediction>
+SelectionPredictor::predictLocked(const std::string &signature,
+                                  const std::string &fingerprint,
+                                  unsigned bucket) const
+{
+    std::optional<Prediction> best;
+
+    // Exact recorded winner.
+    if (auto it = winners.find(Key{signature, fingerprint, bucket});
+        it != winners.end()) {
+        best = Prediction{it->second, cfg_.exactConfidence,
+                          Source::Exact, 0};
+    }
+
+    // Cross-bucket interpolation: the nearest recorded winner within
+    // the radius, decayed per bucket of distance.  Bucket arithmetic
+    // is clamped at both ends -- bucket 0 has no lower neighbour and
+    // 63 no upper one; wrapping would alias order-of-magnitude
+    // distant workload sizes (the exact mistake bucketing exists to
+    // avoid).
+    if (!best) {
+        for (unsigned d = 1; d <= cfg_.interpolationRadius && !best;
+             ++d) {
+            const double conf =
+                cfg_.exactConfidence
+                * std::pow(cfg_.interpolationDecay,
+                           static_cast<double>(d));
+            if (bucket >= d) {
+                if (auto it = winners.find(
+                        Key{signature, fingerprint, bucket - d});
+                    it != winners.end()) {
+                    best = Prediction{it->second, conf,
+                                      Source::Interpolated, d};
+                    break;
+                }
+            }
+            if (bucket + d <= 63) {
+                if (auto it = winners.find(
+                        Key{signature, fingerprint, bucket + d});
+                    it != winners.end()) {
+                    best = Prediction{it->second, conf,
+                                      Source::Interpolated, d};
+                }
+            }
+        }
+    }
+
+    // Linear model: argmax over this device class's variant scores,
+    // confidence from the margin over the runner-up (squashed, capped
+    // below exact/interpolated confidence so recorded winners always
+    // outrank model guesses).
+    if (!best) {
+        const unsigned cls = deviceClassOf(fingerprint);
+        const FeatureVector f = featuresLocked(signature, bucket, cls);
+        std::string argmax;
+        double bestScore = 0.0, secondScore = 0.0;
+        bool any = false;
+        for (const auto &[key, w] : weights) {
+            if (key.first != cls)
+                continue;
+            double score = 0.0;
+            for (std::size_t i = 0; i < kFeatureDim; ++i)
+                score += w[i] * f[i];
+            if (!any || score > bestScore) {
+                secondScore = any ? bestScore : 0.0;
+                bestScore = score;
+                argmax = key.second;
+                any = true;
+            } else if (score > secondScore) {
+                secondScore = score;
+            }
+        }
+        if (any) {
+            const double margin = bestScore - secondScore;
+            const double conf =
+                cfg_.modelCap / (1.0 + std::exp(-margin));
+            best = Prediction{argmax, conf, Source::Model, 0};
+        }
+    }
+
+    if (best) {
+        best->confidence =
+            std::clamp(best->confidence * calibrationLocked(), 0.0, 1.0);
+    }
+    return best;
+}
+
+std::optional<Prediction>
+SelectionPredictor::predict(const std::string &signature,
+                            const std::string &fingerprint,
+                            unsigned bucket) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return predictLocked(signature, fingerprint, bucket);
+}
+
+void
+SelectionPredictor::observeProfile(const store::SelectionRecord &rec)
+{
+    if (rec.selectedName.empty())
+        return;
+    std::lock_guard<std::mutex> lock(mu);
+
+    // Shadow evaluation first (against the state *before* this
+    // example lands): would the predictor have called this winner?
+    if (auto pred = predictLocked(rec.signature, rec.device,
+                                  rec.bucket)) {
+        shadowTotal_ += 1.0;
+        if (pred->variant == rec.selectedName)
+            shadowCorrect_ += 1.0;
+    }
+
+    winners[Key{rec.signature, rec.device, rec.bucket}] =
+        rec.selectedName;
+    examples_++;
+
+    // Perceptron update of the per-device-class model.
+    const unsigned cls = deviceClassOf(rec.device);
+    const FeatureVector f =
+        featuresLocked(rec.signature, rec.bucket, cls);
+    FeatureVector &wWin = weights[ClassVariant{cls, rec.selectedName}];
+
+    std::string argmax;
+    double bestScore = 0.0, winScore = 0.0, secondScore = 0.0;
+    bool any = false;
+    for (const auto &[key, w] : weights) {
+        if (key.first != cls)
+            continue;
+        double score = 0.0;
+        for (std::size_t i = 0; i < kFeatureDim; ++i)
+            score += w[i] * f[i];
+        if (key.second == rec.selectedName)
+            winScore = score;
+        if (!any || score > bestScore) {
+            secondScore = any ? bestScore : 0.0;
+            bestScore = score;
+            argmax = key.second;
+            any = true;
+        } else if (score > secondScore) {
+            secondScore = score;
+        }
+    }
+    if (argmax != rec.selectedName) {
+        // Mistake: pull the winner up, push the impostor down.
+        for (std::size_t i = 0; i < kFeatureDim; ++i)
+            wWin[i] += cfg_.learningRate * f[i];
+        if (auto it = weights.find(ClassVariant{cls, argmax});
+            it != weights.end()) {
+            for (std::size_t i = 0; i < kFeatureDim; ++i)
+                it->second[i] -= cfg_.learningRate * f[i];
+        }
+    } else if (winScore - secondScore < cfg_.reinforceMargin) {
+        // Correct but not yet confident: reinforce toward the margin.
+        for (std::size_t i = 0; i < kFeatureDim; ++i)
+            wWin[i] += cfg_.learningRate * f[i];
+    }
+}
+
+void
+SelectionPredictor::observeDemotion(const std::string &signature,
+                                    const std::string &fingerprint,
+                                    unsigned bucket)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    demotions_++;
+    shadowTotal_ += cfg_.demotionPenalty;
+
+    auto it = winners.find(Key{signature, fingerprint, bucket});
+    if (it == winners.end())
+        return;
+    const std::string demoted = it->second;
+    winners.erase(it);
+
+    // Corrective model update: we know this variant was wrong for the
+    // key even though we don't yet know what is right -- the forced
+    // re-profile will supply that as a fresh training example.
+    const unsigned cls = deviceClassOf(fingerprint);
+    if (auto wit = weights.find(ClassVariant{cls, demoted});
+        wit != weights.end()) {
+        const FeatureVector f = featuresLocked(signature, bucket, cls);
+        for (std::size_t i = 0; i < kFeatureDim; ++i)
+            wit->second[i] -= cfg_.learningRate * f[i];
+    }
+}
+
+std::uint64_t
+SelectionPredictor::trainingExamples() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return examples_;
+}
+
+std::uint64_t
+SelectionPredictor::demotions() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return demotions_;
+}
+
+double
+SelectionPredictor::calibration() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return calibrationLocked();
+}
+
+std::size_t
+SelectionPredictor::winnerCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return winners.size();
+}
+
+void
+SelectionPredictor::clear()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    kernelFeats.clear();
+    winners.clear();
+    weights.clear();
+    examples_ = 0;
+    demotions_ = 0;
+    shadowCorrect_ = 0.0;
+    shadowTotal_ = 0.0;
+}
+
+Json
+SelectionPredictor::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto vec = [](const FeatureVector &v) {
+        Json arr = Json::array();
+        for (double x : v)
+            arr.push(Json(x));
+        return arr;
+    };
+
+    Json feats = Json::array();
+    for (const auto &[sig, f] : kernelFeats) {
+        Json jf = Json::object();
+        jf.set("signature", Json(sig));
+        jf.set("f", vec(f));
+        feats.push(std::move(jf));
+    }
+    Json wins = Json::array();
+    for (const auto &[key, variant] : winners) {
+        Json jw = Json::object();
+        jw.set("signature", Json(std::get<0>(key)));
+        jw.set("device", Json(std::get<1>(key)));
+        jw.set("bucket", Json(std::get<2>(key)));
+        jw.set("variant", Json(variant));
+        wins.push(std::move(jw));
+    }
+    Json model = Json::array();
+    for (const auto &[key, w] : weights) {
+        Json jm = Json::object();
+        jm.set("device_class", Json(key.first));
+        jm.set("variant", Json(key.second));
+        jm.set("w", vec(w));
+        model.push(std::move(jm));
+    }
+
+    Json root = Json::object();
+    root.set("version", Json(1));
+    root.set("examples", Json(examples_));
+    root.set("demotions", Json(demotions_));
+    root.set("shadow_correct", Json(shadowCorrect_));
+    root.set("shadow_total", Json(shadowTotal_));
+    root.set("features", std::move(feats));
+    root.set("winners", std::move(wins));
+    root.set("weights", std::move(model));
+    return root;
+}
+
+void
+SelectionPredictor::loadJson(const Json &doc)
+{
+    const auto version = doc.isObject() ? doc.intOr("version", 0) : 0;
+    if (version != 1)
+        throw std::runtime_error(
+            "selection predictor: unsupported document version");
+    auto vec = [](const Json &arr) {
+        FeatureVector v{};
+        const auto &items = arr.items();
+        if (items.size() != kFeatureDim)
+            throw std::runtime_error(
+                "selection predictor: feature dimension mismatch");
+        for (std::size_t i = 0; i < kFeatureDim; ++i)
+            v[i] = items[i].asNumber();
+        return v;
+    };
+
+    std::map<std::string, FeatureVector> feats;
+    if (doc.has("features")) {
+        for (const Json &jf : doc.at("features").items())
+            feats[jf.at("signature").asString()] = vec(jf.at("f"));
+    }
+    std::map<Key, std::string> wins;
+    if (doc.has("winners")) {
+        for (const Json &jw : doc.at("winners").items()) {
+            wins[Key{jw.at("signature").asString(),
+                     jw.at("device").asString(),
+                     static_cast<unsigned>(jw.at("bucket").asUint())}] =
+                jw.at("variant").asString();
+        }
+    }
+    std::map<ClassVariant, FeatureVector> model;
+    if (doc.has("weights")) {
+        for (const Json &jm : doc.at("weights").items()) {
+            model[ClassVariant{
+                static_cast<unsigned>(jm.at("device_class").asUint()),
+                jm.at("variant").asString()}] = vec(jm.at("w"));
+        }
+    }
+    const auto examples =
+        static_cast<std::uint64_t>(doc.intOr("examples", 0));
+    const auto demotions =
+        static_cast<std::uint64_t>(doc.intOr("demotions", 0));
+    const double correct = doc.numberOr("shadow_correct", 0.0);
+    const double total = doc.numberOr("shadow_total", 0.0);
+
+    // Everything parsed; only now replace the state.
+    std::lock_guard<std::mutex> lock(mu);
+    kernelFeats = std::move(feats);
+    winners = std::move(wins);
+    weights = std::move(model);
+    examples_ = examples;
+    demotions_ = demotions;
+    shadowCorrect_ = correct;
+    shadowTotal_ = total;
+}
+
+} // namespace predict
+} // namespace dysel

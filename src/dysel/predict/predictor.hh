@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Learned selection: an online predictor that skips micro-profiling.
+ *
+ * Micro-profiling is DySel's ground truth, but at serving scale it is
+ * the dominant cold-start cost: every cold (signature, device
+ * fingerprint, size-bucket) key pays a full profiling pass even when
+ * the store already holds the answer for a structurally identical
+ * kernel one bucket over.  The SelectionPredictor turns the store's
+ * own profiling history into warm starts for keys it has never seen,
+ * trained online from every completed profiling pass the store
+ * records (SelectionStore::setProfileObserver -- the training feed;
+ * there is no parallel log).
+ *
+ * Three evidence sources back a prediction, strongest first:
+ *
+ *   exact        -- the key itself was profiled before (the store's
+ *                   record may be gone -- restart with a fresh store,
+ *                   administrative invalidation -- but the winner is
+ *                   remembered);
+ *   interpolated -- a winner recorded at a neighbouring size bucket
+ *                   seeds this bucket at confidence decayed per
+ *                   bucket of distance (cross-bucket interpolation);
+ *   model        -- a per-device-class linear model over the kernel
+ *                   feature vector (features.hh), updated
+ *                   perceptron-style from every training example, for
+ *                   keys with no recorded neighbour at all.
+ *
+ * Every raw confidence is multiplied by a *calibration* factor: the
+ * predictor shadow-evaluates itself against each incoming training
+ * example (would I have predicted this winner?) and keeps a smoothed
+ * hit rate.  Mis-predictions demoted by the serving layer
+ * (setDemotionObserver) erase the offending winner and charge extra
+ * shadow misses -- a predictor that keeps being wrong talks itself
+ * below the confidence threshold and the service falls back to plain
+ * micro-profiling.  The guard and drift machinery remain the safety
+ * net either way: a predicted selection is a normal store record and
+ * is quarantined / invalidated like any other.
+ *
+ * All public methods are thread-safe; the dispatch service consults
+ * one predictor from all device workers.  toJson()/loadJson()
+ * persist the learned state; the serving layer stores it in the
+ * selection store's "predictor" extension slot so one file carries
+ * both the records and the model.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "compiler/kernel_info.hh"
+#include "dysel/store/selection_store.hh"
+#include "support/json.hh"
+
+#include "features.hh"
+
+namespace dysel {
+namespace predict {
+
+/** Predictor tuning knobs. */
+struct PredictorConfig
+{
+    /**
+     * Calibrated confidence a prediction needs before the serving
+     * layer acts on it (skips profiling); below it the job falls
+     * back to micro-profiling.
+     */
+    double threshold = 0.65;
+
+    /** Perceptron learning rate of the linear model. */
+    double learningRate = 0.15;
+
+    /**
+     * Buckets of distance a recorded winner seeds (cross-bucket
+     * interpolation); 0 disables interpolation.
+     */
+    unsigned interpolationRadius = 2;
+
+    /** Confidence multiplier per bucket of interpolation distance. */
+    double interpolationDecay = 0.8;
+
+    /** Raw confidence of an exact recorded winner. */
+    double exactConfidence = 0.98;
+
+    /** Raw confidence cap of the linear model. */
+    double modelCap = 0.9;
+
+    /**
+     * Model margin under which a correct prediction still reinforces
+     * its winner's weights (lets confidence grow on consistent data;
+     * a classic perceptron only learns from mistakes).
+     */
+    double reinforceMargin = 2.0;
+
+    /**
+     * Calibration prior: the shadow hit rate starts at
+     * priorCorrect / priorTotal and is updated by every shadow
+     * evaluation.  The prior keeps early predictions below
+     * exactConfidence until the predictor has earned trust.
+     */
+    double priorCorrect = 8.0;
+    double priorTotal = 9.0;
+
+    /** Shadow misses charged per demoted (mis-predicted) selection. */
+    double demotionPenalty = 2.0;
+};
+
+/** Which evidence source backed a prediction. */
+enum class Source {
+    Exact,        ///< this key's own recorded winner
+    Interpolated, ///< a neighbouring bucket's recorded winner
+    Model,        ///< the per-device-class linear model
+};
+
+/** Stable lower-case name of @p source (e.g. "interpolated"). */
+const char *sourceName(Source source);
+
+/** One actionable prediction. */
+struct Prediction
+{
+    std::string variant; ///< predicted winning variant (by name)
+    double confidence = 0.0; ///< calibrated, in [0, 1]
+    Source source = Source::Exact;
+    /** Bucket distance of the seeding winner (0 unless interpolated). */
+    unsigned distance = 0;
+};
+
+/**
+ * The online selection predictor.
+ */
+class SelectionPredictor
+{
+  public:
+    explicit SelectionPredictor(PredictorConfig cfg = PredictorConfig());
+
+    const PredictorConfig &config() const { return cfg_; }
+
+    /**
+     * Attach kernel-structure features for @p signature (idempotent;
+     * typically called with Runtime::findKernelInfo() output on the
+     * serving path).  Signatures without features still predict from
+     * recorded winners; only the model's generalization suffers.
+     */
+    void noteKernel(const std::string &signature,
+                    const compiler::KernelInfo &info);
+
+    /**
+     * Predict the winning variant for (@p signature, @p fingerprint,
+     * @p bucket), or nullopt when no evidence source has anything to
+     * say.  The caller compares Prediction::confidence against
+     * config().threshold -- predictions below it are still returned
+     * (shadow evaluation and diagnostics want them).
+     */
+    std::optional<Prediction> predict(const std::string &signature,
+                                      const std::string &fingerprint,
+                                      unsigned bucket) const;
+
+    /**
+     * Training feed: one completed profiling pass, as recorded by the
+     * store.  Shadow-evaluates the predictor against the example
+     * (calibration), remembers the winner, and updates the model.
+     * Wired to SelectionStore::setProfileObserver by the serving
+     * layer.
+     */
+    void observeProfile(const store::SelectionRecord &rec);
+
+    /**
+     * Corrective feed: a *predicted* selection misbehaved (launch
+     * failure or drift) and was demoted to a forced re-profile.
+     * Erases the remembered winner for the key, pushes the model away
+     * from it, and charges the calibration penalty.  The re-profile
+     * that follows lands back in observeProfile() as the corrective
+     * example.
+     */
+    void observeDemotion(const std::string &signature,
+                         const std::string &fingerprint, unsigned bucket);
+
+    /** Training examples consumed (observeProfile calls). */
+    std::uint64_t trainingExamples() const;
+
+    /** Demotions consumed (observeDemotion calls). */
+    std::uint64_t demotions() const;
+
+    /**
+     * Current calibration factor in [0, 1]: the smoothed shadow hit
+     * rate every raw confidence is multiplied by.
+     */
+    double calibration() const;
+
+    /** Recorded (signature, fingerprint, bucket) winners. */
+    std::size_t winnerCount() const;
+
+    /** Drop all learned state (winners, model, calibration). */
+    void clear();
+
+    /** Serialize the learned state (deterministic order). */
+    support::Json toJson() const;
+
+    /**
+     * Replace the learned state from toJson() output.  Throws
+     * std::runtime_error on a malformed document; the previous state
+     * is left untouched.  The config is not persisted -- thresholds
+     * are operator knobs, not learned state.
+     */
+    void loadJson(const support::Json &doc);
+
+  private:
+    /** (signature, device fingerprint, bucket). */
+    using Key = std::tuple<std::string, std::string, unsigned>;
+    /** (device class, variant name). */
+    using ClassVariant = std::pair<unsigned, std::string>;
+
+    std::optional<Prediction>
+    predictLocked(const std::string &signature,
+                  const std::string &fingerprint, unsigned bucket) const;
+
+    /** Feature vector of one prediction key.  Caller holds the lock. */
+    FeatureVector featuresLocked(const std::string &signature,
+                                 unsigned bucket,
+                                 unsigned deviceClass) const;
+
+    double calibrationLocked() const;
+
+    mutable std::mutex mu;
+    PredictorConfig cfg_;
+    /** Kernel-structure features per signature (noteKernel). */
+    std::map<std::string, FeatureVector> kernelFeats;
+    /** Recorded winner per exact key. */
+    std::map<Key, std::string> winners;
+    /** Linear model: one weight vector per (device class, variant). */
+    std::map<ClassVariant, FeatureVector> weights;
+    std::uint64_t examples_ = 0;
+    std::uint64_t demotions_ = 0;
+    double shadowCorrect_ = 0.0;
+    double shadowTotal_ = 0.0;
+};
+
+} // namespace predict
+} // namespace dysel

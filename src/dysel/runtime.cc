@@ -92,6 +92,13 @@ Runtime::findVariants(const std::string &signature) const noexcept
     return entry ? &entry->variants : nullptr;
 }
 
+const compiler::KernelInfo *
+Runtime::findKernelInfo(const std::string &signature) const noexcept
+{
+    const KernelEntry *entry = findEntry(signature);
+    return entry && entry->hasInfo ? &entry->info : nullptr;
+}
+
 const Runtime::KernelEntry *
 Runtime::findEntry(const std::string &signature) const noexcept
 {

@@ -133,6 +133,15 @@ class Runtime
     findVariants(const std::string &signature) const noexcept;
 
     /**
+     * The compiler-produced KernelInfo registered with @p signature,
+     * or nullptr when the signature is unknown or was registered
+     * without one.  Feeds the selection predictor's feature
+     * extraction on the serving path.
+     */
+    const compiler::KernelInfo *
+    findKernelInfo(const std::string &signature) const noexcept;
+
+    /**
      * Launch a kernel over @p total_units workload units
      * (DySelLaunchKernel), the fallible entry point.  Runs the
      * device's event loop to completion; on success fills @p report.

@@ -20,6 +20,9 @@ using support::Json;
 unsigned
 bucketOf(std::uint64_t units)
 {
+    // floor(log2(units)); 0 and 1 unit share bucket 0 (a 0-unit
+    // launch is degenerate but must not wrap or trap).  The highest
+    // representable bucket is 63 (units >= 2^63).
     unsigned b = 0;
     while (units > 1) {
         units >>= 1;
@@ -31,12 +34,24 @@ bucketOf(std::uint64_t units)
 std::pair<std::uint64_t, std::uint64_t>
 bucketRange(unsigned bucket)
 {
+    // Clamp at both ends rather than shifting by >= 64 (undefined
+    // behaviour) or letting `lo * 2 - 1` wrap past 2^64: out-of-range
+    // bucket indices from interpolation arithmetic must degrade to
+    // the edge buckets, not alias small ones.
     if (bucket == 0)
         return {0, 1};
     if (bucket >= 63)
         return {std::uint64_t{1} << 63, ~std::uint64_t{0}};
     const std::uint64_t lo = std::uint64_t{1} << bucket;
     return {lo, lo * 2 - 1};
+}
+
+std::uint64_t
+unitsForBucket(unsigned bucket)
+{
+    if (bucket == 0)
+        return 1;
+    return bucketRange(bucket).first;
 }
 
 const char *
@@ -73,36 +88,81 @@ SelectionStore::recordProfile(const std::string &device,
 {
     if (!report.profiled || report.selected < 0)
         return;
+    SelectionRecord snapshot;
+    std::function<void(const SelectionRecord &)> observer;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        const unsigned bucket = bucketOf(report.totalUnits);
+        SelectionRecord &rec =
+            recs[Key{report.signature, device, bucket}];
+        rec.signature = report.signature;
+        rec.device = device;
+        rec.bucket = bucket;
+        rec.selected = report.selected;
+        rec.selectedName = report.selectedName;
+        rec.profiles.clear();
+        rec.profiles.reserve(report.profiles.size());
+        for (const auto &p : report.profiles) {
+            StoredProfile sp;
+            sp.name = p.name;
+            sp.metricNs = static_cast<double>(p.metric);
+            sp.spanNs = static_cast<double>(p.span);
+            sp.busyNs = static_cast<double>(p.busy);
+            sp.units = p.units;
+            rec.profiles.push_back(std::move(sp));
+        }
+        rec.launches++;
+        rec.profiledLaunches++;
+        // A fresh profile starts a fresh observation history and lifts
+        // any quarantine: the offending variant competed again and the
+        // measurements above are the new truth.  It also supersedes
+        // any prediction -- this record is measured now.
+        rec.confidence = 0;
+        rec.unitTimeNs = 0.0;
+        rec.valid = true;
+        rec.quarantinedVariant = -1;
+        rec.cooldownLeft = 0;
+        rec.predicted = false;
+        rec.predictedConfidence = 0.0;
+        if (profileObserver) {
+            snapshot = rec;
+            observer = profileObserver;
+        }
+    }
+    // Training feed outside the lock: the observer (the predictor)
+    // may take its own locks or call back into the store.
+    if (observer)
+        observer(snapshot);
+}
+
+void
+SelectionStore::seedPrediction(const std::string &signature,
+                               const std::string &device,
+                               std::uint64_t units, int variantIndex,
+                               const std::string &variantName,
+                               double confidence)
+{
+    if (variantIndex < 0 || variantName.empty())
+        return;
     std::lock_guard<std::mutex> lock(mu);
-    const unsigned bucket = bucketOf(report.totalUnits);
-    SelectionRecord &rec =
-        recs[Key{report.signature, device, bucket}];
-    rec.signature = report.signature;
+    const unsigned bucket = bucketOf(units);
+    SelectionRecord &rec = recs[Key{signature, device, bucket}];
+    if (rec.valid && !rec.signature.empty() && !rec.predicted)
+        return; // a measured record outranks any prediction
+    const std::uint64_t launches = rec.launches;
+    const std::uint64_t profiled = rec.profiledLaunches;
+    const std::uint64_t quarantines = rec.quarantines;
+    rec = SelectionRecord();
+    rec.signature = signature;
     rec.device = device;
     rec.bucket = bucket;
-    rec.selected = report.selected;
-    rec.selectedName = report.selectedName;
-    rec.profiles.clear();
-    rec.profiles.reserve(report.profiles.size());
-    for (const auto &p : report.profiles) {
-        StoredProfile sp;
-        sp.name = p.name;
-        sp.metricNs = static_cast<double>(p.metric);
-        sp.spanNs = static_cast<double>(p.span);
-        sp.busyNs = static_cast<double>(p.busy);
-        sp.units = p.units;
-        rec.profiles.push_back(std::move(sp));
-    }
-    rec.launches++;
-    rec.profiledLaunches++;
-    // A fresh profile starts a fresh observation history and lifts
-    // any quarantine: the offending variant competed again and the
-    // measurements above are the new truth.
-    rec.confidence = 0;
-    rec.unitTimeNs = 0.0;
-    rec.valid = true;
-    rec.quarantinedVariant = -1;
-    rec.cooldownLeft = 0;
+    rec.selected = variantIndex;
+    rec.selectedName = variantName;
+    rec.launches = launches;
+    rec.profiledLaunches = profiled;
+    rec.quarantines = quarantines;
+    rec.predicted = true;
+    rec.predictedConfidence = confidence;
 }
 
 void
@@ -160,41 +220,70 @@ SelectionStore::observePlain(const std::string &device,
 {
     if (report.profiled || report.totalUnits == 0)
         return Observation::Ok;
-    std::lock_guard<std::mutex> lock(mu);
-    auto it = recs.find(
-        Key{report.signature, device, bucketOf(report.totalUnits)});
-    if (it == recs.end() || !it->second.valid)
-        return Observation::Ok; // nothing to check against
-    SelectionRecord &rec = it->second;
-    rec.launches++;
+    Observation result = Observation::Ok;
+    SelectionRecord demoted;
+    std::function<void(const SelectionRecord &)> observer;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = recs.find(
+            Key{report.signature, device, bucketOf(report.totalUnits)});
+        if (it == recs.end() || !it->second.valid)
+            return Observation::Ok; // nothing to check against
+        SelectionRecord &rec = it->second;
+        rec.launches++;
 
-    const double observed = static_cast<double>(report.elapsed())
-                            / static_cast<double>(report.totalUnits);
-    const bool seeding = rec.unitTimeNs <= 0.0;
-    if (!seeding) {
-        const double ratio = observed > rec.unitTimeNs
-                                 ? observed / rec.unitTimeNs
-                                 : rec.unitTimeNs / observed;
-        if (ratio > cfg_.driftFactor)
-            return demoteLocked(rec);
+        const double observed =
+            static_cast<double>(report.elapsed())
+            / static_cast<double>(report.totalUnits);
+        const bool seeding = rec.unitTimeNs <= 0.0;
+        bool driftDemotion = false;
+        if (!seeding) {
+            const double ratio = observed > rec.unitTimeNs
+                                     ? observed / rec.unitTimeNs
+                                     : rec.unitTimeNs / observed;
+            driftDemotion = ratio > cfg_.driftFactor;
+        }
+        if (driftDemotion) {
+            // A drifted *predicted* selection is a mis-prediction:
+            // snapshot the record first so the corrective feed sees
+            // the variant that was wrong.
+            if (rec.predicted && demotionObserver) {
+                demoted = rec;
+                observer = demotionObserver;
+            }
+            result = demoteLocked(rec);
+        } else if (rec.predicted
+                   && cfg_.predictedProbationLaunches > 0
+                   && rec.launches >= cfg_.predictedProbationLaunches) {
+            // Probation over: force a confirming profile.  Scheduled
+            // validation, not a mis-prediction -- no demotion feed.
+            invalidateLocked(rec);
+            result = Observation::Invalidated;
+        } else {
+            if (seeding) {
+                // First plain run after (re-)profiling seeds the
+                // baseline.
+                rec.unitTimeNs = observed;
+                rec.confidence = 1;
+            } else {
+                rec.unitTimeNs = (1.0 - cfg_.emaAlpha) * rec.unitTimeNs
+                                 + cfg_.emaAlpha * observed;
+                if (rec.confidence < cfg_.maxConfidence)
+                    rec.confidence++;
+            }
+            if (rec.quarantinedVariant >= 0
+                && --rec.cooldownLeft == 0) {
+                // Cooldown over: force a fresh profile so the
+                // quarantined variant gets re-evaluated instead of
+                // being exiled forever.
+                invalidateLocked(rec);
+                result = Observation::Invalidated;
+            }
+        }
     }
-    if (seeding) {
-        // First plain run after (re-)profiling seeds the baseline.
-        rec.unitTimeNs = observed;
-        rec.confidence = 1;
-    } else {
-        rec.unitTimeNs = (1.0 - cfg_.emaAlpha) * rec.unitTimeNs
-                         + cfg_.emaAlpha * observed;
-        if (rec.confidence < cfg_.maxConfidence)
-            rec.confidence++;
-    }
-    if (rec.quarantinedVariant >= 0 && --rec.cooldownLeft == 0) {
-        // Cooldown over: force a fresh profile so the quarantined
-        // variant gets re-evaluated instead of being exiled forever.
-        invalidateLocked(rec);
-        return Observation::Invalidated;
-    }
-    return Observation::Ok;
+    if (observer)
+        observer(demoted);
+    return result;
 }
 
 Observation
@@ -202,11 +291,23 @@ SelectionStore::reportFailure(const std::string &signature,
                               const std::string &device,
                               std::uint64_t units)
 {
-    std::lock_guard<std::mutex> lock(mu);
-    auto it = recs.find(Key{signature, device, bucketOf(units)});
-    if (it == recs.end() || !it->second.valid)
-        return Observation::Ok;
-    return demoteLocked(it->second);
+    Observation result = Observation::Ok;
+    SelectionRecord demoted;
+    std::function<void(const SelectionRecord &)> observer;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = recs.find(Key{signature, device, bucketOf(units)});
+        if (it == recs.end() || !it->second.valid)
+            return Observation::Ok;
+        if (it->second.predicted && demotionObserver) {
+            demoted = it->second;
+            observer = demotionObserver;
+        }
+        result = demoteLocked(it->second);
+    }
+    if (observer)
+        observer(demoted);
+    return result;
 }
 
 void
@@ -225,23 +326,34 @@ SelectionStore::blacklistVariant(const std::string &signature,
                                  const std::string &device,
                                  const std::string &reason)
 {
-    std::lock_guard<std::mutex> lock(mu);
-    BlacklistEntry &e = blacklist[BlKey{signature, variant, device}];
-    e.signature = signature;
-    e.variant = variant;
-    e.device = device;
-    e.reason = reason;
-    e.strikes++;
-    // A record serving the blacklisted variant must never warm-start
-    // anyone again, whatever its bucket: force a miss, which forces a
-    // re-profile that excludes the variant.
-    for (auto &[key, rec] : recs) {
-        (void)key;
-        if (rec.signature == signature && rec.device == device
-            && rec.valid && rec.selectedName == variant) {
-            invalidateLocked(rec);
+    std::vector<SelectionRecord> demotedPredictions;
+    std::function<void(const SelectionRecord &)> observer;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        BlacklistEntry &e =
+            blacklist[BlKey{signature, variant, device}];
+        e.signature = signature;
+        e.variant = variant;
+        e.device = device;
+        e.reason = reason;
+        e.strikes++;
+        // A record serving the blacklisted variant must never
+        // warm-start anyone again, whatever its bucket: force a miss,
+        // which forces a re-profile that excludes the variant.
+        for (auto &[key, rec] : recs) {
+            (void)key;
+            if (rec.signature == signature && rec.device == device
+                && rec.valid && rec.selectedName == variant) {
+                if (rec.predicted && demotionObserver)
+                    demotedPredictions.push_back(rec);
+                invalidateLocked(rec);
+            }
         }
+        if (!demotedPredictions.empty())
+            observer = demotionObserver;
     }
+    for (const auto &rec : demotedPredictions)
+        observer(rec);
 }
 
 bool
@@ -288,11 +400,49 @@ SelectionStore::blacklistSize() const
 }
 
 void
+SelectionStore::setProfileObserver(
+    std::function<void(const SelectionRecord &)> observer)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    profileObserver = std::move(observer);
+}
+
+void
+SelectionStore::setDemotionObserver(
+    std::function<void(const SelectionRecord &)> observer)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    demotionObserver = std::move(observer);
+}
+
+void
+SelectionStore::setExtension(const std::string &name,
+                             support::Json value)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (value.isNull())
+        extensions.erase(name);
+    else
+        extensions[name] = std::move(value);
+}
+
+std::optional<support::Json>
+SelectionStore::extension(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = extensions.find(name);
+    if (it == extensions.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
 SelectionStore::clear()
 {
     std::lock_guard<std::mutex> lock(mu);
     recs.clear();
     blacklist.clear();
+    extensions.clear();
 }
 
 std::size_t
@@ -372,6 +522,8 @@ SelectionStore::toJson() const
         jr.set("quarantined_variant", Json(rec.quarantinedVariant));
         jr.set("cooldown_left", Json(rec.cooldownLeft));
         jr.set("quarantines", Json(rec.quarantines));
+        jr.set("predicted", Json(rec.predicted));
+        jr.set("predicted_confidence", Json(rec.predictedConfidence));
         arr.push(std::move(jr));
     }
     Json blarr = Json::array();
@@ -386,9 +538,15 @@ SelectionStore::toJson() const
         blarr.push(std::move(jb));
     }
     Json root = Json::object();
-    root.set("version", Json(3));
+    root.set("version", Json(4));
     root.set("records", std::move(arr));
     root.set("blacklist", std::move(blarr));
+    if (!extensions.empty()) {
+        Json ext = Json::object();
+        for (const auto &[name, value] : extensions)
+            ext.set(name, value);
+        root.set("extensions", std::move(ext));
+    }
     return root;
 }
 
@@ -396,10 +554,11 @@ void
 SelectionStore::loadJson(const Json &doc)
 {
     // Version 2 added the quarantine fields; version 3 the variant
-    // blacklist.  Older documents load with the missing state at
-    // rest.
+    // blacklist; version 4 the predicted-selection fields and the
+    // extensions object.  Older documents load with the missing
+    // state at rest.
     const auto version = doc.isObject() ? doc.intOr("version", 0) : 0;
-    if (version < 1 || version > 3)
+    if (version < 1 || version > 4)
         throw std::runtime_error(
             "selection store: unsupported document version");
     std::map<Key, SelectionRecord> loaded;
@@ -419,6 +578,9 @@ SelectionStore::loadJson(const Json &doc)
             static_cast<int>(jr.intOr("quarantined_variant", -1));
         rec.cooldownLeft = jr.intOr("cooldown_left", 0);
         rec.quarantines = jr.intOr("quarantines", 0);
+        rec.predicted = jr.boolOr("predicted", false);
+        rec.predictedConfidence =
+            jr.numberOr("predicted_confidence", 0.0);
         if (jr.has("profiles")) {
             for (const Json &jp : jr.at("profiles").items()) {
                 StoredProfile sp;
@@ -446,11 +608,17 @@ SelectionStore::loadJson(const Json &doc)
             loadedBl[std::move(key)] = std::move(e);
         }
     }
+    std::map<std::string, Json> loadedExt;
+    if (doc.has("extensions")) {
+        for (const auto &[name, value] : doc.at("extensions").fields())
+            loadedExt[name] = value;
+    }
     // Everything parsed; only now replace the contents (a malformed
     // document above must not leave a half-loaded store).
     std::lock_guard<std::mutex> lock(mu);
     recs = std::move(loaded);
     blacklist = std::move(loadedBl);
+    extensions = std::move(loadedExt);
 }
 
 namespace {

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -43,6 +44,14 @@ unsigned bucketOf(std::uint64_t units);
 /** Inclusive [lo, hi] unit range covered by @p bucket. */
 std::pair<std::uint64_t, std::uint64_t> bucketRange(unsigned bucket);
 
+/**
+ * Smallest launchable unit count that maps to @p bucket: the low edge
+ * of the bucket's range, except 1 for bucket 0 (0 units is a
+ * degenerate launch).  Inverse of bucketOf() for interpolation
+ * arithmetic: bucketOf(unitsForBucket(b)) == min(b, 63) for every b.
+ */
+std::uint64_t unitsForBucket(unsigned bucket);
+
 /** Store tuning knobs. */
 struct StoreConfig
 {
@@ -65,6 +74,14 @@ struct StoreConfig
      * fresh profile to re-evaluate the quarantined variant).
      */
     std::uint64_t quarantineCooldown = 8;
+
+    /**
+     * Plain launches a *predicted* record (seedPrediction) serves
+     * before it is invalidated to force a confirming profile;
+     * 0 leaves predicted records in place until drift, failure, or a
+     * blacklist catches them.
+     */
+    std::uint64_t predictedProbationLaunches = 0;
 };
 
 /** What observePlain() / reportFailure() did to the record. */
@@ -136,6 +153,17 @@ struct SelectionRecord
     std::uint64_t cooldownLeft = 0;
     /** Times this record's selection was quarantined, lifetime. */
     std::uint64_t quarantines = 0;
+
+    /**
+     * True when the selection was seeded by the predictor
+     * (seedPrediction) rather than measured by a profiling pass.
+     * Cleared by the next recordProfile() of the key.  Predicted
+     * records carry no profiles, so any demotion invalidates them --
+     * a bad prediction always falls back to a forced profile.
+     */
+    bool predicted = false;
+    /** Calibrated confidence the prediction carried (0 if measured). */
+    double predictedConfidence = 0.0;
 };
 
 /**
@@ -176,10 +204,25 @@ class SelectionStore
     /**
      * Ingest a profiled launch: create or refresh the record for the
      * report's (signature, bucket) on @p device.  Ignores reports
-     * that did not profile.
+     * that did not profile.  Fires the profile observer (the
+     * predictor's training feed) outside the store lock.
      */
     void recordProfile(const std::string &device,
                        const runtime::LaunchReport &report);
+
+    /**
+     * Seed a *predicted* selection for (@p signature, @p device,
+     * bucketOf(@p units)): a valid record that serves @p variantName
+     * without any profiling having run.  No-op when a valid record
+     * already covers the key (measurements outrank predictions).
+     * The record carries no per-variant profiles, so the first drift
+     * or failure invalidates it outright -- the safety net for a bad
+     * prediction is a forced profile, never a guessier guess.
+     */
+    void seedPrediction(const std::string &signature,
+                        const std::string &device, std::uint64_t units,
+                        int variantIndex, const std::string &variantName,
+                        double confidence);
 
     /**
      * Ingest a plain (cache-served) launch: update the throughput
@@ -236,6 +279,38 @@ class SelectionStore
 
     /** Number of blacklist entries. */
     std::size_t blacklistSize() const;
+
+    /**
+     * Observer of every completed profiling pass, called with a copy
+     * of the freshly refreshed record *after* the store lock is
+     * released (the callback may call back into the store).  This is
+     * the predictor's training-example feed -- the store's own
+     * history, not a parallel log.  One observer; empty disables.
+     */
+    void setProfileObserver(
+        std::function<void(const SelectionRecord &)> observer);
+
+    /**
+     * Observer of predicted-record demotions: called, outside the
+     * lock, with a copy of the record as it was *before* demotion
+     * whenever a record with predicted == true is quarantined or
+     * invalidated by drift, failure, or a blacklist.  Probation
+     * expiry (predictedProbationLaunches) does not fire it -- that is
+     * scheduled confirmation, not a mis-prediction.
+     */
+    void setDemotionObserver(
+        std::function<void(const SelectionRecord &)> observer);
+
+    /**
+     * Attach an extension document persisted with the store (format
+     * version 4): a named payload such as the selection predictor's
+     * learned model.  Null @p value removes the extension.
+     */
+    void setExtension(const std::string &name, support::Json value);
+
+    /** Extension payload by name, or nullopt. */
+    std::optional<support::Json>
+    extension(const std::string &name) const;
 
     /** Remove every record. */
     void clear();
@@ -301,6 +376,9 @@ class SelectionStore
     StoreConfig cfg_;
     std::map<Key, SelectionRecord> recs;
     std::map<BlKey, BlacklistEntry> blacklist;
+    std::map<std::string, support::Json> extensions;
+    std::function<void(const SelectionRecord &)> profileObserver;
+    std::function<void(const SelectionRecord &)> demotionObserver;
     mutable std::uint64_t hits_ = 0;
     mutable std::uint64_t misses_ = 0;
     std::uint64_t drifts_ = 0;

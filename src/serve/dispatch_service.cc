@@ -58,6 +58,26 @@ wallNowNs()
             .count());
 }
 
+/** Fixed-precision rendering of a confidence (trace attributes). */
+std::string
+confStr(double c)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%.3f", c);
+    return buf;
+}
+
+/**
+ * The worker currently driving this thread, for observers that fire
+ * from inside store calls (e.g. the predicted-selection demotion
+ * feed): runJob() stamps these so the observer can emit a tracer
+ * instant on the right track, with the right device clock, correlated
+ * to the job that triggered the demotion.
+ */
+thread_local std::uint64_t tlJobId = 0;
+thread_local std::uint64_t tlTraceTrack = 0;
+thread_local sim::Device *tlDevice = nullptr;
+
 } // namespace
 
 bool
@@ -122,6 +142,51 @@ DispatchService::DispatchService(store::SelectionStore &st,
 DispatchService::~DispatchService()
 {
     stop();
+    if (predictor_) {
+        // The store outlives the service: drop the observers that
+        // capture `this` before they can dangle.
+        store_.setProfileObserver(nullptr);
+        store_.setDemotionObserver(nullptr);
+    }
+}
+
+void
+DispatchService::setPredictor(predict::SelectionPredictor *predictor)
+{
+    if (started.load(std::memory_order_acquire))
+        throw std::logic_error(
+            "DispatchService: setPredictor after start()");
+    predictor_ = predictor;
+    if (!predictor_) {
+        store_.setProfileObserver(nullptr);
+        store_.setDemotionObserver(nullptr);
+        return;
+    }
+    // The training feed: every completed profiling pass the store
+    // records becomes one online training example.
+    store_.setProfileObserver([this](const store::SelectionRecord &rec) {
+        predictor_->observeProfile(rec);
+        reg.counter("predict.train").inc();
+    });
+    // The corrective feed: a predicted selection that drifted,
+    // failed, or got blacklisted is demoted back to a forced profile;
+    // tell the predictor so it unlearns the winner and pays the
+    // calibration penalty.
+    store_.setDemotionObserver(
+        [this](const store::SelectionRecord &rec) {
+            predictor_->observeDemotion(rec.signature, rec.device,
+                                        rec.bucket);
+            reg.counter("predict.demoted").inc();
+            if (tracer_.enabled() && tlDevice) {
+                tracer_.instant(
+                    tlTraceTrack, "predict.demoted", tlDevice->now(),
+                    tlJobId,
+                    {{"signature", rec.signature},
+                     {"variant", rec.selectedName},
+                     {"confidence",
+                      confStr(rec.predictedConfidence)}});
+            }
+        });
 }
 
 unsigned
@@ -622,6 +687,12 @@ DispatchService::runJob(unsigned idx, QueuedJob &qj)
     res.deviceIndex = idx;
     res.deviceName = w.dev->name();
 
+    // Stamp the thread-locals the store observers read: a demotion
+    // fired from a store call below must be traceable to this job.
+    tlJobId = job.id;
+    tlTraceTrack = w.traceTrack;
+    tlDevice = w.dev.get();
+
     w.flight.record(w.dev->now(), job.id, "register",
                     "sig=" + job.signature);
     try {
@@ -664,15 +735,79 @@ DispatchService::runJob(unsigned idx, QueuedJob &qj)
     };
 
     auto rec = lookupUsable();
+    const bool profilable =
+        job.units >= config.runtime.minUnitsForProfiling
+        && job.opt.profiling;
+
+    // Learned selection: on a profilable store miss, ask the
+    // predictor before paying for a profiling pass (or queueing up
+    // behind one).  A confident prediction seeds the store and the
+    // job runs warm with zero profiled units; the drift/guard
+    // machinery remains the safety net and demotes a bad prediction
+    // back to a forced profile.
+    if (!rec && predictor_ && profilable) {
+        if (const auto *info = w.rt->findKernelInfo(job.signature))
+            predictor_->noteKernel(job.signature, *info);
+        const auto pred = predictor_->predict(
+            job.signature, w.fingerprint,
+            store::bucketOf(job.units));
+        const bool confident =
+            pred
+            && pred->confidence >= predictor_->config().threshold;
+        if (confident) {
+            // Resolve the predicted variant by name; an unknown or
+            // blacklisted variant voids the prediction.
+            int variant = -1;
+            if (const auto *variants =
+                    w.rt->findVariants(job.signature)) {
+                for (std::size_t i = 0; i < variants->size(); ++i)
+                    if ((*variants)[i].name == pred->variant)
+                        variant = static_cast<int>(i);
+            }
+            const bool blocked =
+                variant < 0
+                || (w.rt->guard().enabled()
+                    && store_.isBlacklisted(job.signature,
+                                            pred->variant,
+                                            w.fingerprint));
+            if (!blocked) {
+                store_.seedPrediction(job.signature, w.fingerprint,
+                                      job.units, variant,
+                                      pred->variant,
+                                      pred->confidence);
+                rec = lookupUsable();
+            }
+        }
+        if (rec) {
+            res.predicted = true;
+            reg.counter("predict.hit").inc();
+            if (tracer_.enabled()) {
+                tracer_.instant(
+                    w.traceTrack, "predict.hit", w.dev->now(), job.id,
+                    {{"variant", pred->variant},
+                     {"confidence", confStr(pred->confidence)},
+                     {"source", predict::sourceName(pred->source)},
+                     {"distance", std::to_string(pred->distance)}});
+            }
+            w.flight.record(w.dev->now(), job.id, "predict",
+                            "hit variant=" + pred->variant);
+        } else {
+            reg.counter("predict.miss").inc();
+            if (tracer_.enabled()) {
+                tracer_.instant(
+                    w.traceTrack, "predict.miss", w.dev->now(),
+                    job.id,
+                    {{"confidence",
+                      pred ? confStr(pred->confidence) : "none"}});
+            }
+        }
+    }
 
     // Profiling coalescing: a miss on a profilable job bids for
     // leadership of its (signature, fingerprint, bucket).  Losers
     // wait for the leader's record and ride it warm; a leader that
     // failed to record hands leadership to one of its followers.
     CoalesceLease lease;
-    const bool profilable =
-        job.units >= config.runtime.minUnitsForProfiling
-        && job.opt.profiling;
     if (config.coalesce && profilable) {
         const std::string ckey = ProfileCoalescer::key(
             job.signature, w.fingerprint,

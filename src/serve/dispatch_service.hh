@@ -78,6 +78,7 @@
 #include <vector>
 
 #include "dysel/options.hh"
+#include "dysel/predict/predictor.hh"
 #include "dysel/report.hh"
 #include "dysel/runtime.hh"
 #include "dysel/store/selection_store.hh"
@@ -174,6 +175,12 @@ struct JobResult
     std::string deviceName;
     /** Selection came from the persistent store (no profiling ran). */
     bool warmStart = false;
+    /**
+     * The selection was seeded by the predictor (learned selection):
+     * the job ran warm without any profiling pass ever having covered
+     * its (signature, device, bucket) key.
+     */
+    bool predicted = false;
     /**
      * Job id of the profiling leader this job coalesced behind
      * (0 = the job did not ride another job's profiling pass).
@@ -326,6 +333,20 @@ class DispatchService
      */
     runtime::Runtime &runtimeAt(unsigned idx);
 
+    /**
+     * Attach a selection predictor (before start(); nullptr
+     * detaches).  The service wires the store's profile feed into the
+     * predictor as its online training stream and consults it on
+     * every profilable store miss: a prediction at or above the
+     * predictor's confidence threshold seeds the store and the job
+     * runs warm with zero profiled units (predict.hit); below it the
+     * job micro-profiles as usual (predict.miss).  A predicted
+     * selection that drifts, fails, or gets blacklisted is demoted to
+     * a forced profile and fed back as a corrective example
+     * (predict.demoted).  The predictor must outlive the service.
+     */
+    void setPredictor(predict::SelectionPredictor *predictor);
+
     /** Spawn one worker thread per device. */
     void start();
 
@@ -435,6 +456,7 @@ class DispatchService
 
     store::SelectionStore &store_;
     ServiceConfig config;
+    predict::SelectionPredictor *predictor_ = nullptr;
     support::MetricsRegistry reg;
     support::tracing::Tracer tracer_;
     ProfileCoalescer coalescer;

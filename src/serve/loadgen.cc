@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -19,18 +20,23 @@ namespace {
 
 constexpr std::uint32_t laneCount = 8;
 
-/** Marker kernel: writes `marker` into out[unit], burns flops. */
+/**
+ * Work kernel: writes a position digest into out[unit], burns flops.
+ * Every variant computes the SAME output -- variants differ only in
+ * cost -- so a run's output checksum is invariant under selection
+ * policy (which variant won, who profiled which slice) and compares
+ * across bench axes.
+ */
 kdp::KernelVariant
-markerKernel(const char *name, std::int32_t marker,
-             std::uint64_t flops_per_unit)
+workKernel(const char *name, std::uint64_t flops_per_unit)
 {
     kdp::KernelVariant v;
     v.name = name;
     v.groupSize = laneCount;
     v.waFactor = 1;
     v.sandboxIndex = {0};
-    v.fn = [marker, flops_per_unit](kdp::GroupCtx &g,
-                                    const kdp::KernelArgs &args) {
+    v.fn = [flops_per_unit](kdp::GroupCtx &g,
+                            const kdp::KernelArgs &args) {
         auto &out = args.buf<std::int32_t>(0);
         const auto units = static_cast<std::uint64_t>(args.scalarInt(1));
         for (std::uint64_t u = g.unitBase();
@@ -38,7 +44,10 @@ markerKernel(const char *name, std::int32_t marker,
             if (u >= units)
                 break;
             const auto lane = static_cast<std::uint32_t>(u % laneCount);
-            g.store(out, u, marker, lane);
+            g.store(out, u,
+                    static_cast<std::int32_t>((u * 2654435761ull)
+                                              & 0x7fffffff),
+                    lane);
             g.flops(lane, flops_per_unit);
         }
     };
@@ -65,6 +74,34 @@ percentile(std::vector<double> &sorted, double p)
         p * static_cast<double>(sorted.size() - 1));
     return sorted[idx];
 }
+
+/** FNV-1a 64-bit over one job's output values. */
+std::uint64_t
+outputHash(const kdp::Buffer<std::int32_t> &out, std::uint64_t units)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::uint64_t u = 0; u < units; ++u) {
+        auto v = static_cast<std::uint32_t>(out.at(u));
+        for (int byte = 0; byte < 4; ++byte) {
+            h ^= (v >> (8 * byte)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    }
+    return h;
+}
+
+/** 16-hex-digit rendering (JSON-safe: doubles lose 64-bit ints). */
+std::string
+hex16(std::uint64_t h)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+LoadGenReport runImpl(const LoadGenConfig &cfg,
+                      predict::SelectionPredictor *predictor);
 
 } // namespace
 
@@ -94,6 +131,10 @@ LoadGenReport::toJson() const
                                   : "block"));
     cfg.set("fault_rate", Json(config.faultRate));
     cfg.set("seed", Json(static_cast<double>(config.seed)));
+    cfg.set("predict", Json(config.predict));
+    cfg.set("predict_threshold", Json(config.predictThreshold));
+    cfg.set("pretrain_laps",
+            Json(static_cast<double>(config.pretrainLaps)));
 
     Json jobs = Json::object();
     jobs.set("submitted", Json(static_cast<double>(jobsSubmitted)));
@@ -109,6 +150,13 @@ LoadGenReport::toJson() const
     coalesce.set("hits", Json(static_cast<double>(coalesceHits)));
     coalesce.set("hit_rate", Json(coalesceHitRate));
 
+    Json predict = Json::object();
+    predict.set("hits", Json(static_cast<double>(predictHits)));
+    predict.set("misses", Json(static_cast<double>(predictMisses)));
+    predict.set("demotions",
+                Json(static_cast<double>(predictDemotions)));
+    predict.set("trained", Json(static_cast<double>(predictTrained)));
+
     Json out = Json::object();
     out.set("config", std::move(cfg));
     out.set("jobs", std::move(jobs));
@@ -120,12 +168,18 @@ LoadGenReport::toJson() const
     out.set("total_units", Json(static_cast<double>(totalUnits)));
     out.set("profiled_unit_ratio", Json(profiledUnitRatio));
     out.set("store_hits", Json(static_cast<double>(storeHits)));
+    out.set("store_hit_rate", Json(storeHitRate));
     out.set("coalesce", std::move(coalesce));
+    out.set("predict", std::move(predict));
+    out.set("output_checksum", Json(hex16(outputChecksum)));
     return out;
 }
 
+namespace {
+
 LoadGenReport
-runLoadGen(const LoadGenConfig &cfg)
+runImpl(const LoadGenConfig &cfg,
+        predict::SelectionPredictor *predictor)
 {
     using clock = std::chrono::steady_clock;
 
@@ -137,6 +191,8 @@ runLoadGen(const LoadGenConfig &cfg)
     scfg.admission = cfg.admission;
     scfg.runtime.guard.enabled = cfg.guard;
     DispatchService svc(store, scfg);
+    if (predictor)
+        svc.setPredictor(predictor);
 
     sim::FaultConfig fcfg;
     fcfg.launchFailProb = cfg.faultRate;
@@ -161,13 +217,12 @@ runLoadGen(const LoadGenConfig &cfg)
     for (unsigned d = 0; d < cfg.devices; ++d) {
         auto &rt = svc.runtimeAt(d);
         for (const auto &sig : sigs) {
-            rt.addKernel(sig, markerKernel("fast", 1, cfg.fastFlops));
+            rt.addKernel(sig, workKernel("fast", cfg.fastFlops));
             for (unsigned v = 1; v < variants; ++v) {
                 const std::string name = "slow" + std::to_string(v);
-                rt.addKernel(
-                    sig, markerKernel(name.c_str(),
-                                      static_cast<std::int32_t>(v + 1),
-                                      cfg.slowFlops * v));
+                rt.addKernel(sig,
+                             workKernel(name.c_str(),
+                                        cfg.slowFlops * v));
             }
             rt.setKernelInfo(sig, regularInfo(sig));
         }
@@ -186,6 +241,7 @@ runLoadGen(const LoadGenConfig &cfg)
         std::uint64_t shed = 0;
         std::uint64_t profiledUnits = 0;
         std::uint64_t totalUnits = 0;
+        std::uint64_t checksum = 0;
     };
     std::vector<SubmitterStats> stats(cfg.submitters);
 
@@ -231,8 +287,14 @@ runLoadGen(const LoadGenConfig &cfg)
                         .count());
                 st.totalUnits += units;
                 st.profiledUnits += r.report.profiledUnits;
-                if (r.ok())
+                if (r.ok()) {
                     st.completed++;
+                    // XOR-combine per-job digests: order-independent
+                    // across submitter/device interleavings, so the
+                    // run checksum only depends on what each job
+                    // computed -- not on scheduling.
+                    st.checksum ^= outputHash(out, units);
+                }
                 else if (r.status.code()
                          == support::StatusCode::ResourceExhausted)
                     st.shed++;
@@ -259,6 +321,7 @@ runLoadGen(const LoadGenConfig &cfg)
         rep.jobsShed += st.shed;
         rep.profiledUnits += st.profiledUnits;
         rep.totalUnits += st.totalUnits;
+        rep.outputChecksum ^= st.checksum;
         latencies.insert(latencies.end(), st.latenciesUs.begin(),
                          st.latenciesUs.end());
     }
@@ -283,12 +346,49 @@ runLoadGen(const LoadGenConfig &cfg)
     rep.coalesceFollowers = m.counterValue("coalesce.follower");
     rep.coalesceHits = m.counterValue("coalesce.hit");
     rep.storeHits = m.counterValue("store.hit");
+    rep.storeHitRate =
+        rep.jobsSubmitted > 0
+            ? static_cast<double>(rep.storeHits)
+                  / static_cast<double>(rep.jobsSubmitted)
+            : 0.0;
+    rep.predictHits = m.counterValue("predict.hit");
+    rep.predictMisses = m.counterValue("predict.miss");
+    rep.predictDemotions = m.counterValue("predict.demoted");
+    rep.predictTrained = m.counterValue("predict.train");
     const std::uint64_t bids = rep.coalesceHits + rep.coalesceLeaders;
     rep.coalesceHitRate =
         bids > 0 ? static_cast<double>(rep.coalesceHits)
                        / static_cast<double>(bids)
                  : 0.0;
     return rep;
+}
+
+} // namespace
+
+LoadGenReport
+runLoadGen(const LoadGenConfig &cfg)
+{
+    if (!cfg.predict)
+        return runImpl(cfg, nullptr);
+
+    predict::PredictorConfig pcfg;
+    pcfg.threshold = cfg.predictThreshold;
+    predict::SelectionPredictor predictor(pcfg);
+    if (cfg.pretrainLaps > 0) {
+        // Warm-up laps against a throwaway service/store: one sweep
+        // over every (signature, size class) per lap.  Only the
+        // predictor's learned state carries into the measured run --
+        // the measured store still starts cold, so every skipped
+        // profiling pass there is the predictor's doing.
+        LoadGenConfig warm = cfg;
+        warm.sweep = true;
+        warm.jobsPerSubmitter =
+            static_cast<std::uint64_t>(std::max(1u, cfg.signatures))
+            * std::max(1u, cfg.sizeClasses) * cfg.pretrainLaps;
+        warm.pretrainLaps = 0;
+        (void)runImpl(warm, &predictor);
+    }
+    return runImpl(cfg, &predictor);
 }
 
 } // namespace serve

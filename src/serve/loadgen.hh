@@ -102,6 +102,25 @@ struct LoadGenConfig
 
     /** Seed for the submitters' signature/size draws (and faults). */
     std::uint64_t seed = 1;
+
+    /**
+     * Attach a SelectionPredictor to the service (learned selection):
+     * profilable store misses with a confident prediction run warm
+     * with zero profiled units instead of micro-profiling.
+     */
+    bool predict = false;
+
+    /** Confidence gate of the attached predictor. */
+    double predictThreshold = 0.65;
+
+    /**
+     * Warm-up laps before the measured run: each lap sweeps every
+     * (signature, size class) once through a throwaway service so
+     * the predictor enters the measured run pretrained (the store
+     * does NOT carry over -- only the learned model does).  0 starts
+     * the predictor cold.  Only meaningful with predict.
+     */
+    unsigned pretrainLaps = 0;
 };
 
 /** What one run measured. */
@@ -136,6 +155,22 @@ struct LoadGenReport
 
     /** Store warm starts observed. */
     std::uint64_t storeHits = 0;
+    /** storeHits / jobsSubmitted: share of jobs served warm. */
+    double storeHitRate = 0.0;
+
+    /** Predictor activity (predict.* counters; 0 with predict off). */
+    std::uint64_t predictHits = 0;
+    std::uint64_t predictMisses = 0;
+    std::uint64_t predictDemotions = 0;
+    std::uint64_t predictTrained = 0;
+
+    /**
+     * Order-independent digest of every completed job's output
+     * buffer (per-job FNV-1a over out[0, units), XOR-combined), so
+     * runs that only differ in selection policy -- predictor on/off,
+     * coalescing on/off -- can assert byte-identical job outputs.
+     */
+    std::uint64_t outputChecksum = 0;
 
     /** Machine-readable form (the BENCH_service_throughput schema). */
     support::Json toJson() const;

@@ -78,6 +78,55 @@ TEST(Bucket, RangeRoundTrips)
     }
 }
 
+TEST(Bucket, ExactPowersOfTwoOpenTheirBucket)
+{
+    // 2^b is the *first* unit count of bucket b, not the last of
+    // b - 1: an off-by-one here silently halves interpolation
+    // distances at every boundary.
+    for (unsigned b = 1; b < 64; ++b) {
+        const std::uint64_t po2 = std::uint64_t{1} << b;
+        EXPECT_EQ(bucketOf(po2), b) << "2^" << b;
+        EXPECT_EQ(bucketOf(po2 - 1), b - 1) << "2^" << b << " - 1";
+    }
+}
+
+TEST(Bucket, HighBucketsDoNotWrap)
+{
+    // The uint64 edge: 2^63 and everything above it is bucket 63, and
+    // the range arithmetic must neither shift by >= 64 (UB) nor wrap
+    // `lo * 2 - 1` past 2^64 back to a small bucket.
+    EXPECT_EQ(bucketOf(std::uint64_t{1} << 62), 62u);
+    EXPECT_EQ(bucketOf(std::uint64_t{1} << 63), 63u);
+    EXPECT_EQ(bucketOf(~std::uint64_t{0}), 63u);
+
+    const auto [lo62, hi62] = bucketRange(62);
+    EXPECT_EQ(lo62, std::uint64_t{1} << 62);
+    EXPECT_EQ(hi62, (std::uint64_t{1} << 63) - 1);
+
+    const auto [lo63, hi63] = bucketRange(63);
+    EXPECT_EQ(lo63, std::uint64_t{1} << 63);
+    EXPECT_EQ(hi63, ~std::uint64_t{0});
+    EXPECT_GT(hi63, lo63); // i.e. did not wrap
+
+    // Out-of-range bucket indices (interpolation arithmetic can
+    // produce bucket + d > 63) clamp to the edge bucket instead of
+    // aliasing a small one.
+    EXPECT_EQ(bucketRange(64), bucketRange(63));
+    EXPECT_EQ(bucketRange(200), bucketRange(63));
+}
+
+TEST(Bucket, UnitsForBucketIsAnInverse)
+{
+    // unitsForBucket is the interpolation path's way back from a
+    // neighbouring bucket index to a representative unit count; it
+    // must land in exactly that bucket for every index, clamped
+    // included.  Bucket 0 maps to 1 unit, never the degenerate 0.
+    EXPECT_EQ(unitsForBucket(0), 1u);
+    for (unsigned b = 0; b < 70; ++b)
+        EXPECT_EQ(bucketOf(unitsForBucket(b)), std::min(b, 63u))
+            << "bucket " << b;
+}
+
 TEST(SelectionStore, LookupMissesThenHitsAfterProfile)
 {
     SelectionStore store;
@@ -500,4 +549,401 @@ TEST(SelectionStore, BlacklistSurvivesFileRoundTrip)
     EXPECT_TRUE(loaded.isBlacklisted("k", "oob-writer", kDev));
     EXPECT_EQ(loaded.blacklistSize(), 1u);
     std::remove(path.c_str());
+}
+
+namespace {
+
+/**
+ * Golden documents: the byte-for-byte shape each historical format
+ * version wrote, frozen as literals so a loader regression cannot
+ * hide behind toJson() changing in lockstep.  v1 predates quarantine,
+ * v2 predates the blacklist, v3 predates predictions / extensions.
+ */
+constexpr const char *kGoldenV1 = R"({
+  "records": [
+    {
+      "bucket": 11,
+      "confidence": 3,
+      "device": "cpu/test-device/c8@3.60GHz",
+      "launches": 7,
+      "profiled_launches": 2,
+      "profiles": [
+        {"busy_ns": 3900, "metric_ns": 4000, "name": "slow",
+         "span_ns": 4200, "units": 128},
+        {"busy_ns": 950, "metric_ns": 1000, "name": "fast",
+         "span_ns": 1100, "units": 128}
+      ],
+      "selected": 1,
+      "selected_name": "fast",
+      "signature": "gold",
+      "unit_time_ns": 12.5,
+      "valid": true
+    }
+  ],
+  "version": 1
+})";
+
+constexpr const char *kGoldenV2 = R"({
+  "records": [
+    {
+      "bucket": 11,
+      "confidence": 0,
+      "cooldown_left": 5,
+      "device": "cpu/test-device/c8@3.60GHz",
+      "launches": 9,
+      "profiled_launches": 1,
+      "profiles": [
+        {"busy_ns": 3900, "metric_ns": 4000, "name": "slow",
+         "span_ns": 4200, "units": 128},
+        {"busy_ns": 950, "metric_ns": 1000, "name": "fast",
+         "span_ns": 1100, "units": 128}
+      ],
+      "quarantined_variant": 1,
+      "quarantines": 1,
+      "selected": 0,
+      "selected_name": "slow",
+      "signature": "gold",
+      "unit_time_ns": 0.0,
+      "valid": true
+    }
+  ],
+  "version": 2
+})";
+
+constexpr const char *kGoldenV3 = R"({
+  "blacklist": [
+    {
+      "device": "cpu/test-device/c8@3.60GHz",
+      "reason": "redzone",
+      "signature": "gold",
+      "strikes": 2,
+      "variant": "oob-writer"
+    }
+  ],
+  "records": [
+    {
+      "bucket": 11,
+      "confidence": 3,
+      "cooldown_left": 0,
+      "device": "cpu/test-device/c8@3.60GHz",
+      "launches": 7,
+      "profiled_launches": 2,
+      "profiles": [
+        {"busy_ns": 3900, "metric_ns": 4000, "name": "slow",
+         "span_ns": 4200, "units": 128},
+        {"busy_ns": 950, "metric_ns": 1000, "name": "fast",
+         "span_ns": 1100, "units": 128}
+      ],
+      "quarantined_variant": -1,
+      "quarantines": 0,
+      "selected": 1,
+      "selected_name": "fast",
+      "signature": "gold",
+      "unit_time_ns": 12.5,
+      "valid": true
+    }
+  ],
+  "version": 3
+})";
+
+} // namespace
+
+TEST(SelectionStore, GoldenV1DocumentLoads)
+{
+    SelectionStore store;
+    store.loadJson(support::Json::parse(kGoldenV1));
+    ASSERT_EQ(store.size(), 1u);
+    auto rec = store.lookup("gold", kDev, 2048);
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(rec->selected, 1);
+    EXPECT_EQ(rec->selectedName, "fast");
+    EXPECT_EQ(rec->launches, 7u);
+    EXPECT_EQ(rec->profiledLaunches, 2u);
+    EXPECT_EQ(rec->confidence, 3u);
+    EXPECT_DOUBLE_EQ(rec->unitTimeNs, 12.5);
+    ASSERT_EQ(rec->profiles.size(), 2u);
+    EXPECT_EQ(rec->profiles[0].name, "slow");
+    EXPECT_DOUBLE_EQ(rec->profiles[1].metricNs, 1000.0);
+    // Fields v1 never wrote load at rest.
+    EXPECT_EQ(rec->quarantinedVariant, -1);
+    EXPECT_EQ(rec->cooldownLeft, 0u);
+    EXPECT_FALSE(rec->predicted);
+    EXPECT_EQ(store.blacklistSize(), 0u);
+}
+
+TEST(SelectionStore, GoldenV2DocumentLoadsQuarantineState)
+{
+    SelectionStore store;
+    store.loadJson(support::Json::parse(kGoldenV2));
+    ASSERT_EQ(store.size(), 1u);
+    auto rec = store.lookup("gold", kDev, 2048);
+    ASSERT_TRUE(rec.has_value());
+    // The record is mid-quarantine: serving the fallback, cooldown
+    // ticking.  That exact state must survive the load.
+    EXPECT_EQ(rec->selectedName, "slow");
+    EXPECT_EQ(rec->quarantinedVariant, 1);
+    EXPECT_EQ(rec->cooldownLeft, 5u);
+    EXPECT_EQ(rec->quarantines, 1u);
+    EXPECT_FALSE(rec->predicted);
+}
+
+TEST(SelectionStore, GoldenV3DocumentLoadsBlacklist)
+{
+    SelectionStore store;
+    store.loadJson(support::Json::parse(kGoldenV3));
+    ASSERT_EQ(store.size(), 1u);
+    EXPECT_TRUE(store.lookup("gold", kDev, 2048).has_value());
+    EXPECT_TRUE(store.isBlacklisted("gold", "oob-writer", kDev));
+    ASSERT_EQ(store.blacklistEntries().size(), 1u);
+    EXPECT_EQ(store.blacklistEntries()[0].reason, "redzone");
+    EXPECT_EQ(store.blacklistEntries()[0].strikes, 2u);
+}
+
+TEST(SelectionStore, GoldenDocumentsRoundTripThroughV4)
+{
+    // Loading any historical version and saving re-emits the current
+    // format with nothing dropped.
+    for (const char *golden : {kGoldenV1, kGoldenV2, kGoldenV3}) {
+        SelectionStore store;
+        store.loadJson(support::Json::parse(golden));
+        const support::Json doc = store.toJson();
+        EXPECT_EQ(doc.intOr("version", 0), 4);
+
+        SelectionStore again;
+        again.loadJson(doc);
+        EXPECT_EQ(again.size(), store.size());
+        EXPECT_EQ(again.blacklistSize(), store.blacklistSize());
+        const auto before = store.records();
+        const auto after = again.records();
+        ASSERT_EQ(before.size(), after.size());
+        for (std::size_t i = 0; i < before.size(); ++i) {
+            EXPECT_EQ(before[i].selectedName, after[i].selectedName);
+            EXPECT_EQ(before[i].launches, after[i].launches);
+            EXPECT_EQ(before[i].quarantinedVariant,
+                      after[i].quarantinedVariant);
+            EXPECT_EQ(before[i].cooldownLeft, after[i].cooldownLeft);
+            EXPECT_EQ(before[i].profiles.size(),
+                      after[i].profiles.size());
+        }
+    }
+}
+
+TEST(SelectionStore, PredictedFieldsAndExtensionsRoundTrip)
+{
+    SelectionStore store;
+    store.recordProfile(kDev, profiledReport("measured", 2048));
+    store.seedPrediction("guessed", kDev, 4096, 1, "fast", 0.87);
+    support::Json model = support::Json::object();
+    model.set("weights", support::Json(3));
+    store.setExtension("predictor", model);
+
+    SelectionStore loaded;
+    loaded.loadJson(store.toJson());
+    auto guessed = loaded.lookup("guessed", kDev, 4096);
+    ASSERT_TRUE(guessed.has_value());
+    EXPECT_TRUE(guessed->predicted);
+    EXPECT_DOUBLE_EQ(guessed->predictedConfidence, 0.87);
+    auto measured = loaded.lookup("measured", kDev, 2048);
+    ASSERT_TRUE(measured.has_value());
+    EXPECT_FALSE(measured->predicted);
+    auto ext = loaded.extension("predictor");
+    ASSERT_TRUE(ext.has_value());
+    EXPECT_EQ(ext->intOr("weights", 0), 3);
+    EXPECT_FALSE(loaded.extension("other").has_value());
+}
+
+TEST(SelectionStore, ExtensionsSurviveFileRoundTrip)
+{
+    const std::string path = "store_test.ext.store.json";
+    {
+        SelectionStore store;
+        store.recordProfile(kDev, profiledReport("k", 2048));
+        support::Json model = support::Json::object();
+        model.set("version", support::Json(1));
+        store.setExtension("predictor", model);
+        ASSERT_TRUE(store.saveFile(path).ok());
+    }
+    SelectionStore loaded;
+    ASSERT_TRUE(loaded.loadFile(path).ok());
+    auto ext = loaded.extension("predictor");
+    ASSERT_TRUE(ext.has_value());
+    EXPECT_EQ(ext->intOr("version", 0), 1);
+
+    // Null removes; a store without extensions emits none.
+    loaded.setExtension("predictor", support::Json());
+    EXPECT_FALSE(loaded.extension("predictor").has_value());
+    EXPECT_FALSE(loaded.toJson().has("extensions"));
+    std::remove(path.c_str());
+}
+
+TEST(SelectionStore, SeedPredictionServesWithoutProfiling)
+{
+    SelectionStore store;
+    store.seedPrediction("k", kDev, 2048, 1, "fast", 0.9);
+    auto rec = store.lookup("k", kDev, 2048);
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_TRUE(rec->predicted);
+    EXPECT_EQ(rec->selected, 1);
+    EXPECT_EQ(rec->selectedName, "fast");
+    EXPECT_TRUE(rec->profiles.empty());
+    EXPECT_EQ(rec->profiledLaunches, 0u);
+
+    // Degenerate seeds are refused outright.
+    store.seedPrediction("bad", kDev, 2048, -1, "fast", 0.9);
+    store.seedPrediction("bad", kDev, 2048, 1, "", 0.9);
+    EXPECT_FALSE(store.lookup("bad", kDev, 2048).has_value());
+}
+
+TEST(SelectionStore, MeasuredRecordOutranksPrediction)
+{
+    SelectionStore store;
+    store.recordProfile(kDev, profiledReport("k", 2048)); // fast
+    store.seedPrediction("k", kDev, 2048, 0, "slow", 0.99);
+    auto rec = store.lookup("k", kDev, 2048);
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_FALSE(rec->predicted);
+    EXPECT_EQ(rec->selectedName, "fast"); // the measurement stands
+
+    // ...but an invalidated measurement is fair game for a seed.
+    store.invalidate("k", kDev, bucketOf(2048));
+    store.seedPrediction("k", kDev, 2048, 0, "slow", 0.8);
+    rec = store.lookup("k", kDev, 2048);
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_TRUE(rec->predicted);
+    EXPECT_EQ(rec->selectedName, "slow");
+    // The lifetime launch counters carried over from the old record.
+    EXPECT_EQ(rec->profiledLaunches, 1u);
+}
+
+TEST(SelectionStore, ProfileClearsPredictedFlag)
+{
+    SelectionStore store;
+    store.seedPrediction("k", kDev, 2048, 0, "slow", 0.7);
+    store.recordProfile(kDev, profiledReport("k", 2048)); // measures
+    auto rec = store.lookup("k", kDev, 2048);
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_FALSE(rec->predicted);
+    EXPECT_DOUBLE_EQ(rec->predictedConfidence, 0.0);
+    EXPECT_EQ(rec->selectedName, "fast");
+}
+
+TEST(SelectionStore, PredictedRecordFailureDemotesToForcedProfile)
+{
+    SelectionStore store;
+    std::vector<SelectionRecord> demoted;
+    store.setDemotionObserver(
+        [&](const SelectionRecord &r) { demoted.push_back(r); });
+    store.seedPrediction("k", kDev, 2048, 1, "fast", 0.9);
+
+    // A predicted record has no profiled runner-up: the first failure
+    // invalidates it outright, so the next lookup misses and forces a
+    // real profiling pass -- and the demotion feed saw the bad guess.
+    EXPECT_EQ(store.reportFailure("k", kDev, 2048),
+              Observation::Invalidated);
+    EXPECT_FALSE(store.lookup("k", kDev, 2048).has_value());
+    ASSERT_EQ(demoted.size(), 1u);
+    EXPECT_TRUE(demoted[0].predicted);
+    EXPECT_EQ(demoted[0].selectedName, "fast");
+
+    // Failures on measured records do not feed the demotion observer.
+    store.recordProfile(kDev, profiledReport("k", 2048));
+    store.reportFailure("k", kDev, 2048);
+    EXPECT_EQ(demoted.size(), 1u);
+}
+
+TEST(SelectionStore, PredictedRecordDriftDemotes)
+{
+    SelectionStore store; // driftFactor 1.5
+    std::vector<SelectionRecord> demoted;
+    store.setDemotionObserver(
+        [&](const SelectionRecord &r) { demoted.push_back(r); });
+    store.seedPrediction("k", kDev, 2048, 1, "fast", 0.9);
+
+    EXPECT_EQ(store.observePlain(kDev, plainReport("k", 2048, 10.0)),
+              Observation::Ok); // seeds the baseline
+    EXPECT_EQ(store.observePlain(kDev, plainReport("k", 2048, 30.0)),
+              Observation::Invalidated);
+    ASSERT_EQ(demoted.size(), 1u);
+    EXPECT_TRUE(demoted[0].predicted);
+}
+
+TEST(SelectionStore, PredictionProbationForcesConfirmingProfile)
+{
+    StoreConfig cfg;
+    cfg.predictedProbationLaunches = 3;
+    SelectionStore store(cfg);
+    std::vector<SelectionRecord> demoted;
+    store.setDemotionObserver(
+        [&](const SelectionRecord &r) { demoted.push_back(r); });
+    store.seedPrediction("k", kDev, 2048, 1, "fast", 0.9);
+
+    // Two well-behaved launches ride the prediction; the third ends
+    // probation and invalidates it so a real profile confirms the
+    // guess.  Scheduled validation is NOT a mis-prediction: the
+    // demotion feed stays silent and the counters stay reconcilable.
+    EXPECT_EQ(store.observePlain(kDev, plainReport("k", 2048, 10.0)),
+              Observation::Ok);
+    EXPECT_EQ(store.observePlain(kDev, plainReport("k", 2048, 10.0)),
+              Observation::Ok);
+    EXPECT_EQ(store.observePlain(kDev, plainReport("k", 2048, 10.0)),
+              Observation::Invalidated);
+    EXPECT_FALSE(store.lookup("k", kDev, 2048).has_value());
+    EXPECT_TRUE(demoted.empty());
+
+    // Measured records never expire this way.
+    store.recordProfile(kDev, profiledReport("k", 2048));
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(store.observePlain(kDev, plainReport("k", 2048, 10.0)),
+                  Observation::Ok);
+}
+
+TEST(SelectionStore, ProfileObserverFeedsEveryProfilingPass)
+{
+    SelectionStore store;
+    std::vector<SelectionRecord> fed;
+    store.setProfileObserver(
+        [&](const SelectionRecord &r) { fed.push_back(r); });
+    store.recordProfile(kDev, profiledReport("a", 2048));
+    store.recordProfile(kDev, profiledReport("b", 300, 0));
+    store.recordProfile(kDev, plainReport("c", 2048, 10.0)); // ignored
+    ASSERT_EQ(fed.size(), 2u);
+    EXPECT_EQ(fed[0].signature, "a");
+    EXPECT_EQ(fed[0].selectedName, "fast");
+    EXPECT_EQ(fed[1].signature, "b");
+    EXPECT_EQ(fed[1].selectedName, "slow");
+
+    // The observer may call back into the store: recursive use must
+    // not deadlock (the feed fires outside the lock).
+    store.setProfileObserver([&](const SelectionRecord &r) {
+        (void)store.lookup(r.signature, r.device, 2048);
+    });
+    store.recordProfile(kDev, profiledReport("d", 2048));
+
+    // Detaching stops the feed.
+    store.setProfileObserver(nullptr);
+    store.recordProfile(kDev, profiledReport("e", 2048));
+    EXPECT_EQ(fed.size(), 2u);
+}
+
+TEST(SelectionStore, BlacklistDemotesPredictedRecords)
+{
+    SelectionStore store;
+    std::vector<SelectionRecord> demoted;
+    store.setDemotionObserver(
+        [&](const SelectionRecord &r) { demoted.push_back(r); });
+    store.seedPrediction("k", kDev, 2048, 1, "fast", 0.9);
+    store.seedPrediction("k", kDev, 8192, 1, "fast", 0.9);
+    store.recordProfile(kDev, profiledReport("other", 2048)); // fast too
+
+    // The guard blacklisting the predicted winner is the strongest
+    // possible mis-prediction signal: both predicted records demote
+    // (and feed the corrective observer); the measured record of the
+    // other signature just invalidates, no feed.
+    store.blacklistVariant("k", "fast", kDev, "mismatch");
+    store.blacklistVariant("other", "fast", kDev, "mismatch");
+    EXPECT_EQ(demoted.size(), 2u);
+    for (const auto &r : demoted) {
+        EXPECT_EQ(r.signature, "k");
+        EXPECT_TRUE(r.predicted);
+    }
 }

@@ -7,8 +7,10 @@
  * reconciliation, the deterministic storm lifecycle (queue span,
  * profiling passes, guard strike, retry, winner execution -- one
  * correlation id), the failing job's flight-recorder Status payload,
- * the structured LaunchReport selection timeline, and the Prometheus
- * / text metric exports.
+ * the structured LaunchReport selection timeline, the learned-
+ * selection instants (predict.hit / predict.miss / predict.demoted
+ * correlated to their job ids and reconciled 1:1 against the
+ * predict.* counters), and the Prometheus / text metric exports.
  */
 #include <gtest/gtest.h>
 
@@ -18,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "dysel/predict/predictor.hh"
 #include "dysel/runtime.hh"
 #include "serve/dispatch_service.hh"
 #include "sim/cpu/cpu_device.hh"
@@ -508,6 +511,108 @@ TEST(TracingRuntime, LaunchReportCarriesStructuredSelectionTimeline)
     for (const auto &pass : report.timeline)
         profiledUnits += pass.units;
     EXPECT_EQ(profiledUnits, report.profiledUnits);
+}
+
+// ---- Learned selection instants ----------------------------------------
+
+TEST(TracingService, PredictInstantsCorrelateAndReconcileWithCounters)
+{
+    // Three jobs exercise every predict.* emission path under the
+    // tracer: job 1 runs against a cold model (predict.miss, full
+    // profile trains the predictor), job 2 runs after store.clear()
+    // so the exact winner serves a profiling-free predict.hit, and
+    // job 3 is predicted again but its warm launch is scripted to
+    // fail -- the demotion observer fires predict.demoted on the
+    // worker thread under the failing job's correlation id, and the
+    // retry falls back to a corrective profiling pass.
+    FaultInjector faults;
+
+    store::SelectionStore store;
+    predict::SelectionPredictor predictor;
+    DispatchService svc(store);
+    svc.addDevice(std::make_unique<sim::CpuDevice>());
+    svc.device(0).setFaultInjector(&faults);
+    svc.setPredictor(&predictor);
+    svc.tracer().setEnabled(true);
+    svc.start();
+
+    Probe p1(2048);
+    JobHandle h1 = svc.submit(stormJob(p1, "k", 5.0f));
+    const JobResult r1 = h1.result();
+    ASSERT_TRUE(r1.ok()) << r1.status.toString();
+    EXPECT_FALSE(r1.predicted);
+    EXPECT_GT(r1.report.profiledUnits, 0u);
+
+    store.clear();
+    Probe p2(2048);
+    JobHandle h2 = svc.submit(stormJob(p2, "k", 5.0f));
+    const JobResult r2 = h2.result();
+    ASSERT_TRUE(r2.ok()) << r2.status.toString();
+    EXPECT_TRUE(r2.predicted);
+    EXPECT_EQ(r2.report.profiledUnits, 0u);
+
+    store.clear();
+    faults.failNext();
+    Probe p3(2048);
+    JobHandle h3 = svc.submit(stormJob(p3, "k", 5.0f));
+    const JobResult r3 = h3.result();
+    ASSERT_TRUE(r3.ok()) << r3.status.toString();
+    EXPECT_EQ(r3.attempts, 2u);
+    svc.stop();
+
+    const auto events = svc.tracer().snapshot();
+
+    // Job 1: one predict.miss under its own correlation id.
+    ASSERT_EQ(eventsOf(events, "predict.miss", h1.id()).size(), 1u);
+    EXPECT_TRUE(eventsOf(events, "predict.hit", h1.id()).empty());
+
+    // Job 2: one predict.hit naming the winner, its calibrated
+    // confidence, and the exact-winner evidence source.
+    const auto hits = eventsOf(events, "predict.hit", h2.id());
+    ASSERT_EQ(hits.size(), 1u);
+    std::map<std::string, std::string> hitArgs(hits[0].args.begin(),
+                                               hits[0].args.end());
+    EXPECT_FALSE(hitArgs["variant"].empty());
+    EXPECT_EQ(hitArgs["source"], "exact");
+    EXPECT_EQ(hitArgs["distance"], "0");
+    EXPECT_GE(std::stod(hitArgs["confidence"]), 0.65);
+
+    // Job 3: predicted hit, demotion, then a corrective miss -- all
+    // three instants under the failing job's correlation id.
+    ASSERT_EQ(eventsOf(events, "predict.hit", h3.id()).size(), 1u);
+    const auto demoted = eventsOf(events, "predict.demoted", h3.id());
+    ASSERT_EQ(demoted.size(), 1u);
+    std::map<std::string, std::string> demArgs(demoted[0].args.begin(),
+                                               demoted[0].args.end());
+    EXPECT_EQ(demArgs["signature"], "k");
+    EXPECT_EQ(demArgs["variant"], hitArgs["variant"]);
+    ASSERT_EQ(eventsOf(events, "predict.miss", h3.id()).size(), 1u);
+
+    // Trace/counter reconciliation: every predict.* counter increment
+    // has exactly one matching tracer instant, and the totals match
+    // the scripted lifecycle (2 hits, 2 misses, 1 demotion).
+    const auto &m = svc.metrics();
+    EXPECT_EQ(svc.tracer().countNamed("predict.hit"),
+              m.counterValue("predict.hit"));
+    EXPECT_EQ(svc.tracer().countNamed("predict.miss"),
+              m.counterValue("predict.miss"));
+    EXPECT_EQ(svc.tracer().countNamed("predict.demoted"),
+              m.counterValue("predict.demoted"));
+    EXPECT_EQ(m.counterValue("predict.hit"), 2u);
+    EXPECT_EQ(m.counterValue("predict.miss"), 2u);
+    EXPECT_EQ(m.counterValue("predict.demoted"), 1u);
+    EXPECT_EQ(m.counterValue("predict.train"), 2u);
+    EXPECT_EQ(predictor.demotions(), 1u);
+
+    // Both exports carry the predict.* families.
+    const std::string prom = m.renderPrometheus();
+    EXPECT_NE(prom.find("predict_hit 2"), std::string::npos);
+    EXPECT_NE(prom.find("predict_miss 2"), std::string::npos);
+    EXPECT_NE(prom.find("predict_demoted 1"), std::string::npos);
+    EXPECT_NE(prom.find("predict_train 2"), std::string::npos);
+    const std::string text = m.renderText();
+    EXPECT_NE(text.find("predict.hit 2"), std::string::npos);
+    EXPECT_NE(text.find("predict.demoted 1"), std::string::npos);
 }
 
 // ---- Metrics export ----------------------------------------------------

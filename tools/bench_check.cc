@@ -31,7 +31,7 @@ fail(const std::string &why)
     return 1;
 }
 
-/** Validate one run object ("baseline" or "coalesced"). */
+/** Validate one run object ("baseline", "coalesced", "predict_*"). */
 bool
 checkRun(const Json &run, const std::string &name, std::string &why)
 {
@@ -42,7 +42,9 @@ checkRun(const Json &run, const std::string &name, std::string &why)
     for (const char *key :
          {"config", "jobs", "wall_seconds", "jobs_per_sec",
           "p50_latency_us", "p99_latency_us", "profiled_units",
-          "total_units", "profiled_unit_ratio", "coalesce"}) {
+          "total_units", "profiled_unit_ratio", "coalesce",
+          "store_hits", "store_hit_rate", "predict",
+          "output_checksum"}) {
         if (!run.has(key)) {
             why = name + " is missing '" + key + "'";
             return false;
@@ -86,6 +88,23 @@ checkRun(const Json &run, const std::string &name, std::string &why)
             return false;
         }
     }
+    const Json &pr = run.at("predict");
+    for (const char *key : {"hits", "misses", "demotions", "trained"}) {
+        if (!pr.has(key)) {
+            why = name + ".predict is missing '" + key + "'";
+            return false;
+        }
+    }
+    // The checksum is a 16-hex-digit string (doubles cannot carry a
+    // 64-bit digest losslessly).
+    const std::string sum = run.stringOr("output_checksum", "");
+    if (sum.size() != 16
+        || sum.find_first_not_of("0123456789abcdef")
+               != std::string::npos) {
+        why = name + ": output_checksum is not 16 hex digits ('" + sum
+              + "')";
+        return false;
+    }
     return true;
 }
 
@@ -112,15 +131,17 @@ main(int argc, char **argv)
     }
     if (!root.isObject())
         return fail("top level is not an object");
-    for (const char *key : {"bench", "baseline", "coalesced", "speedup"})
+    for (const char *key : {"bench", "baseline", "coalesced",
+                            "predict_cold", "predict_pretrained",
+                            "speedup"})
         if (!root.has(key))
             return fail(std::string("missing top-level '") + key + "'");
 
     std::string why;
-    if (!checkRun(root.at("baseline"), "baseline", why))
-        return fail(why);
-    if (!checkRun(root.at("coalesced"), "coalesced", why))
-        return fail(why);
+    for (const char *axis : {"baseline", "coalesced", "predict_cold",
+                             "predict_pretrained"})
+        if (!checkRun(root.at(axis), axis, why))
+            return fail(why);
 
     // The baseline run must not coalesce; the coalesced run must.
     if (root.at("baseline").at("coalesce").numberOr("hits", -1) != 0)
@@ -137,12 +158,46 @@ main(int argc, char **argv)
                     + std::to_string(baseProfiled) + " -> "
                     + std::to_string(coProfiled) + ")");
 
+    // Predictor-off axes must not predict; predictor-on axes must,
+    // and must profile less than coalescing alone at an equal or
+    // better warm-start rate.
+    for (const char *axis : {"baseline", "coalesced"})
+        if (root.at(axis).at("predict").numberOr("hits", -1) != 0)
+            return fail(std::string(axis)
+                        + " run recorded predict hits");
+    const Json &cold = root.at("predict_cold");
+    const Json &trained = root.at("predict_pretrained");
+    if (cold.at("predict").numberOr("hits", 0) <= 0)
+        return fail("predict_cold run recorded no predict hits");
+    const double coldProfiled = cold.numberOr("profiled_units", 0);
+    if (coldProfiled >= coProfiled)
+        return fail("predictor did not reduce profiled units ("
+                    + std::to_string(coProfiled) + " -> "
+                    + std::to_string(coldProfiled) + ")");
+    if (cold.numberOr("store_hit_rate", 0)
+        < root.at("coalesced").numberOr("store_hit_rate", 1))
+        return fail("predict_cold hit rate below coalesced");
+    if (trained.numberOr("profiled_units", 0) > coldProfiled)
+        return fail("pretrained predictor profiled more than cold");
+
+    // Selection policy must never change what a job computes.
+    const std::string baseSum =
+        root.at("baseline").stringOr("output_checksum", "?");
+    for (const char *axis :
+         {"coalesced", "predict_cold", "predict_pretrained"})
+        if (root.at(axis).stringOr("output_checksum", "") != baseSum)
+            return fail(std::string("output checksum of ") + axis
+                        + " differs from baseline");
+
     if (root.numberOr("speedup", 0) <= 0)
         return fail("non-positive speedup");
 
     std::cout << "bench_check: " << argv[1] << " ok (speedup "
               << root.numberOr("speedup", 0) << "x, coalesce hits "
               << root.at("coalesced").at("coalesce").numberOr("hits", 0)
-              << ")\n";
+              << ", predict hits "
+              << cold.at("predict").numberOr("hits", 0) << " cold / "
+              << trained.at("predict").numberOr("hits", 0)
+              << " pretrained)\n";
     return 0;
 }

@@ -29,6 +29,11 @@
  * variant-fault logs.  Persistence failures (unreadable or corrupt
  * store file, failed save) exit nonzero; a missing store file is a
  * normal cold start.
+ *
+ * With --predict, a selection predictor learns from every profiling
+ * pass and serves confident store misses without profiling; its model
+ * is persisted in the store file's "predictor" extension, so a second
+ * --predict run with the same --store warm-starts the model too.
  */
 #include <cstdlib>
 #include <cstring>
@@ -38,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "dysel/predict/predictor.hh"
 #include "serve/dispatch_service.hh"
 #include "serve/loadgen.hh"
 #include "sim/fault.hh"
@@ -63,6 +69,14 @@ struct Options
     double variantFaultRate = 0.0;
     std::uint64_t faultSeed = 0xfa01d;
 
+    /**
+     * --predict: attach a selection predictor (learned selection).
+     * In demo mode its model is persisted in the store file's
+     * "predictor" extension; in loadgen mode it rides the run.
+     */
+    bool predict = false;
+    double predictThreshold = 0.65;
+
     /** --loadgen: closed-loop load generator instead of the demo. */
     bool loadgen = false;
     serve::LoadGenConfig lg;
@@ -76,6 +90,8 @@ runLoadGenMode(const Options &opt)
     serve::LoadGenConfig cfg = opt.lg;
     cfg.guard = opt.guard;
     cfg.faultRate = opt.faultRate;
+    cfg.predict = opt.predict;
+    cfg.predictThreshold = opt.predictThreshold;
     std::cout << "loadgen: " << cfg.submitters << " submitters x "
               << cfg.jobsPerSubmitter << " jobs -> " << cfg.devices
               << " devices, " << cfg.signatures << " signatures x "
@@ -89,6 +105,16 @@ runLoadGenMode(const Options &opt)
                             + std::to_string(cfg.maxQueueDepth)
                       : std::string())
               << (cfg.guard ? ", guard on" : "")
+              << (cfg.predict
+                      ? ", predict on (threshold "
+                            + std::to_string(cfg.predictThreshold)
+                            + (cfg.pretrainLaps > 0
+                                   ? ", " + std::to_string(
+                                         cfg.pretrainLaps)
+                                         + " pretrain laps"
+                                   : std::string())
+                            + ")"
+                      : std::string())
               << (cfg.faultRate > 0.0
                       ? ", fault rate " + std::to_string(cfg.faultRate)
                       : std::string())
@@ -112,6 +138,12 @@ runLoadGenMode(const Options &opt)
     table.row().cell("coalesce followers").cell(rep.coalesceFollowers);
     table.row().cell("coalesce hits").cell(rep.coalesceHits);
     table.row().cell("coalesce hit rate").cell(rep.coalesceHitRate, 3);
+    if (opt.predict) {
+        table.row().cell("predict hits").cell(rep.predictHits);
+        table.row().cell("predict misses").cell(rep.predictMisses);
+        table.row().cell("predict demotions").cell(rep.predictDemotions);
+        table.row().cell("predict trained").cell(rep.predictTrained);
+    }
     table.print(std::cout);
 
     if (!opt.loadgenJson.empty()) {
@@ -282,6 +314,13 @@ main(int argc, char **argv)
         } else if (arg == "--variant-fault-rate" && i + 1 < argc) {
             opt.variantFaultRate = std::atof(argv[++i]);
             opt.guard = true; // pointless without the guard watching
+        } else if (arg == "--predict") {
+            opt.predict = true;
+        } else if (arg == "--predict-threshold" && i + 1 < argc) {
+            opt.predictThreshold = std::atof(argv[++i]);
+        } else if (arg == "--predict-pretrain" && i + 1 < argc) {
+            opt.lg.pretrainLaps =
+                static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (arg == "--loadgen") {
             opt.loadgen = true;
         } else if (arg == "--submitters" && i + 1 < argc) {
@@ -334,7 +373,8 @@ main(int argc, char **argv)
                          "[--no-save] [--metrics text|json|prom] "
                          "[--trace FILE] [--fault-rate P] "
                          "[--fault-seed S] [--guard] "
-                         "[--variant-fault-rate P]\n"
+                         "[--variant-fault-rate P] [--predict] "
+                         "[--predict-threshold X]\n"
                          "       dyseld --loadgen [--submitters N] "
                          "[--devices N] [--signatures N] "
                          "[--size-classes N] [--jobs N] "
@@ -342,7 +382,9 @@ main(int argc, char **argv)
                          "[--profile-repeats N] [--sweep] "
                          "[--no-coalesce] [--no-affinity] "
                          "[--queue-depth N] [--admission block|shed] "
-                         "[--fault-rate P] [--guard] [--seed S] "
+                         "[--fault-rate P] [--guard] [--predict] "
+                         "[--predict-threshold X] "
+                         "[--predict-pretrain N] [--seed S] "
                          "[--loadgen-json FILE]\n";
             return arg == "--help" ? 0 : 1;
         }
@@ -385,6 +427,31 @@ main(int argc, char **argv)
     fcfg.seed = opt.faultSeed + 1;
     sim::FaultInjector gpuFaults(fcfg);
 
+    // The predictor outlives the service: ~DispatchService detaches
+    // the store observers it installed before the predictor dies.
+    predict::PredictorConfig pcfg;
+    pcfg.threshold = opt.predictThreshold;
+    predict::SelectionPredictor predictor(pcfg);
+    if (opt.predict) {
+        if (auto model = store.extension("predictor")) {
+            try {
+                predictor.loadJson(*model);
+                std::cout << "predictor warm start: "
+                          << predictor.winnerCount() << " winners, "
+                          << predictor.trainingExamples()
+                          << " examples\n";
+            } catch (const std::exception &e) {
+                // A stale or corrupt model is not worth dying over --
+                // the predictor just starts cold and retrains.
+                std::cerr << "dyseld: ignoring saved predictor model: "
+                          << e.what() << '\n';
+            }
+        } else {
+            std::cout << "predictor cold start (threshold "
+                      << opt.predictThreshold << ")\n";
+        }
+    }
+
     serve::ServiceConfig scfg;
     scfg.runtime.guard.enabled = opt.guard;
     serve::DispatchService svc(store, scfg);
@@ -404,6 +471,8 @@ main(int argc, char **argv)
         svc.tracer().setEnabled(true);
         std::cout << "tracing on -> " << opt.tracePath << '\n';
     }
+    if (opt.predict)
+        svc.setPredictor(&predictor);
     svc.start();
 
     auto pass1 = makeMix(false);
@@ -452,6 +521,19 @@ main(int argc, char **argv)
                   << " breaker trips, " << counter("store.quarantine")
                   << " quarantines, " << counter("jobs.failed")
                   << " jobs failed\n";
+    }
+
+    if (opt.predict) {
+        auto counter = [&](const char *name) {
+            return svc.metrics().counter(name).value();
+        };
+        std::cout << "\n--- learned selection ---\n"
+                  << "predict: " << counter("predict.hit") << " hits, "
+                  << counter("predict.miss") << " misses, "
+                  << counter("predict.demoted") << " demotions, "
+                  << counter("predict.train") << " trained; model "
+                  << predictor.winnerCount() << " winners, calibration "
+                  << predictor.calibration() << '\n';
     }
 
     if (opt.guard) {
@@ -509,6 +591,10 @@ main(int argc, char **argv)
     }
 
     if (opt.save) {
+        // The learned model rides the store file (a v4 extension), so
+        // the next --predict run warm-starts both together.
+        if (opt.predict)
+            store.setExtension("predictor", predictor.toJson());
         const support::Status saved = store.saveFile(opt.storePath);
         if (!saved.ok()) {
             // A silent save failure would cost every selection (and
