@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Submission-path microbench: batched vs unbatched throughput by size
+ * class (DESIGN §10).
+ *
+ * Runs the closed-loop load generator over a sweep of size classes,
+ * each twice on identical job sets: batch-off (every job a solo
+ * launch) and batch-on (burst submission through submitMany() plus
+ * fused launches bounded by --max-batch/--batch-window).  The win
+ * comes from amortization: one store consult, one device submit, and
+ * one scheduling round-trip serve a whole batch, so the smallest
+ * size class -- where per-launch overhead dominates the actual work
+ * -- must speed up the most.  Each mode takes the best of a few
+ * repetitions so a CI noise spike cannot fake a regression.
+ *
+ * Emits BENCH_batch_throughput.json next to the binary (override
+ * with argv[1]); the CI perf-smoke job gates on tools/bench_check:
+ * the smallest class must reach >= 2x jobs/s, and every class's
+ * batched checksum must equal its unbatched one (fusion must never
+ * change what a job computes).
+ */
+#include <algorithm>
+#include <array>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "serve/loadgen.hh"
+#include "support/table.hh"
+
+using namespace dysel;
+
+namespace {
+
+constexpr std::size_t kMaxBatch = 16;
+constexpr sim::TimeNs kWindowNs = 200'000;
+constexpr std::uint64_t kBurst = 16;
+constexpr int kRepeats = 3;
+
+/**
+ * One submitter, one device, one signature: a strict closed loop that
+ * isolates the submission path itself.  Anything more concurrent
+ * measures the scheduler of the machine running the bench (CI
+ * runners have few cores) instead of the code under test.
+ */
+serve::LoadGenConfig
+classConfig(std::uint64_t units, std::uint64_t jobs)
+{
+    serve::LoadGenConfig cfg;
+    cfg.submitters = 1;
+    cfg.devices = 1;
+    cfg.signatures = 1;
+    cfg.sizeClasses = 1;
+    cfg.baseUnits = units;
+    cfg.jobsPerSubmitter = jobs;
+    cfg.burst = kBurst;
+    cfg.slowFlops = 4000;
+    cfg.fastFlops = 100;
+    cfg.seed = 42;
+    return cfg;
+}
+
+/** Best-of-kRepeats run (highest jobs/s; identical outputs). */
+serve::LoadGenReport
+bestOf(const serve::LoadGenConfig &cfg)
+{
+    serve::LoadGenReport best;
+    for (int r = 0; r < kRepeats; ++r) {
+        serve::LoadGenReport rep = serve::runLoadGen(cfg);
+        if (r == 0 || rep.jobsPerSec > best.jobsPerSec)
+            best = std::move(rep);
+    }
+    return best;
+}
+
+bool
+allTerminal(const serve::LoadGenReport &r)
+{
+    return r.jobsSubmitted
+           == r.jobsCompleted + r.jobsFailed + r.jobsShed;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string outPath =
+        argc > 1 ? argv[1] : "BENCH_batch_throughput.json";
+
+    std::cout << "=== Microbench: submission path, batched vs "
+                 "unbatched ===\n"
+              << "Strict closed loop, 1 submitter x 1 device, burst "
+              << kBurst << ", batch " << kMaxBatch << " jobs / "
+              << kWindowNs << " ns window.\n\n";
+
+    // Smallest first: bench_check gates on classes[0].  Job counts
+    // scale down with size so every class runs a comparable wall
+    // time.
+    const std::array<std::uint64_t, 4> sizeClasses = {8, 64, 512,
+                                                      4096};
+    const std::array<std::uint64_t, 4> classJobs = {3200, 3200, 1600,
+                                                    400};
+
+    support::Table table({"units", "off jobs/s", "on jobs/s",
+                          "speedup", "fused launches", "avg batch",
+                          "checksums"});
+    support::Json classes = support::Json::array();
+    double smallestSpeedup = 0.0;
+    bool ok = true;
+
+    for (std::size_t c = 0; c < sizeClasses.size(); ++c) {
+        const std::uint64_t units = sizeClasses[c];
+
+        serve::LoadGenConfig off = classConfig(units, classJobs[c]);
+        const serve::LoadGenReport offRep = bestOf(off);
+
+        serve::LoadGenConfig on = classConfig(units, classJobs[c]);
+        on.maxBatchJobs = kMaxBatch;
+        on.batchWindowNs = kWindowNs;
+        const serve::LoadGenReport onRep = bestOf(on);
+
+        const double speedup = offRep.jobsPerSec > 0.0
+                                   ? onRep.jobsPerSec / offRep.jobsPerSec
+                                   : 0.0;
+        const bool checksumsEqual =
+            offRep.outputChecksum == onRep.outputChecksum;
+        if (c == 0)
+            smallestSpeedup = speedup;
+
+        table.row()
+            .cell(units)
+            .cell(offRep.jobsPerSec, 0)
+            .cell(onRep.jobsPerSec, 0)
+            .cell(speedup, 2)
+            .cell(onRep.batchLaunches)
+            .cell(onRep.avgBatchSize, 2)
+            .cell(checksumsEqual ? "equal" : "DIFFER");
+
+        support::Json cls = support::Json::object();
+        cls.set("units", support::Json(units));
+        cls.set("off", offRep.toJson());
+        cls.set("on", onRep.toJson());
+        cls.set("speedup", support::Json(speedup));
+        cls.set("checksums_equal", support::Json(checksumsEqual));
+        classes.push(std::move(cls));
+
+        ok = ok && allTerminal(offRep) && allTerminal(onRep)
+             && checksumsEqual && offRep.batchLaunches == 0
+             && onRep.batchJobs > 0;
+    }
+    table.print(std::cout);
+    std::cout << "\nsmallest class speedup: " << smallestSpeedup
+              << "x (gate: >= 2x via bench_check)\n";
+
+    support::Json out = support::Json::object();
+    out.set("bench", support::Json("batch_throughput"));
+    support::Json limits = support::Json::object();
+    limits.set("max_jobs",
+               support::Json(static_cast<std::uint64_t>(kMaxBatch)));
+    limits.set("window_ns",
+               support::Json(static_cast<std::uint64_t>(kWindowNs)));
+    limits.set("burst", support::Json(kBurst));
+    out.set("batch", std::move(limits));
+    out.set("classes", std::move(classes));
+    out.set("smallest_class_speedup", support::Json(smallestSpeedup));
+    std::ofstream f(outPath);
+    f << out.dump(2) << "\n";
+    f.close();
+    std::cout << "wrote " << outPath << "\n";
+
+    // The exit code checks invariants only (all jobs terminal, no
+    // stray fusion with batching off, fusion active with batching on,
+    // equal checksums); the 2x throughput gate lives in bench_check
+    // so a plain run of the binary stays usable on loaded machines.
+    if (!ok)
+        std::cout << "invariant check FAILED\n";
+    return ok ? 0 : 1;
+}

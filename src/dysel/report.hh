@@ -79,6 +79,17 @@ struct LaunchReport
     sim::TimeNs startTime = 0;
     sim::TimeNs endTime = 0;
 
+    /**
+     * True for a fused (batched) launch: several jobs' workloads ran
+     * back to back under one device submit.  Fused reports must not
+     * feed the store's drift baseline (the launch overhead is
+     * amortized across members, so per-unit time is not comparable
+     * to a solo run); the service accounts them via noteServed().
+     */
+    bool fused = false;
+    /** Member jobs of a fused launch (0 for a solo launch). */
+    std::uint64_t fusedJobs = 0;
+
     std::uint64_t totalUnits = 0;
     /** Units consumed by micro-profiling (all variants). */
     std::uint64_t profiledUnits = 0;

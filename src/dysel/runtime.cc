@@ -289,6 +289,166 @@ Runtime::runPlain(const std::string &signature, const KernelEntry &entry,
     return support::Status();
 }
 
+support::Status
+Runtime::launchFused(const std::string &signature, int variant,
+                     std::span<const FusedSlice> slices,
+                     const LaunchOptions &opt, LaunchReport &out)
+{
+    const KernelEntry *entryp = findEntry(signature);
+    if (!entryp)
+        return support::Status::notFound(
+            "DySel: unknown kernel signature '" + signature + "'");
+    const KernelEntry &entry = *entryp;
+    if (entry.variants.empty())
+        return support::Status::failedPrecondition(
+            "DySelLaunchFused(" + signature + "): no variants registered");
+    if (slices.empty())
+        return support::Status::invalidArgument(
+            "DySelLaunchFused(" + signature + "): empty batch");
+
+    // Resolve the variant: an explicit index is the serving layer's
+    // warm store winner; -1 applies the plain-run default policy.
+    int want = variant;
+    if (want < 0) {
+        auto cached = cachedSelection(signature);
+        want = cached.value_or(
+            opt.initialVariant >= 0 ? opt.initialVariant : 0);
+    }
+    if (want < 0 || want >= static_cast<int>(entry.variants.size()))
+        return support::Status::invalidArgument(
+            "DySelLaunchFused(" + signature + "): variant "
+            + std::to_string(want) + " out of range");
+    if (guard_.enabled()
+        && guard_.isBlacklisted(signature, entry.variants[want].name)) {
+        int fallback = -1;
+        for (std::size_t i = 0; i < entry.variants.size(); ++i) {
+            if (!guard_.isBlacklisted(signature, entry.variants[i].name)) {
+                fallback = static_cast<int>(i);
+                break;
+            }
+        }
+        if (fallback < 0)
+            return support::Status::failedPrecondition(
+                "DySelLaunchFused(" + signature
+                + "): every variant is blacklisted");
+        want = fallback;
+    }
+    const kdp::KernelVariant &real = entry.variants[want];
+
+    // Member m occupies fused groups [fusedStarts[m], fusedStarts[m+1]).
+    fusedStarts.clear();
+    fusedStarts.reserve(slices.size() + 1);
+    std::uint64_t groups = 0;
+    std::uint64_t total_units = 0;
+    fusedStarts.push_back(0);
+    for (const FusedSlice &s : slices) {
+        if (!s.args || s.units == 0)
+            return support::Status::invalidArgument(
+                "DySelLaunchFused(" + signature
+                + "): fused slice without args or units");
+        groups += real.groupsFor(s.units);
+        total_units += s.units;
+        fusedStarts.push_back(groups);
+    }
+
+    // Pack factor: a variant whose waFactor underfills its lanes
+    // (waFactor < groupSize, the typical tiny-job shape) leaves most
+    // of a physical group idle, so each physical group runs `pack`
+    // consecutive member groups back to back.  Every member group
+    // keeps its exact solo-launch context (rebased into the member's
+    // own grid with the member's own argument list); only the
+    // per-group scheduling constant is amortized.  For waFactor >=
+    // groupSize this degenerates to one member group per physical
+    // group, the unpacked behaviour.
+    const std::uint64_t pack = std::max<std::uint64_t>(
+        1, real.groupSize / std::max<std::uint64_t>(1, real.waFactor));
+    const std::uint64_t physGroups = (groups + pack - 1) / pack;
+
+    // The wrapper variant re-addresses each fused member group into
+    // its member's own grid and runs the real implementation with the
+    // member's own argument list.  It carries the real variant's name
+    // so launch-level fault injection treats fused and solo launches
+    // alike, but no sandboxIndex: output-corruption faults target
+    // profiling launches, where the guard can catch them.
+    kdp::KernelVariant wrapper;
+    wrapper.name = real.name;
+    wrapper.waFactor = real.waFactor;
+    wrapper.groupSize = real.groupSize;
+    wrapper.traits = real.traits;
+    const std::uint64_t *starts = fusedStarts.data();
+    const FusedSlice *mem = slices.data();
+    const std::size_t nmem = slices.size();
+    const kdp::KernelFn &fn = real.fn;
+    wrapper.fn = [starts, mem, nmem, &fn, pack](kdp::GroupCtx &g,
+                                                const kdp::KernelArgs &) {
+        const std::uint64_t lo = g.group() * pack;
+        const std::uint64_t hi = std::min(lo + pack, starts[nmem]);
+        std::size_t m = static_cast<std::size_t>(
+            std::upper_bound(starts, starts + nmem + 1, lo) - starts) - 1;
+        for (std::uint64_t mg = lo; mg < hi; ++mg) {
+            while (starts[m + 1] <= mg)
+                ++m;
+            kdp::GroupCtx local = g.rebased(mg - starts[m]);
+            fn(local, *mem[m].args);
+        }
+    };
+
+    LaunchReport report;
+    report.signature = signature;
+    report.selected = want;
+    report.selectedName = real.name;
+    report.fromCache = variant >= 0;
+    report.fused = true;
+    report.fusedJobs = slices.size();
+    report.orch = opt.orch;
+    report.totalUnits = total_units;
+    report.startTime = dev.now();
+    activeCorrelation = opt.correlationId;
+
+    sim::Launch launch;
+    launch.variant = &wrapper;
+    launch.firstGroup = 0;
+    launch.numGroups = physGroups;
+    if (config.verbose)
+        support::inform("launchFused t=%llu variant=%s jobs=%zu "
+                        "units=%llu groups=%llu pack=%llu",
+                        (unsigned long long)dev.now(), real.name.c_str(),
+                        nmem, (unsigned long long)total_units,
+                        (unsigned long long)physGroups,
+                        (unsigned long long)pack);
+    if (tracing()) {
+        tracer_->instant(
+            traceTrack, "device.submit", dev.now(), activeCorrelation,
+            {{"variant", real.name},
+             {"units", std::to_string(total_units)},
+             {"groups", std::to_string(physGroups)},
+             {"pack", std::to_string(pack)},
+             {"fused_jobs", std::to_string(nmem)}});
+    }
+    dev.submit(std::move(launch));
+    dev.run();
+    if (auto fault = consumeDeviceFault(); !fault.ok())
+        return fault;
+    report.endTime = dev.now();
+    if (tracing()) {
+        for (std::size_t m = 0; m < nmem; ++m) {
+            tracer_->instant(
+                traceTrack, "batch.slice", report.endTime,
+                mem[m].correlationId,
+                {{"variant", real.name},
+                 {"units", std::to_string(mem[m].units)}});
+        }
+        tracer_->complete(
+            traceTrack, "execute.fused", report.startTime, report.endTime,
+            opt.correlationId,
+            {{"variant", real.name},
+             {"jobs", std::to_string(nmem)},
+             {"units", std::to_string(total_units)}});
+    }
+    out = finish(std::move(report));
+    return support::Status();
+}
+
 LaunchReport
 Runtime::launchKernel(const std::string &signature,
                       std::uint64_t total_units,

@@ -20,6 +20,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,26 @@ struct RuntimeConfig
      * guard.strikeLimit strikes.
      */
     guard::GuardConfig guard;
+};
+
+/**
+ * One member of a fused (batched) launch: a slice of the fused grid
+ * executed with the member job's own argument list, so each member
+ * reads and writes its own buffers (per-job output slicing) while the
+ * whole batch pays a single device submit.
+ */
+struct FusedSlice
+{
+    /**
+     * The member's argument list.  Must outlive the launchFused()
+     * call.  The member kernel bounds itself through its own scalar
+     * arguments, exactly as in a solo launch.
+     */
+    const kdp::KernelArgs *args = nullptr;
+    /** Member workload units. */
+    std::uint64_t units = 0;
+    /** Member job's tracer correlation id (for per-job batch spans). */
+    std::uint64_t correlationId = 0;
 };
 
 /**
@@ -157,6 +178,26 @@ class Runtime
                            std::uint64_t total_units,
                            const kdp::KernelArgs &args,
                            const LaunchOptions &opt, LaunchReport &report);
+
+    /**
+     * Fused (batched) launch: run every member of @p slices back to
+     * back with one variant under a single device submit.  All
+     * members share @p signature; each executes over its own argument
+     * list, so outputs land in each member's own buffers with no
+     * host-side copies.  @p variant selects the variant explicitly
+     * (the serving layer passes a warm store winner); -1 applies the
+     * default policy (cached selection, else opt.initialVariant,
+     * else variant 0), falling back to the first non-blacklisted
+     * variant.  Never profiles.  The report comes back with
+     * fused == true and must not feed the drift baseline.
+     *
+     * Failure codes match launch(); a device fault fails the whole
+     * batch (the serving layer then demotes members to solo runs).
+     */
+    support::Status launchFused(const std::string &signature, int variant,
+                                std::span<const FusedSlice> slices,
+                                const LaunchOptions &opt,
+                                LaunchReport &report);
 
     /**
      * Throwing wrapper of launch(): returns the report on success,
@@ -278,6 +319,8 @@ class Runtime
     std::string trackName_;
     /** The device's main trace track (valid while tracer_ is set). */
     std::uint64_t traceTrack = 0;
+    /** Fused-grid member start offsets, reused across launchFused(). */
+    std::vector<std::uint64_t> fusedStarts;
     /** Correlation id of the launch in flight (single-threaded). */
     std::uint64_t activeCorrelation = 0;
 };

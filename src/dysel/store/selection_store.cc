@@ -82,6 +82,30 @@ SelectionStore::lookup(const std::string &signature,
     return it->second;
 }
 
+std::optional<SelectionRecord>
+SelectionStore::peek(const std::string &signature,
+                     const std::string &device,
+                     std::uint64_t units) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = recs.find(Key{signature, device, bucketOf(units)});
+    if (it == recs.end() || !it->second.valid)
+        return std::nullopt;
+    return it->second;
+}
+
+void
+SelectionStore::noteServed(const std::string &signature,
+                           const std::string &device, std::uint64_t units,
+                           std::uint64_t jobs)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = recs.find(Key{signature, device, bucketOf(units)});
+    if (it == recs.end() || !it->second.valid)
+        return;
+    it->second.launches += jobs;
+}
+
 void
 SelectionStore::recordProfile(const std::string &device,
                               const runtime::LaunchReport &report)

@@ -202,6 +202,30 @@ class SelectionStore
            std::uint64_t units) const;
 
     /**
+     * Like lookup(), but does NOT count toward the hit/miss
+     * statistics.  The batcher uses this to probe whether a gathered
+     * batch can be served warm without the probe itself skewing the
+     * per-job hit-rate accounting (the fused launch then reports one
+     * aggregate hit via the service's own counters).
+     */
+    std::optional<SelectionRecord>
+    peek(const std::string &signature, const std::string &device,
+         std::uint64_t units) const;
+
+    /**
+     * Account @p jobs launches served from the record covering
+     * (@p signature, @p device, bucketOf(@p units)) without feeding
+     * the drift baseline.  Fused launches use this instead of
+     * observePlain(): a fused launch amortizes per-launch overhead
+     * across members, so its per-unit time is not comparable to the
+     * solo baseline and would trigger false drift quarantines.
+     * No-op when no valid record covers the key.
+     */
+    void noteServed(const std::string &signature,
+                    const std::string &device, std::uint64_t units,
+                    std::uint64_t jobs);
+
+    /**
      * Ingest a profiled launch: create or refresh the record for the
      * report's (signature, bucket) on @p device.  Ignores reports
      * that did not profile.  Fires the profile observer (the

@@ -106,6 +106,9 @@ class KernelArgs
     /** Number of arguments. */
     std::size_t size() const { return slots.size(); }
 
+    /** Drop all arguments, keeping slot capacity for reuse. */
+    void clear() { slots.clear(); }
+
     /** Typed buffer access with checked downcast. */
     template <typename T>
     Buffer<T> &

@@ -79,6 +79,18 @@ class GroupCtx
     /** This group's id within the variant's grid. */
     std::uint64_t group() const { return groupId; }
 
+    /**
+     * A fresh context for the same physical group re-addressed as
+     * @p group_id, sharing the trace recorder.  Fused launches use
+     * this to hand each member kernel a context whose group id (and
+     * hence unitBase/globalId) is local to the member's own grid.
+     */
+    GroupCtx
+    rebased(std::uint64_t group_id) const
+    {
+        return GroupCtx(group_id, groupSz, waf, rec);
+    }
+
     /** Work-items per group. */
     std::uint32_t groupSize() const { return groupSz; }
 

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Allocation-free hot-path storage for the dispatch service
+ * (DESIGN §10).
+ *
+ * Two pieces, both owned per worker shard:
+ *
+ *  - BufferPool: freelists of job-state blocks and queued-job shells.
+ *    A shell is a detail::QueuedJob whose strings, argument slots,
+ *    and retry vectors keep their capacity as the shell cycles
+ *    submitter -> ring -> worker -> freelist, so a steady-state
+ *    submit copies into existing storage instead of allocating.
+ *    Job states (the shared blocks behind JobHandle) are recycled
+ *    once every external handle has dropped its reference
+ *    (use_count() == 1 while the pool holds the only one).
+ *
+ *  - JobRing: a vector-backed FIFO replacing std::deque (whose
+ *    per-block churn allocates on every few pushes).  Grows
+ *    amortized; steady state pushes and pops never allocate.  Also
+ *    supports order-preserving extraction from the middle, which the
+ *    batcher uses to gather fusable members.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "job.hh"
+
+namespace dysel {
+namespace serve {
+
+/** Reset @p r field by field, keeping string/vector capacity. */
+void clearJobResult(JobResult &r);
+
+/**
+ * Vector-backed FIFO of queued jobs with wrap-around indexing.
+ * Single-shard use only: the caller guards it with the shard lock.
+ */
+class JobRing
+{
+  public:
+    bool empty() const { return count == 0; }
+    std::size_t size() const { return count; }
+
+    /** Append to the back (amortized growth; steady-state no alloc). */
+    void push(detail::QueuedJob &&qj);
+
+    /** Remove and return the front (ring must be non-empty). */
+    detail::QueuedJob pop();
+
+    /** The @p i-th job from the front (i < size()). */
+    detail::QueuedJob &at(std::size_t i);
+    const detail::QueuedJob &at(std::size_t i) const;
+
+    /**
+     * Remove and return the @p i-th job from the front, shifting
+     * later jobs forward (order preserved).  O(size - i) moves.
+     */
+    detail::QueuedJob extract(std::size_t i);
+
+  private:
+    void grow();
+
+    std::vector<detail::QueuedJob> slots;
+    std::size_t head = 0;
+    std::size_t count = 0;
+};
+
+/**
+ * Per-shard freelist arena.  Thread-safe: submitters acquire under
+ * the pool's own short lock; the shard's worker releases.
+ */
+class BufferPool
+{
+  public:
+    struct Stats
+    {
+        /** States / shells served by allocating fresh storage. */
+        std::uint64_t freshStates = 0;
+        std::uint64_t freshShells = 0;
+        /** States / shells served by recycling pooled storage.  In a
+         * steady-state window fresh counts stay flat while reused
+         * counts grow -- the allocation-free invariant the stress
+         * test asserts. */
+        std::uint64_t reusedStates = 0;
+        std::uint64_t reusedShells = 0;
+    };
+
+    /**
+     * A job state for a new job @p id: a recycled block whose every
+     * external handle is gone, else a fresh allocation.  The pool
+     * keeps one reference forever, so a block is reusable exactly
+     * when its use_count() drops back to 1.
+     */
+    std::shared_ptr<detail::JobState> acquireState(std::uint64_t id);
+
+    /** A recycled (or fresh) queued-job shell with retained capacity. */
+    detail::QueuedJob acquireShell();
+
+    /**
+     * Return a consumed shell to the freelist.  Clears job fields in
+     * a capacity-preserving way and drops the state reference.
+     */
+    void releaseShell(detail::QueuedJob &&shell);
+
+    Stats stats() const;
+
+  private:
+    mutable std::mutex mu;
+    std::vector<std::shared_ptr<detail::JobState>> states;
+    std::size_t scan = 0; ///< round-robin reuse cursor over `states`
+    std::vector<detail::QueuedJob> shells;
+    Stats stats_;
+};
+
+} // namespace serve
+} // namespace dysel

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <climits>
 #include <stdexcept>
 
 #include "support/logging.hh"
@@ -67,6 +68,23 @@ confStr(double c)
     return buf;
 }
 
+/** Copy a spec's fields into pooled job storage, reusing capacity. */
+void
+copySpecInto(const JobSpec &spec, Job &dst)
+{
+    const Job &src = spec.job();
+    dst.signature = src.signature;
+    dst.units = src.units;
+    dst.args = src.args;
+    dst.opt = src.opt;
+    dst.ensureRegistered = src.ensureRegistered;
+    dst.done = src.done;
+    dst.deadlineNs = src.deadlineNs;
+    dst.noBatch = src.noBatch;
+}
+
+const std::vector<unsigned> kNoExclusions;
+
 /**
  * The worker currently driving this thread, for observers that fire
  * from inside store calls (e.g. the predicted-selection demotion
@@ -79,6 +97,37 @@ thread_local std::uint64_t tlTraceTrack = 0;
 thread_local sim::Device *tlDevice = nullptr;
 
 } // namespace
+
+support::Status
+ServiceConfig::validate() const
+{
+    if (maxAttempts == 0)
+        return support::Status::invalidArgument(
+            "ServiceConfig: maxAttempts must be >= 1");
+    if (maxAttempts > 32)
+        return support::Status::invalidArgument(
+            "ServiceConfig: maxAttempts > 32 overflows the exponential "
+            "backoff shift");
+    if (breakerThreshold == 0)
+        return support::Status::invalidArgument(
+            "ServiceConfig: breakerThreshold must be >= 1");
+    if (batch.maxJobs == 0)
+        return support::Status::invalidArgument(
+            "ServiceConfig: batch.maxJobs must be >= 1 "
+            "(1 disables batching)");
+    if (maxQueueDepth > 0 && batch.maxJobs > maxQueueDepth)
+        return support::Status::invalidArgument(
+            "ServiceConfig: batch.maxJobs ("
+            + std::to_string(batch.maxJobs)
+            + ") exceeds maxQueueDepth ("
+            + std::to_string(maxQueueDepth)
+            + "); a full batch could never accumulate");
+    if (batch.windowNs > 0 && !batch.enabled())
+        return support::Status::invalidArgument(
+            "ServiceConfig: batch.windowNs set while batching is "
+            "disabled (batch.maxJobs <= 1)");
+    return support::Status();
+}
 
 bool
 JobHandle::done() const
@@ -135,8 +184,25 @@ JobHandle::cancel()
 
 DispatchService::DispatchService(store::SelectionStore &st,
                                  ServiceConfig cfg)
-    : store_(st), config(cfg)
+    : store_(st), config(cfg), batcher(cfg.batch)
 {
+    config.validate().throwIfError();
+    // Hot-path metric handles are resolved once; the registry hands
+    // out stable references, so per-job increments skip the name
+    // formatting and map lookup entirely.
+    submittedCounter = &reg.counter("jobs.submitted");
+    completedCounter = &reg.counter("jobs.completed");
+    failedCounter = &reg.counter("jobs.failed");
+    cancelledCounter = &reg.counter("jobs.cancelled");
+    storeHitCounter = &reg.counter("store.hit");
+    storeMissCounter = &reg.counter("store.miss");
+    batchLaunchCounter = &reg.counter("batch.launches");
+    batchJobsCounter = &reg.counter("batch.jobs");
+    batchDemotedCounter = &reg.counter("batch.demoted");
+    batchSizeHist = &reg.histogram("batch.size");
+    deviceNsHist = &reg.histogram("job.device_ns");
+    attemptsHist = &reg.histogram("job.attempts");
+    backoffHist = &reg.histogram("job.backoff_ns");
 }
 
 DispatchService::~DispatchService()
@@ -211,15 +277,25 @@ DispatchService::addDevice(std::unique_ptr<sim::Device> device)
     w->traceTrack = tracer_.track(trackName);
     w->rt->setTracer(&tracer_, trackName);
 
+    w->jobsCounter = &reg.counter(devMetric("device.jobs", idx));
+    w->storeHitsCounter =
+        &reg.counter(devMetric("device.store_hits", idx));
+    w->profiledCounter = &reg.counter(devMetric("device.profiled", idx));
+    w->latencyHist = &reg.histogram(devMetric("device.latency_ns", idx));
+
     // Feed the store from every launch on this runtime: profiled
     // launches refresh their record, plain cache-served launches
     // update the drift baseline (and may quarantine / invalidate).
+    // Fused launches are excluded from the baseline -- they amortize
+    // launch overhead across members, so their per-unit time is not
+    // comparable to a solo run; runBatch() accounts them through
+    // SelectionStore::noteServed() instead.
     w->rt->setLaunchObserver(
         [this, fp = w->fingerprint](const runtime::LaunchReport &r) {
             if (r.profiled) {
                 store_.recordProfile(fp, r);
                 reg.counter("store.record").inc();
-            } else if (r.fromCache) {
+            } else if (r.fromCache && !r.fused) {
                 switch (store_.observePlain(fp, r)) {
                   case store::Observation::Quarantined:
                     reg.counter("store.quarantine").inc();
@@ -253,6 +329,15 @@ DispatchService::addDevice(std::unique_ptr<sim::Device> device)
             reg.counter("guard.blacklist").inc();
         });
 
+    // Kernel pools registered before this device existed still apply
+    // to it (registerKernelPool retains every installer).
+    {
+        std::lock_guard<std::mutex> lock(poolMu);
+        for (const auto &installer : installers)
+            installer(*w->rt);
+        w->installersApplied = installers.size();
+    }
+
     workers.push_back(std::move(w));
     return idx;
 }
@@ -263,10 +348,71 @@ DispatchService::device(unsigned idx)
     return *workers.at(idx)->dev;
 }
 
-runtime::Runtime &
-DispatchService::runtimeAt(unsigned idx)
+const runtime::Runtime &
+DispatchService::runtimeAt(unsigned idx) const
 {
     return *workers.at(idx)->rt;
+}
+
+support::Status
+DispatchService::registerKernelPool(
+    std::function<void(runtime::Runtime &)> installer)
+{
+    if (!installer)
+        return support::Status::invalidArgument(
+            "DispatchService: empty kernel-pool installer");
+    std::lock_guard<std::mutex> lock(poolMu);
+    if (!started.load(std::memory_order_acquire)) {
+        // No workers running: install on every runtime right here.
+        try {
+            for (auto &w : workers)
+                installer(*w->rt);
+        } catch (const std::exception &e) {
+            return support::Status::internal(
+                std::string("registerKernelPool: installer threw: ")
+                + e.what());
+        }
+        installers.push_back(std::move(installer));
+        for (auto &w : workers)
+            w->installersApplied = installers.size();
+        installerCount.store(installers.size(),
+                             std::memory_order_release);
+        return support::Status();
+    }
+    // Workers are live: retain the installer; each worker applies it
+    // on its own thread before its next job (applyPendingInstallers),
+    // so the runtime is only ever touched by its worker.
+    installers.push_back(std::move(installer));
+    installerCount.store(installers.size(), std::memory_order_release);
+    for (auto &w : workers)
+        w->qcv.notify_all();
+    return support::Status();
+}
+
+void
+DispatchService::applyPendingInstallers(unsigned idx)
+{
+    Worker &w = *workers[idx];
+    if (w.installersApplied
+        == installerCount.load(std::memory_order_acquire))
+        return;
+    std::lock_guard<std::mutex> lock(poolMu);
+    while (w.installersApplied < installers.size()) {
+        try {
+            installers[w.installersApplied](*w.rt);
+        } catch (const std::exception &e) {
+            reg.counter("pool.install_failed").inc();
+            support::warn("kernel-pool installer failed on %s: %s",
+                          w.dev->name().c_str(), e.what());
+        }
+        ++w.installersApplied;
+    }
+}
+
+BufferPool::Stats
+DispatchService::poolStats(unsigned idx) const
+{
+    return workers.at(idx)->pool.stats();
 }
 
 void
@@ -277,7 +423,13 @@ DispatchService::start()
     if (workers.empty())
         throw std::logic_error("DispatchService: start() with no devices");
     stopping.store(false, std::memory_order_release);
-    started.store(true, std::memory_order_release);
+    {
+        // Serialize against registerKernelPool(): an installer either
+        // completes its inline application before workers exist or
+        // sees started == true and defers to the workers.
+        std::lock_guard<std::mutex> lock(poolMu);
+        started.store(true, std::memory_order_release);
+    }
     for (unsigned i = 0; i < workers.size(); ++i)
         workers[i]->thread = std::thread([this, i] { workerLoop(i); });
 }
@@ -287,6 +439,7 @@ DispatchService::route(const std::string &signature,
                        const std::vector<unsigned> &excluded)
 {
     std::lock_guard<std::mutex> lock(routeMu);
+    const std::size_t n = workers.size();
     // An open breaker sheds load for breakerCooldown routing
     // decisions; once the cooldown is spent the device becomes
     // eligible for exactly one probe job (the cooldown is re-armed
@@ -303,40 +456,75 @@ DispatchService::route(const std::string &signature,
         return true; // half-open: probe allowed
     };
 
+    auto finish = [this](unsigned pick) {
+        if (workers[pick]->breakerOpen)
+            workers[pick]->breakerCooldownLeft = config.breakerCooldown;
+        return pick;
+    };
+
+    if (n <= 64) {
+        // Submission hot path: candidate tiers as bitmasks, no heap.
+        std::uint64_t admissibleMask = 0;
+        std::uint64_t nonExcludedMask = 0;
+        for (unsigned i = 0; i < n; ++i) {
+            if (contains(excluded, i))
+                continue;
+            nonExcludedMask |= std::uint64_t(1) << i;
+            if (admissible(i))
+                admissibleMask |= std::uint64_t(1) << i;
+        }
+        std::uint64_t pool =
+            admissibleMask ? admissibleMask : nonExcludedMask;
+        if (pool == 0) {
+            // Everything is excluded or shedding: all devices.
+            pool = n == 64 ? ~std::uint64_t(0)
+                           : (std::uint64_t(1) << n) - 1;
+        }
+        if (config.affinity) {
+            auto it = affinityMap.find(signature);
+            if (it != affinityMap.end()
+                && ((pool >> it->second) & 1) != 0)
+                return finish(it->second);
+        }
+        unsigned best = UINT_MAX;
+        for (unsigned i = 0; i < n; ++i) {
+            if (((pool >> i) & 1) == 0)
+                continue;
+            if (best == UINT_MAX
+                || workers[i]->load.load(std::memory_order_relaxed)
+                       < workers[best]->load.load(
+                           std::memory_order_relaxed))
+                best = i;
+        }
+        return finish(best);
+    }
+
+    // Large-fleet fallback (allocates; n > 64 is not the hot path).
     std::vector<unsigned> pool;
-    for (unsigned i = 0; i < workers.size(); ++i)
+    for (unsigned i = 0; i < n; ++i)
         if (!contains(excluded, i) && admissible(i))
             pool.push_back(i);
     if (pool.empty()) {
-        // Everything is excluded or shedding: fall back to the
-        // non-excluded devices, then to all of them.
-        for (unsigned i = 0; i < workers.size(); ++i)
+        for (unsigned i = 0; i < n; ++i)
             if (!contains(excluded, i))
                 pool.push_back(i);
     }
     if (pool.empty()) {
-        pool.resize(workers.size());
-        for (unsigned i = 0; i < workers.size(); ++i)
+        pool.resize(n);
+        for (unsigned i = 0; i < n; ++i)
             pool[i] = i;
     }
-
     if (config.affinity) {
         auto it = affinityMap.find(signature);
-        if (it != affinityMap.end() && contains(pool, it->second)) {
-            Worker &w = *workers[it->second];
-            if (w.breakerOpen)
-                w.breakerCooldownLeft = config.breakerCooldown;
-            return it->second;
-        }
+        if (it != affinityMap.end() && contains(pool, it->second))
+            return finish(it->second);
     }
     unsigned best = pool[0];
     for (unsigned i : pool)
         if (workers[i]->load.load(std::memory_order_relaxed)
             < workers[best]->load.load(std::memory_order_relaxed))
             best = i;
-    if (workers[best]->breakerOpen)
-        workers[best]->breakerCooldownLeft = config.breakerCooldown;
-    return best;
+    return finish(best);
 }
 
 void
@@ -367,13 +555,13 @@ DispatchService::breakerObserve(unsigned idx, bool deviceFault)
 }
 
 void
-DispatchService::enqueue(unsigned idx, QueuedJob qj)
+DispatchService::enqueue(unsigned idx, detail::QueuedJob qj)
 {
     Worker &w = *workers[idx];
     {
         std::lock_guard<std::mutex> lock(w.qmu);
         qj.enqueuedNs = w.clockNs.load(std::memory_order_relaxed);
-        w.queue.push_back(std::move(qj));
+        w.queue.push(std::move(qj));
     }
     w.load.fetch_add(1, std::memory_order_relaxed);
     w.qcv.notify_one();
@@ -391,76 +579,139 @@ DispatchService::jobDone()
 JobHandle
 DispatchService::submit(Job job)
 {
+    // Deprecated shim: wrap the raw job in a spec and go through the
+    // batched submission core.
+    JobSpec spec;
+    spec.job_ = std::move(job);
+    JobHandle handle;
+    submitMany(std::span<const JobSpec>(&spec, 1),
+               std::span<JobHandle>(&handle, 1));
+    return handle;
+}
+
+std::vector<JobHandle>
+DispatchService::submitMany(std::span<const JobSpec> specs)
+{
+    std::vector<JobHandle> handles(specs.size());
+    submitMany(specs, handles);
+    return handles;
+}
+
+void
+DispatchService::submitMany(std::span<const JobSpec> specs,
+                            std::span<JobHandle> out)
+{
     if (!started.load(std::memory_order_acquire))
         throw std::logic_error("DispatchService: submit before start()");
-    job.id = nextId.fetch_add(1, std::memory_order_relaxed);
-    auto state = std::make_shared<detail::JobState>();
-    state->id = job.id;
-    reg.counter("jobs.submitted").inc();
+    if (out.size() < specs.size())
+        throw std::invalid_argument(
+            "DispatchService: submitMany output span too small");
+    if (specs.empty())
+        return;
 
-    QueuedJob qj;
-    qj.job = std::move(job);
-    qj.state = state;
-    const unsigned idx = route(qj.job.signature, qj.excluded);
-    Worker &w = *workers[idx];
+    // Route first, then visit each destination shard once.  The
+    // scratch vectors are thread-local so concurrent submitters don't
+    // contend, and their capacity persists across calls -- steady
+    // state allocates nothing on this thread.
+    static thread_local std::vector<unsigned> routes;
+    static thread_local std::vector<std::size_t> shedIdx;
+    routes.clear();
+    for (const JobSpec &spec : specs)
+        routes.push_back(route(spec.job_.signature, kNoExclusions));
+    submittedCounter->inc(specs.size());
 
-    // Admission control: only the target shard's lock is taken; the
-    // global routing lock is already released.
-    {
-        std::unique_lock<std::mutex> lock(w.qmu);
-        if (config.maxQueueDepth > 0
-            && w.queue.size() >= config.maxQueueDepth) {
-            if (config.admission == AdmissionPolicy::Shed) {
-                lock.unlock();
-                reg.counter("admission.shed").inc();
-                reg.counter(devMetric("device.shed", idx)).inc();
-                JobResult res;
-                res.id = state->id;
-                res.deviceIndex = idx;
-                res.deviceName = w.dev->name();
-                res.attempts = 0;
-                res.status = support::Status::resourceExhausted(
-                    "dispatch queue of " + devKey(idx) + " is full ("
-                    + std::to_string(config.maxQueueDepth)
-                    + " jobs); job "
-                    + std::to_string(state->id) + " shed");
-                if (tracer_.enabled()) {
-                    tracer_.instant(
-                        w.traceTrack, "admission.shed",
-                        w.clockNs.load(std::memory_order_relaxed),
-                        state->id, {{"depth",
-                                     std::to_string(
-                                         config.maxQueueDepth)}});
-                }
-                if (qj.job.done)
-                    qj.job.done(res);
-                {
-                    std::lock_guard<std::mutex> slock(state->mu);
-                    state->result = std::move(res);
-                    state->phase.store(detail::JobState::Done,
-                                       std::memory_order_release);
-                }
-                state->cv.notify_all();
-                return JobHandle(std::move(state));
+    for (unsigned widx = 0; widx < workers.size(); ++widx) {
+        bool any = false;
+        for (unsigned r : routes)
+            if (r == widx) {
+                any = true;
+                break;
             }
-            // Backpressure: block the submitter until the shard has
-            // room (the worker notifies spaceCv on every pop).
-            reg.counter("admission.blocked").inc();
-            const std::uint64_t t0 = wallNowNs();
-            w.spaceCv.wait(lock, [&] {
-                return w.queue.size() < config.maxQueueDepth
-                       || stopping.load(std::memory_order_acquire);
-            });
-            reg.histogram("admission.block_ns")
-                .observe(static_cast<double>(wallNowNs() - t0));
+        if (!any)
+            continue;
+        Worker &w = *workers[widx];
+        std::size_t pushed = 0;
+        shedIdx.clear();
+        {
+            std::unique_lock<std::mutex> lock(w.qmu);
+            for (std::size_t i = 0; i < specs.size(); ++i) {
+                if (routes[i] != widx)
+                    continue;
+                const std::uint64_t id =
+                    nextId.fetch_add(1, std::memory_order_relaxed);
+                if (config.maxQueueDepth > 0
+                    && w.queue.size() >= config.maxQueueDepth) {
+                    if (config.admission == AdmissionPolicy::Shed) {
+                        // Hand out a completed handle; the result and
+                        // callback are delivered after the shard lock
+                        // drops.
+                        out[i] = JobHandle(w.pool.acquireState(id));
+                        shedIdx.push_back(i);
+                        continue;
+                    }
+                    // Backpressure: block the submitter until the
+                    // shard has room (the worker notifies spaceCv on
+                    // every pop).
+                    reg.counter("admission.blocked").inc();
+                    const std::uint64_t t0 = wallNowNs();
+                    w.spaceCv.wait(lock, [&] {
+                        return w.queue.size() < config.maxQueueDepth
+                               || stopping.load(
+                                   std::memory_order_acquire);
+                    });
+                    reg.histogram("admission.block_ns")
+                        .observe(
+                            static_cast<double>(wallNowNs() - t0));
+                }
+                auto state = w.pool.acquireState(id);
+                detail::QueuedJob qj = w.pool.acquireShell();
+                copySpecInto(specs[i], qj.job);
+                qj.job.id = id;
+                qj.state = state;
+                qj.enqueuedNs =
+                    w.clockNs.load(std::memory_order_relaxed);
+                inFlight.fetch_add(1, std::memory_order_acq_rel);
+                w.queue.push(std::move(qj));
+                ++pushed;
+                out[i] = JobHandle(std::move(state));
+            }
         }
-        qj.enqueuedNs = w.clockNs.load(std::memory_order_relaxed);
-        inFlight.fetch_add(1, std::memory_order_acq_rel);
-        w.queue.push_back(std::move(qj));
+        if (pushed > 0) {
+            w.load.fetch_add(pushed, std::memory_order_relaxed);
+            w.qcv.notify_one();
+        }
+        for (std::size_t i : shedIdx) {
+            reg.counter("admission.shed").inc();
+            reg.counter(devMetric("device.shed", widx)).inc();
+            std::shared_ptr<detail::JobState> state = out[i].state_;
+            JobResult res;
+            res.id = state->id;
+            res.deviceIndex = widx;
+            res.deviceName = w.dev->name();
+            res.attempts = 0;
+            res.status = support::Status::resourceExhausted(
+                "dispatch queue of " + devKey(widx) + " is full ("
+                + std::to_string(config.maxQueueDepth) + " jobs); job "
+                + std::to_string(state->id) + " shed");
+            if (tracer_.enabled()) {
+                tracer_.instant(
+                    w.traceTrack, "admission.shed",
+                    w.clockNs.load(std::memory_order_relaxed),
+                    state->id,
+                    {{"depth",
+                      std::to_string(config.maxQueueDepth)}});
+            }
+            if (specs[i].job_.done)
+                specs[i].job_.done(res);
+            {
+                std::lock_guard<std::mutex> slock(state->mu);
+                state->result = std::move(res);
+                state->phase.store(detail::JobState::Done,
+                                   std::memory_order_release);
+            }
+            state->cv.notify_all();
+        }
     }
-    w.load.fetch_add(1, std::memory_order_relaxed);
-    w.qcv.notify_one();
-    return JobHandle(std::move(state));
 }
 
 void
@@ -493,7 +744,7 @@ DispatchService::stop()
 }
 
 void
-DispatchService::finishJob(QueuedJob &qj, JobResult res)
+DispatchService::finishJob(detail::QueuedJob &qj, JobResult res)
 {
     // The callback runs before the handle reports Done: once a
     // waiter wakes from result() the job -- callback included -- is
@@ -511,27 +762,52 @@ DispatchService::finishJob(QueuedJob &qj, JobResult res)
 }
 
 void
+DispatchService::finishCancelled(unsigned idx, detail::QueuedJob &&qj)
+{
+    Worker &w = *workers[idx];
+    cancelledCounter->inc();
+    if (qj.job.done) {
+        JobResult res;
+        {
+            std::lock_guard<std::mutex> lock(qj.state->mu);
+            res = qj.state->result;
+        }
+        qj.job.done(res);
+    }
+    w.load.fetch_sub(1, std::memory_order_relaxed);
+    jobDone();
+    w.pool.releaseShell(std::move(qj));
+}
+
+void
 DispatchService::workerLoop(unsigned idx)
 {
     Worker &w = *workers[idx];
     for (;;) {
-        QueuedJob qj;
+        detail::QueuedJob qj;
         {
             std::unique_lock<std::mutex> lock(w.qmu);
             w.qcv.wait(lock, [&] {
                 return stopping.load(std::memory_order_acquire)
-                       || !w.queue.empty();
+                       || !w.queue.empty()
+                       || w.installersApplied
+                              != installerCount.load(
+                                  std::memory_order_acquire);
             });
             if (w.queue.empty()) {
                 if (stopping.load(std::memory_order_acquire))
                     return;
+                // Woken to pick up a post-start kernel pool.
+                lock.unlock();
+                applyPendingInstallers(idx);
                 continue;
             }
-            qj = std::move(w.queue.front());
-            w.queue.pop_front();
+            qj = w.queue.pop();
         }
         // A slot freed: admit one blocked submitter.
         w.spaceCv.notify_one();
+
+        applyPendingInstallers(idx);
 
         // Claim the job; a lost race means it was cancelled while
         // queued and the handle already carries the Cancelled result.
@@ -539,17 +815,7 @@ DispatchService::workerLoop(unsigned idx)
         int expected = detail::JobState::Queued;
         if (!qj.state->phase.compare_exchange_strong(
                 expected, detail::JobState::Running)) {
-            reg.counter("jobs.cancelled").inc();
-            if (qj.job.done) {
-                JobResult res;
-                {
-                    std::lock_guard<std::mutex> lock(qj.state->mu);
-                    res = qj.state->result;
-                }
-                qj.job.done(res);
-            }
-            w.load.fetch_sub(1, std::memory_order_relaxed);
-            jobDone();
+            finishCancelled(idx, std::move(qj));
             continue;
         }
 
@@ -567,118 +833,365 @@ DispatchService::workerLoop(unsigned idx)
                         "dev=" + w.dev->name() + " attempt="
                             + std::to_string(qj.attempt + 1));
 
-        JobResult res = runJob(idx, qj);
-        res.attempts = qj.attempt + 1;
-        res.backoffNs = qj.backoffNs;
-        qj.spentNs += res.deviceTimeNs;
-        w.clockNs.store(w.dev->now(), std::memory_order_relaxed);
-
-        // The breaker watches device faults, not job-level failures
-        // (an unknown signature says nothing about device health).
-        const support::StatusCode launchCode = res.status.code();
-        const bool deviceFault =
-            launchCode == support::StatusCode::Unavailable
-            || launchCode == support::StatusCode::DeadlineExceeded;
-        if (launchCode == support::StatusCode::DeadlineExceeded) {
-            // A hung device timed the attempt out.
-            reg.counter("recover.timeouts").inc();
-        }
-
-        // Job-level deadline: device time plus charged backoff.
-        if (res.ok() && qj.job.deadlineNs != 0
-            && qj.spentNs + qj.backoffNs > qj.job.deadlineNs) {
-            res.status = support::Status::deadlineExceeded(
-                "job " + std::to_string(qj.job.id)
-                + " exceeded its deadline");
-            reg.counter("recover.timeouts").inc();
-        }
-
-        bool retry = false;
-        sim::TimeNs backoff = 0;
-        if (!res.ok() && retryableCode(launchCode)
-            && res.attempts < config.maxAttempts) {
-            backoff = config.backoffBaseNs
-                      << (res.attempts - 1);
-            if (qj.job.deadlineNs == 0
-                || qj.spentNs + qj.backoffNs + backoff
-                       < qj.job.deadlineNs) {
-                retry = true;
-            } else {
-                res.status = support::Status::deadlineExceeded(
-                    "job " + std::to_string(qj.job.id)
-                    + " out of retry budget: "
-                    + res.status.message());
-                reg.counter("recover.timeouts").inc();
-            }
-        }
-
-        if (retry) {
-            // Back to Queued so the next worker can claim it (and a
-            // cancel() between attempts still wins the race).
-            qj.state->phase.store(detail::JobState::Queued,
-                                  std::memory_order_release);
-            breakerObserve(idx, deviceFault);
-            qj.attempt = res.attempts;
-            qj.excluded.push_back(idx);
-            qj.backoffNs += backoff;
-            std::vector<unsigned> excluded = qj.excluded;
-            if (excluded.size() >= workers.size())
-                excluded.clear(); // every device failed it: restart
-            const unsigned target = route(qj.job.signature, excluded);
-            reg.counter("recover.retries").inc();
-            reg.counter(devMetric("device.retries_out", idx)).inc();
-            if (tracer_.enabled()) {
-                tracer_.instant(
-                    w.traceTrack, "retry", w.dev->now(), qj.job.id,
-                    {{"from", devKey(idx)},
-                     {"to", devKey(target)},
-                     {"attempt", std::to_string(qj.attempt + 1)},
-                     {"code",
-                      support::statusCodeName(res.status.code())}});
-            }
-            w.flight.record(w.dev->now(), qj.job.id, "retry",
-                            "to=" + devKey(target) + " "
-                                + res.status.toString());
-            // Retries bypass admission: the job is already admitted,
-            // and a worker thread must never block on a full shard.
-            enqueue(target, std::move(qj));
-            w.load.fetch_sub(1, std::memory_order_relaxed);
+        if (config.batch.enabled() && tryRunBatch(idx, qj))
             continue;
-        }
 
-        const bool succeeded = res.ok();
-        breakerObserve(idx, deviceFault);
-        if (config.affinity && succeeded
-            && (res.report.profiled || res.report.fromCache)) {
-            // Insert-or-re-pin: after a re-routed retry the
-            // signature sticks to the device that worked.
-            std::lock_guard<std::mutex> lock(routeMu);
-            affinityMap[qj.job.signature] = idx;
-        }
-
-        reg.counter(succeeded ? "jobs.completed" : "jobs.failed").inc();
-        reg.histogram("job.attempts")
-            .observe(static_cast<double>(res.attempts));
-        if (res.backoffNs > 0)
-            reg.histogram("job.backoff_ns")
-                .observe(static_cast<double>(res.backoffNs));
-        if (!succeeded) {
-            // Attach the worker's flight-recorder dump to the failure
-            // so the caller sees the device's last phases post-mortem.
-            w.flight.record(w.dev->now(), qj.job.id, "failed",
-                            "dev=" + w.dev->name() + " "
-                                + res.status.toString());
-            res.status.withPayload(w.flight.dump());
-        }
-        finishJob(qj, std::move(res));
-
-        w.load.fetch_sub(1, std::memory_order_relaxed);
-        jobDone();
+        JobResult res = runJob(idx, qj);
+        completeSolo(idx, qj, std::move(res));
     }
 }
 
+bool
+DispatchService::tryRunBatch(unsigned idx, detail::QueuedJob &head)
+{
+    Worker &w = *workers[idx];
+    if (!Batcher::eligible(head.job))
+        return false;
+
+    // One store consult for the whole batch.  peek() keeps the
+    // hit/miss statistics untouched; runBatch() accounts the batch's
+    // members in one go.
+    auto rec = store_.peek(head.job.signature, w.fingerprint,
+                           head.job.units);
+    if (rec && w.rt->guard().enabled()
+        && store_.isBlacklisted(head.job.signature, rec->selectedName,
+                                w.fingerprint))
+        rec.reset();
+    const bool profilable =
+        head.job.units >= config.runtime.minUnitsForProfiling
+        && head.job.opt.profiling;
+    if (!rec && profilable) {
+        // Cold but worth profiling: run the head solo so its record
+        // lands in the store; the compatible jobs still queued fuse
+        // behind that record on the very next claim.
+        return false;
+    }
+
+    // Gather compatible members, topping up within the bounded-delay
+    // window when the batch is under-full.
+    w.batchMembers.clear();
+    {
+        std::unique_lock<std::mutex> lock(w.qmu);
+        batcher.gather(w.queue, head.job, w.batchMembers);
+        if (config.batch.windowNs > 0
+            && w.batchMembers.size() + 1 < config.batch.maxJobs) {
+            w.qcv.wait_for(
+                lock,
+                std::chrono::nanoseconds(config.batch.windowNs));
+            batcher.gather(w.queue, head.job, w.batchMembers);
+        }
+    }
+
+    // Claim every member; one that lost to cancel() finishes here
+    // with its exactly-once callback, without disturbing the batch.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < w.batchMembers.size(); ++i) {
+        detail::QueuedJob &m = w.batchMembers[i];
+        int expected = detail::JobState::Queued;
+        if (!m.state->phase.compare_exchange_strong(
+                expected, detail::JobState::Running)) {
+            finishCancelled(idx, std::move(m));
+            continue;
+        }
+        if (tracer_.enabled()) {
+            tracer_.complete(
+                w.traceTrack, "queue", m.enqueuedNs, w.dev->now(),
+                m.job.id,
+                {{"signature", m.job.signature},
+                 {"attempt", std::to_string(m.attempt + 1)}});
+        }
+        if (i != kept)
+            w.batchMembers[kept] = std::move(m);
+        ++kept;
+    }
+    w.batchMembers.resize(kept);
+    if (w.batchMembers.empty())
+        return false; // nothing fused: head runs solo
+
+    // Head leads the batch at index 0.
+    w.batchMembers.push_back(std::move(head));
+    std::swap(w.batchMembers.front(), w.batchMembers.back());
+
+    runBatch(idx, rec);
+    return true;
+}
+
+void
+DispatchService::runBatch(unsigned idx,
+                          const std::optional<store::SelectionRecord> &rec)
+{
+    Worker &w = *workers[idx];
+    std::vector<detail::QueuedJob> &members = w.batchMembers;
+    detail::QueuedJob &head = members.front();
+    // The completion loop below releases each member's shell as it
+    // goes -- the head's first -- so snapshot the leader id up front.
+    const std::uint64_t headId = head.job.id;
+    const std::string &sig = head.job.signature;
+    const std::size_t n = members.size();
+    const bool warm = rec.has_value();
+
+    // Resolve the stored winner by name (records survive
+    // re-registration); keep the runtime's own cache warm so future
+    // solo launches of the signature skip the store round-trip.
+    int variant = -1;
+    if (warm) {
+        variant = rec->selected;
+        if (const auto *variants = w.rt->findVariants(sig)) {
+            for (std::size_t i = 0; i < variants->size(); ++i)
+                if ((*variants)[i].name == rec->selectedName)
+                    variant = static_cast<int>(i);
+        }
+        (void)w.rt->tryImportSelection(sig, variant);
+    }
+
+    w.batchSlices.clear();
+    std::uint64_t totalUnits = 0;
+    for (detail::QueuedJob &m : members) {
+        w.batchSlices.push_back(
+            {&m.job.args, m.job.units, m.job.id});
+        totalUnits += m.job.units;
+    }
+
+    runtime::LaunchOptions opt = head.job.opt;
+    opt.correlationId = head.job.id;
+    opt.profiling = false;
+
+    w.flight.record(w.dev->now(), head.job.id, "batch",
+                    "jobs=" + std::to_string(n) + " sig=" + sig
+                        + (warm ? " warm" : " cold"));
+    if (tracer_.enabled()) {
+        tracer_.instant(
+            w.traceTrack, "batch.gather", w.dev->now(), head.job.id,
+            {{"signature", sig},
+             {"jobs", std::to_string(n)},
+             {"units", std::to_string(totalUnits)},
+             {"warm", warm ? "yes" : "no"}});
+    }
+
+    const sim::TimeNs before = w.dev->now();
+    runtime::LaunchReport report;
+    const support::Status st = w.rt->launchFused(
+        sig, warm ? variant : -1, w.batchSlices, opt, report);
+    const sim::TimeNs elapsed = w.dev->now() - before;
+    w.clockNs.store(w.dev->now(), std::memory_order_relaxed);
+
+    if (!st.ok()) {
+        // The fused launch failed as a whole: demote every member to
+        // solo re-execution instead of failing the batch.  The
+        // failure was the batch's, so no attempt is consumed; a
+        // persistently faulty job then flows through the normal
+        // per-job retry machinery on its solo runs.
+        const support::StatusCode code = st.code();
+        const bool deviceFault =
+            code == support::StatusCode::Unavailable
+            || code == support::StatusCode::DeadlineExceeded;
+        breakerObserve(idx, deviceFault);
+        batchDemotedCounter->inc(n);
+        if (tracer_.enabled()) {
+            tracer_.instant(
+                w.traceTrack, "batch.demoted", w.dev->now(),
+                head.job.id,
+                {{"signature", sig},
+                 {"jobs", std::to_string(n)},
+                 {"code", support::statusCodeName(code)}});
+        }
+        w.flight.record(w.dev->now(), head.job.id, "batch.demote",
+                        "jobs=" + std::to_string(n) + " "
+                            + st.toString());
+        const sim::TimeNs share = elapsed / n;
+        std::size_t requeued = 0;
+        {
+            std::lock_guard<std::mutex> lock(w.qmu);
+            for (detail::QueuedJob &m : members) {
+                m.job.noBatch = true;
+                m.spentNs += share;
+                m.enqueuedNs =
+                    w.clockNs.load(std::memory_order_relaxed);
+                // Back to Queued: cancel() can still win the next
+                // claim race.
+                m.state->phase.store(detail::JobState::Queued,
+                                     std::memory_order_release);
+                w.queue.push(std::move(m));
+                ++requeued;
+            }
+        }
+        // Members stayed on this shard, so w.load is already right;
+        // the worker loops straight back into the queue.
+        (void)requeued;
+        members.clear();
+        return;
+    }
+
+    // Success: one fused launch served n jobs.
+    batchLaunchCounter->inc();
+    batchJobsCounter->inc(n);
+    batchSizeHist->observe(static_cast<double>(n));
+    if (warm) {
+        store_.noteServed(sig, w.fingerprint, head.job.units, n);
+        storeHitCounter->inc(n);
+        w.storeHitsCounter->inc(n);
+    } else {
+        // Sub-threshold jobs never produce a record; they still count
+        // as misses so hit-rate accounting matches the solo path.
+        storeMissCounter->inc(n);
+    }
+    breakerObserve(idx, false);
+    if (config.affinity && warm) {
+        std::lock_guard<std::mutex> lock(routeMu);
+        affinityMap[sig] = idx;
+    }
+
+    const sim::TimeNs share = elapsed / n;
+    for (detail::QueuedJob &m : members) {
+        JobResult res;
+        res.id = m.job.id;
+        res.deviceIndex = idx;
+        res.deviceName = w.dev->name();
+        res.warmStart = warm;
+        res.batchedWith = headId;
+        res.report = report;
+        res.report.totalUnits = m.job.units; // the member's own view
+        res.deviceTimeNs = share;
+        res.attempts = m.attempt + 1;
+        res.backoffNs = m.backoffNs;
+        m.spentNs += share;
+        if (m.job.deadlineNs != 0
+            && m.spentNs + m.backoffNs > m.job.deadlineNs) {
+            res.status = support::Status::deadlineExceeded(
+                "job " + std::to_string(m.job.id)
+                + " exceeded its deadline");
+            reg.counter("recover.timeouts").inc();
+        }
+        const bool succeeded = res.ok();
+        if (succeeded) {
+            w.jobsCounter->inc();
+            deviceNsHist->observe(static_cast<double>(share));
+            w.latencyHist->observe(static_cast<double>(share));
+        }
+        (succeeded ? completedCounter : failedCounter)->inc();
+        attemptsHist->observe(static_cast<double>(res.attempts));
+        if (res.backoffNs > 0)
+            backoffHist->observe(static_cast<double>(res.backoffNs));
+        finishJob(m, std::move(res));
+        w.load.fetch_sub(1, std::memory_order_relaxed);
+        jobDone();
+        w.pool.releaseShell(std::move(m));
+    }
+    members.clear();
+}
+
+void
+DispatchService::completeSolo(unsigned idx, detail::QueuedJob &qj,
+                              JobResult res)
+{
+    Worker &w = *workers[idx];
+    res.attempts = qj.attempt + 1;
+    res.backoffNs = qj.backoffNs;
+    qj.spentNs += res.deviceTimeNs;
+    w.clockNs.store(w.dev->now(), std::memory_order_relaxed);
+
+    // The breaker watches device faults, not job-level failures
+    // (an unknown signature says nothing about device health).
+    const support::StatusCode launchCode = res.status.code();
+    const bool deviceFault =
+        launchCode == support::StatusCode::Unavailable
+        || launchCode == support::StatusCode::DeadlineExceeded;
+    if (launchCode == support::StatusCode::DeadlineExceeded) {
+        // A hung device timed the attempt out.
+        reg.counter("recover.timeouts").inc();
+    }
+
+    // Job-level deadline: device time plus charged backoff.
+    if (res.ok() && qj.job.deadlineNs != 0
+        && qj.spentNs + qj.backoffNs > qj.job.deadlineNs) {
+        res.status = support::Status::deadlineExceeded(
+            "job " + std::to_string(qj.job.id)
+            + " exceeded its deadline");
+        reg.counter("recover.timeouts").inc();
+    }
+
+    bool retry = false;
+    sim::TimeNs backoff = 0;
+    if (!res.ok() && retryableCode(launchCode)
+        && res.attempts < config.maxAttempts) {
+        backoff = config.backoffBaseNs << (res.attempts - 1);
+        if (qj.job.deadlineNs == 0
+            || qj.spentNs + qj.backoffNs + backoff
+                   < qj.job.deadlineNs) {
+            retry = true;
+        } else {
+            res.status = support::Status::deadlineExceeded(
+                "job " + std::to_string(qj.job.id)
+                + " out of retry budget: " + res.status.message());
+            reg.counter("recover.timeouts").inc();
+        }
+    }
+
+    if (retry) {
+        // Back to Queued so the next worker can claim it (and a
+        // cancel() between attempts still wins the race).
+        qj.state->phase.store(detail::JobState::Queued,
+                              std::memory_order_release);
+        breakerObserve(idx, deviceFault);
+        qj.attempt = res.attempts;
+        qj.excluded.push_back(idx);
+        qj.backoffNs += backoff;
+        std::vector<unsigned> excluded = qj.excluded;
+        if (excluded.size() >= workers.size())
+            excluded.clear(); // every device failed it: restart
+        const unsigned target = route(qj.job.signature, excluded);
+        reg.counter("recover.retries").inc();
+        reg.counter(devMetric("device.retries_out", idx)).inc();
+        if (tracer_.enabled()) {
+            tracer_.instant(
+                w.traceTrack, "retry", w.dev->now(), qj.job.id,
+                {{"from", devKey(idx)},
+                 {"to", devKey(target)},
+                 {"attempt", std::to_string(qj.attempt + 1)},
+                 {"code",
+                  support::statusCodeName(res.status.code())}});
+        }
+        w.flight.record(w.dev->now(), qj.job.id, "retry",
+                        "to=" + devKey(target) + " "
+                            + res.status.toString());
+        // Retries bypass admission: the job is already admitted,
+        // and a worker thread must never block on a full shard.
+        enqueue(target, std::move(qj));
+        w.load.fetch_sub(1, std::memory_order_relaxed);
+        return;
+    }
+
+    const bool succeeded = res.ok();
+    breakerObserve(idx, deviceFault);
+    if (config.affinity && succeeded
+        && (res.report.profiled || res.report.fromCache)) {
+        // Insert-or-re-pin: after a re-routed retry the
+        // signature sticks to the device that worked.
+        std::lock_guard<std::mutex> lock(routeMu);
+        affinityMap[qj.job.signature] = idx;
+    }
+
+    (succeeded ? completedCounter : failedCounter)->inc();
+    attemptsHist->observe(static_cast<double>(res.attempts));
+    if (res.backoffNs > 0)
+        backoffHist->observe(static_cast<double>(res.backoffNs));
+    if (!succeeded) {
+        // Attach the worker's flight-recorder dump to the failure
+        // so the caller sees the device's last phases post-mortem.
+        w.flight.record(w.dev->now(), qj.job.id, "failed",
+                        "dev=" + w.dev->name() + " "
+                            + res.status.toString());
+        res.status.withPayload(w.flight.dump());
+    }
+    finishJob(qj, std::move(res));
+
+    w.load.fetch_sub(1, std::memory_order_relaxed);
+    jobDone();
+    w.pool.releaseShell(std::move(qj));
+}
+
 JobResult
-DispatchService::runJob(unsigned idx, QueuedJob &qj)
+DispatchService::runJob(unsigned idx, detail::QueuedJob &qj)
 {
     Worker &w = *workers[idx];
     Job &job = qj.job;
@@ -872,8 +1385,8 @@ DispatchService::runJob(unsigned idx, QueuedJob &qj)
         }
         opt.profiling = false;
         res.warmStart = true;
-        reg.counter("store.hit").inc();
-        reg.counter(devMetric("device.store_hits", idx)).inc();
+        storeHitCounter->inc();
+        w.storeHitsCounter->inc();
         if (tracer_.enabled()) {
             tracer_.instant(w.traceTrack, "store.hit", w.dev->now(),
                             job.id,
@@ -883,7 +1396,7 @@ DispatchService::runJob(unsigned idx, QueuedJob &qj)
                         "warm variant=" + rec->selectedName);
     } else {
         opt.profiling = true;
-        reg.counter("store.miss").inc();
+        storeMissCounter->inc();
         w.flight.record(w.dev->now(), job.id, "lookup", "miss");
     }
 
@@ -897,13 +1410,11 @@ DispatchService::runJob(unsigned idx, QueuedJob &qj)
     res.deviceTimeNs = w.dev->now() - before;
 
     if (res.ok()) {
-        reg.counter(devMetric("device.jobs", idx)).inc();
-        reg.histogram("job.device_ns")
-            .observe(static_cast<double>(res.deviceTimeNs));
-        reg.histogram(devMetric("device.latency_ns", idx))
-            .observe(static_cast<double>(res.deviceTimeNs));
+        w.jobsCounter->inc();
+        deviceNsHist->observe(static_cast<double>(res.deviceTimeNs));
+        w.latencyHist->observe(static_cast<double>(res.deviceTimeNs));
         if (res.report.profiled)
-            reg.counter(devMetric("device.profiled", idx)).inc();
+            w.profiledCounter->inc();
     } else if (res.warmStart
                && retryableCode(res.status.code())) {
         // The stored selection failed to even launch: demote it so

@@ -14,7 +14,31 @@
  * launch observer.  Counters and latency histograms are exposed
  * through a support::MetricsRegistry.
  *
- * Scaling (DESIGN §8): the hot path is sharded.  submit() and
+ * Submission API (DESIGN §10): the stable public surface is the
+ * builder-style JobSpec plus submitMany(), which admits a whole span
+ * of jobs under one shard-lock acquisition per destination shard and
+ * returns their handles; submit(Job) remains as a thin deprecated
+ * shim.  Kernel pools are installed through registerKernelPool(),
+ * which is thread-safe before *and* after start(); runtimeAt() is
+ * const observation only.
+ *
+ * Batched serving (DESIGN §10): with ServiceConfig::batch.maxJobs
+ * > 1, a worker that claims a job gathers every compatible queued job
+ * (same signature, size bucket, and launch policy; bounded by
+ * batch.maxJobs/maxUnits, topped up for batch.windowNs of bounded
+ * delay) and runs them as ONE fused launch with per-job output
+ * slicing -- one store consult, one device submit.  Handles, done
+ * callbacks, deadlines, and tracer correlation stay per job; a fused
+ * launch that fails demotes every member to solo re-execution (where
+ * the normal retry machinery applies) instead of failing the batch.
+ *
+ * Allocation-free hot path (DESIGN §10): job states and queued-job
+ * shells are recycled through a per-shard serve::BufferPool and the
+ * queues are vector-backed rings, so a steady-state submit->complete
+ * cycle performs no heap allocation on the submitter side (see
+ * BufferPool::Stats for the worker-side accounting).
+ *
+ * Scaling (DESIGN §8): the hot path is sharded.  submitMany() and
  * completion touch only the target device's queue shard (its own
  * mutex + condition variables); device loads and the in-flight count
  * are atomics, so routing reads them lock-free.  The one remaining
@@ -30,7 +54,7 @@
  * ties each follower to its leader's correlation id).  A leader that
  * fails hands leadership to one of its followers.
  *
- * Admission control: with maxQueueDepth > 0, a submit() against a
+ * Admission control: with maxQueueDepth > 0, a submit against a
  * full device queue either blocks until the queue has room
  * (AdmissionPolicy::Block, backpressure) or returns a handle already
  * completed with RESOURCE_EXHAUSTED (AdmissionPolicy::Shed).
@@ -68,11 +92,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -89,12 +113,15 @@
 #include "support/tracing/flight_recorder.hh"
 #include "support/tracing/tracer.hh"
 
+#include "batcher.hh"
+#include "buffer_pool.hh"
 #include "coalescer.hh"
+#include "job.hh"
 
 namespace dysel {
 namespace serve {
 
-/** What submit() does when the target device queue is full. */
+/** What submission does when the target device queue is full. */
 enum class AdmissionPolicy {
     /** Block the submitter until the queue has room (backpressure). */
     Block,
@@ -124,6 +151,14 @@ struct ServiceConfig
      * take part.
      */
     bool coalesce = true;
+
+    /**
+     * Batch aggregation (DESIGN §10): batch.maxJobs > 1 lets each
+     * worker fuse compatible queued jobs into one launch, bounded by
+     * batch.maxUnits summed units and topped up for batch.windowNs
+     * of wall-clock delay.
+     */
+    BatchLimits batch;
 
     /**
      * Queued jobs each device accepts before admission control kicks
@@ -161,143 +196,16 @@ struct ServiceConfig
      * its worker did: device, phase, detail).
      */
     std::size_t flightRecorderCapacity = 64;
-};
-
-/** Completion record of one job. */
-struct JobResult
-{
-    std::uint64_t id = 0;
-    /** Ok, or why the job ultimately failed. */
-    support::Status status;
-    bool ok() const { return status.ok(); }
-
-    unsigned deviceIndex = 0;
-    std::string deviceName;
-    /** Selection came from the persistent store (no profiling ran). */
-    bool warmStart = false;
-    /**
-     * The selection was seeded by the predictor (learned selection):
-     * the job ran warm without any profiling pass ever having covered
-     * its (signature, device, bucket) key.
-     */
-    bool predicted = false;
-    /**
-     * Job id of the profiling leader this job coalesced behind
-     * (0 = the job did not ride another job's profiling pass).
-     */
-    std::uint64_t coalescedWith = 0;
-    runtime::LaunchReport report;
-    /** Virtual device time the last attempt consumed. */
-    sim::TimeNs deviceTimeNs = 0;
-
-    /** Attempts the job took (1 = no retries). */
-    unsigned attempts = 1;
-    /** Total virtual backoff charged across retries. */
-    sim::TimeNs backoffNs = 0;
-};
-
-/** One launch job. */
-struct Job
-{
-    std::string signature;
-    std::uint64_t units = 0;
-    kdp::KernelArgs args;
-    runtime::LaunchOptions opt;
 
     /**
-     * Ensures the job's kernel pool is registered on the runtime it
-     * lands on (called from the worker thread before the launch).
-     * Typically `w.registerWith(rt)` guarded by Runtime::hasKernel,
-     * or a removeKernel + re-register when the pool's geometry
-     * changed.  Optional: jobs may rely on pre-registered kernels.
+     * Typed consistency check, called by the DispatchService ctor
+     * (throwing on error) and by dyseld flag parsing (reported to
+     * the user).  Catches the silently-accepted nonsense configs:
+     * zero attempts, a backoff shift that overflows, a zero breaker
+     * threshold, a batch that can never fit its queue, and a batch
+     * window with batching disabled.
      */
-    std::function<void(runtime::Runtime &)> ensureRegistered;
-
-    /**
-     * Optional completion callback, fired exactly once per job on
-     * every terminal path: on the worker thread for jobs that ran
-     * (or were discarded after a cancel), on the submitter's own
-     * thread for a job shed by admission control.  JobHandle::wait()
-     * / result() cover the common case.
-     */
-    std::function<void(const JobResult &)> done;
-
-    /**
-     * Virtual-time budget (device time + charged backoff) across all
-     * attempts; 0 disables the deadline.  A job that exhausts it
-     * fails with DeadlineExceeded instead of retrying further.
-     */
-    sim::TimeNs deadlineNs = 0;
-
-    /** Assigned by submit(). */
-    std::uint64_t id = 0;
-};
-
-namespace detail {
-
-/** Shared completion state behind a JobHandle. */
-struct JobState
-{
-    enum Phase { Queued = 0, Running = 1, Done = 2, Cancelled = 3 };
-
-    std::uint64_t id = 0;
-    std::atomic<int> phase{Queued};
-    mutable std::mutex mu;
-    mutable std::condition_variable cv;
-    JobResult result; ///< valid once phase is Done or Cancelled
-};
-
-} // namespace detail
-
-/**
- * Caller-side handle of a submitted job: wait for it, read its
- * result, or cancel it while it is still queued.  Copyable; all
- * copies refer to the same job.  A default-constructed handle is
- * empty.
- */
-class JobHandle
-{
-  public:
-    JobHandle() = default;
-
-    /** Whether the handle refers to a job. */
-    bool valid() const { return static_cast<bool>(state_); }
-
-    /** The job id assigned by submit(). */
-    std::uint64_t id() const { return state_ ? state_->id : 0; }
-
-    /** Whether the job has finished (done or cancelled). */
-    bool done() const;
-
-    /** Block until the job is done or cancelled. */
-    void wait() const;
-
-    /**
-     * Block until completion, then the final JobResult.  A cancelled
-     * job's result carries StatusCode::Cancelled; a job shed by
-     * admission control carries StatusCode::ResourceExhausted.  The
-     * reference is only valid while this handle (or a copy) is alive
-     * -- don't bind it off a temporary handle.
-     */
-    const JobResult &result() const;
-
-    /**
-     * Withdraw the job if it has not started running.  Returns true
-     * on success (the job will never run; its result is Cancelled);
-     * false once the job is running or finished.  Cancelling a
-     * queued duplicate never disturbs the profiling leader it would
-     * have coalesced behind -- jobs attach to a leader only once
-     * running.
-     */
-    bool cancel();
-
-  private:
-    friend class DispatchService;
-    explicit JobHandle(std::shared_ptr<detail::JobState> state)
-        : state_(std::move(state))
-    {}
-
-    std::shared_ptr<detail::JobState> state_;
+    support::Status validate() const;
 };
 
 /**
@@ -309,7 +217,8 @@ class DispatchService
     /**
      * @p st is the shared selection store; it must outlive the
      * service (the caller typically loads it from disk before and
-     * saves it after).
+     * saves it after).  Throws std::invalid_argument when
+     * cfg.validate() fails.
      */
     explicit DispatchService(store::SelectionStore &st,
                              ServiceConfig cfg = ServiceConfig());
@@ -320,7 +229,9 @@ class DispatchService
 
     /**
      * Register a device (before start()).  The service owns the
-     * device and its runtime.  Returns the device index.
+     * device and its runtime.  Returns the device index.  Kernel
+     * pools already registered through registerKernelPool() are
+     * installed on the new device's runtime immediately.
      */
     unsigned addDevice(std::unique_ptr<sim::Device> device);
 
@@ -328,10 +239,25 @@ class DispatchService
     sim::Device &device(unsigned idx);
 
     /**
-     * Direct runtime access for kernel pre-registration before
-     * start(); not thread-safe once workers run.
+     * Const observation of a device's runtime (selection cache,
+     * guard state, registered variants).  For installing kernels use
+     * registerKernelPool() -- mutable access from outside the worker
+     * thread is no longer part of the API.
      */
-    runtime::Runtime &runtimeAt(unsigned idx);
+    const runtime::Runtime &runtimeAt(unsigned idx) const;
+
+    /**
+     * Install a kernel pool on every device runtime, before or after
+     * start().  The installer runs immediately on all current
+     * runtimes when the service is not running; once workers run,
+     * each worker applies pending installers on its own thread
+     * before its next job, so no cross-thread runtime access ever
+     * happens.  Installers are retained and applied to devices added
+     * later.  Fails with InvalidArgument for an empty installer and
+     * Internal when an immediate application throws.
+     */
+    support::Status registerKernelPool(
+        std::function<void(runtime::Runtime &)> installer);
 
     /**
      * Attach a selection predictor (before start(); nullptr
@@ -351,11 +277,26 @@ class DispatchService
     void start();
 
     /**
-     * Enqueue a job; returns its handle.  Requires start().  With a
-     * bounded queue (maxQueueDepth > 0) this blocks while the target
-     * device's queue is full (AdmissionPolicy::Block) or returns a
-     * handle already completed with RESOURCE_EXHAUSTED
-     * (AdmissionPolicy::Shed).
+     * Submit a span of job specs; their handles are written to
+     * @p out (out.size() >= specs.size()).  Requires start().  Jobs
+     * are routed first, then each destination shard's lock is taken
+     * once for all of its jobs -- a burst of compatible jobs lands in
+     * one lock acquisition and is immediately fusable by the worker.
+     * Admission control applies per job, exactly as with submit().
+     * Steady-state calls perform no heap allocation on this thread
+     * (see the JobSpec reuse contract).
+     */
+    void submitMany(std::span<const JobSpec> specs,
+                    std::span<JobHandle> out);
+
+    /** Convenience overload returning the handles in a vector. */
+    std::vector<JobHandle> submitMany(std::span<const JobSpec> specs);
+
+    /**
+     * Enqueue one job; returns its handle.
+     *
+     * @deprecated Thin shim over submitMany(); build a JobSpec and
+     * use submitMany() instead.
      */
     JobHandle submit(Job job);
 
@@ -369,6 +310,13 @@ class DispatchService
     const store::SelectionStore &selectionStore() const { return store_; }
 
     /**
+     * Allocation accounting of @p idx's shard pool: fresh vs reused
+     * states and shells.  In a steady-state window the fresh counts
+     * stay flat -- the invariant the stress batch test asserts.
+     */
+    BufferPool::Stats poolStats(unsigned idx) const;
+
+    /**
      * The service-wide trace sink (disabled by default; call
      * tracer().setEnabled(true) before start()).  Jobs emit queue
      * spans, retry/re-route instants, coalescing attach/served
@@ -380,19 +328,6 @@ class DispatchService
     support::tracing::Tracer &tracer() { return tracer_; }
 
   private:
-    /** A job in flight, with its retry state. */
-    struct QueuedJob
-    {
-        Job job;
-        std::shared_ptr<detail::JobState> state;
-        unsigned attempt = 0; ///< failed attempts so far
-        std::vector<unsigned> excluded; ///< devices that failed it
-        sim::TimeNs backoffNs = 0; ///< charged virtual backoff
-        sim::TimeNs spentNs = 0; ///< device time across attempts
-        /** Destination device's clock when (re-)enqueued (queue span). */
-        sim::TimeNs enqueuedNs = 0;
-    };
-
     struct Worker
     {
         std::unique_ptr<sim::Device> dev;
@@ -401,21 +336,39 @@ class DispatchService
         std::thread thread;
 
         /**
-         * Queue shard: its own lock and wakeups, so submit() and
+         * Queue shard: its own lock and wakeups, so submission and
          * completion touch only the target device's shard.
          */
         std::mutex qmu;
         std::condition_variable qcv;     ///< worker: new job or stop
         std::condition_variable spaceCv; ///< submitters: queue has room
-        std::deque<QueuedJob> queue;     ///< guarded by qmu
+        JobRing queue;                   ///< guarded by qmu
+        /** Shell / job-state freelists for this shard's jobs. */
+        BufferPool pool;
         /** Queued + running jobs (lock-free routing input). */
         std::atomic<std::uint64_t> load{0};
+
+        /** Gathered batch members + fused slices (worker thread
+         * only; capacity reused across batches). */
+        std::vector<detail::QueuedJob> batchMembers;
+        std::vector<runtime::FusedSlice> batchSlices;
+
+        /** Installers from registerKernelPool() this worker has
+         * applied to its runtime (worker thread only). */
+        std::size_t installersApplied = 0;
 
         /** Circuit breaker (guarded by DispatchService::routeMu). */
         unsigned consecFailures = 0;
         bool breakerOpen = false;
         /** Routing decisions left before a half-open probe. */
         unsigned breakerCooldownLeft = 0;
+
+        /** Cached per-device metric handles (hot path: no name
+         * formatting, no registry lookup). */
+        support::Counter *jobsCounter = nullptr;
+        support::Counter *storeHitsCounter = nullptr;
+        support::Counter *profiledCounter = nullptr;
+        support::Histogram *latencyHist = nullptr;
 
         /** This worker's trace track id. */
         std::uint64_t traceTrack = 0;
@@ -424,20 +377,47 @@ class DispatchService
         /**
          * Published device-clock snapshot: the worker stores its
          * device's virtual time whenever the device is idle, so
-         * submit() can timestamp queue spans without touching the
+         * submission can timestamp queue spans without touching the
          * (possibly running) event engine from another thread.
          */
         std::atomic<sim::TimeNs> clockNs{0};
     };
 
     void workerLoop(unsigned idx);
-    JobResult runJob(unsigned idx, QueuedJob &qj);
+    JobResult runJob(unsigned idx, detail::QueuedJob &qj);
+
+    /**
+     * Gather a batch behind @p head (bounded-delay top-up included)
+     * and run it as one fused launch with per-job completion.
+     * Consumes @p head and the gathered members.  Falls back to the
+     * solo path internally when nothing fuses; returns false when
+     * @p head was not even eligible, leaving it untouched for the
+     * solo path.
+     */
+    bool tryRunBatch(unsigned idx, detail::QueuedJob &head);
+
+    /** Fused execution of w.batchMembers (head at index 0). */
+    void runBatch(unsigned idx,
+                  const std::optional<store::SelectionRecord> &rec);
+
+    /** Worker-side completion of a solo job (shared tail of the
+     * worker loop): retry decision, breaker, affinity, metrics. */
+    void completeSolo(unsigned idx, detail::QueuedJob &qj,
+                      JobResult res);
+
+    /** A queued job lost its claim race to cancel(): deliver the
+     * exactly-once callback and drop it from the system. */
+    void finishCancelled(unsigned idx, detail::QueuedJob &&qj);
 
     /** Deliver @p res to the handle and the done callback. */
-    static void finishJob(QueuedJob &qj, JobResult res);
+    static void finishJob(detail::QueuedJob &qj, JobResult res);
+
+    /** Apply registerKernelPool() installers this worker has not yet
+     * run (worker thread; cheap relaxed check when up to date). */
+    void applyPendingInstallers(unsigned idx);
 
     /** Push @p qj onto @p idx's shard and wake its worker. */
-    void enqueue(unsigned idx, QueuedJob qj);
+    void enqueue(unsigned idx, detail::QueuedJob qj);
 
     /** One job left the system: drop inFlight and wake drain(). */
     void jobDone();
@@ -446,7 +426,8 @@ class DispatchService
      * Pick the worker for @p signature, skipping @p excluded devices
      * and open breakers (takes routeMu).  Decrements open-breaker
      * cooldowns as a side effect; an expired cooldown makes the
-     * device eligible for one probe job.
+     * device eligible for one probe job.  Allocation-free for fleets
+     * of up to 64 devices.
      */
     unsigned route(const std::string &signature,
                    const std::vector<unsigned> &excluded);
@@ -456,11 +437,18 @@ class DispatchService
 
     store::SelectionStore &store_;
     ServiceConfig config;
+    Batcher batcher;
     predict::SelectionPredictor *predictor_ = nullptr;
     support::MetricsRegistry reg;
     support::tracing::Tracer tracer_;
     ProfileCoalescer coalescer;
     std::vector<std::unique_ptr<Worker>> workers;
+
+    /** Kernel-pool installers (guarded by poolMu); installerCount
+     * mirrors installers.size() for the workers' cheap check. */
+    std::mutex poolMu;
+    std::vector<std::function<void(runtime::Runtime &)>> installers;
+    std::atomic<std::size_t> installerCount{0};
 
     /**
      * Routing state: affinity map + circuit breakers.  Held for map
@@ -474,6 +462,21 @@ class DispatchService
     std::atomic<std::uint64_t> inFlight{0};
     std::mutex idleMu;
     std::condition_variable idle;
+
+    /** Cached hot-path metric handles (stable addresses). */
+    support::Counter *submittedCounter = nullptr;
+    support::Counter *completedCounter = nullptr;
+    support::Counter *failedCounter = nullptr;
+    support::Counter *cancelledCounter = nullptr;
+    support::Counter *storeHitCounter = nullptr;
+    support::Counter *storeMissCounter = nullptr;
+    support::Counter *batchLaunchCounter = nullptr;
+    support::Counter *batchJobsCounter = nullptr;
+    support::Counter *batchDemotedCounter = nullptr;
+    support::Histogram *batchSizeHist = nullptr;
+    support::Histogram *deviceNsHist = nullptr;
+    support::Histogram *attemptsHist = nullptr;
+    support::Histogram *backoffHist = nullptr;
 
     std::atomic<std::uint64_t> nextId{1};
     std::atomic<bool> started{false};

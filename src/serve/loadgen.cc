@@ -118,6 +118,11 @@ LoadGenReport::toJson() const
     cfg.set("base_units", Json(static_cast<double>(config.baseUnits)));
     cfg.set("jobs_per_submitter",
             Json(static_cast<double>(config.jobsPerSubmitter)));
+    cfg.set("burst", Json(static_cast<double>(config.burst)));
+    cfg.set("max_batch_jobs",
+            Json(static_cast<double>(config.maxBatchJobs)));
+    cfg.set("batch_window_ns",
+            Json(static_cast<double>(config.batchWindowNs)));
     cfg.set("variants", Json(static_cast<double>(config.variants)));
     cfg.set("profile_repeats",
             Json(static_cast<double>(config.profileRepeats)));
@@ -150,6 +155,12 @@ LoadGenReport::toJson() const
     coalesce.set("hits", Json(static_cast<double>(coalesceHits)));
     coalesce.set("hit_rate", Json(coalesceHitRate));
 
+    Json batch = Json::object();
+    batch.set("launches", Json(static_cast<double>(batchLaunches)));
+    batch.set("jobs", Json(static_cast<double>(batchJobs)));
+    batch.set("demoted", Json(static_cast<double>(batchDemoted)));
+    batch.set("avg_size", Json(avgBatchSize));
+
     Json predict = Json::object();
     predict.set("hits", Json(static_cast<double>(predictHits)));
     predict.set("misses", Json(static_cast<double>(predictMisses)));
@@ -170,6 +181,7 @@ LoadGenReport::toJson() const
     out.set("store_hits", Json(static_cast<double>(storeHits)));
     out.set("store_hit_rate", Json(storeHitRate));
     out.set("coalesce", std::move(coalesce));
+    out.set("batch", std::move(batch));
     out.set("predict", std::move(predict));
     out.set("output_checksum", Json(hex16(outputChecksum)));
     return out;
@@ -189,6 +201,8 @@ runImpl(const LoadGenConfig &cfg,
     scfg.affinity = cfg.affinity;
     scfg.maxQueueDepth = cfg.maxQueueDepth;
     scfg.admission = cfg.admission;
+    scfg.batch.maxJobs = cfg.maxBatchJobs;
+    scfg.batch.windowNs = cfg.batchWindowNs;
     scfg.runtime.guard.enabled = cfg.guard;
     DispatchService svc(store, scfg);
     if (predictor)
@@ -206,27 +220,27 @@ runImpl(const LoadGenConfig &cfg,
             svc.device(idx).setFaultInjector(&faults);
     }
 
-    // Pre-register every signature's pool on every runtime so the
-    // measured loop exercises dispatch, not registration.
+    // Pre-register every signature's pool on every runtime -- one
+    // kernel-pool installer for the whole fleet -- so the measured
+    // loop exercises dispatch, not registration.
     std::vector<std::string> sigs;
     for (unsigned s = 0; s < cfg.signatures; ++s)
         sigs.push_back("hot" + std::to_string(s));
     // One fast winner plus variants-1 slower decoys per pool; every
     // decoy costs a profiling slice on a cold launch.
     const unsigned variants = std::max(2u, cfg.variants);
-    for (unsigned d = 0; d < cfg.devices; ++d) {
-        auto &rt = svc.runtimeAt(d);
-        for (const auto &sig : sigs) {
-            rt.addKernel(sig, workKernel("fast", cfg.fastFlops));
-            for (unsigned v = 1; v < variants; ++v) {
-                const std::string name = "slow" + std::to_string(v);
-                rt.addKernel(sig,
-                             workKernel(name.c_str(),
-                                        cfg.slowFlops * v));
-            }
-            rt.setKernelInfo(sig, regularInfo(sig));
-        }
-    }
+    svc.registerKernelPool([sigs, variants, fast = cfg.fastFlops,
+                            slow = cfg.slowFlops](runtime::Runtime &rt) {
+           for (const auto &sig : sigs) {
+               rt.addKernel(sig, workKernel("fast", fast));
+               for (unsigned v = 1; v < variants; ++v) {
+                   const std::string name = "slow" + std::to_string(v);
+                   rt.addKernel(sig,
+                                workKernel(name.c_str(), slow * v));
+               }
+               rt.setKernelInfo(sig, regularInfo(sig));
+           }
+       }).throwIfError();
     svc.start();
 
     const std::uint64_t maxUnits =
@@ -253,53 +267,83 @@ runImpl(const LoadGenConfig &cfg,
             SubmitterStats &st = stats[t];
             st.latenciesUs.reserve(cfg.jobsPerSubmitter);
             support::Rng rng(cfg.seed + 0x9e3779b9ull * (t + 1));
-            // One reusable output slot per submitter: the loop is
-            // closed, so at most one of its jobs is in flight.
-            kdp::Buffer<std::int32_t> out(maxUnits,
-                                          kdp::MemSpace::Global,
-                                          "loadgen.out");
+            const std::uint64_t burst =
+                std::max<std::uint64_t>(1, cfg.burst);
+            // One reusable output slot per in-flight job; the specs
+            // and handles are reused every iteration, so the steady
+            // state of this loop is the service's allocation-free
+            // submit path.
+            std::vector<kdp::Buffer<std::int32_t>> outs;
+            outs.reserve(burst);
+            for (std::uint64_t b = 0; b < burst; ++b)
+                outs.emplace_back(maxUnits, kdp::MemSpace::Global,
+                                  "loadgen.out");
+            std::vector<JobSpec> specs(burst);
+            std::vector<JobHandle> handles(burst);
+            std::vector<std::uint64_t> burstUnits(burst, 0);
+            runtime::LaunchOptions opt;
+            opt.profileRepeats = cfg.profileRepeats;
             const unsigned classes = std::max(1u, cfg.sizeClasses);
-            for (std::uint64_t j = 0; j < cfg.jobsPerSubmitter; ++j) {
-                std::string sig;
-                std::uint64_t units;
-                if (cfg.sweep) {
-                    // Lockstep phase schedule: every submitter's
-                    // job j hits the same (signature, size class).
-                    sig = sigs[j % sigs.size()];
-                    units = cfg.baseUnits
-                            << ((j / sigs.size()) % classes);
-                } else {
-                    sig = sigs[rng.nextBelow(sigs.size())];
-                    units = cfg.baseUnits << rng.nextBelow(classes);
+            for (std::uint64_t j = 0; j < cfg.jobsPerSubmitter;
+                 j += burst) {
+                const std::uint64_t nb =
+                    std::min(burst, cfg.jobsPerSubmitter - j);
+                for (std::uint64_t b = 0; b < nb; ++b) {
+                    const std::uint64_t idx = j + b;
+                    std::string sig;
+                    std::uint64_t units;
+                    if (cfg.sweep) {
+                        // Lockstep phase schedule: every submitter's
+                        // job idx hits the same (signature, size).
+                        sig = sigs[idx % sigs.size()];
+                        units = cfg.baseUnits
+                                << ((idx / sigs.size()) % classes);
+                    } else {
+                        sig = sigs[rng.nextBelow(sigs.size())];
+                        units = cfg.baseUnits
+                                << rng.nextBelow(classes);
+                    }
+                    JobSpec &spec = specs[b];
+                    spec.signature(std::move(sig))
+                        .units(units)
+                        .options(opt);
+                    spec.mutableArgs().clear();
+                    spec.mutableArgs().add(outs[b]).add(
+                        static_cast<std::int64_t>(units));
+                    burstUnits[b] = units;
                 }
-                Job job;
-                job.signature = sig;
-                job.units = units;
-                job.opt.profileRepeats = cfg.profileRepeats;
-                job.args.add(out).add(
-                    static_cast<std::int64_t>(units));
                 const auto t0 = clock::now();
-                JobHandle h = svc.submit(std::move(job));
-                const JobResult &r = h.result();
-                const auto t1 = clock::now();
-                st.latenciesUs.push_back(
-                    std::chrono::duration<double, std::micro>(t1 - t0)
-                        .count());
-                st.totalUnits += units;
-                st.profiledUnits += r.report.profiledUnits;
-                if (r.ok()) {
-                    st.completed++;
-                    // XOR-combine per-job digests: order-independent
-                    // across submitter/device interleavings, so the
-                    // run checksum only depends on what each job
-                    // computed -- not on scheduling.
-                    st.checksum ^= outputHash(out, units);
+                svc.submitMany(
+                    std::span<const JobSpec>(specs.data(), nb),
+                    std::span<JobHandle>(handles.data(), nb));
+                for (std::uint64_t b = 0; b < nb; ++b) {
+                    const JobResult &r = handles[b].result();
+                    const auto t1 = clock::now();
+                    st.latenciesUs.push_back(
+                        std::chrono::duration<double, std::micro>(
+                            t1 - t0)
+                            .count());
+                    const std::uint64_t units = burstUnits[b];
+                    st.totalUnits += units;
+                    st.profiledUnits += r.report.profiledUnits;
+                    if (r.ok()) {
+                        st.completed++;
+                        // XOR-combine per-job digests: order-
+                        // independent across submitter/device
+                        // interleavings, so the run checksum only
+                        // depends on what each job computed -- not
+                        // on scheduling.
+                        st.checksum ^= outputHash(outs[b], units);
+                    }
+                    else if (r.status.code()
+                             == support::StatusCode::ResourceExhausted)
+                        st.shed++;
+                    else
+                        st.failed++;
+                    // Drop the handle so the pool can recycle the
+                    // job state.
+                    handles[b] = JobHandle();
                 }
-                else if (r.status.code()
-                         == support::StatusCode::ResourceExhausted)
-                    st.shed++;
-                else
-                    st.failed++;
             }
         });
     }
@@ -350,6 +394,14 @@ runImpl(const LoadGenConfig &cfg,
         rep.jobsSubmitted > 0
             ? static_cast<double>(rep.storeHits)
                   / static_cast<double>(rep.jobsSubmitted)
+            : 0.0;
+    rep.batchLaunches = m.counterValue("batch.launches");
+    rep.batchJobs = m.counterValue("batch.jobs");
+    rep.batchDemoted = m.counterValue("batch.demoted");
+    rep.avgBatchSize =
+        rep.batchLaunches > 0
+            ? static_cast<double>(rep.batchJobs)
+                  / static_cast<double>(rep.batchLaunches)
             : 0.0;
     rep.predictHits = m.counterValue("predict.hit");
     rep.predictMisses = m.counterValue("predict.miss");

@@ -51,6 +51,23 @@ struct LoadGenConfig
     /** Jobs each submitter pushes through its loop. */
     std::uint64_t jobsPerSubmitter = 100;
 
+    /**
+     * Jobs each submitter keeps in flight at once: every loop
+     * iteration submits a burst of this many specs through one
+     * submitMany() call and waits for all of them.  1 reproduces the
+     * strict closed loop (submit, wait, repeat); larger bursts give
+     * the batcher compatible work to fuse.
+     */
+    std::uint64_t burst = 1;
+
+    /**
+     * Batch fusion knobs forwarded to ServiceConfig::batch: most
+     * member jobs per fused launch (<= 1 disables batching) and the
+     * bounded-delay top-up window.
+     */
+    std::size_t maxBatchJobs = 1;
+    sim::TimeNs batchWindowNs = 0;
+
     /** Flops per unit of the slow / fast variant in every pool. */
     std::uint64_t slowFlops = 4000;
     std::uint64_t fastFlops = 100;
@@ -157,6 +174,13 @@ struct LoadGenReport
     std::uint64_t storeHits = 0;
     /** storeHits / jobsSubmitted: share of jobs served warm. */
     double storeHitRate = 0.0;
+
+    /** Batch fusion activity (batch.* counters; 0 with batching off). */
+    std::uint64_t batchLaunches = 0;
+    std::uint64_t batchJobs = 0;
+    std::uint64_t batchDemoted = 0;
+    /** batchJobs / batchLaunches: mean fused-launch occupancy. */
+    double avgBatchSize = 0.0;
 
     /** Predictor activity (predict.* counters; 0 with predict off). */
     std::uint64_t predictHits = 0;

@@ -118,10 +118,11 @@ TEST(Backpressure, ShedReturnsResourceExhaustedWhenQueueFull)
     cfg.maxQueueDepth = 1;
     cfg.admission = AdmissionPolicy::Shed;
     DispatchService svc(store, cfg);
-    const unsigned idx = svc.addDevice(std::make_unique<sim::CpuDevice>());
-    auto &rt = svc.runtimeAt(idx);
-    rt.addKernel("gate", gatedKernel("only", gate, 7, 100));
-    rt.setKernelInfo("gate", regularInfo("gate"));
+    svc.addDevice(std::make_unique<sim::CpuDevice>());
+    svc.registerKernelPool([&gate](runtime::Runtime &rt) {
+           rt.addKernel("gate", gatedKernel("only", gate, 7, 100));
+           rt.setKernelInfo("gate", regularInfo("gate"));
+       }).throwIfError();
     svc.start();
 
     kdp::Buffer<std::int32_t> out1(kUnits, kdp::MemSpace::Global, "bp.1");
@@ -175,10 +176,11 @@ TEST(Backpressure, BlockParksSubmitterUntilQueueDrains)
     cfg.maxQueueDepth = 1;
     cfg.admission = AdmissionPolicy::Block;
     DispatchService svc(store, cfg);
-    const unsigned idx = svc.addDevice(std::make_unique<sim::CpuDevice>());
-    auto &rt = svc.runtimeAt(idx);
-    rt.addKernel("gate", gatedKernel("only", gate, 7, 100));
-    rt.setKernelInfo("gate", regularInfo("gate"));
+    svc.addDevice(std::make_unique<sim::CpuDevice>());
+    svc.registerKernelPool([&gate](runtime::Runtime &rt) {
+           rt.addKernel("gate", gatedKernel("only", gate, 7, 100));
+           rt.setKernelInfo("gate", regularInfo("gate"));
+       }).throwIfError();
     svc.start();
 
     kdp::Buffer<std::int32_t> out1(kUnits, kdp::MemSpace::Global, "bp.1");
@@ -230,11 +232,12 @@ TEST(Backpressure, CancelledQueuedFollowerDoesNotPoisonLeader)
     ServiceConfig cfg;
     cfg.coalesce = true;
     DispatchService svc(store, cfg);
-    const unsigned idx = svc.addDevice(std::make_unique<sim::CpuDevice>());
-    auto &rt = svc.runtimeAt(idx);
-    rt.addKernel("gate", gatedKernel("slow", gate, 7, 4000));
-    rt.addKernel("gate", gatedKernel("fast", gate, 7, 100));
-    rt.setKernelInfo("gate", regularInfo("gate"));
+    svc.addDevice(std::make_unique<sim::CpuDevice>());
+    svc.registerKernelPool([&gate](runtime::Runtime &rt) {
+           rt.addKernel("gate", gatedKernel("slow", gate, 7, 4000));
+           rt.addKernel("gate", gatedKernel("fast", gate, 7, 100));
+           rt.setKernelInfo("gate", regularInfo("gate"));
+       }).throwIfError();
     svc.start();
 
     kdp::Buffer<std::int32_t> outL(kUnits, kdp::MemSpace::Global, "bp.l");

@@ -130,18 +130,17 @@ runStream(bool concurrent, bool coalesce)
     cfg.coalesce = coalesce;
     cfg.affinity = false; // spread duplicates over all devices
     DispatchService svc(store, cfg);
-    for (unsigned d = 0; d < 4; ++d) {
-        const unsigned idx =
-            svc.addDevice(std::make_unique<sim::CpuDevice>());
-        auto &rt = svc.runtimeAt(idx);
-        for (unsigned s = 0; s < kSignatures; ++s) {
-            const std::string sig = sigOf(s);
-            const auto seed = static_cast<std::int32_t>(s + 1);
-            rt.addKernel(sig, yieldingKernel("slow", seed, 4000));
-            rt.addKernel(sig, yieldingKernel("fast", seed, 100));
-            rt.setKernelInfo(sig, regularInfo(sig));
-        }
-    }
+    for (unsigned d = 0; d < 4; ++d)
+        svc.addDevice(std::make_unique<sim::CpuDevice>());
+    svc.registerKernelPool([](runtime::Runtime &rt) {
+           for (unsigned s = 0; s < kSignatures; ++s) {
+               const std::string sig = sigOf(s);
+               const auto seed = static_cast<std::int32_t>(s + 1);
+               rt.addKernel(sig, yieldingKernel("slow", seed, 4000));
+               rt.addKernel(sig, yieldingKernel("fast", seed, 100));
+               rt.setKernelInfo(sig, regularInfo(sig));
+           }
+       }).throwIfError();
     svc.start();
 
     RunResult res;

@@ -373,12 +373,13 @@ struct Harness
         for (unsigned d = 0; d < devices; ++d) {
             const unsigned idx =
                 svc.addDevice(std::make_unique<sim::CpuDevice>());
-            auto &rt = svc.runtimeAt(idx);
-            rt.addKernel("pk", workKernel("slow", 4000));
-            rt.addKernel("pk", workKernel("fast", 100));
-            rt.setKernelInfo("pk", regularInfo("pk"));
             svc.device(idx).setFaultInjector(&faults);
         }
+        svc.registerKernelPool([](runtime::Runtime &rt) {
+               rt.addKernel("pk", workKernel("slow", 4000));
+               rt.addKernel("pk", workKernel("fast", 100));
+               rt.setKernelInfo("pk", regularInfo("pk"));
+           }).throwIfError();
         svc.setPredictor(&predictor);
         svc.start();
     }
@@ -520,11 +521,12 @@ TEST(PredictService, BelowThresholdFallsBackToProfiling)
     store::SelectionStore store;
     SelectionPredictor predictor(pcfg);
     DispatchService svc(store, ServiceConfig());
-    const unsigned idx = svc.addDevice(std::make_unique<sim::CpuDevice>());
-    auto &rt = svc.runtimeAt(idx);
-    rt.addKernel("pk", workKernel("slow", 4000));
-    rt.addKernel("pk", workKernel("fast", 100));
-    rt.setKernelInfo("pk", regularInfo("pk"));
+    svc.addDevice(std::make_unique<sim::CpuDevice>());
+    svc.registerKernelPool([](runtime::Runtime &rt) {
+           rt.addKernel("pk", workKernel("slow", 4000));
+           rt.addKernel("pk", workKernel("fast", 100));
+           rt.setKernelInfo("pk", regularInfo("pk"));
+       }).throwIfError();
     svc.setPredictor(&predictor);
     svc.start();
 

@@ -104,13 +104,14 @@ TEST(StressSoak, SixteenSubmittersAgainstFourFaultyDevices)
         const unsigned idx =
             svc.addDevice(std::make_unique<sim::CpuDevice>());
         svc.device(idx).setFaultInjector(&faults);
-        auto &rt = svc.runtimeAt(idx);
-        for (const auto &sig : sigs) {
-            rt.addKernel(sig, markerKernel("slow", 1, 4000));
-            rt.addKernel(sig, markerKernel("fast", 2, 100));
-            rt.setKernelInfo(sig, regularInfo(sig));
-        }
     }
+    svc.registerKernelPool([&sigs](runtime::Runtime &rt) {
+           for (const auto &sig : sigs) {
+               rt.addKernel(sig, markerKernel("slow", 1, 4000));
+               rt.addKernel(sig, markerKernel("fast", 2, 100));
+               rt.setKernelInfo(sig, regularInfo(sig));
+           }
+       }).throwIfError();
     svc.start();
 
     struct SubmitterTally

@@ -1,15 +1,24 @@
 /**
  * @file
- * bench_check: schema validator for BENCH_service_throughput.json.
+ * bench_check: validator for the machine-readable bench reports.
  *
- * CI's perf-smoke job runs bench/ext_service_throughput on a small
- * configuration and gates on this checker: the emitted report must be
- * parseable JSON of the documented shape, with internally consistent
- * numbers (every submitted job terminal, positive throughput,
- * ordered latency percentiles, coalescing active in the coalesced
- * run).  Absolute performance is deliberately NOT checked -- CI
- * machines vary too much for jobs/s thresholds; the structural and
- * accounting invariants are what must never regress.
+ * Dispatches on the top-level "bench" field:
+ *
+ *   service_throughput -- bench/ext_service_throughput.  Structural
+ *     and accounting invariants only (every submitted job terminal,
+ *     positive throughput, ordered latency percentiles, coalescing
+ *     active in the coalesced run); absolute jobs/s is deliberately
+ *     NOT checked -- CI machines vary too much.
+ *
+ *   batch_throughput -- bench/microbench_submit.  Per size class the
+ *     batched and unbatched runs must produce equal output checksums
+ *     (fusion must never change what a job computes), the batched run
+ *     must actually fuse, the unbatched run must not, and -- the one
+ *     relative performance gate in CI -- the smallest size class must
+ *     reach at least 2x jobs/s batched over unbatched.  A ratio on
+ *     the same machine in the same process is stable where absolute
+ *     numbers are not, and the structural advantage it checks (one
+ *     launch serving a whole batch) is far above 2x by construction.
  *
  * Exits 0 when the report validates, 1 with a diagnostic otherwise.
  */
@@ -108,32 +117,93 @@ checkRun(const Json &run, const std::string &name, std::string &why)
     return true;
 }
 
-} // namespace
+/** The minimum batched-over-unbatched jobs/s ratio at the smallest
+ * size class (where per-launch overhead dominates). */
+constexpr double kMinSmallestClassSpeedup = 2.0;
 
+/** Validate a BENCH_batch_throughput.json report. */
 int
-main(int argc, char **argv)
+checkBatchThroughput(const Json &root, const char *path)
 {
-    if (argc != 2) {
-        std::cerr << "usage: bench_check BENCH_service_throughput.json\n";
-        return 1;
-    }
-    std::ifstream in(argv[1]);
-    if (!in)
-        return fail(std::string("cannot open ") + argv[1]);
-    std::ostringstream buf;
-    buf << in.rdbuf();
+    for (const char *key :
+         {"batch", "classes", "smallest_class_speedup"})
+        if (!root.has(key))
+            return fail(std::string("missing top-level '") + key + "'");
+    const Json &limits = root.at("batch");
+    if (limits.numberOr("max_jobs", 0) < 2)
+        return fail("batch.max_jobs below 2: nothing can fuse");
 
-    Json root;
-    try {
-        root = Json::parse(buf.str());
-    } catch (const std::exception &e) {
-        return fail(std::string("parse error: ") + e.what());
+    const Json &classes = root.at("classes");
+    if (!classes.isArray() || classes.items().empty())
+        return fail("'classes' is not a non-empty array");
+
+    std::string why;
+    double minUnits = -1;
+    double smallestSpeedup = 0;
+    for (std::size_t i = 0; i < classes.items().size(); ++i) {
+        const Json &cls = classes.items()[i];
+        const std::string name = "classes[" + std::to_string(i) + "]";
+        for (const char *key :
+             {"units", "off", "on", "speedup", "checksums_equal"})
+            if (!cls.has(key))
+                return fail(name + " is missing '" + key + "'");
+        const double units = cls.numberOr("units", 0);
+        if (units <= 0)
+            return fail(name + ": non-positive units");
+        if (!checkRun(cls.at("off"), name + ".off", why)
+            || !checkRun(cls.at("on"), name + ".on", why))
+            return fail(why);
+
+        // Fusion must never change what a job computes.
+        if (!cls.boolOr("checksums_equal", false)
+            || cls.at("off").stringOr("output_checksum", "?")
+                   != cls.at("on").stringOr("output_checksum", "!"))
+            return fail(name
+                        + ": batched checksum differs from unbatched");
+
+        // The off run must not fuse; the on run must.
+        const Json &offBatch = cls.at("off").at("batch");
+        const Json &onBatch = cls.at("on").at("batch");
+        if (offBatch.numberOr("launches", -1) != 0)
+            return fail(name + ".off recorded fused launches");
+        if (onBatch.numberOr("jobs", 0) <= 0)
+            return fail(name + ".on fused no jobs");
+        if (onBatch.numberOr("avg_size", 0) <= 1.0)
+            return fail(name + ".on mean batch occupancy is <= 1");
+
+        const double speedup = cls.numberOr("speedup", 0);
+        if (speedup <= 0)
+            return fail(name + ": non-positive speedup");
+        if (minUnits < 0 || units < minUnits) {
+            minUnits = units;
+            smallestSpeedup = speedup;
+        }
     }
-    if (!root.isObject())
-        return fail("top level is not an object");
-    for (const char *key : {"bench", "baseline", "coalesced",
-                            "predict_cold", "predict_pretrained",
-                            "speedup"})
+
+    // The one relative performance gate: batching must pay off where
+    // per-launch overhead dominates.
+    if (smallestSpeedup < kMinSmallestClassSpeedup)
+        return fail("smallest size class (units="
+                    + std::to_string(minUnits) + ") reached only "
+                    + std::to_string(smallestSpeedup)
+                    + "x batched over unbatched (gate: "
+                    + std::to_string(kMinSmallestClassSpeedup) + "x)");
+    if (root.numberOr("smallest_class_speedup", 0) != smallestSpeedup)
+        return fail("smallest_class_speedup does not match classes[]");
+
+    std::cout << "bench_check: " << path << " ok ("
+              << classes.items().size() << " size classes, smallest "
+              << minUnits << " units at " << smallestSpeedup
+              << "x batched over unbatched)\n";
+    return 0;
+}
+
+/** Validate a BENCH_service_throughput.json report. */
+int
+checkServiceThroughput(const Json &root, const char *path)
+{
+    for (const char *key : {"baseline", "coalesced", "predict_cold",
+                            "predict_pretrained", "speedup"})
         if (!root.has(key))
             return fail(std::string("missing top-level '") + key + "'");
 
@@ -192,7 +262,7 @@ main(int argc, char **argv)
     if (root.numberOr("speedup", 0) <= 0)
         return fail("non-positive speedup");
 
-    std::cout << "bench_check: " << argv[1] << " ok (speedup "
+    std::cout << "bench_check: " << path << " ok (speedup "
               << root.numberOr("speedup", 0) << "x, coalesce hits "
               << root.at("coalesced").at("coalesce").numberOr("hits", 0)
               << ", predict hits "
@@ -200,4 +270,38 @@ main(int argc, char **argv)
               << trained.at("predict").numberOr("hits", 0)
               << " pretrained)\n";
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::cerr << "usage: bench_check BENCH_<name>.json\n";
+        return 1;
+    }
+    std::ifstream in(argv[1]);
+    if (!in)
+        return fail(std::string("cannot open ") + argv[1]);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    Json root;
+    try {
+        root = Json::parse(buf.str());
+    } catch (const std::exception &e) {
+        return fail(std::string("parse error: ") + e.what());
+    }
+    if (!root.isObject())
+        return fail("top level is not an object");
+    if (!root.has("bench"))
+        return fail("missing top-level 'bench'");
+
+    const std::string bench = root.stringOr("bench", "");
+    if (bench == "service_throughput")
+        return checkServiceThroughput(root, argv[1]);
+    if (bench == "batch_throughput")
+        return checkBatchThroughput(root, argv[1]);
+    return fail("unknown bench '" + bench + "'");
 }

@@ -77,6 +77,13 @@ struct Options
     bool predict = false;
     double predictThreshold = 0.65;
 
+    /**
+     * --max-batch / --batch-window: batch fusion knobs (DESIGN §10),
+     * applied to the demo service and to loadgen runs alike.
+     */
+    std::size_t maxBatch = 1;
+    sim::TimeNs batchWindowNs = 0;
+
     /** --loadgen: closed-loop load generator instead of the demo. */
     bool loadgen = false;
     serve::LoadGenConfig lg;
@@ -92,10 +99,20 @@ runLoadGenMode(const Options &opt)
     cfg.faultRate = opt.faultRate;
     cfg.predict = opt.predict;
     cfg.predictThreshold = opt.predictThreshold;
+    cfg.maxBatchJobs = opt.maxBatch;
+    cfg.batchWindowNs = opt.batchWindowNs;
     std::cout << "loadgen: " << cfg.submitters << " submitters x "
               << cfg.jobsPerSubmitter << " jobs -> " << cfg.devices
               << " devices, " << cfg.signatures << " signatures x "
               << cfg.sizeClasses << " size classes"
+              << (cfg.burst > 1
+                      ? ", burst " + std::to_string(cfg.burst)
+                      : std::string())
+              << (cfg.maxBatchJobs > 1
+                      ? ", batch <= " + std::to_string(cfg.maxBatchJobs)
+                            + " (window "
+                            + std::to_string(cfg.batchWindowNs) + " ns)"
+                      : std::string())
               << (cfg.sweep ? ", lockstep sweep" : "")
               << (cfg.coalesce ? "" : ", coalescing off")
               << (cfg.maxQueueDepth > 0
@@ -138,6 +155,12 @@ runLoadGenMode(const Options &opt)
     table.row().cell("coalesce followers").cell(rep.coalesceFollowers);
     table.row().cell("coalesce hits").cell(rep.coalesceHits);
     table.row().cell("coalesce hit rate").cell(rep.coalesceHitRate, 3);
+    if (cfg.maxBatchJobs > 1) {
+        table.row().cell("batch launches").cell(rep.batchLaunches);
+        table.row().cell("batched jobs").cell(rep.batchJobs);
+        table.row().cell("batch demotions").cell(rep.batchDemoted);
+        table.row().cell("avg batch size").cell(rep.avgBatchSize, 2);
+    }
     if (opt.predict) {
         table.row().cell("predict hits").cell(rep.predictHits);
         table.row().cell("predict misses").cell(rep.predictMisses);
@@ -184,18 +207,19 @@ struct Entry
 void
 submitEntry(serve::DispatchService &svc, Entry &e)
 {
-    serve::Job job;
-    job.signature = e.w.signature;
-    job.units = e.w.units;
-    job.args = e.w.args;
+    serve::JobSpec spec;
+    spec.signature(e.w.signature).units(e.w.units).args(e.w.args);
     // Kernel variants capture their problem geometry, so a runtime
     // that already has this signature registered for a different
-    // instance must be re-registered.
-    job.ensureRegistered = [&e](runtime::Runtime &rt) {
+    // instance must be re-registered.  (A per-job installer also
+    // keeps the demo jobs out of batch fusion -- each instance owns
+    // distinct buffers.)
+    spec.ensureRegistered([&e](runtime::Runtime &rt) {
         rt.removeKernel(e.w.signature);
         e.w.registerWith(rt);
-    };
-    e.handle = svc.submit(std::move(job));
+    });
+    svc.submitMany(std::span<const serve::JobSpec>(&spec, 1),
+                   std::span<serve::JobHandle>(&e.handle, 1));
 }
 
 void
@@ -318,6 +342,12 @@ main(int argc, char **argv)
             opt.predict = true;
         } else if (arg == "--predict-threshold" && i + 1 < argc) {
             opt.predictThreshold = std::atof(argv[++i]);
+        } else if (arg == "--max-batch" && i + 1 < argc) {
+            opt.maxBatch = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--batch-window" && i + 1 < argc) {
+            opt.batchWindowNs = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--burst" && i + 1 < argc) {
+            opt.lg.burst = std::strtoull(argv[++i], nullptr, 0);
         } else if (arg == "--predict-pretrain" && i + 1 < argc) {
             opt.lg.pretrainLaps =
                 static_cast<unsigned>(std::atoi(argv[++i]));
@@ -374,7 +404,8 @@ main(int argc, char **argv)
                          "[--trace FILE] [--fault-rate P] "
                          "[--fault-seed S] [--guard] "
                          "[--variant-fault-rate P] [--predict] "
-                         "[--predict-threshold X]\n"
+                         "[--predict-threshold X] [--max-batch N] "
+                         "[--batch-window NS]\n"
                          "       dyseld --loadgen [--submitters N] "
                          "[--devices N] [--signatures N] "
                          "[--size-classes N] [--jobs N] "
@@ -382,11 +413,28 @@ main(int argc, char **argv)
                          "[--profile-repeats N] [--sweep] "
                          "[--no-coalesce] [--no-affinity] "
                          "[--queue-depth N] [--admission block|shed] "
+                         "[--burst N] [--max-batch N] "
+                         "[--batch-window NS] "
                          "[--fault-rate P] [--guard] [--predict] "
                          "[--predict-threshold X] "
                          "[--predict-pretrain N] [--seed S] "
                          "[--loadgen-json FILE]\n";
             return arg == "--help" ? 0 : 1;
+        }
+    }
+
+    // Reject nonsense service configs at the flag boundary -- the
+    // same typed check the DispatchService ctor enforces, but with a
+    // user-facing message instead of an exception.
+    {
+        serve::ServiceConfig check;
+        check.maxQueueDepth = opt.loadgen ? opt.lg.maxQueueDepth : 0;
+        check.admission = opt.lg.admission;
+        check.batch.maxJobs = opt.maxBatch;
+        check.batch.windowNs = opt.batchWindowNs;
+        if (const support::Status st = check.validate(); !st.ok()) {
+            std::cerr << "dyseld: " << st.toString() << '\n';
+            return 1;
         }
     }
 
@@ -454,6 +502,8 @@ main(int argc, char **argv)
 
     serve::ServiceConfig scfg;
     scfg.runtime.guard.enabled = opt.guard;
+    scfg.batch.maxJobs = opt.maxBatch;
+    scfg.batch.windowNs = opt.batchWindowNs;
     serve::DispatchService svc(store, scfg);
     svc.addDevice(workloads::cpuFactory()());
     svc.addDevice(workloads::gpuFactory()());
