@@ -14,11 +14,19 @@ Batcher::eligible(const Job &job)
 bool
 Batcher::compatible(const Job &head, const Job &candidate)
 {
+    // Fused members execute under the head's LaunchOptions, so the
+    // fields that shape a fused launch must agree: initialVariant
+    // picks the cold-path variant, orch is stamped on every member's
+    // report.  The remaining opt fields (profiling, mode,
+    // profileRepeats, eagerChunkUnits) only affect profiling passes
+    // and eager solo orchestration, neither of which a fused launch
+    // performs -- they are deliberately ignored.
     return eligible(head) && eligible(candidate)
            && head.signature == candidate.signature
            && store::bucketOf(head.units)
                   == store::bucketOf(candidate.units)
-           && head.opt.initialVariant == candidate.opt.initialVariant;
+           && head.opt.initialVariant == candidate.opt.initialVariant
+           && head.opt.orch == candidate.opt.orch;
 }
 
 std::size_t

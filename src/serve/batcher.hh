@@ -64,7 +64,12 @@ class Batcher
     /**
      * Whether @p candidate can fuse with @p head: both eligible, same
      * signature, same size bucket (one store record covers the whole
-     * batch), and the same default-variant policy.
+     * batch), and the same launch policy (default variant and
+     * orchestration mode).  A fused launch runs under the head's
+     * LaunchOptions; member option fields that only affect profiling
+     * or eager solo execution (profiling, mode, profileRepeats,
+     * eagerChunkUnits) are ignored, since a fused launch performs
+     * neither.
      */
     static bool compatible(const Job &head, const Job &candidate);
 

@@ -113,11 +113,17 @@ BufferPool::acquireState(std::uint64_t id)
         if (cand.use_count() != 1)
             continue;
         // Only the pool references the block: no handle, no queued
-        // shell.  Safe to reset in place without its own lock.
-        cand->id = id;
-        cand->phase.store(detail::JobState::Queued,
-                          std::memory_order_relaxed);
-        clearJobResult(cand->result);
+        // shell.  Reset under the state's own mutex: every JobHandle
+        // locks it once before dropping its reference, so this lock
+        // orders the last holder's unlocked result() reads before the
+        // reset (worker-side accesses already go through st.mu).
+        {
+            std::lock_guard<std::mutex> slock(cand->mu);
+            cand->id = id;
+            cand->phase.store(detail::JobState::Queued,
+                              std::memory_order_relaxed);
+            clearJobResult(cand->result);
+        }
         ++stats_.reusedStates;
         return cand;
     }

@@ -610,15 +610,29 @@ DispatchService::submitMany(std::span<const JobSpec> specs,
         return;
 
     // Route first, then visit each destination shard once.  The
-    // scratch vectors are thread-local so concurrent submitters don't
-    // contend, and their capacity persists across calls -- steady
+    // scratch vector is thread-local so concurrent submitters don't
+    // contend, and its capacity persists across calls -- steady
     // state allocates nothing on this thread.
     static thread_local std::vector<unsigned> routes;
-    static thread_local std::vector<std::size_t> shedIdx;
     routes.clear();
     for (const JobSpec &spec : specs)
         routes.push_back(route(spec.job_.signature, kNoExclusions));
     submittedCounter->inc(specs.size());
+
+    // Rejected jobs (shed on a full queue, or refused because the
+    // service is stopping) are recorded here and completed only after
+    // the routing loop is done with `routes`: a done callback runs
+    // user code that may re-enter submitMany() on this thread and
+    // clobber the thread-local scratch.  A plain local is fine --
+    // it stays empty (no allocation) unless jobs are rejected, and
+    // the rejection path already allocates for its status message.
+    struct Rejected
+    {
+        std::size_t spec;
+        unsigned shard;
+        bool stopping;
+    };
+    std::vector<Rejected> rejected;
 
     for (unsigned widx = 0; widx < workers.size(); ++widx) {
         bool any = false;
@@ -631,7 +645,6 @@ DispatchService::submitMany(std::span<const JobSpec> specs,
             continue;
         Worker &w = *workers[widx];
         std::size_t pushed = 0;
-        shedIdx.clear();
         {
             std::unique_lock<std::mutex> lock(w.qmu);
             for (std::size_t i = 0; i < specs.size(); ++i) {
@@ -643,15 +656,15 @@ DispatchService::submitMany(std::span<const JobSpec> specs,
                     && w.queue.size() >= config.maxQueueDepth) {
                     if (config.admission == AdmissionPolicy::Shed) {
                         // Hand out a completed handle; the result and
-                        // callback are delivered after the shard lock
-                        // drops.
+                        // callback are delivered after the routing
+                        // loop.
                         out[i] = JobHandle(w.pool.acquireState(id));
-                        shedIdx.push_back(i);
+                        rejected.push_back({i, widx, false});
                         continue;
                     }
                     // Backpressure: block the submitter until the
                     // shard has room (the worker notifies spaceCv on
-                    // every pop).
+                    // every pop and batch gather).
                     reg.counter("admission.blocked").inc();
                     const std::uint64_t t0 = wallNowNs();
                     w.spaceCv.wait(lock, [&] {
@@ -662,6 +675,15 @@ DispatchService::submitMany(std::span<const JobSpec> specs,
                     reg.histogram("admission.block_ns")
                         .observe(
                             static_cast<double>(wallNowNs() - t0));
+                    if (stopping.load(std::memory_order_acquire)) {
+                        // Woken by stop(): the worker may already
+                        // have seen an empty queue and exited, so a
+                        // push now would strand the job -- and its
+                        // inFlight count -- forever.  Refuse it.
+                        out[i] = JobHandle(w.pool.acquireState(id));
+                        rejected.push_back({i, widx, true});
+                        continue;
+                    }
                 }
                 auto state = w.pool.acquireState(id);
                 detail::QueuedJob qj = w.pool.acquireShell();
@@ -680,17 +702,26 @@ DispatchService::submitMany(std::span<const JobSpec> specs,
             w.load.fetch_add(pushed, std::memory_order_relaxed);
             w.qcv.notify_one();
         }
-        for (std::size_t i : shedIdx) {
+    }
+
+    for (const Rejected &r : rejected) {
+        Worker &w = *workers[r.shard];
+        std::shared_ptr<detail::JobState> state = out[r.spec].state_;
+        JobResult res;
+        res.id = state->id;
+        res.deviceIndex = r.shard;
+        res.deviceName = w.dev->name();
+        res.attempts = 0;
+        if (r.stopping) {
+            reg.counter("admission.stopped").inc();
+            res.status = support::Status::unavailable(
+                "job " + std::to_string(state->id)
+                + " rejected: service stopping");
+        } else {
             reg.counter("admission.shed").inc();
-            reg.counter(devMetric("device.shed", widx)).inc();
-            std::shared_ptr<detail::JobState> state = out[i].state_;
-            JobResult res;
-            res.id = state->id;
-            res.deviceIndex = widx;
-            res.deviceName = w.dev->name();
-            res.attempts = 0;
+            reg.counter(devMetric("device.shed", r.shard)).inc();
             res.status = support::Status::resourceExhausted(
-                "dispatch queue of " + devKey(widx) + " is full ("
+                "dispatch queue of " + devKey(r.shard) + " is full ("
                 + std::to_string(config.maxQueueDepth) + " jobs); job "
                 + std::to_string(state->id) + " shed");
             if (tracer_.enabled()) {
@@ -701,16 +732,16 @@ DispatchService::submitMany(std::span<const JobSpec> specs,
                     {{"depth",
                       std::to_string(config.maxQueueDepth)}});
             }
-            if (specs[i].job_.done)
-                specs[i].job_.done(res);
-            {
-                std::lock_guard<std::mutex> slock(state->mu);
-                state->result = std::move(res);
-                state->phase.store(detail::JobState::Done,
-                                   std::memory_order_release);
-            }
-            state->cv.notify_all();
         }
+        if (specs[r.spec].job_.done)
+            specs[r.spec].job_.done(res);
+        {
+            std::lock_guard<std::mutex> slock(state->mu);
+            state->result = std::move(res);
+            state->phase.store(detail::JobState::Done,
+                               std::memory_order_release);
+        }
+        state->cv.notify_all();
     }
 }
 
@@ -868,17 +899,33 @@ DispatchService::tryRunBatch(unsigned idx, detail::QueuedJob &head)
     }
 
     // Gather compatible members, topping up within the bounded-delay
-    // window when the batch is under-full.
+    // window when the batch is under-full.  Every gather extracts
+    // queued jobs without a pop, so it must wake submitters blocked
+    // on admission control itself (notify_all: one gather can free
+    // many slots) -- both to keep them from sleeping on an already
+    // drained queue and to let them top the batch up mid-window.
     w.batchMembers.clear();
     {
         std::unique_lock<std::mutex> lock(w.qmu);
-        batcher.gather(w.queue, head.job, w.batchMembers);
+        if (batcher.gather(w.queue, head.job, w.batchMembers) > 0)
+            w.spaceCv.notify_all();
         if (config.batch.windowNs > 0
             && w.batchMembers.size() + 1 < config.batch.maxJobs) {
-            w.qcv.wait_for(
-                lock,
-                std::chrono::nanoseconds(config.batch.windowNs));
-            batcher.gather(w.queue, head.job, w.batchMembers);
+            // The window is an absolute deadline: any qcv wakeup (a
+            // new job on the shard, an installer broadcast) re-gathers
+            // and keeps waiting, so a single early notify cannot cut
+            // the accumulation window short.
+            const auto deadline =
+                std::chrono::steady_clock::now()
+                + std::chrono::nanoseconds(config.batch.windowNs);
+            while (w.batchMembers.size() + 1 < config.batch.maxJobs) {
+                const auto ws = w.qcv.wait_until(lock, deadline);
+                if (batcher.gather(w.queue, head.job, w.batchMembers)
+                    > 0)
+                    w.spaceCv.notify_all();
+                if (ws == std::cv_status::timeout)
+                    break;
+            }
         }
     }
 

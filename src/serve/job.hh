@@ -254,6 +254,37 @@ class JobHandle
 {
   public:
     JobHandle() = default;
+    JobHandle(const JobHandle &) = default;
+    JobHandle(JobHandle &&) noexcept = default;
+
+    /**
+     * Dropping a reference passes through the state's mutex first:
+     * the pool recycles a completion block in place as soon as only
+     * it holds a reference, and the lock hand-off is what orders this
+     * holder's unlocked result() reads before that reset (the
+     * refcount alone carries no such edge).
+     */
+    ~JobHandle() { release(); }
+
+    JobHandle &
+    operator=(const JobHandle &other)
+    {
+        if (this != &other) {
+            release();
+            state_ = other.state_;
+        }
+        return *this;
+    }
+
+    JobHandle &
+    operator=(JobHandle &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            state_ = std::move(other.state_);
+        }
+        return *this;
+    }
 
     /** Whether the handle refers to a job. */
     bool valid() const { return static_cast<bool>(state_); }
@@ -291,6 +322,20 @@ class JobHandle
     explicit JobHandle(std::shared_ptr<detail::JobState> state)
         : state_(std::move(state))
     {}
+
+    void
+    release()
+    {
+        if (!state_)
+            return;
+        // See ~JobHandle(): the empty critical section publishes this
+        // thread's reads of the result to whoever locks st.mu next --
+        // in particular BufferPool::acquireState(), which resets the
+        // block under the same mutex once the refcount says only the
+        // pool is left.
+        { std::lock_guard<std::mutex> lock(state_->mu); }
+        state_.reset();
+    }
 
     std::shared_ptr<detail::JobState> state_;
 };

@@ -608,6 +608,94 @@ TEST(BatchCallbacks, ShedDuringBatchingFiresExactlyOnce)
 }
 
 /**
+ * Regression: batch gathering extracts queued jobs without a pop, so
+ * it must wake submitters blocked under AdmissionPolicy::Block
+ * itself.  With more blocked submitters than pops (batches drain the
+ * queue by extraction), a missing wakeup left a submitter parked on a
+ * drained queue forever, deadlocking it and drain().
+ */
+TEST(BatchCallbacks, BlockedSubmittersReleasedWhenBatchDrainsQueue)
+{
+    constexpr std::size_t kBlocked = 3;
+    constexpr std::uint64_t kUnits = 64; // sub-threshold, batchable
+    Gate gate;
+
+    store::SelectionStore store;
+    ServiceConfig cfg;
+    cfg.batch.maxJobs = 2;
+    cfg.batch.windowNs = 200'000;
+    cfg.maxQueueDepth = 2;
+    cfg.admission = AdmissionPolicy::Block;
+    DispatchService svc(store, cfg);
+    svc.addDevice(std::make_unique<sim::CpuDevice>());
+    svc.registerKernelPool([&gate](runtime::Runtime &rt) {
+           rt.addKernel("gate", gatedKernel("only", gate, 100));
+           rt.setKernelInfo("gate", regularInfo("gate"));
+       }).throwIfError();
+    ASSERT_TRUE(installPool(svc, "bk").ok());
+    svc.start();
+
+    // Pin the worker, then fill the depth-2 queue with a fusable pair.
+    kdp::Buffer<std::int32_t> gateOut(kUnits, kdp::MemSpace::Global,
+                                      "bt.gate");
+    JobSpec gateSpec;
+    gateSpec.signature("gate").units(kUnits).noBatch();
+    gateSpec.mutableArgs().add(gateOut).add(
+        static_cast<std::int64_t>(kUnits));
+    JobHandle gateHandle;
+    svc.submitMany(std::span<const JobSpec>(&gateSpec, 1),
+                   std::span<JobHandle>(&gateHandle, 1));
+    gate.awaitEntered();
+
+    std::vector<kdp::Buffer<std::int32_t>> outs;
+    for (std::size_t i = 0; i < 2 + kBlocked; ++i)
+        outs.emplace_back(kUnits, kdp::MemSpace::Global, "bt.out");
+    std::vector<JobSpec> fillSpecs(2);
+    for (std::size_t i = 0; i < 2; ++i) {
+        fillSpecs[i].signature("bk").units(kUnits);
+        fillSpecs[i].mutableArgs().add(outs[i]).add(
+            static_cast<std::int64_t>(kUnits));
+    }
+    auto fillHandles = svc.submitMany(fillSpecs);
+
+    // Three more submitters block against the full queue; every pop
+    // wakes at most one of them, so batch extraction must wake the
+    // rest.
+    std::array<JobHandle, kBlocked> blockedHandles;
+    std::vector<std::thread> submitters;
+    for (std::size_t i = 0; i < kBlocked; ++i) {
+        submitters.emplace_back([&, i] {
+            JobSpec spec;
+            spec.signature("bk").units(kUnits);
+            spec.mutableArgs().add(outs[2 + i]).add(
+                static_cast<std::int64_t>(kUnits));
+            svc.submitMany(std::span<const JobSpec>(&spec, 1),
+                           std::span<JobHandle>(
+                               &blockedHandles[i], 1));
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+    gate.open();
+    for (auto &t : submitters)
+        t.join();
+    svc.drain();
+
+    EXPECT_TRUE(gateHandle.result().ok());
+    for (auto &h : fillHandles)
+        EXPECT_TRUE(h.result().ok()) << h.result().status.toString();
+    for (std::size_t i = 0; i < kBlocked; ++i) {
+        EXPECT_TRUE(blockedHandles[i].result().ok())
+            << blockedHandles[i].result().status.toString();
+        expectDigestOutput(outs[2 + i], kUnits);
+    }
+    const auto &m = svc.metrics();
+    EXPECT_EQ(m.counterValue("jobs.completed"), 1 + 2 + kBlocked);
+    EXPECT_GE(m.counterValue("admission.blocked"), 1u);
+    svc.stop();
+}
+
+/**
  * A fused launch that fails as a whole demotes every member to solo
  * re-execution instead of failing the batch; each member's callback
  * still fires exactly once when its solo attempts settle.
