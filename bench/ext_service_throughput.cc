@@ -3,13 +3,19 @@
  * Extension bench: dispatch-path throughput under contention.
  *
  * Runs the closed-loop load generator on the contended configuration
- * (16 submitters, 8 devices, 4 hot signatures) across four axes:
+ * (16 submitters, 8 devices, 4 hot signatures) across five axes:
  *
  *   baseline           -- coalescing off, predictor off (the
  *                         pre-sharding service);
  *   coalesced          -- profiling coalescing on: concurrent cold
  *                         misses on the same (signature, fingerprint,
  *                         bucket) elect one profiling leader;
+ *   audited            -- coalescing + the selection-quality auditor
+ *                         at 2% sampling: warm hits occasionally
+ *                         shadow-profile the runner-up variant to
+ *                         measure realized regret.  The overhead gate
+ *                         (audited jobs/s within 5% of coalesced)
+ *                         lives in tools/bench_check;
  *   predict_cold       -- coalescing + a cold-started selection
  *                         predictor: winners recorded in early
  *                         buckets seed neighbouring buckets
@@ -20,8 +26,9 @@
  *                         the first phases can hit.
  *
  * Every axis runs the same job set and must produce a byte-identical
- * output checksum -- the predictor changes who profiles, never what a
- * job computes.
+ * output checksum -- the predictor changes who profiles, and the
+ * auditor only re-executes deterministic kernels in shadow mode;
+ * neither changes what a job computes.
  *
  * Emits BENCH_service_throughput.json next to the binary (override
  * with argv[1]); the CI perf-smoke job validates the schema with
@@ -29,9 +36,11 @@
  * terminal, coalesce hits recorded, predictor profiled less at an
  * equal-or-better hit rate, checksums equal), never absolute numbers.
  */
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "serve/loadgen.hh"
 #include "support/table.hh"
@@ -49,10 +58,13 @@ contendedConfig()
     cfg.signatures = 4;
     cfg.sizeClasses = 4;
     cfg.baseUnits = 128;
-    // One lockstep lap over the 16 (signature, size-class) keys:
-    // every phase's first touch is a fleet-wide contended cold miss.
+    // Lockstep laps over the 16 (signature, size-class) keys: every
+    // phase's first touch is a fleet-wide contended cold miss.  Four
+    // laps (64 jobs each) rather than one keep a single run long
+    // enough that the audited-vs-coalesced throughput ratio is a
+    // measurement instead of scheduler jitter.
     cfg.sweep = true;
-    cfg.jobsPerSubmitter = 16;
+    cfg.jobsPerSubmitter = 64;
     cfg.variants = 6;
     cfg.profileRepeats = 256;
     cfg.guard = true;
@@ -84,6 +96,24 @@ allTerminal(const serve::LoadGenReport &r)
            == r.jobsCompleted + r.jobsFailed + r.jobsShed;
 }
 
+/** Best-of-N by jobs/s: a single 256-job lap finishes in well under
+ * a second, so per-run jitter swamps small true differences.  Every
+ * run satisfies the structural invariants on its own (the simulation
+ * is deterministic; only wall-clock varies), so reporting the
+ * fastest run keeps the relative gates (audit overhead) meaningful
+ * on shared CI machines. */
+serve::LoadGenReport
+bestOf(const serve::LoadGenConfig &cfg, int repeats)
+{
+    serve::LoadGenReport best;
+    for (int i = 0; i < repeats; ++i) {
+        serve::LoadGenReport r = serve::runLoadGen(cfg);
+        if (i == 0 || r.jobsPerSec > best.jobsPerSec)
+            best = r;
+    }
+    return best;
+}
+
 } // namespace
 
 int
@@ -99,28 +129,52 @@ main(int argc, char **argv)
 
     serve::LoadGenConfig base = contendedConfig();
     base.coalesce = false;
-    const serve::LoadGenReport baseline = serve::runLoadGen(base);
+    const serve::LoadGenReport baseline = bestOf(base, 3);
 
+    // The coalesced and audited axes run as interleaved pairs: each
+    // pair shares the machine conditions of one moment in time, so
+    // the per-pair jobs/s ratio is far more stable than any
+    // comparison of two independently timed runs, and the median
+    // over five pairs shrugs off the odd descheduled outlier.  The
+    // reported axes are each pair-member's best run.
     serve::LoadGenConfig co = contendedConfig();
     co.coalesce = true;
-    const serve::LoadGenReport coalesced = serve::runLoadGen(co);
+    serve::LoadGenConfig au = contendedConfig();
+    au.coalesce = true;
+    au.auditRate = 0.02;
+    serve::LoadGenReport coalesced;
+    serve::LoadGenReport audited;
+    std::vector<double> ratios;
+    for (int i = 0; i < 5; ++i) {
+        serve::LoadGenReport c = serve::runLoadGen(co);
+        serve::LoadGenReport a = serve::runLoadGen(au);
+        if (i == 0 || c.jobsPerSec > coalesced.jobsPerSec)
+            coalesced = c;
+        if (i == 0 || a.jobsPerSec > audited.jobsPerSec)
+            audited = a;
+        ratios.push_back(
+            c.jobsPerSec > 0 ? a.jobsPerSec / c.jobsPerSec : 0.0);
+    }
+    std::sort(ratios.begin(), ratios.end());
+    const double auditRatio = ratios[ratios.size() / 2];
 
     serve::LoadGenConfig pc = contendedConfig();
     pc.coalesce = true;
     pc.predict = true;
-    const serve::LoadGenReport predictCold = serve::runLoadGen(pc);
+    const serve::LoadGenReport predictCold = bestOf(pc, 3);
 
     serve::LoadGenConfig pp = contendedConfig();
     pp.coalesce = true;
     pp.predict = true;
     pp.pretrainLaps = 1;
-    const serve::LoadGenReport predictTrained = serve::runLoadGen(pp);
+    const serve::LoadGenReport predictTrained = bestOf(pp, 3);
 
     support::Table table({"mode", "jobs", "jobs/s", "p99 (us)",
                           "profiled units", "hit rate",
                           "predict hits"});
     reportRow(table, "baseline (no coalescing)", baseline);
     reportRow(table, "coalesced", coalesced);
+    reportRow(table, "audited (2% sampling)", audited);
     reportRow(table, "predict (cold start)", predictCold);
     reportRow(table, "predict (pretrained)", predictTrained);
     table.print(std::cout);
@@ -134,15 +188,21 @@ main(int argc, char **argv)
               << " -> " << coalesced.profiledUnits
               << " (coalesce) -> " << predictCold.profiledUnits
               << " (predict cold) -> " << predictTrained.profiledUnits
-              << " (predict pretrained)\n";
+              << " (predict pretrained)\n"
+              << "audit at 2% sampling: " << audited.auditSamples
+              << " samples, mean regret " << audited.auditMeanRegret
+              << ", throughput ratio " << auditRatio
+              << "x of coalesced (median of 5 interleaved pairs)\n";
 
     support::Json out = support::Json::object();
     out.set("bench", support::Json("service_throughput"));
     out.set("baseline", baseline.toJson());
     out.set("coalesced", coalesced.toJson());
+    out.set("audited", audited.toJson());
     out.set("predict_cold", predictCold.toJson());
     out.set("predict_pretrained", predictTrained.toJson());
     out.set("speedup", support::Json(speedup));
+    out.set("audit_throughput_ratio", support::Json(auditRatio));
     std::ofstream f(outPath);
     f << out.dump(2) << "\n";
     f.close();
@@ -150,12 +210,17 @@ main(int argc, char **argv)
 
     const bool checksumsEqual =
         baseline.outputChecksum == coalesced.outputChecksum
+        && baseline.outputChecksum == audited.outputChecksum
         && baseline.outputChecksum == predictCold.outputChecksum
         && baseline.outputChecksum == predictTrained.outputChecksum;
     const bool ok =
         allTerminal(baseline) && allTerminal(coalesced)
-        && allTerminal(predictCold) && allTerminal(predictTrained)
+        && allTerminal(audited) && allTerminal(predictCold)
+        && allTerminal(predictTrained)
         && coalesced.coalesceHits > 0
+        // Auditing must actually sample at 2%, and must only ever
+        // run in the axis that asked for it.
+        && audited.auditSamples > 0 && coalesced.auditSamples == 0
         && coalesced.profiledUnits < baseline.profiledUnits
         // The predictor must skip profiling the coalescer alone
         // could not, at an equal-or-better warm-start rate...

@@ -73,6 +73,16 @@ struct LaunchOptions
      * device layers; 0 means "not job-scoped".
      */
     std::uint64_t correlationId = 0;
+
+    /**
+     * Shadow audit probe: the launch is a measurement, not production
+     * work.  With profiling off, `initialVariant` overrides the cached
+     * selection (the audit sampler forces the winner and the runner-up
+     * in turn), and the report carries the flag so the store's drift
+     * baseline ignores it -- a tiny probe slice has non-amortized
+     * launch overhead and would otherwise trigger false quarantines.
+     */
+    bool shadow = false;
 };
 
 } // namespace runtime

@@ -90,6 +90,14 @@ struct LaunchReport
     /** Member jobs of a fused launch (0 for a solo launch). */
     std::uint64_t fusedJobs = 0;
 
+    /**
+     * True for a shadow audit probe (LaunchOptions::shadow): a small
+     * forced-variant measurement slice.  Like fused launches, shadow
+     * reports must not feed the drift baseline -- their per-unit time
+     * is not comparable to a full production run.
+     */
+    bool shadow = false;
+
     std::uint64_t totalUnits = 0;
     /** Units consumed by micro-profiling (all variants). */
     std::uint64_t profiledUnits = 0;

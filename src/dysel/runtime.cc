@@ -266,6 +266,7 @@ Runtime::runPlain(const std::string &signature, const KernelEntry &entry,
     report.selected = variant;
     report.selectedName = entry.variants[variant].name;
     report.fromCache = from_cache;
+    report.shadow = opt.shadow;
     report.orch = opt.orch;
     report.totalUnits = total_units;
     report.startTime = dev.now();
@@ -515,11 +516,16 @@ Runtime::launch(const std::string &signature, std::uint64_t total_units,
     // default variant.
     if (!opt.profiling) {
         auto cached = cachedSelection(signature);
-        if (!cached && config.verbose)
+        if (!cached && !opt.shadow && config.verbose)
             support::warn("DySelLaunchKernel(%s): profiling off with no "
                           "cached selection; using default variant",
                           signature.c_str());
-        const int want = cached.value_or(default_variant);
+        // A shadow audit probe measures a *forced* variant: the
+        // explicit initialVariant outranks the cached winner (which
+        // is exactly what the probe is second-guessing).
+        const int want = opt.shadow && opt.initialVariant >= 0
+                             ? opt.initialVariant
+                             : cached.value_or(default_variant);
         const int use = healthy(want);
         return runPlain(signature, entry, use, total_units, args, opt,
                         cached.has_value() && use == want, out);

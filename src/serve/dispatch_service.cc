@@ -126,6 +126,8 @@ ServiceConfig::validate() const
         return support::Status::invalidArgument(
             "ServiceConfig: batch.windowNs set while batching is "
             "disabled (batch.maxJobs <= 1)");
+    if (auto st = audit.validate(); !st.ok())
+        return st;
     return support::Status();
 }
 
@@ -203,6 +205,9 @@ DispatchService::DispatchService(store::SelectionStore &st,
     deviceNsHist = &reg.histogram("job.device_ns");
     attemptsHist = &reg.histogram("job.attempts");
     backoffHist = &reg.histogram("job.backoff_ns");
+    if (config.audit.enabled())
+        auditor_ = std::make_unique<obs::SelectionAuditor>(
+            store_, reg, &tracer_, config.audit);
 }
 
 DispatchService::~DispatchService()
@@ -269,8 +274,7 @@ DispatchService::addDevice(std::unique_ptr<sim::Device> device)
     w->fingerprint = w->dev->fingerprint();
     const auto idx = static_cast<unsigned>(workers.size());
 
-    w->flight = support::tracing::FlightRecorder(
-        config.flightRecorderCapacity);
+    w->flight.reset(config.flightRecorderCapacity);
     // One trace track per device worker; the runtime draws its spans
     // on the same track (profiling passes get subtracks of it).
     const std::string trackName = devKey(idx) + ":" + w->dev->name();
@@ -289,13 +293,15 @@ DispatchService::addDevice(std::unique_ptr<sim::Device> device)
     // Fused launches are excluded from the baseline -- they amortize
     // launch overhead across members, so their per-unit time is not
     // comparable to a solo run; runBatch() accounts them through
-    // SelectionStore::noteServed() instead.
+    // SelectionStore::noteServed() instead.  Shadow audit probes are
+    // excluded too: a tiny forced-variant slice carries non-amortized
+    // launch overhead, and the auditor does its own accounting.
     w->rt->setLaunchObserver(
         [this, fp = w->fingerprint](const runtime::LaunchReport &r) {
             if (r.profiled) {
                 store_.recordProfile(fp, r);
                 reg.counter("store.record").inc();
-            } else if (r.fromCache && !r.fused) {
+            } else if (r.fromCache && !r.fused && !r.shadow) {
                 switch (store_.observePlain(fp, r)) {
                   case store::Observation::Quarantined:
                     reg.counter("store.quarantine").inc();
@@ -413,6 +419,47 @@ BufferPool::Stats
 DispatchService::poolStats(unsigned idx) const
 {
     return workers.at(idx)->pool.stats();
+}
+
+DispatchService::ServiceHealth
+DispatchService::health() const
+{
+    ServiceHealth out;
+    out.running = started.load(std::memory_order_acquire);
+    out.inFlight = inFlight.load(std::memory_order_acquire);
+    out.devices.resize(workers.size());
+    for (unsigned i = 0; i < workers.size(); ++i) {
+        const Worker &w = *workers[i];
+        DeviceHealth &d = out.devices[i];
+        d.index = i;
+        d.name = w.dev->name();
+        d.fingerprint = w.fingerprint;
+        d.load = w.load.load(std::memory_order_relaxed);
+        d.clockNs = w.clockNs.load(std::memory_order_relaxed);
+    }
+    {
+        // Breaker fields live under routeMu; taken once for all
+        // devices, never together with a shard lock.
+        std::lock_guard<std::mutex> lock(routeMu);
+        for (unsigned i = 0; i < workers.size(); ++i) {
+            const Worker &w = *workers[i];
+            out.devices[i].breakerOpen = w.breakerOpen;
+            out.devices[i].breakerCooldownLeft = w.breakerCooldownLeft;
+            out.devices[i].consecFailures = w.consecFailures;
+        }
+    }
+    for (unsigned i = 0; i < workers.size(); ++i) {
+        Worker &w = *workers[i];
+        std::lock_guard<std::mutex> lock(w.qmu);
+        out.devices[i].queueDepth = w.queue.size();
+    }
+    return out;
+}
+
+std::string
+DispatchService::flightDump(unsigned idx) const
+{
+    return workers.at(idx)->flight.dump();
 }
 
 void
@@ -1462,6 +1509,15 @@ DispatchService::runJob(unsigned idx, detail::QueuedJob &qj)
         w.latencyHist->observe(static_cast<double>(res.deviceTimeNs));
         if (res.report.profiled)
             w.profiledCounter->inc();
+        // Selection-quality audit: a sampled warm hit is followed by
+        // a shadow probe of winner vs runner-up, here -- while the
+        // job's buffers are still alive -- and before completion, so
+        // the probe time is never charged to the job's latency.
+        // Predicted records carry no profiles, so they are excluded
+        // naturally (no runner-up to probe).
+        if (auditor_ && res.warmStart && !res.report.profiled && rec
+            && rec->profiles.size() >= 2 && auditor_->shouldSample())
+            auditWarmHit(idx, qj, *rec);
     } else if (res.warmStart
                && retryableCode(res.status.code())) {
         // The stored selection failed to even launch: demote it so
@@ -1487,6 +1543,99 @@ DispatchService::runJob(unsigned idx, detail::QueuedJob &qj)
     // record is in the store -- or the attempt failed and a follower
     // takes over.
     return res;
+}
+
+void
+DispatchService::auditWarmHit(unsigned idx, const detail::QueuedJob &qj,
+                              const store::SelectionRecord &rec)
+{
+    Worker &w = *workers[idx];
+    const Job &job = qj.job;
+
+    // The stored runner-up: the best per-unit profiled variant that
+    // is not the served winner -- the same fallback quarantine would
+    // serve -- skipping blacklisted variants.
+    const std::string &winner = rec.selectedName;
+    std::string runnerUp;
+    double bestUnitNs = 0;
+    for (const auto &p : rec.profiles) {
+        if (p.name == winner || p.units == 0)
+            continue;
+        if (w.rt->guard().enabled()
+            && store_.isBlacklisted(job.signature, p.name,
+                                    w.fingerprint))
+            continue;
+        const double unitNs =
+            p.metricNs / static_cast<double>(p.units);
+        if (runnerUp.empty() || unitNs < bestUnitNs) {
+            runnerUp = p.name;
+            bestUnitNs = unitNs;
+        }
+    }
+    auto indexOf = [&](const std::string &name) -> int {
+        if (const auto *variants = w.rt->findVariants(job.signature)) {
+            for (std::size_t i = 0; i < variants->size(); ++i)
+                if ((*variants)[i].name == name)
+                    return static_cast<int>(i);
+        }
+        return -1;
+    };
+    const int winIdx = indexOf(winner);
+    const int runIdx = runnerUp.empty() ? -1 : indexOf(runnerUp);
+    if (winIdx < 0 || runIdx < 0) {
+        // A sampled hit whose probe pair cannot even be resolved
+        // (stale record, re-registration): account it as a failed
+        // probe so the sampling stride stays observable.
+        auditor_->noteProbeFailure(w.traceTrack, job.id, w.dev->now(),
+                                   job.signature);
+        return;
+    }
+
+    const std::uint64_t probeUnits =
+        config.audit.probeUnits(job.units);
+    w.flight.record(w.dev->now(), job.id, "audit",
+                    "probe winner=" + winner + " runner_up=" + runnerUp
+                        + " units=" + std::to_string(probeUnits));
+
+    // Both variants run the same forced-variant shadow slice over the
+    // job's own (still live) buffers: equal slices make the per-unit
+    // comparison fair, and LaunchReport::shadow keeps the probes out
+    // of the store's drift baseline.
+    auto probe = [&](int variant, double &unitNs) {
+        runtime::LaunchOptions popt;
+        popt.profiling = false;
+        popt.shadow = true;
+        popt.initialVariant = variant;
+        popt.correlationId = job.id;
+        runtime::LaunchReport rep;
+        const support::Status st = w.rt->launch(
+            job.signature, probeUnits, job.args, popt, rep);
+        if (!st.ok())
+            return false;
+        unitNs = static_cast<double>(rep.endTime - rep.startTime)
+                 / static_cast<double>(probeUnits);
+        return unitNs > 0;
+    };
+    double winUnitNs = 0;
+    double runUnitNs = 0;
+    if (!probe(winIdx, winUnitNs) || !probe(runIdx, runUnitNs)) {
+        auditor_->noteProbeFailure(w.traceTrack, job.id, w.dev->now(),
+                                   job.signature);
+        return;
+    }
+
+    obs::AuditSample sample;
+    sample.signature = job.signature;
+    sample.device = w.fingerprint;
+    sample.units = job.units;
+    sample.winner = winner;
+    sample.runnerUp = runnerUp;
+    sample.winnerUnitNs = winUnitNs;
+    sample.runnerUpUnitNs = runUnitNs;
+    sample.traceTrack = w.traceTrack;
+    sample.jobId = job.id;
+    sample.nowNs = w.dev->now();
+    auditor_->ingest(sample);
 }
 
 } // namespace serve

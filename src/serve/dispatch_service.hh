@@ -101,6 +101,7 @@
 #include <thread>
 #include <vector>
 
+#include "dysel/obs/selection_auditor.hh"
 #include "dysel/options.hh"
 #include "dysel/predict/predictor.hh"
 #include "dysel/report.hh"
@@ -193,9 +194,20 @@ struct ServiceConfig
     /**
      * Entries each worker's always-on flight recorder retains; a
      * failing job's Status payload carries the dump (the last things
-     * its worker did: device, phase, detail).
+     * its worker did: device, phase, detail).  The admin plane's
+     * /debug/flight endpoint snapshots the same ring on demand.
      */
     std::size_t flightRecorderCapacity = 64;
+
+    /**
+     * Continuous selection-quality audit (DESIGN §11): with
+     * audit.sampleRate > 0, every round(1/rate)-th warm store hit is
+     * followed by a shadow probe of the served winner against the
+     * stored runner-up, realized regret is tracked per key, and a key
+     * whose regret EMA stays above audit.regretThreshold is demoted
+     * into the store quarantine.  Disabled by default.
+     */
+    obs::AuditConfig audit;
 
     /**
      * Typed consistency check, called by the DispatchService ctor
@@ -308,6 +320,64 @@ class DispatchService
 
     support::MetricsRegistry &metrics() { return reg; }
     const store::SelectionStore &selectionStore() const { return store_; }
+
+    /**
+     * The selection auditor, or nullptr when config.audit is
+     * disabled.  Observation only (totals, mean regret, per-key
+     * state); the auditor is driven by the workers.
+     */
+    const obs::SelectionAuditor *auditor() const
+    {
+        return auditor_.get();
+    }
+
+    /** Live health snapshot of one device worker. */
+    struct DeviceHealth
+    {
+        unsigned index = 0;
+        std::string name;
+        std::string fingerprint;
+        /** Jobs queued on the shard (excludes the running job). */
+        std::size_t queueDepth = 0;
+        /** Queued + running jobs (the routing load input). */
+        std::uint64_t load = 0;
+        bool breakerOpen = false;
+        unsigned breakerCooldownLeft = 0;
+        unsigned consecFailures = 0;
+        /** Published device-clock snapshot (virtual ns). */
+        std::uint64_t clockNs = 0;
+    };
+
+    /** Live health snapshot of the whole service. */
+    struct ServiceHealth
+    {
+        bool running = false;
+        std::uint64_t inFlight = 0;
+        std::vector<DeviceHealth> devices;
+        /** Any breaker currently open. */
+        bool anyBreakerOpen() const
+        {
+            for (const auto &d : devices)
+                if (d.breakerOpen)
+                    return true;
+            return false;
+        }
+    };
+
+    /**
+     * Snapshot queue depths, loads, breaker states, and the in-flight
+     * count.  Safe from any thread while workers run: takes routeMu
+     * for the breaker fields, then each shard lock briefly for its
+     * queue depth -- never both at once.
+     */
+    ServiceHealth health() const;
+
+    /**
+     * On-demand dump of worker @p idx's flight recorder (the last
+     * things that worker did).  Safe from any thread; throws
+     * std::out_of_range for a bad index.
+     */
+    std::string flightDump(unsigned idx) const;
 
     /**
      * Allocation accounting of @p idx's shard pool: fresh vs reused
@@ -435,6 +505,15 @@ class DispatchService
     /** Breaker bookkeeping after an attempt on @p idx (routeMu). */
     void breakerObserve(unsigned idx, bool deviceFault);
 
+    /**
+     * Shadow-audit a warm solo hit (worker thread, inside runJob
+     * while the job's buffers are still alive): probe the served
+     * winner and the stored runner-up over equal forced-variant
+     * slices and hand the measurements to the auditor.
+     */
+    void auditWarmHit(unsigned idx, const detail::QueuedJob &qj,
+                      const store::SelectionRecord &rec);
+
     store::SelectionStore &store_;
     ServiceConfig config;
     Batcher batcher;
@@ -442,6 +521,7 @@ class DispatchService
     support::MetricsRegistry reg;
     support::tracing::Tracer tracer_;
     ProfileCoalescer coalescer;
+    std::unique_ptr<obs::SelectionAuditor> auditor_;
     std::vector<std::unique_ptr<Worker>> workers;
 
     /** Kernel-pool installers (guarded by poolMu); installerCount

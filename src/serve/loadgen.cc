@@ -140,6 +140,7 @@ LoadGenReport::toJson() const
     cfg.set("predict_threshold", Json(config.predictThreshold));
     cfg.set("pretrain_laps",
             Json(static_cast<double>(config.pretrainLaps)));
+    cfg.set("audit_rate", Json(config.auditRate));
 
     Json jobs = Json::object();
     jobs.set("submitted", Json(static_cast<double>(jobsSubmitted)));
@@ -168,6 +169,13 @@ LoadGenReport::toJson() const
                 Json(static_cast<double>(predictDemotions)));
     predict.set("trained", Json(static_cast<double>(predictTrained)));
 
+    Json audit = Json::object();
+    audit.set("samples", Json(static_cast<double>(auditSamples)));
+    audit.set("demotions", Json(static_cast<double>(auditDemotions)));
+    audit.set("probe_failures",
+              Json(static_cast<double>(auditProbeFailures)));
+    audit.set("mean_regret", Json(auditMeanRegret));
+
     Json out = Json::object();
     out.set("config", std::move(cfg));
     out.set("jobs", std::move(jobs));
@@ -183,6 +191,7 @@ LoadGenReport::toJson() const
     out.set("coalesce", std::move(coalesce));
     out.set("batch", std::move(batch));
     out.set("predict", std::move(predict));
+    out.set("audit", std::move(audit));
     out.set("output_checksum", Json(hex16(outputChecksum)));
     return out;
 }
@@ -204,6 +213,7 @@ runImpl(const LoadGenConfig &cfg,
     scfg.batch.maxJobs = cfg.maxBatchJobs;
     scfg.batch.windowNs = cfg.batchWindowNs;
     scfg.runtime.guard.enabled = cfg.guard;
+    scfg.audit.sampleRate = cfg.auditRate;
     DispatchService svc(store, scfg);
     if (predictor)
         svc.setPredictor(predictor);
@@ -242,6 +252,8 @@ runImpl(const LoadGenConfig &cfg,
            }
        }).throwIfError();
     svc.start();
+    if (cfg.onStart)
+        cfg.onStart(svc);
 
     const std::uint64_t maxUnits =
         cfg.baseUnits << (cfg.sizeClasses > 0 ? cfg.sizeClasses - 1
@@ -353,6 +365,8 @@ runImpl(const LoadGenConfig &cfg,
     const double wallSeconds =
         std::chrono::duration<double>(clock::now() - wallStart)
             .count();
+    if (cfg.onStop)
+        cfg.onStop(svc);
     svc.stop();
 
     LoadGenReport rep;
@@ -407,6 +421,11 @@ runImpl(const LoadGenConfig &cfg,
     rep.predictMisses = m.counterValue("predict.miss");
     rep.predictDemotions = m.counterValue("predict.demoted");
     rep.predictTrained = m.counterValue("predict.train");
+    rep.auditSamples = m.counterValue("audit.samples");
+    rep.auditDemotions = m.counterValue("audit.demotions");
+    rep.auditProbeFailures = m.counterValue("audit.probe_failed");
+    rep.auditMeanRegret =
+        svc.auditor() ? svc.auditor()->meanRegret() : 0.0;
     const std::uint64_t bids = rep.coalesceHits + rep.coalesceLeaders;
     rep.coalesceHitRate =
         bids > 0 ? static_cast<double>(rep.coalesceHits)
@@ -438,6 +457,10 @@ runLoadGen(const LoadGenConfig &cfg)
             static_cast<std::uint64_t>(std::max(1u, cfg.signatures))
             * std::max(1u, cfg.sizeClasses) * cfg.pretrainLaps;
         warm.pretrainLaps = 0;
+        // Warm-up services are throwaway: no admin plane, no audit.
+        warm.onStart = nullptr;
+        warm.onStop = nullptr;
+        warm.auditRate = 0.0;
         (void)runImpl(warm, &predictor);
     }
     return runImpl(cfg, &predictor);

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "serve/dispatch_service.hh"
@@ -138,6 +139,24 @@ struct LoadGenConfig
      * the predictor cold.  Only meaningful with predict.
      */
     unsigned pretrainLaps = 0;
+
+    /**
+     * Selection-audit sampling rate, forwarded to
+     * ServiceConfig::audit.sampleRate (DESIGN §11): that fraction of
+     * warm cache hits shadow-re-profiles the runner-up and records
+     * realized regret.  0 disables the auditor entirely.
+     */
+    double auditRate = 0.0;
+
+    /**
+     * Hooks around the measured service: onStart fires right after
+     * the service starts (before any submitter runs), onStop after
+     * the storm drains but before the service stops.  dyseld uses
+     * them to attach the admin plane to a loadgen run; predictor
+     * pretrain warm-up laps never fire them.
+     */
+    std::function<void(DispatchService &)> onStart;
+    std::function<void(DispatchService &)> onStop;
 };
 
 /** What one run measured. */
@@ -187,6 +206,13 @@ struct LoadGenReport
     std::uint64_t predictMisses = 0;
     std::uint64_t predictDemotions = 0;
     std::uint64_t predictTrained = 0;
+
+    /** Selection-audit activity (audit.* counters; 0 with audit off). */
+    std::uint64_t auditSamples = 0;
+    std::uint64_t auditDemotions = 0;
+    std::uint64_t auditProbeFailures = 0;
+    /** Mean realized regret across sampled warm hits (fraction). */
+    double auditMeanRegret = 0.0;
 
     /**
      * Order-independent digest of every completed job's output

@@ -126,10 +126,37 @@ Histogram::buckets() const
 }
 
 std::string
+MetricsRegistry::escapeLabelValue(const std::string &value)
+{
+    // Prometheus text format 0.0.4: inside a label value, backslash,
+    // double quote, and newline must be escaped.  Escaping at
+    // construction time keeps every stored metric name a valid label
+    // set, so exporters never have to re-parse ambiguous raw values.
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        switch (c) {
+          case '\\':
+            out += "\\\\";
+            break;
+          case '"':
+            out += "\\\"";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
 MetricsRegistry::labeled(const std::string &name, const std::string &key,
                          const std::string &value)
 {
-    return name + "{" + key + "=\"" + value + "\"}";
+    return name + "{" + key + "=\"" + escapeLabelValue(value) + "\"}";
 }
 
 Counter &
@@ -263,6 +290,86 @@ promNumber(double v)
     return buf;
 }
 
+/**
+ * HELP text of a metric family, keyed by the sanitized family name.
+ * Families not in the table get a generic line -- every exported
+ * family always carries a HELP, as scrapers expect.
+ */
+const char *
+promHelp(const std::string &family)
+{
+    static const std::map<std::string, const char *> help = {
+        {"jobs_submitted", "Jobs accepted by submit()/submitMany()."},
+        {"jobs_completed", "Jobs that finished with an OK status."},
+        {"jobs_failed", "Jobs that finished with a non-OK status."},
+        {"jobs_cancelled", "Jobs withdrawn while still queued."},
+        {"store_hit", "Selection-store lookups served warm."},
+        {"store_miss", "Selection-store lookups that missed."},
+        {"store_record", "Profiled launches recorded into the store."},
+        {"store_quarantine",
+         "Records demoted to their runner-up variant."},
+        {"store_drift_invalidation",
+         "Records invalidated by throughput drift."},
+        {"batch_launches", "Fused launches executed."},
+        {"batch_jobs", "Jobs served by fused launches."},
+        {"batch_demoted",
+         "Batch members demoted to solo re-execution."},
+        {"batch_size", "Jobs per fused launch."},
+        {"job_device_ns", "Per-job device time (virtual ns)."},
+        {"job_attempts", "Attempts per completed job."},
+        {"job_backoff_ns",
+         "Charged virtual retry backoff per job (ns)."},
+        {"admission_blocked",
+         "Submissions that blocked on a full queue."},
+        {"admission_block_ns",
+         "Wall time submitters spent blocked (ns)."},
+        {"admission_shed", "Jobs shed by admission control."},
+        {"admission_stopped",
+         "Jobs refused because the service was stopping."},
+        {"breaker_trips", "Circuit breakers opened."},
+        {"breaker_reopens", "Failed half-open probes."},
+        {"breaker_closes", "Circuit breakers closed by a probe."},
+        {"recover_retries", "Job attempts retried on another device."},
+        {"recover_timeouts", "Deadline expirations (device or job)."},
+        {"coalesce_leader", "Profiling passes led for a cold key."},
+        {"coalesce_follower",
+         "Jobs that waited behind a profiling leader."},
+        {"coalesce_hit",
+         "Followers served warm from their leader's record."},
+        {"coalesce_leader_failed",
+         "Leaders that released without recording."},
+        {"guard_excluded",
+         "Variants excluded up front by the blacklist."},
+        {"guard_repair",
+         "Productive slices re-executed after a guard strike."},
+        {"guard_blacklist", "Variants blacklisted by the guard."},
+        {"guard_blocked_warmstart",
+         "Warm starts blocked by a blacklisted winner."},
+        {"predict_train", "Online training examples fed in."},
+        {"predict_demoted", "Predicted selections demoted."},
+        {"predict_hit", "Store misses served by a prediction."},
+        {"predict_miss",
+         "Store misses the predictor declined to serve."},
+        {"pool_install_failed", "Kernel-pool installers that threw."},
+        {"device_jobs", "Jobs completed, per device."},
+        {"device_store_hits", "Warm starts served, per device."},
+        {"device_profiled", "Profiling launches run, per device."},
+        {"device_latency_ns", "Per-job device time, per device (ns)."},
+        {"device_breaker_trips", "Breaker trips, per device."},
+        {"device_retries_out", "Jobs retried away, per device."},
+        {"device_shed", "Jobs shed, per device."},
+        {"audit_samples",
+         "Warm hits shadow-audited against the runner-up."},
+        {"audit_probe_failed", "Audit probes whose launch failed."},
+        {"audit_regret_pct",
+         "Realized selection regret per audit sample (percent)."},
+        {"audit_demotions",
+         "Selections quarantined by sustained audit regret."},
+    };
+    auto it = help.find(family);
+    return it == help.end() ? "DySel serving metric." : it->second;
+}
+
 } // namespace
 
 std::string
@@ -272,12 +379,13 @@ MetricsRegistry::renderPrometheus() const
     std::ostringstream os;
     std::string lastFamily;
     auto typeLine = [&](const std::string &family, const char *type) {
-        // One TYPE line per family: labeled series of one family
-        // (device="dev0", device="dev1") are adjacent in the sorted
-        // map, so emitting on family change is enough.
+        // One HELP + TYPE pair per family: labeled series of one
+        // family (device="dev0", device="dev1") are adjacent in the
+        // sorted map, so emitting on family change is enough.
         if (family == lastFamily)
             return;
         lastFamily = family;
+        os << "# HELP " << family << ' ' << promHelp(family) << '\n';
         os << "# TYPE " << family << ' ' << type << '\n';
     };
 

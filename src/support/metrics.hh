@@ -97,11 +97,16 @@ class MetricsRegistry
      * Canonical labeled metric name: `name{key="value"}`.  All
      * per-instance metrics (per device, per pass) use this one
      * suffix form so exporters can split name and labels
-     * mechanically.
+     * mechanically.  The value is escaped per the Prometheus text
+     * format (backslash, double quote, newline), so hostile device
+     * names can never corrupt an exposition line.
      */
     static std::string labeled(const std::string &name,
                                const std::string &key,
                                const std::string &value);
+
+    /** Prometheus 0.0.4 label-value escaping (`\\`, `\"`, `\n`). */
+    static std::string escapeLabelValue(const std::string &value);
 
     /** Get or create the counter named @p name. */
     Counter &counter(const std::string &name);
@@ -125,7 +130,8 @@ class MetricsRegistry
     Json renderJson() const;
 
     /**
-     * Prometheus text exposition (version 0.0.4).  Metric names are
+     * Prometheus text exposition (version 0.0.4): every family gets
+     * a `# HELP` and `# TYPE` pair.  Metric names are
      * sanitized ('.' and other illegal characters become '_'); a
      * `{key="value"}` suffix built by labeled() becomes a real
      * Prometheus label set.  Counters render as a single sample,

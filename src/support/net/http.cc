@@ -1,0 +1,289 @@
+#include "http.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace dysel {
+namespace support {
+namespace net {
+
+namespace {
+
+/** Write the whole buffer, retrying on short writes / EINTR. */
+bool
+writeAll(int fd, const char *data, std::size_t len)
+{
+    std::size_t off = 0;
+    while (off < len) {
+        const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Read until @p marker appears or @p cap bytes; "" on error. */
+std::string
+readUntil(int fd, const char *marker, std::size_t cap, int timeoutMs)
+{
+    std::string buf;
+    char chunk[2048];
+    while (buf.size() < cap && buf.find(marker) == std::string::npos) {
+        struct pollfd pfd = {fd, POLLIN, 0};
+        const int pr = ::poll(&pfd, 1, timeoutMs);
+        if (pr <= 0)
+            return std::string();
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return std::string();
+        }
+        if (n == 0)
+            break;
+        buf.append(chunk, static_cast<std::size_t>(n));
+    }
+    return buf;
+}
+
+} // namespace
+
+const char *
+httpReason(int status)
+{
+    switch (status) {
+      case 200:
+        return "OK";
+      case 400:
+        return "Bad Request";
+      case 404:
+        return "Not Found";
+      case 405:
+        return "Method Not Allowed";
+      case 500:
+        return "Internal Server Error";
+      case 503:
+        return "Service Unavailable";
+      default:
+        return "Unknown";
+    }
+}
+
+Status
+HttpServer::start(std::uint16_t port, Handler handler)
+{
+    if (running())
+        return Status::failedPrecondition(
+            "HttpServer: already running");
+    if (!handler)
+        return Status::invalidArgument("HttpServer: empty handler");
+    handler_ = std::move(handler);
+
+    listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd < 0)
+        return Status::unavailable(std::string("socket: ")
+                                   + std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(listenFd, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr))
+        != 0) {
+        const std::string err = std::strerror(errno);
+        ::close(listenFd);
+        listenFd = -1;
+        return Status::unavailable("bind 127.0.0.1:"
+                                   + std::to_string(port) + ": " + err);
+    }
+    if (::listen(listenFd, 16) != 0) {
+        const std::string err = std::strerror(errno);
+        ::close(listenFd);
+        listenFd = -1;
+        return Status::unavailable(std::string("listen: ") + err);
+    }
+    socklen_t alen = sizeof(addr);
+    if (::getsockname(listenFd,
+                      reinterpret_cast<struct sockaddr *>(&addr), &alen)
+        == 0)
+        port_ = ntohs(addr.sin_port);
+
+    stopping_.store(false, std::memory_order_release);
+    running_.store(true, std::memory_order_release);
+    thread_ = std::thread([this] { acceptLoop(); });
+    return Status();
+}
+
+void
+HttpServer::stop()
+{
+    if (!running_.exchange(false, std::memory_order_acq_rel)) {
+        if (thread_.joinable())
+            thread_.join();
+        return;
+    }
+    stopping_.store(true, std::memory_order_release);
+    if (thread_.joinable())
+        thread_.join();
+    if (listenFd >= 0) {
+        ::close(listenFd);
+        listenFd = -1;
+    }
+    port_ = 0;
+}
+
+void
+HttpServer::acceptLoop()
+{
+    // Poll with a short timeout so stop() is observed promptly
+    // without the close-a-blocked-accept race.
+    while (!stopping_.load(std::memory_order_acquire)) {
+        struct pollfd pfd = {listenFd, POLLIN, 0};
+        const int pr = ::poll(&pfd, 1, 100);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (pr == 0)
+            continue;
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        serveConnection(fd);
+        ::close(fd);
+    }
+}
+
+void
+HttpServer::serveConnection(int fd)
+{
+    const std::string raw =
+        readUntil(fd, "\r\n\r\n", 16 * 1024, 5000);
+    HttpResponse resp;
+    if (raw.empty()) {
+        resp.status = 400;
+        resp.body = "bad request\n";
+    } else {
+        std::istringstream line(raw.substr(0, raw.find("\r\n")));
+        HttpRequest req;
+        std::string version;
+        line >> req.method >> req.target >> version;
+        if (req.method != "GET") {
+            resp.status = 405;
+            resp.body = "only GET is served here\n";
+        } else if (req.target.empty() || req.target[0] != '/') {
+            resp.status = 400;
+            resp.body = "bad target\n";
+        } else {
+            try {
+                resp = handler_(req);
+            } catch (const std::exception &e) {
+                resp = HttpResponse();
+                resp.status = 500;
+                resp.body =
+                    std::string("handler error: ") + e.what() + "\n";
+            }
+        }
+    }
+    std::ostringstream os;
+    os << "HTTP/1.0 " << resp.status << ' ' << httpReason(resp.status)
+       << "\r\nContent-Type: " << resp.contentType
+       << "\r\nContent-Length: " << resp.body.size()
+       << "\r\nConnection: close\r\n\r\n";
+    const std::string head = os.str();
+    if (writeAll(fd, head.data(), head.size()))
+        writeAll(fd, resp.body.data(), resp.body.size());
+}
+
+Status
+httpGet(const std::string &host, std::uint16_t port,
+        const std::string &target, std::string &bodyOut, int &statusOut,
+        int timeoutMs)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return Status::unavailable(std::string("socket: ")
+                                   + std::strerror(errno));
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        return Status::invalidArgument("httpGet: bad host " + host);
+    }
+    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                  sizeof(addr))
+        != 0) {
+        const std::string err = std::strerror(errno);
+        ::close(fd);
+        return Status::unavailable("connect " + host + ":"
+                                   + std::to_string(port) + ": " + err);
+    }
+    const std::string req = "GET " + target
+                            + " HTTP/1.0\r\nHost: " + host
+                            + "\r\nConnection: close\r\n\r\n";
+    if (!writeAll(fd, req.data(), req.size())) {
+        ::close(fd);
+        return Status::unavailable("httpGet: send failed");
+    }
+    // Connection: close -- read to EOF (bounded).
+    std::string raw;
+    char chunk[4096];
+    for (;;) {
+        struct pollfd pfd = {fd, POLLIN, 0};
+        const int pr = ::poll(&pfd, 1, timeoutMs);
+        if (pr <= 0) {
+            ::close(fd);
+            return Status::deadlineExceeded("httpGet: read timeout");
+        }
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            return Status::unavailable("httpGet: recv failed");
+        }
+        if (n == 0)
+            break;
+        raw.append(chunk, static_cast<std::size_t>(n));
+        if (raw.size() > 64 * 1024 * 1024) {
+            ::close(fd);
+            return Status::resourceExhausted(
+                "httpGet: response too large");
+        }
+    }
+    ::close(fd);
+
+    const auto eol = raw.find("\r\n");
+    const auto sep = raw.find("\r\n\r\n");
+    if (eol == std::string::npos || sep == std::string::npos)
+        return Status::dataLoss("httpGet: malformed response");
+    std::istringstream line(raw.substr(0, eol));
+    std::string version;
+    int status = 0;
+    line >> version >> status;
+    if (version.rfind("HTTP/", 0) != 0 || status == 0)
+        return Status::dataLoss("httpGet: malformed status line");
+    statusOut = status;
+    bodyOut = raw.substr(sep + 4);
+    return Status();
+}
+
+} // namespace net
+} // namespace support
+} // namespace dysel

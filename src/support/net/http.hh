@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Minimal HTTP/1.0 front for the admin plane (DESIGN §11).
+ *
+ * This is deliberately not a web framework: one loopback listener,
+ * one accept loop on a background thread, GET requests only,
+ * connection-per-request (Connection: close), no TLS, no keep-alive,
+ * no chunking.  The admin plane itself is transport-agnostic (a pure
+ * handle(request) -> response function); this file is the only place
+ * that touches sockets, so tests can drive AdminPlane directly and
+ * the server stays ~200 lines of POSIX.
+ *
+ * The companion httpGet() client exists for dyseld_top, the CI
+ * smoke, and the observability tests -- same dependency footprint,
+ * no curl needed in-process.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "support/status.hh"
+
+namespace dysel {
+namespace support {
+namespace net {
+
+/** One parsed request line (GET only). */
+struct HttpRequest
+{
+    std::string method; ///< "GET"
+    std::string target; ///< path + optional "?query"
+};
+
+/** What the handler returns; serialized as HTTP/1.0. */
+struct HttpResponse
+{
+    int status = 200;
+    std::string contentType = "text/plain; charset=utf-8";
+    std::string body;
+};
+
+/** Stable reason phrase of @p status (e.g. 404 -> "Not Found"). */
+const char *httpReason(int status);
+
+/**
+ * The admin listener.  start() binds 127.0.0.1:@p port (0 picks an
+ * ephemeral port, read it back with port()), spawns the accept loop,
+ * and serves each connection serially: read one request, call the
+ * handler, write the response, close.  Handler exceptions become 500
+ * responses.  stop() shuts the listener down and joins; the
+ * destructor stops implicitly.
+ */
+class HttpServer
+{
+  public:
+    using Handler = std::function<HttpResponse(const HttpRequest &)>;
+
+    HttpServer() = default;
+    ~HttpServer() { stop(); }
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /** Bind + listen + spawn the accept loop.  Non-reentrant. */
+    Status start(std::uint16_t port, Handler handler);
+
+    /** The bound port (after start(); 0 before). */
+    std::uint16_t port() const { return port_; }
+
+    bool running() const
+    {
+        return running_.load(std::memory_order_acquire);
+    }
+
+    /** Stop accepting, close the listener, join.  Idempotent. */
+    void stop();
+
+  private:
+    void acceptLoop();
+    void serveConnection(int fd);
+
+    Handler handler_;
+    std::thread thread_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> running_{false};
+    int listenFd = -1;
+    std::uint16_t port_ = 0;
+};
+
+/**
+ * Blocking HTTP/1.0 GET against 127.0.0.1-style hosts.  On success
+ * fills @p bodyOut with the response body and @p statusOut with the
+ * HTTP status code; the Status reflects transport errors only (a 404
+ * is Ok transport-wise).  @p timeoutMs bounds connect and read.
+ */
+Status httpGet(const std::string &host, std::uint16_t port,
+               const std::string &target, std::string &bodyOut,
+               int &statusOut, int timeoutMs = 5000);
+
+} // namespace net
+} // namespace support
+} // namespace dysel

@@ -1,22 +1,26 @@
 /**
  * @file
- * Per-worker flight recorder: a lock-free, fixed-capacity ring of the
- * most recent phase records, dumped when a job fails.
+ * Per-worker flight recorder: a fixed-capacity ring of the most
+ * recent phase records, dumped when a job fails -- or on demand by
+ * the admin plane's /debug/flight endpoint.
  *
  * Each dispatch-service worker owns one recorder and is its only
- * writer, and dumps happen on the same worker thread at the moment a
- * job's failure is finalized -- so the ring needs no synchronization
- * at all, just a monotone write cursor.  Unlike the Tracer it is
- * always on: recording is a ring-slot assignment, cheap enough for
- * the hot dispatch path, and the bound means a long-lived service
- * never grows it.  When a job dies, the dump shows the last
- * `capacity` things its worker did -- device, phase, and detail --
- * which is exactly the "where did it die" evidence the Status payload
- * carries back to the caller.
+ * writer; failure dumps happen on the same worker thread, but the
+ * admin plane snapshots the ring from its serving thread while the
+ * worker keeps recording.  A plain mutex guards the ring for that:
+ * the lock is uncontended in steady state (admin reads are rare), so
+ * recording stays a ring-slot assignment plus an uncontended lock --
+ * still cheap enough for the hot dispatch path.  Unlike the Tracer
+ * it is always on, and the bound means a long-lived service never
+ * grows it.  When a job dies, the dump shows the last `capacity`
+ * things its worker did -- device, phase, and detail -- which is
+ * exactly the "where did it die" evidence the Status payload carries
+ * back to the caller.
  */
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -25,7 +29,7 @@ namespace dysel {
 namespace support {
 namespace tracing {
 
-/** Bounded single-writer ring of phase records. */
+/** Bounded ring of phase records (one writer, any-thread readers). */
 class FlightRecorder
 {
   public:
@@ -43,15 +47,32 @@ class FlightRecorder
     {
     }
 
-    std::size_t capacity() const { return ring.size(); }
+    /** Drop all records and resize the ring (single-threaded setup). */
+    void reset(std::size_t capacity)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        ring.assign(capacity == 0 ? 1 : capacity, Entry{});
+        written = 0;
+    }
+
+    std::size_t capacity() const
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return ring.size();
+    }
 
     /** Total records ever written (>= capacity once wrapped). */
-    std::uint64_t recorded() const { return written; }
+    std::uint64_t recorded() const
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return written;
+    }
 
     /** Append one record, overwriting the oldest once full. */
     void record(std::uint64_t ts, std::uint64_t job, std::string phase,
                 std::string detail = std::string())
     {
+        std::lock_guard<std::mutex> lock(mu);
         Entry &slot = ring[written % ring.size()];
         slot.ts = ts;
         slot.job = job;
@@ -63,6 +84,7 @@ class FlightRecorder
     /** The retained records, oldest first. */
     std::vector<Entry> snapshot() const
     {
+        std::lock_guard<std::mutex> lock(mu);
         std::vector<Entry> out;
         const std::uint64_t n =
             written < ring.size() ? written : ring.size();
@@ -79,10 +101,12 @@ class FlightRecorder
      */
     std::string dump() const
     {
+        const std::uint64_t total = recorded();
+        const std::vector<Entry> entries = snapshot();
         std::ostringstream os;
-        os << "flight recorder (" << recorded() << " recorded, last "
-           << snapshotSize() << "):\n";
-        for (const Entry &e : snapshot()) {
+        os << "flight recorder (" << total << " recorded, last "
+           << entries.size() << "):\n";
+        for (const Entry &e : entries) {
             os << "  t=" << e.ts;
             if (e.job != 0)
                 os << " job=" << e.job;
@@ -95,11 +119,7 @@ class FlightRecorder
     }
 
   private:
-    std::uint64_t snapshotSize() const
-    {
-        return written < ring.size() ? written : ring.size();
-    }
-
+    mutable std::mutex mu;
     std::vector<Entry> ring;
     std::uint64_t written = 0;
 };

@@ -19,7 +19,9 @@
  * mutex-protected vector, and a disabled tracer (the default) costs
  * one relaxed atomic load per call site.  The latency-critical
  * per-worker record-everything-always channel is the FlightRecorder
- * (flight_recorder.hh), which is lock-free and bounded.
+ * (flight_recorder.hh), which is bounded and guarded by its own
+ * uncontended per-worker mutex (so the admin plane can snapshot it
+ * from another thread).
  */
 #pragma once
 

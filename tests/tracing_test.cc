@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -621,6 +622,61 @@ TEST(Metrics, LabeledBuildsTheCanonicalSuffixForm)
 {
     EXPECT_EQ(MetricsRegistry::labeled("device.jobs", "device", "dev0"),
               "device.jobs{device=\"dev0\"}");
+}
+
+TEST(Metrics, LabeledEscapesHostileLabelValues)
+{
+    // Backslash, double quote, and newline are the three characters
+    // the 0.0.4 text format requires escaping inside a label value; a
+    // device name carrying all of them must not corrupt the set.
+    EXPECT_EQ(MetricsRegistry::escapeLabelValue("a\\b\"c\nd"),
+              "a\\\\b\\\"c\\nd");
+    EXPECT_EQ(MetricsRegistry::labeled("device.jobs", "device",
+                                       "dev\"0\\evil\nname"),
+              "device.jobs{device=\"dev\\\"0\\\\evil\\nname\"}");
+}
+
+TEST(Metrics, PrometheusSurvivesAHostileDeviceLabel)
+{
+    MetricsRegistry reg;
+    reg.counter(MetricsRegistry::labeled("device.jobs", "device",
+                                         "dev\"0\\x\ny"))
+        .inc(7);
+
+    const std::string prom = reg.renderPrometheus();
+    // The hostile value renders escaped, on one line.
+    EXPECT_NE(prom.find("device_jobs{device=\"dev\\\"0\\\\x\\ny\"} 7"),
+              std::string::npos);
+    // No exposition line is torn: every line is a comment or ends in
+    // a numeric sample value.
+    std::istringstream is(prom);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        const auto sp = line.rfind(' ');
+        ASSERT_NE(sp, std::string::npos) << line;
+        EXPECT_NO_THROW((void)std::stod(line.substr(sp + 1))) << line;
+    }
+}
+
+TEST(Metrics, PrometheusEmitsHelpOncePerFamily)
+{
+    MetricsRegistry reg;
+    reg.counter(MetricsRegistry::labeled("device.jobs", "device", "dev0"))
+        .inc();
+    reg.counter(MetricsRegistry::labeled("device.jobs", "device", "dev1"))
+        .inc();
+    reg.histogram("lat.ns").observe(4);
+
+    const std::string prom = reg.renderPrometheus();
+    const auto firstHelp = prom.find("# HELP device_jobs ");
+    ASSERT_NE(firstHelp, std::string::npos);
+    EXPECT_EQ(prom.find("# HELP device_jobs ", firstHelp + 1),
+              std::string::npos);
+    EXPECT_NE(prom.find("# HELP lat_ns "), std::string::npos);
+    // HELP precedes TYPE for each family.
+    EXPECT_LT(firstHelp, prom.find("# TYPE device_jobs counter"));
 }
 
 TEST(Metrics, PrometheusRendersCountersWithLabelsAndSanitizedNames)

@@ -5,10 +5,14 @@
  * Dispatches on the top-level "bench" field:
  *
  *   service_throughput -- bench/ext_service_throughput.  Structural
- *     and accounting invariants only (every submitted job terminal,
+ *     and accounting invariants (every submitted job terminal,
  *     positive throughput, ordered latency percentiles, coalescing
- *     active in the coalesced run); absolute jobs/s is deliberately
- *     NOT checked -- CI machines vary too much.
+ *     active in the coalesced run), plus one relative performance
+ *     gate: the audited axis (2% selection-audit sampling) must stay
+ *     within 5% of the coalesced axis's jobs/s and must report a
+ *     finite mean-regret figure.  Absolute jobs/s is deliberately
+ *     NOT checked -- CI machines vary too much -- but a same-process
+ *     back-to-back ratio is stable.
  *
  *   batch_throughput -- bench/microbench_submit.  Per size class the
  *     batched and unbatched runs must produce equal output checksums
@@ -22,6 +26,7 @@
  *
  * Exits 0 when the report validates, 1 with a diagnostic otherwise.
  */
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -52,7 +57,7 @@ checkRun(const Json &run, const std::string &name, std::string &why)
          {"config", "jobs", "wall_seconds", "jobs_per_sec",
           "p50_latency_us", "p99_latency_us", "profiled_units",
           "total_units", "profiled_unit_ratio", "coalesce",
-          "store_hits", "store_hit_rate", "predict",
+          "store_hits", "store_hit_rate", "predict", "audit",
           "output_checksum"}) {
         if (!run.has(key)) {
             why = name + " is missing '" + key + "'";
@@ -104,6 +109,14 @@ checkRun(const Json &run, const std::string &name, std::string &why)
             return false;
         }
     }
+    const Json &au = run.at("audit");
+    for (const char *key :
+         {"samples", "demotions", "probe_failures", "mean_regret"}) {
+        if (!au.has(key)) {
+            why = name + ".audit is missing '" + key + "'";
+            return false;
+        }
+    }
     // The checksum is a 16-hex-digit string (doubles cannot carry a
     // 64-bit digest losslessly).
     const std::string sum = run.stringOr("output_checksum", "");
@@ -120,6 +133,10 @@ checkRun(const Json &run, const std::string &name, std::string &why)
 /** The minimum batched-over-unbatched jobs/s ratio at the smallest
  * size class (where per-launch overhead dominates). */
 constexpr double kMinSmallestClassSpeedup = 2.0;
+
+/** The minimum audited-over-coalesced jobs/s ratio: 2% shadow
+ * sampling must cost at most 5% throughput. */
+constexpr double kMinAuditThroughputRatio = 0.95;
 
 /** Validate a BENCH_batch_throughput.json report. */
 int
@@ -202,14 +219,16 @@ checkBatchThroughput(const Json &root, const char *path)
 int
 checkServiceThroughput(const Json &root, const char *path)
 {
-    for (const char *key : {"baseline", "coalesced", "predict_cold",
-                            "predict_pretrained", "speedup"})
+    for (const char *key :
+         {"baseline", "coalesced", "audited", "predict_cold",
+          "predict_pretrained", "speedup", "audit_throughput_ratio"})
         if (!root.has(key))
             return fail(std::string("missing top-level '") + key + "'");
 
     std::string why;
-    for (const char *axis : {"baseline", "coalesced", "predict_cold",
-                             "predict_pretrained"})
+    for (const char *axis :
+         {"baseline", "coalesced", "audited", "predict_cold",
+          "predict_pretrained"})
         if (!checkRun(root.at(axis), axis, why))
             return fail(why);
 
@@ -250,11 +269,43 @@ checkServiceThroughput(const Json &root, const char *path)
     if (trained.numberOr("profiled_units", 0) > coldProfiled)
         return fail("pretrained predictor profiled more than cold");
 
-    // Selection policy must never change what a job computes.
+    // The selection-quality audit: only the audited axis samples, it
+    // actually samples, it reports a sane mean-regret figure, and --
+    // the relative performance gate -- 2% shadow sampling costs at
+    // most 5% of the comparable no-audit axis's throughput.
+    const Json &audited = root.at("audited");
+    for (const char *axis : {"baseline", "coalesced", "predict_cold",
+                             "predict_pretrained"})
+        if (root.at(axis).at("audit").numberOr("samples", -1) != 0)
+            return fail(std::string(axis)
+                        + " run recorded audit samples");
+    const Json &audit = audited.at("audit");
+    if (audit.numberOr("samples", 0) <= 0)
+        return fail("audited run recorded no audit samples");
+    const double meanRegret = audit.numberOr("mean_regret", -1);
+    if (!(meanRegret >= 0) || !std::isfinite(meanRegret))
+        return fail("audited run has no finite mean_regret figure ("
+                    + std::to_string(meanRegret) + ")");
+    // The ratio is the bench's median over interleaved
+    // coalesced/audited pairs (not derivable from the two reported
+    // best runs, which may come from different pairs).
+    const double auditRatio =
+        root.numberOr("audit_throughput_ratio", 0);
+    if (!std::isfinite(auditRatio) || auditRatio <= 0)
+        return fail("audit_throughput_ratio is not a positive number");
+    if (auditRatio < kMinAuditThroughputRatio)
+        return fail("audited run reached only "
+                    + std::to_string(auditRatio)
+                    + "x of coalesced jobs/s (gate: "
+                    + std::to_string(kMinAuditThroughputRatio)
+                    + "x)");
+
+    // Selection policy must never change what a job computes; nor
+    // may a shadow audit probe.
     const std::string baseSum =
         root.at("baseline").stringOr("output_checksum", "?");
     for (const char *axis :
-         {"coalesced", "predict_cold", "predict_pretrained"})
+         {"coalesced", "audited", "predict_cold", "predict_pretrained"})
         if (root.at(axis).stringOr("output_checksum", "") != baseSum)
             return fail(std::string("output checksum of ") + axis
                         + " differs from baseline");
@@ -268,7 +319,9 @@ checkServiceThroughput(const Json &root, const char *path)
               << ", predict hits "
               << cold.at("predict").numberOr("hits", 0) << " cold / "
               << trained.at("predict").numberOr("hits", 0)
-              << " pretrained)\n";
+              << " pretrained, audit " << audit.numberOr("samples", 0)
+              << " samples at " << auditRatio
+              << "x, mean regret " << meanRegret << ")\n";
     return 0;
 }
 

@@ -34,18 +34,32 @@
  * pass and serves confident store misses without profiling; its model
  * is persisted in the store file's "predictor" extension, so a second
  * --predict run with the same --store warm-starts the model too.
+ *
+ * With --admin PORT, the live introspection plane (DESIGN §11) is
+ * served over loopback HTTP for the lifetime of the run: /metrics,
+ * /healthz, /readyz, /debug/selections, /debug/flight?worker=N,
+ * /debug/trace, /debug/audit, /debug/predictor.  --admin-hold SEC
+ * keeps the service (and the plane) up after the work completes, for
+ * at most SEC seconds or until GET /quitquitquit -- the hook CI uses
+ * to scrape a live service deterministically.  --audit-rate R samples
+ * that fraction of warm hits through the selection-quality auditor.
  */
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "dysel/predict/predictor.hh"
+#include "serve/admin/admin_plane.hh"
 #include "serve/dispatch_service.hh"
 #include "serve/loadgen.hh"
+#include "support/net/http.hh"
 #include "sim/fault.hh"
 #include "support/table.hh"
 #include "workloads/devices.hh"
@@ -88,6 +102,71 @@ struct Options
     bool loadgen = false;
     serve::LoadGenConfig lg;
     std::string loadgenJson; ///< report file (--loadgen-json)
+
+    /** --admin PORT: serve the introspection plane (-1 = off). */
+    int adminPort = -1;
+    /** --admin-hold SEC: keep serving after the work, bounded. */
+    unsigned adminHoldSec = 0;
+    /** --audit-rate R: selection-quality audit sampling rate. */
+    double auditRate = 0.0;
+};
+
+/**
+ * The admin plane's HTTP front for one run: owns the plane and the
+ * listener, maps HttpRequest -> AdminPlane, and implements the
+ * /quitquitquit release used by --admin-hold.  The service passed to
+ * attach() must outlive detach().
+ */
+class AdminRunner
+{
+  public:
+    support::Status attach(std::uint16_t port,
+                           serve::DispatchService &svc,
+                           const predict::SelectionPredictor *predictor)
+    {
+        plane_ = std::make_unique<serve::admin::AdminPlane>(svc,
+                                                            predictor);
+        return server_.start(
+            port, [this](const support::net::HttpRequest &req) {
+                support::net::HttpResponse out;
+                if (req.target == "/quitquitquit") {
+                    quit_.store(true, std::memory_order_release);
+                    out.body = "bye\n";
+                    return out;
+                }
+                const serve::admin::AdminResponse resp =
+                    plane_->handleTarget(req.target);
+                out.status = resp.status;
+                out.contentType = resp.contentType;
+                out.body = resp.body;
+                return out;
+            });
+    }
+
+    std::uint16_t port() const { return server_.port(); }
+
+    /** Block until /quitquitquit or @p seconds elapse. */
+    void hold(unsigned seconds)
+    {
+        const auto deadline = std::chrono::steady_clock::now()
+                              + std::chrono::seconds(seconds);
+        while (!quit_.load(std::memory_order_acquire)
+               && std::chrono::steady_clock::now() < deadline)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+    }
+
+    /** Stop the listener; safe before the service stops. */
+    void detach()
+    {
+        server_.stop();
+        plane_.reset();
+    }
+
+  private:
+    std::unique_ptr<serve::admin::AdminPlane> plane_;
+    support::net::HttpServer server_;
+    std::atomic<bool> quit_{false};
 };
 
 /** Run the closed-loop load generator (`dyseld --loadgen`). */
@@ -101,6 +180,32 @@ runLoadGenMode(const Options &opt)
     cfg.predictThreshold = opt.predictThreshold;
     cfg.maxBatchJobs = opt.maxBatch;
     cfg.batchWindowNs = opt.batchWindowNs;
+    cfg.auditRate = opt.auditRate;
+
+    AdminRunner admin;
+    if (opt.adminPort >= 0) {
+        cfg.onStart = [&](serve::DispatchService &svc) {
+            const support::Status st = admin.attach(
+                static_cast<std::uint16_t>(opt.adminPort), svc,
+                nullptr);
+            if (st.ok())
+                std::cout << "admin plane on http://127.0.0.1:"
+                          << admin.port() << "/\n"
+                          << std::flush;
+            else
+                std::cerr << "dyseld: admin plane failed: "
+                          << st.toString() << '\n';
+        };
+        cfg.onStop = [&](serve::DispatchService &) {
+            if (opt.adminHoldSec > 0) {
+                std::cout << "admin hold: up to " << opt.adminHoldSec
+                          << "s (GET /quitquitquit to release)\n"
+                          << std::flush;
+                admin.hold(opt.adminHoldSec);
+            }
+            admin.detach();
+        };
+    }
     std::cout << "loadgen: " << cfg.submitters << " submitters x "
               << cfg.jobsPerSubmitter << " jobs -> " << cfg.devices
               << " devices, " << cfg.signatures << " signatures x "
@@ -135,6 +240,9 @@ runLoadGenMode(const Options &opt)
               << (cfg.faultRate > 0.0
                       ? ", fault rate " + std::to_string(cfg.faultRate)
                       : std::string())
+              << (cfg.auditRate > 0.0
+                      ? ", audit rate " + std::to_string(cfg.auditRate)
+                      : std::string())
               << '\n';
 
     const serve::LoadGenReport rep = serve::runLoadGen(cfg);
@@ -166,6 +274,14 @@ runLoadGenMode(const Options &opt)
         table.row().cell("predict misses").cell(rep.predictMisses);
         table.row().cell("predict demotions").cell(rep.predictDemotions);
         table.row().cell("predict trained").cell(rep.predictTrained);
+    }
+    if (cfg.auditRate > 0.0) {
+        table.row().cell("audit samples").cell(rep.auditSamples);
+        table.row().cell("audit demotions").cell(rep.auditDemotions);
+        table.row()
+            .cell("audit probe failures")
+            .cell(rep.auditProbeFailures);
+        table.row().cell("audit mean regret").cell(rep.auditMeanRegret, 4);
     }
     table.print(std::cout);
 
@@ -398,6 +514,17 @@ main(int argc, char **argv)
             opt.lg.seed = std::strtoull(argv[++i], nullptr, 0);
         } else if (arg == "--loadgen-json" && i + 1 < argc) {
             opt.loadgenJson = argv[++i];
+        } else if (arg == "--admin" && i + 1 < argc) {
+            opt.adminPort = std::atoi(argv[++i]);
+            if (opt.adminPort < 0 || opt.adminPort > 65535) {
+                std::cerr << "dyseld: bad admin port\n";
+                return 1;
+            }
+        } else if (arg == "--admin-hold" && i + 1 < argc) {
+            opt.adminHoldSec =
+                static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "--audit-rate" && i + 1 < argc) {
+            opt.auditRate = std::atof(argv[++i]);
         } else {
             std::cerr << "usage: dyseld [--store FILE] [--no-load] "
                          "[--no-save] [--metrics text|json|prom] "
@@ -418,7 +545,9 @@ main(int argc, char **argv)
                          "[--fault-rate P] [--guard] [--predict] "
                          "[--predict-threshold X] "
                          "[--predict-pretrain N] [--seed S] "
-                         "[--loadgen-json FILE]\n";
+                         "[--loadgen-json FILE]\n"
+                         "       common: [--admin PORT] "
+                         "[--admin-hold SEC] [--audit-rate R]\n";
             return arg == "--help" ? 0 : 1;
         }
     }
@@ -432,6 +561,7 @@ main(int argc, char **argv)
         check.admission = opt.lg.admission;
         check.batch.maxJobs = opt.maxBatch;
         check.batch.windowNs = opt.batchWindowNs;
+        check.audit.sampleRate = opt.auditRate;
         if (const support::Status st = check.validate(); !st.ok()) {
             std::cerr << "dyseld: " << st.toString() << '\n';
             return 1;
@@ -504,6 +634,7 @@ main(int argc, char **argv)
     scfg.runtime.guard.enabled = opt.guard;
     scfg.batch.maxJobs = opt.maxBatch;
     scfg.batch.windowNs = opt.batchWindowNs;
+    scfg.audit.sampleRate = opt.auditRate;
     serve::DispatchService svc(store, scfg);
     svc.addDevice(workloads::cpuFactory()());
     svc.addDevice(workloads::gpuFactory()());
@@ -523,7 +654,26 @@ main(int argc, char **argv)
     }
     if (opt.predict)
         svc.setPredictor(&predictor);
+    if (opt.auditRate > 0.0)
+        std::cout << "selection audit on: rate " << opt.auditRate
+                  << '\n';
     svc.start();
+
+    AdminRunner admin;
+    if (opt.adminPort >= 0) {
+        const support::Status st =
+            admin.attach(static_cast<std::uint16_t>(opt.adminPort),
+                         svc, opt.predict ? &predictor : nullptr);
+        if (!st.ok()) {
+            std::cerr << "dyseld: admin plane failed: " << st.toString()
+                      << '\n';
+            svc.stop();
+            return 1;
+        }
+        std::cout << "admin plane on http://127.0.0.1:" << admin.port()
+                  << "/\n"
+                  << std::flush;
+    }
 
     auto pass1 = makeMix(false);
     runPass(svc, pass1);
@@ -533,6 +683,13 @@ main(int argc, char **argv)
     runPass(svc, pass2);
     printPass("pass 2 (same mix + changed sgemm size bucket)", pass2);
 
+    if (opt.adminPort >= 0 && opt.adminHoldSec > 0) {
+        std::cout << "admin hold: up to " << opt.adminHoldSec
+                  << "s (GET /quitquitquit to release)\n"
+                  << std::flush;
+        admin.hold(opt.adminHoldSec);
+    }
+    admin.detach();
     svc.stop();
 
     std::cout << "\n--- selection store ---\n";

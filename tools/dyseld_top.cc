@@ -1,0 +1,241 @@
+/**
+ * @file
+ * dyseld_top: a polling terminal dashboard over a dyseld --admin
+ * plane (DESIGN §11).
+ *
+ * Fetches /healthz, /metrics, and /debug/audit from a running
+ * service over loopback HTTP and renders one compact refresh per
+ * interval: per-device queue depth / load / breaker state, the
+ * headline counters (submitted, completed, failed, store hits,
+ * batch fusion), and the selection-audit totals when the auditor is
+ * on.  --once (or --iterations N) renders a bounded number of
+ * frames and exits 0 only if every fetch succeeded -- which is what
+ * the CI smoke runs against a held service.
+ */
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include <chrono>
+
+#include "support/json.hh"
+#include "support/net/http.hh"
+#include "support/table.hh"
+
+using namespace dysel;
+
+namespace {
+
+struct Options
+{
+    std::string host = "127.0.0.1";
+    int port = 8080;
+    unsigned intervalMs = 1000;
+    /** 0 = poll forever; N = render N frames and exit. */
+    unsigned iterations = 0;
+    bool clear = true; ///< ANSI clear between frames (off with --no-clear)
+};
+
+/**
+ * Parse the Prometheus exposition into name -> value, keeping the
+ * label-free series only (the dashboard wants headline counters, not
+ * per-device fan-out).
+ */
+std::map<std::string, double>
+parseProm(const std::string &text)
+{
+    std::map<std::string, double> out;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        const auto sp = line.rfind(' ');
+        if (sp == std::string::npos)
+            continue;
+        const std::string name = line.substr(0, sp);
+        if (name.find('{') != std::string::npos)
+            continue;
+        out[name] = std::atof(line.c_str() + sp + 1);
+    }
+    return out;
+}
+
+double
+counterOr(const std::map<std::string, double> &m,
+          const std::string &name, double fallback = 0.0)
+{
+    const auto it = m.find(name);
+    return it == m.end() ? fallback : it->second;
+}
+
+/** One dashboard frame; false when any fetch failed. */
+bool
+renderFrame(const Options &opt)
+{
+    std::string healthBody, metricsBody, auditBody;
+    int status = 0;
+    const auto portN = static_cast<std::uint16_t>(opt.port);
+    if (const auto st = support::net::httpGet(opt.host, portN, "/healthz",
+                                         healthBody, status);
+        !st.ok() || status != 200) {
+        std::cerr << "dyseld_top: /healthz: "
+                  << (st.ok() ? "HTTP " + std::to_string(status)
+                              : st.toString())
+                  << '\n';
+        return false;
+    }
+    if (const auto st = support::net::httpGet(opt.host, portN, "/metrics",
+                                         metricsBody, status);
+        !st.ok() || status != 200) {
+        std::cerr << "dyseld_top: /metrics: "
+                  << (st.ok() ? "HTTP " + std::to_string(status)
+                              : st.toString())
+                  << '\n';
+        return false;
+    }
+    if (const auto st = support::net::httpGet(opt.host, portN,
+                                         "/debug/audit", auditBody,
+                                         status);
+        !st.ok() || status != 200) {
+        std::cerr << "dyseld_top: /debug/audit: "
+                  << (st.ok() ? "HTTP " + std::to_string(status)
+                              : st.toString())
+                  << '\n';
+        return false;
+    }
+
+    support::Json health;
+    support::Json audit;
+    try {
+        health = support::Json::parse(healthBody);
+        audit = support::Json::parse(auditBody);
+    } catch (const std::exception &e) {
+        std::cerr << "dyseld_top: bad JSON from admin plane: "
+                  << e.what() << '\n';
+        return false;
+    }
+    const auto prom = parseProm(metricsBody);
+
+    if (opt.clear)
+        std::cout << "\033[H\033[2J";
+    std::cout << "dyseld @ " << opt.host << ':' << opt.port << "  ("
+              << (health.boolOr("running", false) ? "running"
+                                                  : "stopped")
+              << ", in flight "
+              << static_cast<std::uint64_t>(
+                     health.numberOr("in_flight", 0))
+              << ")\n\n";
+
+    support::Table devices({"dev", "name", "queue", "load", "breaker",
+                            "failures", "clock (ms)"});
+    if (health.has("devices")) {
+        for (const auto &d : health.at("devices").items()) {
+            devices.row()
+                .cell(static_cast<std::uint64_t>(
+                    d.numberOr("index", 0)))
+                .cell(d.stringOr("name", "?"))
+                .cell(static_cast<std::uint64_t>(
+                    d.numberOr("queue_depth", 0)))
+                .cell(static_cast<std::uint64_t>(
+                    d.numberOr("load", 0)))
+                .cell(d.boolOr("breaker_open", false)
+                          ? "OPEN("
+                                + std::to_string(
+                                    static_cast<std::uint64_t>(
+                                        d.numberOr(
+                                            "breaker_cooldown_left",
+                                            0)))
+                                + ")"
+                          : "closed")
+                .cell(static_cast<std::uint64_t>(
+                    d.numberOr("consec_failures", 0)))
+                .cell(d.numberOr("clock_ns", 0) / 1e6, 1);
+        }
+    }
+    devices.print(std::cout);
+
+    support::Table counters({"counter", "value"});
+    auto row = [&](const char *label, const char *name) {
+        counters.row().cell(label).cell(
+            static_cast<std::uint64_t>(counterOr(prom, name)));
+    };
+    row("jobs submitted", "jobs_submitted");
+    row("jobs completed", "jobs_completed");
+    row("jobs failed", "jobs_failed");
+    row("store hits", "store_hit");
+    row("store misses", "store_miss");
+    row("batch launches", "batch_launches");
+    row("batched jobs", "batch_jobs");
+    row("breaker trips", "breaker_trips");
+    row("retries", "recover_retries");
+    std::cout << '\n';
+    counters.print(std::cout);
+
+    std::cout << '\n';
+    if (audit.boolOr("enabled", true) && audit.has("samples")) {
+        std::cout << "audit: "
+                  << static_cast<std::uint64_t>(
+                         audit.numberOr("samples", 0))
+                  << " samples, "
+                  << static_cast<std::uint64_t>(
+                         audit.numberOr("demotions", 0))
+                  << " demotions, mean regret "
+                  << audit.numberOr("mean_regret", 0.0) << '\n';
+    } else {
+        std::cout << "audit: off\n";
+    }
+    std::cout << std::flush;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--host" && i + 1 < argc) {
+            opt.host = argv[++i];
+        } else if (arg == "--port" && i + 1 < argc) {
+            opt.port = std::atoi(argv[++i]);
+        } else if (arg == "--interval" && i + 1 < argc) {
+            opt.intervalMs =
+                static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "--iterations" && i + 1 < argc) {
+            opt.iterations =
+                static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "--once") {
+            opt.iterations = 1;
+            opt.clear = false;
+        } else if (arg == "--no-clear") {
+            opt.clear = false;
+        } else {
+            std::cerr << "usage: dyseld_top [--host H] [--port P] "
+                         "[--interval MS] [--iterations N | --once] "
+                         "[--no-clear]\n";
+            return arg == "--help" ? 0 : 1;
+        }
+    }
+    if (opt.port <= 0 || opt.port > 65535) {
+        std::cerr << "dyseld_top: bad port\n";
+        return 1;
+    }
+
+    unsigned frames = 0;
+    for (;;) {
+        if (!renderFrame(opt))
+            return 1;
+        ++frames;
+        if (opt.iterations > 0 && frames >= opt.iterations)
+            return 0;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(opt.intervalMs));
+    }
+}

@@ -1,0 +1,393 @@
+/**
+ * @file
+ * prom_check: structural validator for the Prometheus text
+ * exposition (/metrics or `dyseld --metrics prom` output).
+ *
+ * The renderer's unit tests check single families in isolation; this
+ * tool is the whole-document gate CI points at a live scrape:
+ *
+ *   - metric and label names match the exposition grammar;
+ *   - label values are properly quoted, escapes limited to \\ \" \n;
+ *   - every sample belongs to a family declared with both # HELP and
+ *     # TYPE (before its first sample), each declared exactly once;
+ *   - sample values parse as numbers;
+ *   - histograms are well-formed per label set: le values strictly
+ *     increase, bucket counts are non-decreasing (cumulative), the
+ *     +Inf bucket exists and equals _count, and _sum is present.
+ *
+ * Reads a file (or stdin with "-"); exits nonzero listing every
+ * violation.  --quiet prints errors only.
+ */
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+bool
+validMetricName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    auto ok1 = [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+               || c == '_' || c == ':';
+    };
+    if (!ok1(name[0]))
+        return false;
+    for (char c : name)
+        if (!ok1(c) && !(c >= '0' && c <= '9'))
+            return false;
+    return true;
+}
+
+bool
+validLabelName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    auto ok1 = [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+               || c == '_';
+    };
+    if (!ok1(name[0]))
+        return false;
+    for (char c : name)
+        if (!ok1(c) && !(c >= '0' && c <= '9'))
+            return false;
+    return true;
+}
+
+struct Sample
+{
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> labels;
+    double value = 0.0;
+    int line = 0;
+};
+
+struct Checker
+{
+    std::vector<std::string> errors;
+    int line = 0;
+
+    void fail(const std::string &msg)
+    {
+        errors.push_back("line " + std::to_string(line) + ": " + msg);
+    }
+};
+
+/** Parse `{k="v",...}`; returns false (with an error) on bad syntax. */
+bool
+parseLabels(Checker &ck, const std::string &text, std::size_t &pos,
+            std::vector<std::pair<std::string, std::string>> &out)
+{
+    ++pos; // consume '{'
+    while (pos < text.size() && text[pos] != '}') {
+        std::size_t eq = text.find('=', pos);
+        if (eq == std::string::npos) {
+            ck.fail("label without '='");
+            return false;
+        }
+        const std::string key = text.substr(pos, eq - pos);
+        if (!validLabelName(key)) {
+            ck.fail("bad label name '" + key + "'");
+            return false;
+        }
+        pos = eq + 1;
+        if (pos >= text.size() || text[pos] != '"') {
+            ck.fail("label value of '" + key + "' not quoted");
+            return false;
+        }
+        ++pos;
+        std::string value;
+        bool closed = false;
+        while (pos < text.size()) {
+            const char c = text[pos];
+            if (c == '\\') {
+                if (pos + 1 >= text.size()) {
+                    ck.fail("dangling escape in label value");
+                    return false;
+                }
+                const char esc = text[pos + 1];
+                if (esc != '\\' && esc != '"' && esc != 'n') {
+                    ck.fail(std::string("bad escape '\\") + esc
+                            + "' in label value");
+                    return false;
+                }
+                value.push_back(esc);
+                pos += 2;
+            } else if (c == '"') {
+                closed = true;
+                ++pos;
+                break;
+            } else if (c == '\n') {
+                ck.fail("raw newline in label value");
+                return false;
+            } else {
+                value.push_back(c);
+                ++pos;
+            }
+        }
+        if (!closed) {
+            ck.fail("unterminated label value of '" + key + "'");
+            return false;
+        }
+        out.emplace_back(key, value);
+        if (pos < text.size() && text[pos] == ',')
+            ++pos;
+    }
+    if (pos >= text.size() || text[pos] != '}') {
+        ck.fail("unterminated label set");
+        return false;
+    }
+    ++pos;
+    return true;
+}
+
+/** Non-le labels of a bucket sample, as a stable grouping key. */
+std::string
+groupKey(const Sample &s)
+{
+    std::string key;
+    for (const auto &kv : s.labels) {
+        if (kv.first == "le")
+            continue;
+        key += kv.first + "=" + kv.second + ";";
+    }
+    return key;
+}
+
+double
+leOf(const Sample &s)
+{
+    for (const auto &kv : s.labels)
+        if (kv.first == "le") {
+            if (kv.second == "+Inf")
+                return std::numeric_limits<double>::infinity();
+            return std::atof(kv.second.c_str());
+        }
+    return std::nan("");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    bool quiet = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || (arg.size() > 1 && arg[0] == '-'
+                                       && arg != "-")) {
+            std::cerr << "usage: prom_check [--quiet] FILE|-\n";
+            return arg == "--help" ? 0 : 1;
+        } else {
+            path = arg;
+        }
+    }
+    if (path.empty()) {
+        std::cerr << "usage: prom_check [--quiet] FILE|-\n";
+        return 1;
+    }
+
+    std::ifstream file;
+    std::istream *in = &std::cin;
+    if (path != "-") {
+        file.open(path);
+        if (!file) {
+            std::cerr << "prom_check: cannot read " << path << '\n';
+            return 1;
+        }
+        in = &file;
+    }
+
+    Checker ck;
+    std::map<std::string, std::string> types; ///< family -> type
+    std::map<std::string, bool> helps;        ///< family -> seen
+    std::vector<Sample> samples;
+
+    std::string lineText;
+    while (std::getline(*in, lineText)) {
+        ++ck.line;
+        if (lineText.empty())
+            continue;
+        if (lineText[0] == '#') {
+            std::istringstream is(lineText);
+            std::string hash, kind, family;
+            is >> hash >> kind >> family;
+            if (kind == "HELP") {
+                if (!validMetricName(family))
+                    ck.fail("HELP for bad metric name '" + family
+                            + "'");
+                if (helps.count(family))
+                    ck.fail("duplicate HELP for '" + family + "'");
+                helps[family] = true;
+            } else if (kind == "TYPE") {
+                std::string type;
+                is >> type;
+                if (!validMetricName(family))
+                    ck.fail("TYPE for bad metric name '" + family
+                            + "'");
+                if (types.count(family))
+                    ck.fail("duplicate TYPE for '" + family + "'");
+                if (type != "counter" && type != "gauge"
+                    && type != "histogram" && type != "summary"
+                    && type != "untyped")
+                    ck.fail("unknown type '" + type + "' for '"
+                            + family + "'");
+                types[family] = type;
+            }
+            continue; // other comments are free-form
+        }
+
+        Sample s;
+        s.line = ck.line;
+        std::size_t pos = 0;
+        while (pos < lineText.size() && lineText[pos] != '{'
+               && lineText[pos] != ' ')
+            ++pos;
+        s.name = lineText.substr(0, pos);
+        if (!validMetricName(s.name)) {
+            ck.fail("bad metric name '" + s.name + "'");
+            continue;
+        }
+        if (pos < lineText.size() && lineText[pos] == '{') {
+            if (!parseLabels(ck, lineText, pos, s.labels))
+                continue;
+        }
+        if (pos >= lineText.size() || lineText[pos] != ' ') {
+            ck.fail("missing value after '" + s.name + "'");
+            continue;
+        }
+        const std::string valueText = lineText.substr(pos + 1);
+        char *end = nullptr;
+        s.value = std::strtod(valueText.c_str(), &end);
+        // Timestamps (a second number) are legal; we don't emit them,
+        // so anything trailing is an error here.
+        if (end == valueText.c_str() || (end && *end != '\0')) {
+            ck.fail("bad sample value '" + valueText + "'");
+            continue;
+        }
+        samples.push_back(std::move(s));
+    }
+
+    // Family resolution: histogram series get _bucket/_sum/_count
+    // suffixes; everything else must match a declared family exactly.
+    auto familyOf = [&](const std::string &name) -> std::string {
+        if (types.count(name))
+            return name;
+        for (const char *suffix : {"_bucket", "_sum", "_count"}) {
+            const std::string sfx = suffix;
+            if (name.size() > sfx.size()
+                && name.compare(name.size() - sfx.size(), sfx.size(),
+                                sfx)
+                       == 0) {
+                const std::string base =
+                    name.substr(0, name.size() - sfx.size());
+                const auto it = types.find(base);
+                if (it != types.end() && it->second == "histogram")
+                    return base;
+            }
+        }
+        return std::string();
+    };
+
+    for (const auto &s : samples) {
+        ck.line = s.line;
+        const std::string family = familyOf(s.name);
+        if (family.empty()) {
+            ck.fail("sample '" + s.name
+                    + "' has no # TYPE declaration");
+            continue;
+        }
+        if (!helps.count(family))
+            ck.fail("family '" + family + "' has no # HELP");
+    }
+
+    // Histogram structure, per (family, label set).
+    struct HistogramSeries
+    {
+        std::vector<const Sample *> buckets; ///< exposition order
+        const Sample *sum = nullptr;
+        const Sample *count = nullptr;
+    };
+    std::map<std::string, HistogramSeries> hists;
+    for (const auto &s : samples) {
+        const std::string family = familyOf(s.name);
+        if (family.empty() || types[family] != "histogram")
+            continue;
+        auto &h = hists[family + "|" + groupKey(s)];
+        if (s.name == family + "_bucket")
+            h.buckets.push_back(&s);
+        else if (s.name == family + "_sum")
+            h.sum = &s;
+        else if (s.name == family + "_count")
+            h.count = &s;
+    }
+    for (const auto &entry : hists) {
+        const auto &h = entry.second;
+        const std::string what =
+            "histogram '" + entry.first.substr(0, entry.first.find('|'))
+            + "'";
+        ck.line = h.buckets.empty() ? 0 : h.buckets.front()->line;
+        if (h.buckets.empty()) {
+            ck.line = h.count ? h.count->line : (h.sum ? h.sum->line : 0);
+            ck.fail(what + " has no _bucket series");
+            continue;
+        }
+        double prevLe = -std::numeric_limits<double>::infinity();
+        double prevCount = -1.0;
+        bool sawInf = false;
+        double infCount = 0.0;
+        for (const Sample *b : h.buckets) {
+            ck.line = b->line;
+            const double le = leOf(*b);
+            if (std::isnan(le)) {
+                ck.fail(what + " bucket without an le label");
+                continue;
+            }
+            if (le <= prevLe)
+                ck.fail(what + " le values not increasing");
+            prevLe = le;
+            if (b->value < prevCount)
+                ck.fail(what + " bucket counts not cumulative");
+            prevCount = b->value;
+            if (std::isinf(le)) {
+                sawInf = true;
+                infCount = b->value;
+            }
+        }
+        ck.line = h.buckets.back()->line;
+        if (!sawInf)
+            ck.fail(what + " missing the +Inf bucket");
+        if (!h.count)
+            ck.fail(what + " missing _count");
+        else if (sawInf && infCount != h.count->value)
+            ck.fail(what + " +Inf bucket != _count");
+        if (!h.sum)
+            ck.fail(what + " missing _sum");
+    }
+
+    if (!ck.errors.empty()) {
+        for (const auto &e : ck.errors)
+            std::cerr << "prom_check: " << e << '\n';
+        std::cerr << "prom_check: FAIL (" << ck.errors.size()
+                  << " errors, " << samples.size() << " samples)\n";
+        return 1;
+    }
+    if (!quiet)
+        std::cout << "prom_check: OK (" << types.size()
+                  << " families, " << samples.size() << " samples, "
+                  << hists.size() << " histogram series)\n";
+    return 0;
+}

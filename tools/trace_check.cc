@@ -15,8 +15,13 @@
  * instant, and a winner "execute" span.  CI runs the dyseld fault
  * storm with --trace and gates on this checker.
  *
+ * With --summary it prints, after validation: event counts per
+ * phase, per-track span totals (count + summed duration), the
+ * busiest names, and the top-5 longest complete spans.
+ *
  * Exits 0 when the file validates, 1 with a diagnostic otherwise.
  */
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -68,19 +73,24 @@ main(int argc, char **argv)
 {
     std::string path;
     bool requireStorm = false;
+    bool summary = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--require-storm") {
             requireStorm = true;
+        } else if (arg == "--summary") {
+            summary = true;
         } else if (arg == "--help" || path.size()) {
-            std::cerr << "usage: trace_check [--require-storm] FILE\n";
+            std::cerr << "usage: trace_check [--require-storm] "
+                         "[--summary] FILE\n";
             return arg == "--help" ? 0 : 1;
         } else {
             path = arg;
         }
     }
     if (path.empty()) {
-        std::cerr << "usage: trace_check [--require-storm] FILE\n";
+        std::cerr << "usage: trace_check [--require-storm] "
+                     "[--summary] FILE\n";
         return 1;
     }
 
@@ -114,6 +124,24 @@ main(int argc, char **argv)
     std::map<std::uint64_t, CidActivity> byCid;
     std::size_t spans = 0;
 
+    // --summary accumulators.
+    std::map<std::string, std::size_t> phaseCounts;
+    struct TrackStats
+    {
+        std::size_t spans = 0;
+        std::size_t instants = 0;
+        double totalDurUs = 0.0;
+    };
+    std::map<std::uint64_t, TrackStats> tracks;
+    std::map<std::uint64_t, std::string> trackNames;
+    struct LongSpan
+    {
+        double durUs = 0.0;
+        std::string name;
+        std::uint64_t tid = 0;
+    };
+    std::vector<LongSpan> longest;
+
     const auto &items = events.items();
     for (std::size_t i = 0; i < items.size(); ++i) {
         const Json &e = items[i];
@@ -128,8 +156,16 @@ main(int argc, char **argv)
             return fail(i, "missing pid/tid");
         e.at("pid").asNumber(); // throws on a non-number
         const auto tid = e.at("tid").asUint();
-        if (ph == "M")
-            continue; // metadata records carry no timestamp
+        phaseCounts[ph]++;
+        if (ph == "M") {
+            // Metadata records carry no timestamp; harvest the track
+            // name for the summary.
+            if (e.stringOr("name", "") == "thread_name"
+                && e.has("args"))
+                trackNames[tid] =
+                    e.at("args").stringOr("name", "");
+            continue;
+        }
         if (!e.has("ts"))
             return fail(i, "missing ts");
         if (e.at("ts").asNumber() < 0)
@@ -137,6 +173,15 @@ main(int argc, char **argv)
         const std::string name = e.stringOr("name", "");
         if (name.empty())
             return fail(i, "missing name");
+        if (ph == "i") {
+            // Perfetto drops scope-less instants on some tracks;
+            // every instant the tracer emits must be thread-scoped.
+            if (e.stringOr("s", "") != "t")
+                return fail(i, "instant '" + name
+                                   + "' without thread scope "
+                                     "(s: \"t\")");
+            tracks[tid].instants++;
+        }
 
         if (ph == "X") {
             if (!e.has("dur"))
@@ -144,9 +189,13 @@ main(int argc, char **argv)
             if (e.at("dur").asNumber() < 0)
                 return fail(i, "negative dur");
             spans++;
+            tracks[tid].spans++;
+            tracks[tid].totalDurUs += e.at("dur").asNumber();
+            longest.push_back({e.at("dur").asNumber(), name, tid});
         } else if (ph == "B") {
             open[tid].push_back(name);
             spans++;
+            tracks[tid].spans++;
         } else if (ph == "E") {
             auto &stack = open[tid];
             if (stack.empty() || stack.back() != name)
@@ -198,6 +247,34 @@ main(int argc, char **argv)
                      "with queue span + >=2 profile passes + "
                      "guard.strike + retry + execute span\n";
         return 1;
+    }
+
+    if (summary) {
+        std::cout << "\nphases:";
+        for (const auto &[ph, n] : phaseCounts)
+            std::cout << "  " << ph << "=" << n;
+        std::cout << "\n\ntracks:\n";
+        for (const auto &[tid, st] : tracks) {
+            const auto nameIt = trackNames.find(tid);
+            std::cout << "  tid " << tid << " ("
+                      << (nameIt != trackNames.end()
+                                  && !nameIt->second.empty()
+                              ? nameIt->second
+                              : std::string("?"))
+                      << "): " << st.spans << " spans, " << st.instants
+                      << " instants, " << st.totalDurUs
+                      << " us total span time\n";
+        }
+        std::sort(longest.begin(), longest.end(),
+                  [](const LongSpan &a, const LongSpan &b) {
+                      return a.durUs > b.durUs;
+                  });
+        std::cout << "\nlongest spans:\n";
+        const std::size_t top = std::min<std::size_t>(5, longest.size());
+        for (std::size_t i = 0; i < top; ++i)
+            std::cout << "  " << longest[i].name << " (tid "
+                      << longest[i].tid << "): " << longest[i].durUs
+                      << " us\n";
     }
     return 0;
 }
