@@ -1,0 +1,101 @@
+#include "delta.hh"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace dysel {
+namespace fed {
+
+using support::Json;
+using support::Status;
+
+namespace {
+
+/** 16-hex-digit rendering (JSON doubles lose 64-bit ints). */
+std::string
+hex16(std::uint64_t h)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+std::uint64_t
+parseHex16(const std::string &s)
+{
+    return std::stoull(s, nullptr, 16);
+}
+
+} // namespace
+
+Json
+encodeDelta(const Delta &delta)
+{
+    Json recs = Json::array();
+    for (const auto &rec : delta.records)
+        recs.push(store::recordToJson(rec));
+    Json bl = Json::array();
+    for (const auto &e : delta.blacklist)
+        bl.push(store::blacklistToJson(e));
+    Json exts = Json::array();
+    for (const auto &ext : delta.extensions) {
+        Json je = Json::object();
+        je.set("name", Json(ext.name));
+        je.set("value", ext.value);
+        je.set("stamp_tick", Json(ext.stamp.tick));
+        je.set("stamp_origin", Json(ext.stamp.origin));
+        exts.push(std::move(je));
+    }
+    Json doc = Json::object();
+    doc.set("fed_version", Json(1));
+    doc.set("replica", Json(delta.replica));
+    doc.set("incarnation", Json(hex16(delta.incarnation)));
+    doc.set("seq_high", Json(delta.seqHigh));
+    doc.set("records", std::move(recs));
+    doc.set("blacklist", std::move(bl));
+    doc.set("extensions", std::move(exts));
+    return doc;
+}
+
+Status
+decodeDelta(const Json &doc, Delta &out)
+{
+    if (!doc.isObject())
+        return Status::invalidArgument(
+            "fed delta: document is not an object");
+    try {
+        const auto version = doc.intOr("fed_version", 0);
+        if (version != 1)
+            return Status::invalidArgument(
+                "fed delta: unsupported fed_version "
+                + std::to_string(version));
+        Delta d;
+        d.replica =
+            static_cast<std::uint32_t>(doc.at("replica").asUint());
+        d.incarnation = parseHex16(doc.at("incarnation").asString());
+        d.seqHigh = doc.at("seq_high").asUint();
+        for (const Json &jr : doc.at("records").items())
+            d.records.push_back(store::recordFromJson(jr));
+        for (const Json &jb : doc.at("blacklist").items())
+            d.blacklist.push_back(store::blacklistFromJson(jb));
+        for (const Json &je : doc.at("extensions").items()) {
+            store::ExtensionEntry ext;
+            ext.name = je.at("name").asString();
+            ext.value = je.at("value");
+            ext.stamp.tick = je.at("stamp_tick").asUint();
+            ext.stamp.origin = static_cast<std::uint32_t>(
+                je.at("stamp_origin").asUint());
+            d.extensions.push_back(std::move(ext));
+        }
+        out = std::move(d);
+    } catch (const std::exception &e) {
+        return Status::invalidArgument(
+            std::string("fed delta: truncated or garbled payload: ")
+            + e.what());
+    }
+    return Status();
+}
+
+} // namespace fed
+} // namespace dysel

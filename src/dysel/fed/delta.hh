@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The federation delta wire format (DESIGN §13).
+ *
+ * One delta is everything a peer has not seen yet: full copies of
+ * the changed selection records, blacklist entries, and extensions
+ * (state-based deltas -- items are small and self-contained, so the
+ * merge rule never needs operation logs), framed with the sender's
+ * identity:
+ *
+ *   {
+ *     "fed_version": 1,
+ *     "replica": <sender replica id>,
+ *     "incarnation": "<hex16>",   // changes on restart
+ *     "seq_high": <sender change cursor after this delta>,
+ *     "records": [ <v5 record documents> ],
+ *     "blacklist": [ <v5 blacklist documents> ],
+ *     "extensions": [ {"name", "value", "stamp_tick",
+ *                      "stamp_origin"} ]
+ *   }
+ *
+ * A puller advances its per-peer cursor to seq_high and sends it
+ * back as ?since= on the next pull; a changed incarnation voids the
+ * cursor (the peer restarted, its seq space is fresh).  decodeDelta
+ * returns typed errors instead of throwing -- a garbled or truncated
+ * payload from a half-dead peer must be droppable, never fatal.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dysel/fed/version.hh"
+#include "dysel/store/selection_store.hh"
+#include "support/json.hh"
+#include "support/status.hh"
+
+namespace dysel {
+namespace fed {
+
+/** One anti-entropy payload: a peer's changes since a cursor. */
+struct Delta
+{
+    std::uint32_t replica = 0;
+    std::uint64_t incarnation = 0;
+    std::uint64_t seqHigh = 0;
+    std::vector<store::SelectionRecord> records;
+    std::vector<store::BlacklistEntry> blacklist;
+    std::vector<store::ExtensionEntry> extensions;
+};
+
+/** Serialize @p delta (deterministic field order). */
+support::Json encodeDelta(const Delta &delta);
+
+/**
+ * Parse a delta document into @p out.  INVALID_ARGUMENT on a
+ * malformed or truncated payload (wrong kinds, missing fields,
+ * unsupported fed_version); @p out is untouched on failure.
+ */
+support::Status decodeDelta(const support::Json &doc, Delta &out);
+
+} // namespace fed
+} // namespace dysel

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The federation merge rule as pure functions (DESIGN §13).
+ *
+ * Everything the fleet converges on reduces to these three
+ * deterministic, side-effect-free merges.  They form a join
+ * semilattice over each item type:
+ *
+ *   - commutative: merge(a, b) == merge(b, a)
+ *   - associative: merge order over any set of versions is irrelevant
+ *   - idempotent:  merge(a, a) == a
+ *
+ * which is what lets replicas apply deltas in any interleaving --
+ * with duplicates, reorderings, partitions healed late -- and still
+ * reach byte-identical stores.  tests/fed_merge_property_test.cc
+ * replays thousands of shuffled interleavings against exactly these
+ * functions; SelectionStore::applyRemote*() routes through them at
+ * runtime.
+ *
+ * Rules:
+ *   - selection records: freshest evidence wins -- the payload (EMA
+ *     baseline, quarantine state, selection, profiles) of the record
+ *     with the newer Lamport stamp is taken wholesale; the version
+ *     vectors join.  Per-key counters (launches, confidence) ride the
+ *     winning payload, so concurrent increments on different replicas
+ *     are last-writer-wins, not summed -- an accepted imprecision for
+ *     advisory statistics.
+ *   - blacklist entries: grow-only.  Strikes take the max, the
+ *     reason rides the newer stamp; an entry never un-blacklists.
+ *   - extensions (e.g. the predictor model): last-writer-wins by
+ *     stamp.
+ *
+ * Header-only so the store can embed the rule without linking the
+ * federation library (fed links store, not the other way around).
+ */
+#pragma once
+
+#include <algorithm>
+
+#include "dysel/fed/version.hh"
+#include "dysel/store/selection_store.hh"
+
+namespace dysel {
+namespace fed {
+
+/** Merge two versions of one selection record (pure). */
+inline store::SelectionRecord
+mergeRecord(const store::SelectionRecord &a,
+            const store::SelectionRecord &b)
+{
+    const store::SelectionRecord &winner =
+        newerStamp(b.stamp, a.stamp) ? b : a;
+    store::SelectionRecord out = winner;
+    out.vv = a.vv;
+    out.vv.join(b.vv);
+    out.seq = 0; // change cursors are store-local, never merged
+    return out;
+}
+
+/** Merge two versions of one blacklist entry (pure, grow-only). */
+inline store::BlacklistEntry
+mergeBlacklist(const store::BlacklistEntry &a,
+               const store::BlacklistEntry &b)
+{
+    const store::BlacklistEntry &winner =
+        newerStamp(b.stamp, a.stamp) ? b : a;
+    store::BlacklistEntry out = winner;
+    out.strikes = std::max(a.strikes, b.strikes);
+    out.seq = 0;
+    return out;
+}
+
+/** Merge two versions of one extension (pure, last-writer-wins). */
+inline store::ExtensionEntry
+mergeExtension(const store::ExtensionEntry &a,
+               const store::ExtensionEntry &b)
+{
+    return newerStamp(b.stamp, a.stamp) ? b : a;
+}
+
+} // namespace fed
+} // namespace dysel

@@ -1,0 +1,49 @@
+#include "ownership.hh"
+
+namespace dysel {
+namespace fed {
+
+namespace {
+
+std::uint64_t
+fnv1a64(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+} // namespace
+
+std::string
+keyString(const std::string &signature, const std::string &device,
+          unsigned bucket)
+{
+    return signature + "|" + device + "|" + std::to_string(bucket);
+}
+
+std::uint32_t
+ownerOf(const std::string &signature, const std::string &device,
+        unsigned bucket, std::uint32_t fleetSize)
+{
+    if (fleetSize <= 1)
+        return 0;
+    const std::string key = keyString(signature, device, bucket);
+    std::uint32_t best = 0;
+    std::uint64_t bestScore = 0;
+    for (std::uint32_t r = 0; r < fleetSize; ++r) {
+        const std::uint64_t score =
+            fnv1a64(key + "#" + std::to_string(r));
+        if (r == 0 || score > bestScore) {
+            best = r;
+            bestScore = score;
+        }
+    }
+    return best;
+}
+
+} // namespace fed
+} // namespace dysel

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Consistent-hash ownership of selection keys (DESIGN §13).
+ *
+ * Exactly one replica in an N-replica fleet owns each (signature,
+ * device fingerprint, size bucket): the owner pays the key's one
+ * fleet-wide micro-profiling pass; every other replica parks on a
+ * remote-pending state and warm-starts from the replicated record.
+ *
+ * Rendezvous (highest-random-weight) hashing: each replica id scores
+ * FNV-1a64(key # id) and the highest score owns.  Replicas agree on
+ * the owner with no coordination beyond knowing the fleet size, and
+ * growing the fleet from N to N+1 reassigns only ~1/(N+1) of the
+ * keys -- no modulo reshuffle.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dysel {
+namespace fed {
+
+/** Canonical "<signature>|<device>|<bucket>" key string. */
+std::string keyString(const std::string &signature,
+                      const std::string &device, unsigned bucket);
+
+/**
+ * Owning replica id (in [0, fleetSize)) of the key; 0 when
+ * @p fleetSize is 0 or 1.
+ */
+std::uint32_t ownerOf(const std::string &signature,
+                      const std::string &device, unsigned bucket,
+                      std::uint32_t fleetSize);
+
+} // namespace fed
+} // namespace dysel

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Versioning primitives of the selection-federation layer
+ * (DESIGN §13).
+ *
+ * Every replicated item (selection record, blacklist entry, store
+ * extension) carries two pieces of causal metadata:
+ *
+ *   - a Stamp: the Lamport time of the item's last payload write,
+ *     qualified by the writing replica.  Stamps are totally ordered
+ *     (tick first, origin as the tie-break), which makes
+ *     "freshest evidence wins" a deterministic merge rule -- two
+ *     replicas comparing the same pair of stamps always agree on the
+ *     winner, whatever order the deltas arrived in.
+ *
+ *   - a VersionVec: per-origin high-water marks of every write the
+ *     item has absorbed.  Vectors join under elementwise max, so a
+ *     merged record remembers both parents' histories; a delta whose
+ *     stamp loses and whose vector is already contained is a no-op,
+ *     which is what makes merge idempotent.
+ *
+ * Header-only on purpose: the store (a lower layer than fed) embeds
+ * these types in its records without linking the federation library.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "support/json.hh"
+
+namespace dysel {
+namespace fed {
+
+/** Lamport time of one payload write: (tick, writing replica). */
+struct Stamp
+{
+    std::uint64_t tick = 0;
+    std::uint32_t origin = 0;
+
+    bool operator==(const Stamp &o) const
+    {
+        return tick == o.tick && origin == o.origin;
+    }
+    bool operator!=(const Stamp &o) const { return !(*this == o); }
+};
+
+/**
+ * Total order over stamps: higher tick wins; equal ticks break the
+ * tie by origin (any deterministic tie-break works -- concurrent
+ * writes with equal ticks at different replicas must resolve the same
+ * way everywhere).
+ */
+inline bool
+newerStamp(const Stamp &a, const Stamp &b)
+{
+    if (a.tick != b.tick)
+        return a.tick > b.tick;
+    return a.origin > b.origin;
+}
+
+/** Per-origin write high-water marks of one replicated item. */
+struct VersionVec
+{
+    std::map<std::uint32_t, std::uint64_t> ticks;
+
+    /** Record a write by @p origin at @p tick. */
+    void observe(std::uint32_t origin, std::uint64_t tick)
+    {
+        auto &t = ticks[origin];
+        if (tick > t)
+            t = tick;
+    }
+
+    /** Elementwise max with @p other (semilattice join). */
+    void join(const VersionVec &other)
+    {
+        for (const auto &[origin, tick] : other.ticks)
+            observe(origin, tick);
+    }
+
+    /** Whether every entry of @p other is already covered here. */
+    bool contains(const VersionVec &other) const
+    {
+        for (const auto &[origin, tick] : other.ticks) {
+            auto it = ticks.find(origin);
+            if (it == ticks.end() || it->second < tick)
+                return false;
+        }
+        return true;
+    }
+
+    bool empty() const { return ticks.empty(); }
+
+    bool operator==(const VersionVec &o) const
+    {
+        return ticks == o.ticks;
+    }
+    bool operator!=(const VersionVec &o) const { return !(*this == o); }
+
+    /** {"<origin>": tick, ...} with string keys (JSON objects). */
+    support::Json toJson() const
+    {
+        support::Json out = support::Json::object();
+        for (const auto &[origin, tick] : ticks)
+            out.set(std::to_string(origin),
+                    support::Json(static_cast<double>(tick)));
+        return out;
+    }
+
+    static VersionVec fromJson(const support::Json &doc)
+    {
+        VersionVec vv;
+        if (!doc.isObject())
+            return vv;
+        for (const auto &[key, value] : doc.fields())
+            vv.ticks[static_cast<std::uint32_t>(
+                std::stoul(key))] = value.asUint();
+        return vv;
+    }
+};
+
+} // namespace fed
+} // namespace dysel

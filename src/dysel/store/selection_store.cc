@@ -1,5 +1,7 @@
 #include "selection_store.hh"
 
+#include "dysel/fed/merge.hh"
+
 #include <algorithm>
 #include <cerrno>
 #include <cmath>
@@ -65,7 +67,130 @@ observationName(Observation obs)
     return "?";
 }
 
+Json
+recordToJson(const SelectionRecord &rec)
+{
+    Json profiles = Json::array();
+    for (const auto &p : rec.profiles) {
+        Json jp = Json::object();
+        jp.set("name", Json(p.name));
+        jp.set("metric_ns", Json(p.metricNs));
+        jp.set("span_ns", Json(p.spanNs));
+        jp.set("busy_ns", Json(p.busyNs));
+        jp.set("units", Json(p.units));
+        profiles.push(std::move(jp));
+    }
+    Json jr = Json::object();
+    jr.set("signature", Json(rec.signature));
+    jr.set("device", Json(rec.device));
+    jr.set("bucket", Json(rec.bucket));
+    jr.set("selected", Json(rec.selected));
+    jr.set("selected_name", Json(rec.selectedName));
+    jr.set("profiles", std::move(profiles));
+    jr.set("launches", Json(rec.launches));
+    jr.set("profiled_launches", Json(rec.profiledLaunches));
+    jr.set("confidence", Json(rec.confidence));
+    jr.set("unit_time_ns", Json(rec.unitTimeNs));
+    jr.set("valid", Json(rec.valid));
+    jr.set("quarantined_variant", Json(rec.quarantinedVariant));
+    jr.set("cooldown_left", Json(rec.cooldownLeft));
+    jr.set("quarantines", Json(rec.quarantines));
+    jr.set("predicted", Json(rec.predicted));
+    jr.set("predicted_confidence", Json(rec.predictedConfidence));
+    jr.set("stamp_tick", Json(rec.stamp.tick));
+    jr.set("stamp_origin", Json(rec.stamp.origin));
+    jr.set("vv", rec.vv.toJson());
+    jr.set("profile_cid", Json(rec.profileCid));
+    jr.set("profile_origin", Json(rec.profileOrigin));
+    return jr;
+}
+
+SelectionRecord
+recordFromJson(const Json &jr)
+{
+    SelectionRecord rec;
+    rec.signature = jr.at("signature").asString();
+    rec.device = jr.at("device").asString();
+    rec.bucket = static_cast<unsigned>(jr.at("bucket").asUint());
+    rec.selected = static_cast<int>(jr.at("selected").asInt());
+    rec.selectedName = jr.stringOr("selected_name", "");
+    rec.launches = jr.at("launches").asUint();
+    rec.profiledLaunches = jr.intOr("profiled_launches", 0);
+    rec.confidence = jr.intOr("confidence", 0);
+    rec.unitTimeNs = jr.numberOr("unit_time_ns", 0.0);
+    rec.valid = jr.boolOr("valid", true);
+    rec.quarantinedVariant =
+        static_cast<int>(jr.intOr("quarantined_variant", -1));
+    rec.cooldownLeft = jr.intOr("cooldown_left", 0);
+    rec.quarantines = jr.intOr("quarantines", 0);
+    rec.predicted = jr.boolOr("predicted", false);
+    rec.predictedConfidence = jr.numberOr("predicted_confidence", 0.0);
+    rec.stamp.tick = jr.intOr("stamp_tick", 0);
+    rec.stamp.origin =
+        static_cast<std::uint32_t>(jr.intOr("stamp_origin", 0));
+    if (jr.has("vv"))
+        rec.vv = fed::VersionVec::fromJson(jr.at("vv"));
+    rec.profileCid = jr.intOr("profile_cid", 0);
+    rec.profileOrigin =
+        static_cast<std::uint32_t>(jr.intOr("profile_origin", 0));
+    if (jr.has("profiles")) {
+        for (const Json &jp : jr.at("profiles").items()) {
+            StoredProfile sp;
+            sp.name = jp.stringOr("name", "");
+            sp.metricNs = jp.numberOr("metric_ns", 0.0);
+            sp.spanNs = jp.numberOr("span_ns", 0.0);
+            sp.busyNs = jp.numberOr("busy_ns", 0.0);
+            sp.units = jp.intOr("units", 0);
+            rec.profiles.push_back(std::move(sp));
+        }
+    }
+    return rec;
+}
+
+Json
+blacklistToJson(const BlacklistEntry &e)
+{
+    Json jb = Json::object();
+    jb.set("signature", Json(e.signature));
+    jb.set("variant", Json(e.variant));
+    jb.set("device", Json(e.device));
+    jb.set("reason", Json(e.reason));
+    jb.set("strikes", Json(e.strikes));
+    jb.set("stamp_tick", Json(e.stamp.tick));
+    jb.set("stamp_origin", Json(e.stamp.origin));
+    return jb;
+}
+
+BlacklistEntry
+blacklistFromJson(const Json &jb)
+{
+    BlacklistEntry e;
+    e.signature = jb.at("signature").asString();
+    e.variant = jb.at("variant").asString();
+    e.device = jb.at("device").asString();
+    e.reason = jb.stringOr("reason", "");
+    e.strikes = jb.intOr("strikes", 1);
+    e.stamp.tick = jb.intOr("stamp_tick", 0);
+    e.stamp.origin =
+        static_cast<std::uint32_t>(jb.intOr("stamp_origin", 0));
+    return e;
+}
+
 SelectionStore::SelectionStore(StoreConfig cfg) : cfg_(cfg) {}
+
+fed::Stamp
+SelectionStore::bumpLocked()
+{
+    return fed::Stamp{++lamport_, replica_};
+}
+
+void
+SelectionStore::stampLocked(SelectionRecord &rec)
+{
+    rec.stamp = bumpLocked();
+    rec.vv.observe(replica_, rec.stamp.tick);
+    rec.seq = ++seq_;
+}
 
 std::optional<SelectionRecord>
 SelectionStore::lookup(const std::string &signature,
@@ -104,11 +229,13 @@ SelectionStore::noteServed(const std::string &signature,
     if (it == recs.end() || !it->second.valid)
         return;
     it->second.launches += jobs;
+    stampLocked(it->second);
 }
 
 void
 SelectionStore::recordProfile(const std::string &device,
-                              const runtime::LaunchReport &report)
+                              const runtime::LaunchReport &report,
+                              std::uint64_t profileCid)
 {
     if (!report.profiled || report.selected < 0)
         return;
@@ -148,6 +275,9 @@ SelectionStore::recordProfile(const std::string &device,
         rec.cooldownLeft = 0;
         rec.predicted = false;
         rec.predictedConfidence = 0.0;
+        rec.profileCid = profileCid;
+        rec.profileOrigin = replica_;
+        stampLocked(rec);
         if (profileObserver) {
             snapshot = rec;
             observer = profileObserver;
@@ -176,6 +306,8 @@ SelectionStore::seedPrediction(const std::string &signature,
     const std::uint64_t launches = rec.launches;
     const std::uint64_t profiled = rec.profiledLaunches;
     const std::uint64_t quarantines = rec.quarantines;
+    // The replacement payload's causal history includes the old one.
+    const fed::VersionVec vv = rec.vv;
     rec = SelectionRecord();
     rec.signature = signature;
     rec.device = device;
@@ -187,6 +319,8 @@ SelectionStore::seedPrediction(const std::string &signature,
     rec.quarantines = quarantines;
     rec.predicted = true;
     rec.predictedConfidence = confidence;
+    rec.vv = vv;
+    stampLocked(rec);
 }
 
 void
@@ -304,6 +438,8 @@ SelectionStore::observePlain(const std::string &device,
                 result = Observation::Invalidated;
             }
         }
+        // Every branch above mutated the record (launches at least).
+        stampLocked(rec);
     }
     if (observer)
         observer(demoted);
@@ -328,6 +464,7 @@ SelectionStore::reportFailure(const std::string &signature,
             observer = demotionObserver;
         }
         result = demoteLocked(it->second);
+        stampLocked(it->second);
     }
     if (observer)
         observer(demoted);
@@ -340,8 +477,10 @@ SelectionStore::invalidate(const std::string &signature,
 {
     std::lock_guard<std::mutex> lock(mu);
     auto it = recs.find(Key{signature, device, bucket});
-    if (it != recs.end())
+    if (it != recs.end()) {
         invalidateLocked(it->second);
+        stampLocked(it->second);
+    }
 }
 
 void
@@ -361,6 +500,8 @@ SelectionStore::blacklistVariant(const std::string &signature,
         e.device = device;
         e.reason = reason;
         e.strikes++;
+        e.stamp = bumpLocked();
+        e.seq = ++seq_;
         // A record serving the blacklisted variant must never
         // warm-start anyone again, whatever its bucket: force a miss,
         // which forces a re-profile that excludes the variant.
@@ -371,6 +512,7 @@ SelectionStore::blacklistVariant(const std::string &signature,
                 if (rec.predicted && demotionObserver)
                     demotedPredictions.push_back(rec);
                 invalidateLocked(rec);
+                stampLocked(rec);
             }
         }
         if (!demotedPredictions.empty())
@@ -444,10 +586,17 @@ SelectionStore::setExtension(const std::string &name,
                              support::Json value)
 {
     std::lock_guard<std::mutex> lock(mu);
-    if (value.isNull())
+    if (value.isNull()) {
+        // Removal is local-only: no tombstones in the delta protocol,
+        // so an erased extension does not propagate (peers keep their
+        // copy until overwritten).
         extensions.erase(name);
-    else
-        extensions[name] = std::move(value);
+        return;
+    }
+    ExtSlot &slot = extensions[name];
+    slot.value = std::move(value);
+    slot.stamp = bumpLocked();
+    slot.seq = ++seq_;
 }
 
 std::optional<support::Json>
@@ -457,7 +606,18 @@ SelectionStore::extension(const std::string &name) const
     auto it = extensions.find(name);
     if (it == extensions.end())
         return std::nullopt;
-    return it->second;
+    return it->second.value;
+}
+
+std::vector<ExtensionEntry>
+SelectionStore::extensionEntries() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<ExtensionEntry> out;
+    out.reserve(extensions.size());
+    for (const auto &[name, slot] : extensions)
+        out.push_back(ExtensionEntry{name, slot.value, slot.stamp});
+    return out;
 }
 
 void
@@ -515,61 +675,177 @@ SelectionStore::quarantineCount() const
     return quarantines_;
 }
 
+void
+SelectionStore::setReplica(std::uint32_t id)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    replica_ = id;
+}
+
+std::uint32_t
+SelectionStore::replica() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return replica_;
+}
+
+std::uint64_t
+SelectionStore::lamportClock() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return lamport_;
+}
+
+std::uint64_t
+SelectionStore::changeSeq() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return seq_;
+}
+
+SelectionStore::Changes
+SelectionStore::changedSince(std::uint64_t seq) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    Changes out;
+    out.seqHigh = seq_;
+    for (const auto &[key, rec] : recs) {
+        (void)key;
+        if (rec.seq > seq)
+            out.records.push_back(rec);
+    }
+    for (const auto &[key, e] : blacklist) {
+        (void)key;
+        if (e.seq > seq)
+            out.blacklist.push_back(e);
+    }
+    for (const auto &[name, slot] : extensions) {
+        if (slot.seq > seq)
+            out.extensions.push_back(
+                ExtensionEntry{name, slot.value, slot.stamp});
+    }
+    return out;
+}
+
+SelectionStore::Apply
+SelectionStore::applyRemoteRecord(const SelectionRecord &in)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (in.stamp.tick > lamport_)
+        lamport_ = in.stamp.tick;
+    Key key{in.signature, in.device, in.bucket};
+    auto it = recs.find(key);
+    if (it == recs.end()) {
+        SelectionRecord rec = in;
+        rec.seq = ++seq_;
+        recs.emplace(std::move(key), std::move(rec));
+        return Apply::Applied;
+    }
+    SelectionRecord &local = it->second;
+    const bool remoteWins = fed::newerStamp(in.stamp, local.stamp);
+    if (!remoteWins && local.vv.contains(in.vv))
+        return Apply::Stale;
+    SelectionRecord merged = fed::mergeRecord(local, in);
+    merged.seq = ++seq_;
+    local = std::move(merged);
+    return remoteWins ? Apply::Applied : Apply::Merged;
+}
+
+SelectionStore::Apply
+SelectionStore::applyRemoteBlacklist(const BlacklistEntry &in)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (in.stamp.tick > lamport_)
+        lamport_ = in.stamp.tick;
+    BlKey key{in.signature, in.variant, in.device};
+    Apply result = Apply::Applied;
+    auto it = blacklist.find(key);
+    if (it == blacklist.end()) {
+        BlacklistEntry e = in;
+        e.seq = ++seq_;
+        blacklist.emplace(std::move(key), std::move(e));
+    } else {
+        BlacklistEntry &local = it->second;
+        if (!fed::newerStamp(in.stamp, local.stamp)) {
+            if (in.strikes <= local.strikes)
+                return Apply::Stale;
+            // Local stamp (reason, provenance) holds; only the
+            // grow-only strike count absorbs the remote evidence.
+            result = Apply::Merged;
+        }
+        BlacklistEntry merged = fed::mergeBlacklist(local, in);
+        merged.seq = ++seq_;
+        local = std::move(merged);
+    }
+    // Mirror blacklistVariant(): any valid record still serving the
+    // blacklisted variant is invalidated -- a replicated strike must
+    // stop warm starts here just like a local one.  No observers:
+    // replicated evidence is not a local mis-prediction.
+    for (auto &[k, rec] : recs) {
+        (void)k;
+        if (rec.signature == in.signature && rec.device == in.device
+            && rec.valid && rec.selectedName == in.variant) {
+            invalidateLocked(rec);
+            stampLocked(rec);
+        }
+    }
+    return result;
+}
+
+SelectionStore::Apply
+SelectionStore::applyRemoteExtension(const ExtensionEntry &in)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (in.stamp.tick > lamport_)
+        lamport_ = in.stamp.tick;
+    auto it = extensions.find(in.name);
+    if (it == extensions.end()) {
+        ExtSlot slot;
+        slot.value = in.value;
+        slot.stamp = in.stamp;
+        slot.seq = ++seq_;
+        extensions.emplace(in.name, std::move(slot));
+        return Apply::Applied;
+    }
+    ExtSlot &local = it->second;
+    if (!fed::newerStamp(in.stamp, local.stamp))
+        return Apply::Stale;
+    local.value = in.value;
+    local.stamp = in.stamp;
+    local.seq = ++seq_;
+    return Apply::Applied;
+}
+
 Json
 SelectionStore::toJson() const
 {
     std::lock_guard<std::mutex> lock(mu);
     Json arr = Json::array();
     for (const auto &[key, rec] : recs) {
-        Json profiles = Json::array();
-        for (const auto &p : rec.profiles) {
-            Json jp = Json::object();
-            jp.set("name", Json(p.name));
-            jp.set("metric_ns", Json(p.metricNs));
-            jp.set("span_ns", Json(p.spanNs));
-            jp.set("busy_ns", Json(p.busyNs));
-            jp.set("units", Json(p.units));
-            profiles.push(std::move(jp));
-        }
-        Json jr = Json::object();
-        jr.set("signature", Json(rec.signature));
-        jr.set("device", Json(rec.device));
-        jr.set("bucket", Json(rec.bucket));
-        jr.set("selected", Json(rec.selected));
-        jr.set("selected_name", Json(rec.selectedName));
-        jr.set("profiles", std::move(profiles));
-        jr.set("launches", Json(rec.launches));
-        jr.set("profiled_launches", Json(rec.profiledLaunches));
-        jr.set("confidence", Json(rec.confidence));
-        jr.set("unit_time_ns", Json(rec.unitTimeNs));
-        jr.set("valid", Json(rec.valid));
-        jr.set("quarantined_variant", Json(rec.quarantinedVariant));
-        jr.set("cooldown_left", Json(rec.cooldownLeft));
-        jr.set("quarantines", Json(rec.quarantines));
-        jr.set("predicted", Json(rec.predicted));
-        jr.set("predicted_confidence", Json(rec.predictedConfidence));
-        arr.push(std::move(jr));
+        (void)key;
+        arr.push(recordToJson(rec));
     }
     Json blarr = Json::array();
     for (const auto &[key, e] : blacklist) {
         (void)key;
-        Json jb = Json::object();
-        jb.set("signature", Json(e.signature));
-        jb.set("variant", Json(e.variant));
-        jb.set("device", Json(e.device));
-        jb.set("reason", Json(e.reason));
-        jb.set("strikes", Json(e.strikes));
-        blarr.push(std::move(jb));
+        blarr.push(blacklistToJson(e));
     }
     Json root = Json::object();
-    root.set("version", Json(4));
+    root.set("version", Json(5));
     root.set("records", std::move(arr));
     root.set("blacklist", std::move(blarr));
     if (!extensions.empty()) {
         Json ext = Json::object();
-        for (const auto &[name, value] : extensions)
-            ext.set(name, value);
+        Json stamps = Json::object();
+        for (const auto &[name, slot] : extensions) {
+            ext.set(name, slot.value);
+            Json js = Json::object();
+            js.set("tick", Json(slot.stamp.tick));
+            js.set("origin", Json(slot.stamp.origin));
+            stamps.set(name, std::move(js));
+        }
         root.set("extensions", std::move(ext));
+        root.set("extension_stamps", std::move(stamps));
     }
     return root;
 }
@@ -579,63 +855,41 @@ SelectionStore::loadJson(const Json &doc)
 {
     // Version 2 added the quarantine fields; version 3 the variant
     // blacklist; version 4 the predicted-selection fields and the
-    // extensions object.  Older documents load with the missing
-    // state at rest.
+    // extensions object; version 5 the federation envelope (Lamport
+    // stamps, version vectors, profiling provenance).  Older
+    // documents load with the missing state at rest.
     const auto version = doc.isObject() ? doc.intOr("version", 0) : 0;
-    if (version < 1 || version > 4)
+    if (version < 1 || version > 5)
         throw std::runtime_error(
             "selection store: unsupported document version");
     std::map<Key, SelectionRecord> loaded;
     for (const Json &jr : doc.at("records").items()) {
-        SelectionRecord rec;
-        rec.signature = jr.at("signature").asString();
-        rec.device = jr.at("device").asString();
-        rec.bucket = static_cast<unsigned>(jr.at("bucket").asUint());
-        rec.selected = static_cast<int>(jr.at("selected").asInt());
-        rec.selectedName = jr.stringOr("selected_name", "");
-        rec.launches = jr.at("launches").asUint();
-        rec.profiledLaunches = jr.intOr("profiled_launches", 0);
-        rec.confidence = jr.intOr("confidence", 0);
-        rec.unitTimeNs = jr.numberOr("unit_time_ns", 0.0);
-        rec.valid = jr.boolOr("valid", true);
-        rec.quarantinedVariant =
-            static_cast<int>(jr.intOr("quarantined_variant", -1));
-        rec.cooldownLeft = jr.intOr("cooldown_left", 0);
-        rec.quarantines = jr.intOr("quarantines", 0);
-        rec.predicted = jr.boolOr("predicted", false);
-        rec.predictedConfidence =
-            jr.numberOr("predicted_confidence", 0.0);
-        if (jr.has("profiles")) {
-            for (const Json &jp : jr.at("profiles").items()) {
-                StoredProfile sp;
-                sp.name = jp.stringOr("name", "");
-                sp.metricNs = jp.numberOr("metric_ns", 0.0);
-                sp.spanNs = jp.numberOr("span_ns", 0.0);
-                sp.busyNs = jp.numberOr("busy_ns", 0.0);
-                sp.units = jp.intOr("units", 0);
-                rec.profiles.push_back(std::move(sp));
-            }
-        }
+        SelectionRecord rec = recordFromJson(jr);
         Key key{rec.signature, rec.device, rec.bucket};
         loaded[std::move(key)] = std::move(rec);
     }
     std::map<BlKey, BlacklistEntry> loadedBl;
     if (doc.has("blacklist")) {
         for (const Json &jb : doc.at("blacklist").items()) {
-            BlacklistEntry e;
-            e.signature = jb.at("signature").asString();
-            e.variant = jb.at("variant").asString();
-            e.device = jb.at("device").asString();
-            e.reason = jb.stringOr("reason", "");
-            e.strikes = jb.intOr("strikes", 1);
+            BlacklistEntry e = blacklistFromJson(jb);
             BlKey key{e.signature, e.variant, e.device};
             loadedBl[std::move(key)] = std::move(e);
         }
     }
-    std::map<std::string, Json> loadedExt;
+    std::map<std::string, ExtSlot> loadedExt;
     if (doc.has("extensions")) {
-        for (const auto &[name, value] : doc.at("extensions").fields())
-            loadedExt[name] = value;
+        for (const auto &[name, value] : doc.at("extensions").fields()) {
+            ExtSlot slot;
+            slot.value = value;
+            if (doc.has("extension_stamps")
+                && doc.at("extension_stamps").has(name)) {
+                const Json &js = doc.at("extension_stamps").at(name);
+                slot.stamp.tick = js.intOr("tick", 0);
+                slot.stamp.origin = static_cast<std::uint32_t>(
+                    js.intOr("origin", 0));
+            }
+            loadedExt[name] = std::move(slot);
+        }
     }
     // Everything parsed; only now replace the contents (a malformed
     // document above must not leave a half-loaded store).
@@ -643,6 +897,45 @@ SelectionStore::loadJson(const Json &doc)
     recs = std::move(loaded);
     blacklist = std::move(loadedBl);
     extensions = std::move(loadedExt);
+    // Restore the Lamport clock from the loaded stamps so new local
+    // writes outrank everything in the document, and stamp anything a
+    // pre-federation document left unstamped -- two replicas seeded
+    // from the same legacy file must not present identical stamps
+    // over possibly-diverging payloads.
+    for (const auto &[key, rec] : recs) {
+        (void)key;
+        if (rec.stamp.tick > lamport_)
+            lamport_ = rec.stamp.tick;
+    }
+    for (const auto &[key, e] : blacklist) {
+        (void)key;
+        if (e.stamp.tick > lamport_)
+            lamport_ = e.stamp.tick;
+    }
+    for (const auto &[name, slot] : extensions) {
+        (void)name;
+        if (slot.stamp.tick > lamport_)
+            lamport_ = slot.stamp.tick;
+    }
+    for (auto &[key, rec] : recs) {
+        (void)key;
+        if (rec.stamp.tick == 0)
+            stampLocked(rec);
+        else
+            rec.seq = ++seq_;
+    }
+    for (auto &[key, e] : blacklist) {
+        (void)key;
+        if (e.stamp.tick == 0)
+            e.stamp = bumpLocked();
+        e.seq = ++seq_;
+    }
+    for (auto &[name, slot] : extensions) {
+        (void)name;
+        if (slot.stamp.tick == 0)
+            slot.stamp = bumpLocked();
+        slot.seq = ++seq_;
+    }
 }
 
 namespace {

@@ -26,6 +26,7 @@
 #include <tuple>
 #include <vector>
 
+#include "dysel/fed/version.hh"
 #include "dysel/report.hh"
 #include "support/json.hh"
 #include "support/status.hh"
@@ -164,6 +165,31 @@ struct SelectionRecord
     bool predicted = false;
     /** Calibrated confidence the prediction carried (0 if measured). */
     double predictedConfidence = 0.0;
+
+    /**
+     * Federation metadata (DESIGN §13).  `stamp` is the Lamport time
+     * of the last payload write; `vv` the per-replica write history
+     * the record has absorbed.  Both persist (format version 5) and
+     * drive the deterministic merge rule in dysel/fed/merge.hh.
+     */
+    fed::Stamp stamp;
+    fed::VersionVec vv;
+
+    /**
+     * Correlation id of the profiling launch that measured the
+     * current selection, and the replica that ran it; 0 for predicted
+     * or legacy records.  A follower replica's warm hit traces back
+     * to the owner's profiling pass through this pair.
+     */
+    std::uint64_t profileCid = 0;
+    std::uint32_t profileOrigin = 0;
+
+    /**
+     * Store-local change cursor: bumped on every write (local or
+     * merged-in), never persisted.  Peers pull "everything with
+     * seq > my last-seen" -- the anti-entropy delta filter.
+     */
+    std::uint64_t seq = 0;
 };
 
 /**
@@ -181,7 +207,32 @@ struct BlacklistEntry
     std::string device;  ///< sim::Device::fingerprint()
     std::string reason;  ///< guard check name of the final strike
     std::uint64_t strikes = 0; ///< times the guard reported it
+
+    /** Lamport time of the last strike (federation merge metadata). */
+    fed::Stamp stamp;
+    /** Store-local change cursor; never persisted. */
+    std::uint64_t seq = 0;
 };
+
+/** One store extension with its federation metadata. */
+struct ExtensionEntry
+{
+    std::string name;
+    support::Json value;
+    fed::Stamp stamp;
+};
+
+/**
+ * JSON (de)serialization of one record / blacklist entry -- the
+ * same encoding the store document and the federation delta wire
+ * format share, so a replicated record round-trips byte-identically.
+ * recordFromJson/blacklistFromJson throw std::runtime_error on
+ * malformed input.
+ */
+support::Json recordToJson(const SelectionRecord &rec);
+SelectionRecord recordFromJson(const support::Json &doc);
+support::Json blacklistToJson(const BlacklistEntry &entry);
+BlacklistEntry blacklistFromJson(const support::Json &doc);
 
 /**
  * The persistent selection database.
@@ -232,7 +283,8 @@ class SelectionStore
      * predictor's training feed) outside the store lock.
      */
     void recordProfile(const std::string &device,
-                       const runtime::LaunchReport &report);
+                       const runtime::LaunchReport &report,
+                       std::uint64_t profileCid = 0);
 
     /**
      * Seed a *predicted* selection for (@p signature, @p device,
@@ -336,6 +388,51 @@ class SelectionStore
     std::optional<support::Json>
     extension(const std::string &name) const;
 
+    /** All extensions with their stamps, ordered by name. */
+    std::vector<ExtensionEntry> extensionEntries() const;
+
+    // ---- Federation (DESIGN §13) -------------------------------
+    //
+    // The store is the *local engine*; the replication layer in
+    // src/dysel/fed/ drives it through the calls below.  Local
+    // mutators stamp what they touch with (++lamport, replica) and a
+    // fresh change cursor; applyRemote*() folds a peer's items in
+    // through the deterministic merge rule (freshest stamp wins,
+    // version vectors join, blacklists grow) WITHOUT firing the
+    // profile/demotion observers -- replicated evidence is not local
+    // training signal.
+
+    /** Set this store's replica id (stamps carry it).  Default 0. */
+    void setReplica(std::uint32_t id);
+    std::uint32_t replica() const;
+
+    /** Current Lamport clock (max of local writes and merged stamps). */
+    std::uint64_t lamportClock() const;
+
+    /** Current change cursor (seq of the most recent write). */
+    std::uint64_t changeSeq() const;
+
+    /** Everything a peer at cursor @p seq has not seen yet. */
+    struct Changes
+    {
+        std::vector<SelectionRecord> records;
+        std::vector<BlacklistEntry> blacklist;
+        std::vector<ExtensionEntry> extensions;
+        std::uint64_t seqHigh = 0; ///< the peer's next cursor
+    };
+    Changes changedSince(std::uint64_t seq) const;
+
+    /** What applying one remote item did. */
+    enum class Apply {
+        Applied, ///< the remote payload won (installed or replaced)
+        Merged,  ///< local payload kept, but its version vector grew
+        Stale,   ///< already covered; no change at all
+    };
+
+    Apply applyRemoteRecord(const SelectionRecord &rec);
+    Apply applyRemoteBlacklist(const BlacklistEntry &entry);
+    Apply applyRemoteExtension(const ExtensionEntry &entry);
+
     /** Remove every record. */
     void clear();
 
@@ -396,17 +493,34 @@ class SelectionStore
     /** Invalidate @p rec in place.  Caller holds the lock. */
     void invalidateLocked(SelectionRecord &rec);
 
+    /** Next local write stamp.  Caller holds the lock. */
+    fed::Stamp bumpLocked();
+
+    /** Stamp a local payload write of @p rec.  Caller holds the lock. */
+    void stampLocked(SelectionRecord &rec);
+
+    /** One extension payload with federation metadata. */
+    struct ExtSlot
+    {
+        support::Json value;
+        fed::Stamp stamp;
+        std::uint64_t seq = 0;
+    };
+
     mutable std::mutex mu;
     StoreConfig cfg_;
     std::map<Key, SelectionRecord> recs;
     std::map<BlKey, BlacklistEntry> blacklist;
-    std::map<std::string, support::Json> extensions;
+    std::map<std::string, ExtSlot> extensions;
     std::function<void(const SelectionRecord &)> profileObserver;
     std::function<void(const SelectionRecord &)> demotionObserver;
     mutable std::uint64_t hits_ = 0;
     mutable std::uint64_t misses_ = 0;
     std::uint64_t drifts_ = 0;
     std::uint64_t quarantines_ = 0;
+    std::uint32_t replica_ = 0;
+    std::uint64_t lamport_ = 0;
+    std::uint64_t seq_ = 0;
 };
 
 } // namespace store

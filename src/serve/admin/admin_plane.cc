@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "dysel/fed/replicator.hh"
 #include "dysel/predict/predictor.hh"
 #include "support/json.hh"
+#include "support/net/http.hh"
 #include "support/tracing/tracer.hh"
 
 namespace dysel {
@@ -85,8 +87,9 @@ healthJson(const DispatchService::ServiceHealth &h)
 } // namespace
 
 AdminPlane::AdminPlane(DispatchService &service,
-                       const predict::SelectionPredictor *predictor)
-    : service_(service), predictor_(predictor)
+                       const predict::SelectionPredictor *predictor,
+                       fed::Replicator *fed)
+    : service_(service), predictor_(predictor), fed_(fed)
 {}
 
 AdminRequest
@@ -142,6 +145,26 @@ AdminPlane::handle(const AdminRequest &req) const
         return auditPage();
     if (req.path == "/debug/predictor")
         return predictorPage();
+    if (req.path == "/debug/peers")
+        return peersPage();
+    if (req.path.rfind("/fed/", 0) == 0) {
+        if (!fed_)
+            return jsonError(404, "federation not attached");
+        // The replicator parses its own query string; rebuild the
+        // target from the decoded pairs.
+        std::string target = req.path;
+        char sep = '?';
+        for (const auto &[k, v] : req.query) {
+            target += sep + support::net::urlEncode(k) + "="
+                      + support::net::urlEncode(v);
+            sep = '&';
+        }
+        const auto reply = fed_->handleFed(target);
+        AdminResponse resp;
+        resp.status = reply.status;
+        resp.body = reply.body;
+        return resp;
+    }
     if (req.path == "/" || req.path.empty())
         return indexPage();
     return jsonError(404, "no such endpoint: " + req.path);
@@ -341,13 +364,27 @@ AdminPlane::predictorPage() const
 }
 
 AdminResponse
+AdminPlane::peersPage() const
+{
+    AdminResponse resp;
+    if (!fed_) {
+        Json j = Json::object();
+        j.set("attached", false);
+        resp.body = j.dump(2) + "\n";
+        return resp;
+    }
+    resp.body = fed_->peersJson().dump(2) + "\n";
+    return resp;
+}
+
+AdminResponse
 AdminPlane::indexPage() const
 {
     Json eps = Json::array();
     for (const char *p :
          {"/metrics", "/healthz", "/readyz", "/debug/selections",
           "/debug/flight?worker=N", "/debug/trace?last=N",
-          "/debug/audit", "/debug/predictor"})
+          "/debug/audit", "/debug/predictor", "/debug/peers"})
         eps.push(p);
     Json j = Json::object();
     j.set("service", "dysel admin plane");

@@ -20,6 +20,10 @@
  *   /debug/trace?last=N tail of the trace ring as JSON events
  *   /debug/audit        selection-audit state (regret EMAs, totals)
  *   /debug/predictor    predictor calibration / shadow hit rate
+ *   /debug/peers        federation sync state: per-peer cursors,
+ *                       incarnations, failures, lease table size
+ *   /fed/...              federation wire protocol (delta/lease/info),
+ *                       delegated to the attached fed::Replicator
  *   /                   endpoint index
  *
  * Every handler is a read-only snapshot: the plane never mutates the
@@ -57,11 +61,14 @@ class AdminPlane
   public:
     /**
      * @p service must outlive the plane.  The predictor is optional
-     * (nullptr renders /debug/predictor as {"attached": false}).
+     * (nullptr renders /debug/predictor as {"attached": false}), as
+     * is the federation replicator (nullptr renders /debug/peers as
+     * {"attached": false} and 404s /fed/...).
      */
     explicit AdminPlane(DispatchService &service,
                         const predict::SelectionPredictor *predictor
-                        = nullptr);
+                        = nullptr,
+                        fed::Replicator *fed = nullptr);
 
     /** Serve one request (thread-safe, read-only). */
     AdminResponse handle(const AdminRequest &req) const;
@@ -81,10 +88,12 @@ class AdminPlane
     AdminResponse tracePage(const AdminRequest &req) const;
     AdminResponse auditPage() const;
     AdminResponse predictorPage() const;
+    AdminResponse peersPage() const;
     AdminResponse indexPage() const;
 
     DispatchService &service_;
     const predict::SelectionPredictor *predictor_;
+    fed::Replicator *fed_;
 };
 
 } // namespace admin

@@ -5,6 +5,7 @@
 #include <climits>
 #include <stdexcept>
 
+#include "dysel/fed/replicator.hh"
 #include "support/logging.hh"
 
 namespace dysel {
@@ -260,6 +261,17 @@ DispatchService::setPredictor(predict::SelectionPredictor *predictor)
         });
 }
 
+void
+DispatchService::setFederation(fed::Replicator *fedp)
+{
+    if (started.load(std::memory_order_acquire))
+        throw std::logic_error(
+            "DispatchService: setFederation after start()");
+    fed_ = fedp;
+    if (fed_)
+        fed_->bindMetrics(&reg);
+}
+
 unsigned
 DispatchService::addDevice(std::unique_ptr<sim::Device> device)
 {
@@ -299,7 +311,11 @@ DispatchService::addDevice(std::unique_ptr<sim::Device> device)
     w->rt->setLaunchObserver(
         [this, fp = w->fingerprint](const runtime::LaunchReport &r) {
             if (r.profiled) {
-                store_.recordProfile(fp, r);
+                // tlJobId doubles as the launch's trace correlation
+                // id; stamping it into the record lets a follower
+                // replica's warm hit trace back to this profiling
+                // pass (DESIGN §13).
+                store_.recordProfile(fp, r, tlJobId);
                 reg.counter("store.record").inc();
             } else if (r.fromCache && !r.fused && !r.shadow) {
                 switch (store_.observePlain(fp, r)) {
@@ -1345,6 +1361,41 @@ DispatchService::runJob(unsigned idx, detail::QueuedJob &qj)
     const bool profilable =
         job.units >= config.runtime.minUnitsForProfiling
         && job.opt.profiling;
+
+    // Fleet federation (DESIGN §13): on a profilable cold miss, ask
+    // the replication layer who pays the fleet's single profiling
+    // pass for this key.  Warm means the owner's record is in our
+    // store now (gossiped or fetched with the lease); LeaseGranted /
+    // LocalProfile / Fallback all fall through to the predictor and
+    // the in-process coalescer, which dedup local concurrency as
+    // usual.
+    if (!rec && fed_ && profilable) {
+        const auto rs = fed_->resolveCold(job.signature,
+                                          w.fingerprint, job.units);
+        if (rs.kind == fed::Replicator::Resolve::Warm) {
+            rec = lookupUsable();
+            if (rec) {
+                reg.counter("fed.warm_hit").inc();
+                if (tracer_.enabled()) {
+                    // owner_cid is the profiling pass's correlation
+                    // id ON THE OWNER REPLICA: merging both replicas'
+                    // trace files lines this instant up with the
+                    // remote profile spans that produced the record.
+                    tracer_.instant(
+                        w.traceTrack, "fed.warm_hit", w.dev->now(),
+                        job.id,
+                        {{"owner_cid", std::to_string(rs.ownerCid)},
+                         {"owner_replica",
+                          std::to_string(rs.profileOrigin)},
+                         {"waited_ms",
+                          std::to_string(rs.waitedMs)}});
+                }
+                w.flight.record(w.dev->now(), job.id, "fed",
+                                "warm from replica "
+                                    + std::to_string(rs.profileOrigin));
+            }
+        }
+    }
 
     // Learned selection: on a profilable store miss, ask the
     // predictor before paying for a profiling pass (or queueing up

@@ -120,6 +120,11 @@
 #include "job.hh"
 
 namespace dysel {
+
+namespace fed {
+class Replicator;
+}
+
 namespace serve {
 
 /** What submission does when the target device queue is full. */
@@ -284,6 +289,17 @@ class DispatchService
      * (predict.demoted).  The predictor must outlive the service.
      */
     void setPredictor(predict::SelectionPredictor *predictor);
+
+    /**
+     * Attach a fleet federation replicator (before start(); nullptr
+     * detaches).  On every profilable cold miss the service asks the
+     * replicator who profiles: the key's rendezvous-hash owner pays
+     * the fleet's single profiling pass, everyone else parks on the
+     * remote-pending state and warm-starts from the replicated
+     * record (fed.warm_hit; a tracer instant carries the owner's
+     * profiling cid).  The replicator must outlive the service.
+     */
+    void setFederation(fed::Replicator *fedp);
 
     /** Spawn one worker thread per device. */
     void start();
@@ -518,6 +534,7 @@ class DispatchService
     ServiceConfig config;
     Batcher batcher;
     predict::SelectionPredictor *predictor_ = nullptr;
+    fed::Replicator *fed_ = nullptr;
     support::MetricsRegistry reg;
     support::tracing::Tracer tracer_;
     ProfileCoalescer coalescer;

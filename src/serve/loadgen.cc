@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "dysel/fed/replicator.hh"
 #include "kdp/args.hh"
 #include "kdp/buffer.hh"
 #include "sim/cpu/cpu_device.hh"
@@ -169,6 +170,17 @@ LoadGenReport::toJson() const
                 Json(static_cast<double>(predictDemotions)));
     predict.set("trained", Json(static_cast<double>(predictTrained)));
 
+    Json fed = Json::object();
+    fed.set("warm_hits", Json(static_cast<double>(fedWarmHits)));
+    fed.set("leases", Json(static_cast<double>(fedLeases)));
+    fed.set("fallbacks", Json(static_cast<double>(fedFallbacks)));
+    fed.set("profiled_keys",
+            Json(static_cast<double>(profiledKeys.size())));
+    Json keyList = Json::array();
+    for (const auto &k : profiledKeys)
+        keyList.push(Json(k));
+    fed.set("profiled_key_list", std::move(keyList));
+
     Json audit = Json::object();
     audit.set("samples", Json(static_cast<double>(auditSamples)));
     audit.set("demotions", Json(static_cast<double>(auditDemotions)));
@@ -191,6 +203,7 @@ LoadGenReport::toJson() const
     out.set("coalesce", std::move(coalesce));
     out.set("batch", std::move(batch));
     out.set("predict", std::move(predict));
+    out.set("fed", std::move(fed));
     out.set("audit", std::move(audit));
     out.set("output_checksum", Json(hex16(outputChecksum)));
     return out;
@@ -204,7 +217,9 @@ runImpl(const LoadGenConfig &cfg,
 {
     using clock = std::chrono::steady_clock;
 
-    store::SelectionStore store;
+    store::SelectionStore localStore;
+    store::SelectionStore &store =
+        cfg.externalStore ? *cfg.externalStore : localStore;
     ServiceConfig scfg;
     scfg.coalesce = cfg.coalesce;
     scfg.affinity = cfg.affinity;
@@ -217,6 +232,23 @@ runImpl(const LoadGenConfig &cfg,
     DispatchService svc(store, scfg);
     if (predictor)
         svc.setPredictor(predictor);
+    if (cfg.federation)
+        svc.setFederation(cfg.federation);
+
+    // Exactly-once accounting for the fleet test: every local
+    // profiling pass records its key.  The predictor owns the
+    // observer slot when attached, so this rides only without it.
+    std::mutex profiledMu;
+    std::vector<std::string> profiledKeys;
+    if (!predictor) {
+        store.setProfileObserver(
+            [&](const store::SelectionRecord &rec) {
+                std::lock_guard<std::mutex> lock(profiledMu);
+                profiledKeys.push_back(
+                    rec.signature + "|" + rec.device + "|"
+                    + std::to_string(rec.bucket));
+            });
+    }
 
     sim::FaultConfig fcfg;
     fcfg.launchFailProb = cfg.faultRate;
@@ -368,8 +400,14 @@ runImpl(const LoadGenConfig &cfg,
     if (cfg.onStop)
         cfg.onStop(svc);
     svc.stop();
+    if (!predictor) {
+        // An external store outlives this call; the observer
+        // captures locals and must not.
+        store.setProfileObserver(nullptr);
+    }
 
     LoadGenReport rep;
+    rep.profiledKeys = std::move(profiledKeys);
     rep.config = cfg;
     rep.wallSeconds = wallSeconds;
     std::vector<double> latencies;
@@ -421,6 +459,9 @@ runImpl(const LoadGenConfig &cfg,
     rep.predictMisses = m.counterValue("predict.miss");
     rep.predictDemotions = m.counterValue("predict.demoted");
     rep.predictTrained = m.counterValue("predict.train");
+    rep.fedWarmHits = m.counterValue("fed.warm_hit");
+    rep.fedLeases = m.counterValue("fed.lease_granted");
+    rep.fedFallbacks = m.counterValue("fed.fallback");
     rep.auditSamples = m.counterValue("audit.samples");
     rep.auditDemotions = m.counterValue("audit.demotions");
     rep.auditProbeFailures = m.counterValue("audit.probe_failed");
@@ -431,6 +472,11 @@ runImpl(const LoadGenConfig &cfg,
         bids > 0 ? static_cast<double>(rep.coalesceHits)
                        / static_cast<double>(bids)
                  : 0.0;
+    // The replicator outlives this run (it keeps serving deltas to
+    // peers through drain and quiescence) but the service's metrics
+    // registry dies with this scope: unbind before it dangles.
+    if (cfg.federation)
+        cfg.federation->bindMetrics(nullptr);
     return rep;
 }
 

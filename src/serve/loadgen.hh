@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "serve/dispatch_service.hh"
 #include "support/json.hh"
@@ -157,6 +158,22 @@ struct LoadGenConfig
      */
     std::function<void(DispatchService &)> onStart;
     std::function<void(DispatchService &)> onStop;
+
+    /**
+     * Drive the storm against this store instead of a fresh internal
+     * one (fleet federation: the store is shared with a Replicator
+     * and typically saved/compared after the run).  Must outlive the
+     * call.  nullptr keeps the classic self-contained behaviour.
+     */
+    store::SelectionStore *externalStore = nullptr;
+
+    /**
+     * Attach this federation replicator to the service (DESIGN §13):
+     * profilable cold misses consult the fleet before profiling
+     * locally.  Requires externalStore (the replicator wraps the same
+     * store).  Must outlive the call.
+     */
+    fed::Replicator *federation = nullptr;
 };
 
 /** What one run measured. */
@@ -213,6 +230,21 @@ struct LoadGenReport
     std::uint64_t auditProbeFailures = 0;
     /** Mean realized regret across sampled warm hits (fraction). */
     double auditMeanRegret = 0.0;
+
+    /** Federation activity (fed.* counters; 0 without federation). */
+    std::uint64_t fedWarmHits = 0;
+    std::uint64_t fedLeases = 0;
+    std::uint64_t fedFallbacks = 0;
+
+    /**
+     * Keys ("signature|fingerprint|bucket") whose micro-profiling
+     * pass ran in THIS service (store profile observer; remote
+     * records merged in by gossip do not count).  The fleet test
+     * unions these across replicas to assert each key was profiled
+     * exactly once fleet-wide.  Collected only when no predictor is
+     * attached (the predictor owns the observer slot).
+     */
+    std::vector<std::string> profiledKeys;
 
     /**
      * Order-independent digest of every completed job's output

@@ -1,10 +1,15 @@
 #include "http.hh"
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <sstream>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -215,6 +220,16 @@ httpGet(const std::string &host, std::uint16_t port,
         const std::string &target, std::string &bodyOut, int &statusOut,
         int timeoutMs)
 {
+    using clock = std::chrono::steady_clock;
+    const auto deadline =
+        clock::now() + std::chrono::milliseconds(timeoutMs);
+    const auto remainingMs = [&deadline]() {
+        return static_cast<int>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - clock::now())
+                .count());
+    };
+
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0)
         return Status::unavailable(std::string("socket: ")
@@ -226,14 +241,41 @@ httpGet(const std::string &host, std::uint16_t port,
         ::close(fd);
         return Status::invalidArgument("httpGet: bad host " + host);
     }
+    // Non-blocking connect bounded by the deadline: a dead peer (or a
+    // black-holed address) must cost at most timeoutMs, not a kernel
+    // default connect timeout measured in minutes.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
     if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
                   sizeof(addr))
         != 0) {
-        const std::string err = std::strerror(errno);
-        ::close(fd);
-        return Status::unavailable("connect " + host + ":"
-                                   + std::to_string(port) + ": " + err);
+        if (errno != EINPROGRESS) {
+            const std::string err = std::strerror(errno);
+            ::close(fd);
+            return Status::unavailable("connect " + host + ":"
+                                       + std::to_string(port) + ": "
+                                       + err);
+        }
+        struct pollfd pfd = {fd, POLLOUT, 0};
+        const int pr = ::poll(&pfd, 1, std::max(0, remainingMs()));
+        if (pr <= 0) {
+            ::close(fd);
+            return Status::deadlineExceeded(
+                "httpGet: connect timeout after "
+                + std::to_string(timeoutMs) + "ms to " + host + ":"
+                + std::to_string(port));
+        }
+        int soErr = 0;
+        socklen_t len = sizeof(soErr);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soErr, &len) != 0
+            || soErr != 0) {
+            ::close(fd);
+            return Status::unavailable(
+                "connect " + host + ":" + std::to_string(port) + ": "
+                + std::strerror(soErr ? soErr : errno));
+        }
     }
+    ::fcntl(fd, F_SETFL, flags);
     const std::string req = "GET " + target
                             + " HTTP/1.0\r\nHost: " + host
                             + "\r\nConnection: close\r\n\r\n";
@@ -241,15 +283,22 @@ httpGet(const std::string &host, std::uint16_t port,
         ::close(fd);
         return Status::unavailable("httpGet: send failed");
     }
-    // Connection: close -- read to EOF (bounded).
+    // Connection: close -- read to EOF (bounded).  Each poll gets the
+    // time LEFT, not a fresh full timeout: a server that accepts and
+    // then stalls -- or drips one byte per poll -- still trips the
+    // overall deadline.
     std::string raw;
     char chunk[4096];
     for (;;) {
+        const int waitMs = remainingMs();
         struct pollfd pfd = {fd, POLLIN, 0};
-        const int pr = ::poll(&pfd, 1, timeoutMs);
-        if (pr <= 0) {
+        const int pr = ::poll(&pfd, 1, std::max(0, waitMs));
+        if (pr <= 0 || waitMs <= 0) {
             ::close(fd);
-            return Status::deadlineExceeded("httpGet: read timeout");
+            return Status::deadlineExceeded(
+                "httpGet: read timeout after "
+                + std::to_string(timeoutMs) + "ms from " + host + ":"
+                + std::to_string(port));
         }
         const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
         if (n < 0) {
@@ -282,6 +331,50 @@ httpGet(const std::string &host, std::uint16_t port,
     statusOut = status;
     bodyOut = raw.substr(sep + 4);
     return Status();
+}
+
+std::string
+urlEncode(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        const bool plain = (c >= 'a' && c <= 'z')
+                           || (c >= 'A' && c <= 'Z')
+                           || (c >= '0' && c <= '9') || c == '-'
+                           || c == '_' || c == '.' || c == '~';
+        if (plain) {
+            out.push_back(static_cast<char>(c));
+        } else {
+            char buf[4];
+            std::snprintf(buf, sizeof(buf), "%%%02X", c);
+            out.append(buf);
+        }
+    }
+    return out;
+}
+
+std::string
+urlDecode(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '+') {
+            out.push_back(' ');
+        } else if (s[i] == '%' && i + 2 < s.size()
+                   && std::isxdigit(
+                       static_cast<unsigned char>(s[i + 1]))
+                   && std::isxdigit(
+                       static_cast<unsigned char>(s[i + 2]))) {
+            out.push_back(static_cast<char>(
+                std::stoi(s.substr(i + 1, 2), nullptr, 16)));
+            i += 2;
+        } else {
+            out.push_back(s[i]);
+        }
+    }
+    return out;
 }
 
 } // namespace net

@@ -95,11 +95,24 @@ class HttpServer
  * Blocking HTTP/1.0 GET against 127.0.0.1-style hosts.  On success
  * fills @p bodyOut with the response body and @p statusOut with the
  * HTTP status code; the Status reflects transport errors only (a 404
- * is Ok transport-wise).  @p timeoutMs bounds connect and read.
+ * is Ok transport-wise).
+ *
+ * @p timeoutMs is an overall deadline covering connect AND the whole
+ * response read: the connect uses a non-blocking handshake bounded by
+ * the deadline, and a server that accepts but then stalls (or drips
+ * bytes forever) trips the same bound.  Both paths return a typed
+ * DEADLINE_EXCEEDED status, so a dead or wedged peer costs a caller
+ * at most @p timeoutMs -- never an indefinite block.
  */
 Status httpGet(const std::string &host, std::uint16_t port,
                const std::string &target, std::string &bodyOut,
                int &statusOut, int timeoutMs = 5000);
+
+/** Percent-encode @p s for use inside a query value. */
+std::string urlEncode(const std::string &s);
+
+/** Inverse of urlEncode(); also folds '+' to space. */
+std::string urlDecode(const std::string &s);
 
 } // namespace net
 } // namespace support

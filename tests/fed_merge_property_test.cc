@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Property tests of the federation merge rule (DESIGN §13).
+ *
+ * The fleet's correctness claim is algebraic: mergeRecord /
+ * mergeBlacklist / mergeExtension form a join semilattice
+ * (commutative, associative, idempotent), so replicas applying the
+ * same set of writes in ANY interleaving -- shuffled, duplicated,
+ * partitioned and healed late -- reach byte-identical stores.  This
+ * suite checks the laws directly on randomized pairs/triples, then
+ * replays thousands of seeded shuffled interleavings through
+ * SelectionStore::applyRemote*() and asserts convergence via the
+ * serialized document.
+ *
+ * Deterministic on purpose: one fixed seed, no wall-clock anywhere.
+ * A failure reproduces exactly.
+ */
+#include <algorithm>
+#include <random>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+#include <gtest/gtest.h>
+
+#include "dysel/fed/merge.hh"
+#include "dysel/store/selection_store.hh"
+
+using namespace dysel;
+using namespace dysel::store;
+using fed::Stamp;
+
+namespace {
+
+constexpr const char *kDev = "cpu/test-device/c8@3.60GHz";
+
+/** One record version: a payload qualified by (tick, origin). */
+SelectionRecord
+makeRecord(const std::string &sig, unsigned bucket, std::uint64_t tick,
+           std::uint32_t origin, const std::string &variant,
+           std::uint64_t launches)
+{
+    SelectionRecord rec;
+    rec.signature = sig;
+    rec.device = kDev;
+    rec.bucket = bucket;
+    rec.selected = variant == "fast" ? 1 : 0;
+    rec.selectedName = variant;
+    rec.profiles = {{"slow", 4000, 4200, 3900, 128},
+                    {"fast", 1000, 1100, 950, 128}};
+    rec.launches = launches;
+    rec.profiledLaunches = 1;
+    rec.unitTimeNs = 10.0 + static_cast<double>(tick);
+    rec.stamp = Stamp{tick, origin};
+    rec.vv.observe(origin, tick);
+    rec.profileCid = tick * 100 + origin;
+    rec.profileOrigin = origin;
+    return rec;
+}
+
+BlacklistEntry
+makeBlacklist(const std::string &sig, std::uint64_t tick,
+              std::uint32_t origin, std::uint64_t strikes)
+{
+    BlacklistEntry e;
+    e.signature = sig;
+    e.variant = "oob-writer";
+    e.device = kDev;
+    e.reason = "redzone@" + std::to_string(origin);
+    e.strikes = strikes;
+    e.stamp = Stamp{tick, origin};
+    return e;
+}
+
+ExtensionEntry
+makeExtension(const std::string &name, std::uint64_t tick,
+              std::uint32_t origin)
+{
+    ExtensionEntry e;
+    e.name = name;
+    support::Json v = support::Json::object();
+    v.set("trained_by", support::Json(origin));
+    v.set("rounds", support::Json(tick));
+    e.value = std::move(v);
+    e.stamp = Stamp{tick, origin};
+    return e;
+}
+
+/** Serialized identity: what "byte-identical stores" means. */
+std::string
+dumpOf(const SelectionRecord &rec)
+{
+    return recordToJson(rec).dump(0);
+}
+
+std::string
+dumpOf(const BlacklistEntry &e)
+{
+    return blacklistToJson(e).dump(0);
+}
+
+std::string
+dumpOf(const ExtensionEntry &e)
+{
+    support::Json doc = support::Json::object();
+    doc.set("name", support::Json(e.name));
+    doc.set("value", e.value);
+    doc.set("tick", support::Json(e.stamp.tick));
+    doc.set("origin", support::Json(e.stamp.origin));
+    return doc.dump(0);
+}
+
+/** Draw a record version with a fresh, never-repeated stamp. */
+SelectionRecord
+randomRecord(std::mt19937_64 &rng,
+             std::set<std::pair<std::uint64_t, std::uint32_t>> &used,
+             const std::string &sig, unsigned bucket)
+{
+    for (;;) {
+        const std::uint64_t tick = rng() % 64 + 1;
+        const auto origin = static_cast<std::uint32_t>(rng() % 5);
+        if (!used.insert({tick, origin}).second)
+            continue; // (tick, origin) pairs are unique in real runs
+        const char *variant = rng() % 2 ? "fast" : "slow";
+        return makeRecord(sig, bucket, tick, origin, variant,
+                          rng() % 100);
+    }
+}
+
+} // namespace
+
+TEST(FedMerge, RecordLawsHoldOnRandomizedTriples)
+{
+    std::mt19937_64 rng(0xD75E1u);
+    for (int round = 0; round < 500; ++round) {
+        std::set<std::pair<std::uint64_t, std::uint32_t>> used;
+        const auto a = randomRecord(rng, used, "k", 11);
+        const auto b = randomRecord(rng, used, "k", 11);
+        const auto c = randomRecord(rng, used, "k", 11);
+
+        // Commutative, idempotent, associative.
+        EXPECT_EQ(dumpOf(fed::mergeRecord(a, b)),
+                  dumpOf(fed::mergeRecord(b, a)));
+        EXPECT_EQ(dumpOf(fed::mergeRecord(a, a)), dumpOf(a));
+        EXPECT_EQ(dumpOf(fed::mergeRecord(fed::mergeRecord(a, b), c)),
+                  dumpOf(fed::mergeRecord(a, fed::mergeRecord(b, c))));
+
+        // Freshest evidence wins; histories always join.
+        const auto m = fed::mergeRecord(a, b);
+        const auto &winner = fed::newerStamp(b.stamp, a.stamp) ? b : a;
+        EXPECT_EQ(m.selectedName, winner.selectedName);
+        EXPECT_EQ(m.stamp.tick, winner.stamp.tick);
+        EXPECT_EQ(m.stamp.origin, winner.stamp.origin);
+        EXPECT_TRUE(m.vv.contains(a.vv));
+        EXPECT_TRUE(m.vv.contains(b.vv));
+    }
+}
+
+TEST(FedMerge, BlacklistLawsHoldAndStrikesNeverShrink)
+{
+    std::mt19937_64 rng(0xB1AC5u);
+    for (int round = 0; round < 500; ++round) {
+        const auto a = makeBlacklist("k", rng() % 64 + 1,
+                                     static_cast<std::uint32_t>(rng() % 5),
+                                     rng() % 10 + 1);
+        const auto b = makeBlacklist("k", rng() % 64 + 1,
+                                     static_cast<std::uint32_t>(rng() % 5),
+                                     rng() % 10 + 1);
+        const auto c = makeBlacklist("k", rng() % 64 + 1,
+                                     static_cast<std::uint32_t>(rng() % 5),
+                                     rng() % 10 + 1);
+        EXPECT_EQ(dumpOf(fed::mergeBlacklist(a, b)),
+                  dumpOf(fed::mergeBlacklist(b, a)));
+        EXPECT_EQ(dumpOf(fed::mergeBlacklist(a, a)), dumpOf(a));
+        EXPECT_EQ(
+            dumpOf(fed::mergeBlacklist(fed::mergeBlacklist(a, b), c)),
+            dumpOf(fed::mergeBlacklist(a, fed::mergeBlacklist(b, c))));
+
+        // Grow-only: the merged strike count dominates both sides,
+        // whichever stamp carried the reason.
+        const auto m = fed::mergeBlacklist(a, b);
+        EXPECT_GE(m.strikes, a.strikes);
+        EXPECT_GE(m.strikes, b.strikes);
+    }
+}
+
+TEST(FedMerge, ExtensionLawsHold)
+{
+    std::mt19937_64 rng(0xE47E9u);
+    for (int round = 0; round < 500; ++round) {
+        const auto a = makeExtension("model", rng() % 64 + 1,
+                                     static_cast<std::uint32_t>(rng() % 5));
+        const auto b = makeExtension("model", rng() % 64 + 1,
+                                     static_cast<std::uint32_t>(rng() % 5));
+        const auto c = makeExtension("model", rng() % 64 + 1,
+                                     static_cast<std::uint32_t>(rng() % 5));
+        EXPECT_EQ(dumpOf(fed::mergeExtension(a, b)),
+                  dumpOf(fed::mergeExtension(b, a)));
+        EXPECT_EQ(dumpOf(fed::mergeExtension(a, a)), dumpOf(a));
+        EXPECT_EQ(
+            dumpOf(fed::mergeExtension(fed::mergeExtension(a, b), c)),
+            dumpOf(fed::mergeExtension(a, fed::mergeExtension(b, c))));
+    }
+}
+
+TEST(FedMerge, EqualTicksResolveByOriginEverywhere)
+{
+    // Concurrent writes can collide on the tick; the origin tie-break
+    // must pick the same winner at every replica.
+    const auto a = makeRecord("k", 11, 7, 1, "slow", 3);
+    const auto b = makeRecord("k", 11, 7, 4, "fast", 9);
+    const auto ab = fed::mergeRecord(a, b);
+    const auto ba = fed::mergeRecord(b, a);
+    EXPECT_EQ(dumpOf(ab), dumpOf(ba));
+    EXPECT_EQ(ab.selectedName, "fast"); // higher origin wins the tie
+    EXPECT_EQ(ab.stamp.origin, 4u);
+}
+
+TEST(FedMerge, ApplyRemoteClassifiesAppliedMergedStale)
+{
+    SelectionStore store;
+    store.setReplica(0);
+
+    // A remote record over empty local state installs.
+    const auto v1 = makeRecord("k", 11, 5, 1, "slow", 1);
+    EXPECT_EQ(store.applyRemoteRecord(v1), SelectionStore::Apply::Applied);
+
+    // The identical record again: fully covered, a no-op.
+    EXPECT_EQ(store.applyRemoteRecord(v1), SelectionStore::Apply::Stale);
+
+    // An older stamp with an unseen history: payload keeps, vv grows.
+    auto old = makeRecord("k", 11, 3, 2, "fast", 8);
+    EXPECT_EQ(store.applyRemoteRecord(old),
+              SelectionStore::Apply::Merged);
+    auto rec = store.lookup("k", kDev, 2048);
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(rec->selectedName, "slow"); // the fresher payload held
+    EXPECT_TRUE(rec->vv.contains(old.vv));
+
+    // A fresher stamp replaces the payload.
+    const auto v2 = makeRecord("k", 11, 9, 2, "fast", 2);
+    EXPECT_EQ(store.applyRemoteRecord(v2), SelectionStore::Apply::Applied);
+    rec = store.lookup("k", kDev, 2048);
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(rec->selectedName, "fast");
+
+    // Blacklist: same classification, plus grow-only strikes.
+    const auto b1 = makeBlacklist("k", 4, 1, 6);
+    EXPECT_EQ(store.applyRemoteBlacklist(b1),
+              SelectionStore::Apply::Applied);
+    EXPECT_EQ(store.applyRemoteBlacklist(makeBlacklist("k", 2, 0, 1)),
+              SelectionStore::Apply::Stale);
+    EXPECT_EQ(store.applyRemoteBlacklist(makeBlacklist("k", 2, 0, 9)),
+              SelectionStore::Apply::Merged);
+    ASSERT_EQ(store.blacklistEntries().size(), 1u);
+    EXPECT_EQ(store.blacklistEntries()[0].strikes, 9u);
+
+    // Extensions: pure last-writer-wins.
+    EXPECT_EQ(store.applyRemoteExtension(makeExtension("m", 5, 1)),
+              SelectionStore::Apply::Applied);
+    EXPECT_EQ(store.applyRemoteExtension(makeExtension("m", 4, 4)),
+              SelectionStore::Apply::Stale);
+    EXPECT_EQ(store.applyRemoteExtension(makeExtension("m", 6, 0)),
+              SelectionStore::Apply::Applied);
+    EXPECT_EQ(store.extension("m")->intOr("rounds", 0), 6);
+}
+
+TEST(FedMerge, ThousandsOfShuffledInterleavingsConverge)
+{
+    // The headline property: every store that absorbs the same SET of
+    // writes -- in its own shuffled order, with duplicates -- ends up
+    // byte-identical.  400 rounds x 5 replicas = 2000 distinct
+    // interleavings, all from one seed.
+    std::mt19937_64 rng(0xFEDC0DEu);
+    constexpr int kRounds = 400;
+    constexpr int kReplicas = 5;
+
+    for (int round = 0; round < kRounds; ++round) {
+        // One round's write set: a few keys, several versions each,
+        // plus contended blacklist entries and extensions.
+        std::vector<SelectionRecord> recWrites;
+        std::vector<BlacklistEntry> blWrites;
+        std::vector<ExtensionEntry> extWrites;
+        const unsigned keys = 2 + static_cast<unsigned>(rng() % 4);
+        for (unsigned k = 0; k < keys; ++k) {
+            std::set<std::pair<std::uint64_t, std::uint32_t>> used;
+            const std::string sig = "sig" + std::to_string(k);
+            const unsigned versions = 1 + static_cast<unsigned>(rng() % 4);
+            for (unsigned v = 0; v < versions; ++v)
+                recWrites.push_back(randomRecord(rng, used, sig, 11));
+        }
+        for (int i = 0; i < 3; ++i)
+            blWrites.push_back(makeBlacklist(
+                "sig0", rng() % 64 + 1,
+                static_cast<std::uint32_t>(rng() % 5), rng() % 10 + 1));
+        for (int i = 0; i < 3; ++i)
+            extWrites.push_back(makeExtension(
+                "model", rng() % 64 + 1,
+                static_cast<std::uint32_t>(rng() % 5)));
+
+        // Index the writes as (kind, index) so one shuffle covers all
+        // three item types interleaved.
+        std::vector<std::pair<int, std::size_t>> ops;
+        for (std::size_t i = 0; i < recWrites.size(); ++i)
+            ops.push_back({0, i});
+        for (std::size_t i = 0; i < blWrites.size(); ++i)
+            ops.push_back({1, i});
+        for (std::size_t i = 0; i < extWrites.size(); ++i)
+            ops.push_back({2, i});
+
+        std::vector<std::string> finals;
+        for (int r = 0; r < kReplicas; ++r) {
+            auto seq = ops;
+            std::shuffle(seq.begin(), seq.end(), rng);
+            // Duplicate a random prefix back in: redelivery.
+            const std::size_t dup = rng() % (seq.size() + 1);
+            seq.insert(seq.end(), seq.begin(),
+                       seq.begin() + static_cast<std::ptrdiff_t>(dup));
+            std::shuffle(seq.begin(), seq.end(), rng);
+
+            SelectionStore store;
+            store.setReplica(static_cast<std::uint32_t>(r));
+            for (const auto &[kind, idx] : seq) {
+                if (kind == 0)
+                    store.applyRemoteRecord(recWrites[idx]);
+                else if (kind == 1)
+                    store.applyRemoteBlacklist(blWrites[idx]);
+                else
+                    store.applyRemoteExtension(extWrites[idx]);
+            }
+            finals.push_back(store.toJson().dump(0));
+        }
+        for (int r = 1; r < kReplicas; ++r)
+            ASSERT_EQ(finals[0], finals[static_cast<std::size_t>(r)])
+                << "round " << round << " replica " << r
+                << " diverged";
+    }
+}

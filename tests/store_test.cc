@@ -11,6 +11,7 @@
 #include <sstream>
 #include <gtest/gtest.h>
 
+#include "dysel/fed/delta.hh"
 #include "dysel/store/selection_store.hh"
 
 using namespace dysel;
@@ -557,7 +558,9 @@ namespace {
  * Golden documents: the byte-for-byte shape each historical format
  * version wrote, frozen as literals so a loader regression cannot
  * hide behind toJson() changing in lockstep.  v1 predates quarantine,
- * v2 predates the blacklist, v3 predates predictions / extensions.
+ * v2 predates the blacklist, v3 predates predictions / extensions,
+ * v4 predates the federation envelope (Lamport stamps, version
+ * vectors, profiling provenance), v5 is current.
  */
 constexpr const char *kGoldenV1 = R"({
   "records": [
@@ -646,6 +649,98 @@ constexpr const char *kGoldenV3 = R"({
   "version": 3
 })";
 
+constexpr const char *kGoldenV4 = R"({
+  "blacklist": [
+    {
+      "device": "cpu/test-device/c8@3.60GHz",
+      "reason": "redzone",
+      "signature": "gold",
+      "strikes": 2,
+      "variant": "oob-writer"
+    }
+  ],
+  "extensions": {
+    "predictor": {"weights": 3}
+  },
+  "records": [
+    {
+      "bucket": 11,
+      "confidence": 3,
+      "cooldown_left": 0,
+      "device": "cpu/test-device/c8@3.60GHz",
+      "launches": 7,
+      "predicted": false,
+      "predicted_confidence": 0.0,
+      "profiled_launches": 2,
+      "profiles": [
+        {"busy_ns": 3900, "metric_ns": 4000, "name": "slow",
+         "span_ns": 4200, "units": 128},
+        {"busy_ns": 950, "metric_ns": 1000, "name": "fast",
+         "span_ns": 1100, "units": 128}
+      ],
+      "quarantined_variant": -1,
+      "quarantines": 0,
+      "selected": 1,
+      "selected_name": "fast",
+      "signature": "gold",
+      "unit_time_ns": 12.5,
+      "valid": true
+    }
+  ],
+  "version": 4
+})";
+
+constexpr const char *kGoldenV5 = R"({
+  "blacklist": [
+    {
+      "device": "cpu/test-device/c8@3.60GHz",
+      "reason": "redzone",
+      "signature": "gold",
+      "stamp_origin": 2,
+      "stamp_tick": 9,
+      "strikes": 2,
+      "variant": "oob-writer"
+    }
+  ],
+  "extension_stamps": {
+    "predictor": {"origin": 1, "tick": 14}
+  },
+  "extensions": {
+    "predictor": {"weights": 3}
+  },
+  "records": [
+    {
+      "bucket": 11,
+      "confidence": 3,
+      "cooldown_left": 0,
+      "device": "cpu/test-device/c8@3.60GHz",
+      "launches": 7,
+      "predicted": false,
+      "predicted_confidence": 0.0,
+      "profile_cid": 4242,
+      "profile_origin": 2,
+      "profiled_launches": 2,
+      "profiles": [
+        {"busy_ns": 3900, "metric_ns": 4000, "name": "slow",
+         "span_ns": 4200, "units": 128},
+        {"busy_ns": 950, "metric_ns": 1000, "name": "fast",
+         "span_ns": 1100, "units": 128}
+      ],
+      "quarantined_variant": -1,
+      "quarantines": 0,
+      "selected": 1,
+      "selected_name": "fast",
+      "signature": "gold",
+      "stamp_origin": 2,
+      "stamp_tick": 17,
+      "unit_time_ns": 12.5,
+      "valid": true,
+      "vv": {"0": 5, "2": 17}
+    }
+  ],
+  "version": 5
+})";
+
 } // namespace
 
 TEST(SelectionStore, GoldenV1DocumentLoads)
@@ -699,15 +794,62 @@ TEST(SelectionStore, GoldenV3DocumentLoadsBlacklist)
     EXPECT_EQ(store.blacklistEntries()[0].strikes, 2u);
 }
 
-TEST(SelectionStore, GoldenDocumentsRoundTripThroughV4)
+TEST(SelectionStore, GoldenV4DocumentLoadsPredictionsAndExtensions)
+{
+    SelectionStore store;
+    store.loadJson(support::Json::parse(kGoldenV4));
+    ASSERT_EQ(store.size(), 1u);
+    auto rec = store.lookup("gold", kDev, 2048);
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_FALSE(rec->predicted);
+    EXPECT_TRUE(store.isBlacklisted("gold", "oob-writer", kDev));
+    auto ext = store.extension("predictor");
+    ASSERT_TRUE(ext.has_value());
+    EXPECT_EQ(ext->intOr("weights", 0), 3);
+    // v4 never stamped anything; the loader stamps everything fresh
+    // so two replicas seeded from the same legacy file cannot present
+    // identical stamps over possibly-diverging payloads.
+    EXPECT_GT(rec->stamp.tick, 0u);
+    EXPECT_EQ(rec->profileCid, 0u);
+}
+
+TEST(SelectionStore, GoldenV5DocumentLoadsFederationEnvelope)
+{
+    SelectionStore store;
+    store.loadJson(support::Json::parse(kGoldenV5));
+    ASSERT_EQ(store.size(), 1u);
+    auto rec = store.lookup("gold", kDev, 2048);
+    ASSERT_TRUE(rec.has_value());
+    // The causal metadata must survive exactly: stamps decide every
+    // future merge, the version vector decides staleness, and the
+    // provenance fields are the cross-replica trace link.
+    EXPECT_EQ(rec->stamp.tick, 17u);
+    EXPECT_EQ(rec->stamp.origin, 2u);
+    EXPECT_EQ(rec->vv.ticks.at(0u), 5u);
+    EXPECT_EQ(rec->vv.ticks.at(2u), 17u);
+    EXPECT_EQ(rec->profileCid, 4242u);
+    EXPECT_EQ(rec->profileOrigin, 2u);
+    ASSERT_EQ(store.blacklistEntries().size(), 1u);
+    EXPECT_EQ(store.blacklistEntries()[0].stamp.tick, 9u);
+    EXPECT_EQ(store.blacklistEntries()[0].stamp.origin, 2u);
+    ASSERT_EQ(store.extensionEntries().size(), 1u);
+    EXPECT_EQ(store.extensionEntries()[0].stamp.tick, 14u);
+    EXPECT_EQ(store.extensionEntries()[0].stamp.origin, 1u);
+    // The Lamport clock resumes past the freshest loaded stamp, so
+    // the first post-load local write outranks the whole document.
+    EXPECT_EQ(store.lamportClock(), 17u);
+}
+
+TEST(SelectionStore, GoldenDocumentsRoundTripThroughV5)
 {
     // Loading any historical version and saving re-emits the current
     // format with nothing dropped.
-    for (const char *golden : {kGoldenV1, kGoldenV2, kGoldenV3}) {
+    for (const char *golden :
+         {kGoldenV1, kGoldenV2, kGoldenV3, kGoldenV4, kGoldenV5}) {
         SelectionStore store;
         store.loadJson(support::Json::parse(golden));
         const support::Json doc = store.toJson();
-        EXPECT_EQ(doc.intOr("version", 0), 4);
+        EXPECT_EQ(doc.intOr("version", 0), 5);
 
         SelectionStore again;
         again.loadJson(doc);
@@ -726,6 +868,99 @@ TEST(SelectionStore, GoldenDocumentsRoundTripThroughV4)
                       after[i].profiles.size());
         }
     }
+}
+
+namespace {
+
+/** A well-formed one-record delta to mutate in the corruption tests. */
+support::Json
+healthyDelta()
+{
+    SelectionStore store;
+    store.setReplica(3);
+    store.recordProfile(kDev, profiledReport("gold", 2048));
+    fed::Delta d;
+    d.replica = 3;
+    d.incarnation = 0xabcdef0123456789ull;
+    d.seqHigh = 1;
+    d.records = store.records();
+    return fed::encodeDelta(d);
+}
+
+} // namespace
+
+TEST(FedDelta, EncodeDecodeRoundTrip)
+{
+    const support::Json doc = healthyDelta();
+    fed::Delta out;
+    ASSERT_TRUE(fed::decodeDelta(doc, out).ok());
+    EXPECT_EQ(out.replica, 3u);
+    EXPECT_EQ(out.incarnation, 0xabcdef0123456789ull);
+    EXPECT_EQ(out.seqHigh, 1u);
+    ASSERT_EQ(out.records.size(), 1u);
+    EXPECT_EQ(out.records[0].signature, "gold");
+    EXPECT_EQ(out.records[0].stamp.origin, 3u);
+    EXPECT_TRUE(out.blacklist.empty());
+    EXPECT_TRUE(out.extensions.empty());
+}
+
+TEST(FedDelta, TruncatedPayloadTextIsRejectedByTheParser)
+{
+    // A half-written HTTP body dies in Json::parse, before decode.
+    const std::string whole = healthyDelta().dump(0);
+    const std::string truncated = whole.substr(0, whole.size() / 2);
+    EXPECT_THROW(support::Json::parse(truncated), std::runtime_error);
+}
+
+TEST(FedDelta, GarbledPayloadsAreTypedErrorsAndLeaveOutUntouched)
+{
+    // Every corruption below must surface as INVALID_ARGUMENT --
+    // never a throw, never a partial application -- because deltas
+    // arrive from half-dead peers over the network.
+    fed::Delta out;
+    out.replica = 42;
+    out.seqHigh = 99;
+
+    // Not an object at all.
+    auto st = fed::decodeDelta(support::Json::array(), out);
+    EXPECT_EQ(st.code(), support::StatusCode::InvalidArgument);
+
+    // A future wire version.
+    support::Json vnext = healthyDelta();
+    vnext.set("fed_version", support::Json(2));
+    st = fed::decodeDelta(vnext, out);
+    EXPECT_EQ(st.code(), support::StatusCode::InvalidArgument);
+
+    // Truncated framing: seq_high missing.
+    support::Json noseq = support::Json::object();
+    noseq.set("fed_version", support::Json(1));
+    noseq.set("replica", support::Json(3));
+    noseq.set("incarnation", support::Json("00ff"));
+    st = fed::decodeDelta(noseq, out);
+    EXPECT_EQ(st.code(), support::StatusCode::InvalidArgument);
+    EXPECT_NE(st.message().find("truncated or garbled"),
+              std::string::npos);
+
+    // Garbled record: an entry missing its key fields.
+    support::Json badrec = healthyDelta();
+    support::Json recs = support::Json::array();
+    recs.push(support::Json::object());
+    badrec.set("records", std::move(recs));
+    st = fed::decodeDelta(badrec, out);
+    EXPECT_EQ(st.code(), support::StatusCode::InvalidArgument);
+    EXPECT_NE(st.message().find("truncated or garbled"),
+              std::string::npos);
+
+    // Wrong kind in the records slot.
+    support::Json badkind = healthyDelta();
+    badkind.set("records", support::Json("not-an-array"));
+    st = fed::decodeDelta(badkind, out);
+    EXPECT_EQ(st.code(), support::StatusCode::InvalidArgument);
+
+    // No failure above touched the output delta.
+    EXPECT_EQ(out.replica, 42u);
+    EXPECT_EQ(out.seqHigh, 99u);
+    EXPECT_TRUE(out.records.empty());
 }
 
 TEST(SelectionStore, PredictedFieldsAndExtensionsRoundTrip)

@@ -24,6 +24,13 @@
  *     numbers are not, and the structural advantage it checks (one
  *     launch serving a whole batch) is far above 2x by construction.
  *
+ *   fleet_federation -- dyseld --fleet.  The federation acceptance
+ *     gates (DESIGN §13): every submitted job completed, no key was
+ *     profiled on more than one replica (exactly-once fleet-wide
+ *     profiling economy), the aggregate store hit rate reached at
+ *     least 0.95, and the replicas converged to byte-identical
+ *     stores after the drain barrier.
+ *
  * Exits 0 when the report validates, 1 with a diagnostic otherwise.
  */
 #include <cmath>
@@ -325,6 +332,88 @@ checkServiceThroughput(const Json &root, const char *path)
     return 0;
 }
 
+/** The minimum aggregate store hit rate a federated fleet storm must
+ * reach: near every launch after the one profiling pass per key must
+ * be served warm, locally or via a peer. */
+constexpr double kMinFleetHitRate = 0.95;
+
+/** Validate a BENCH_fleet_federation.json report. */
+int
+checkFleetFederation(const Json &root, const char *path)
+{
+    for (const char *key :
+         {"replicas", "jobs_submitted", "jobs_completed", "store_hits",
+          "fleet_hit_rate", "fed_warm_hits", "fed_leases",
+          "fed_fallbacks", "profiled_keys", "duplicate_profiled_keys",
+          "converged", "per_replica"})
+        if (!root.has(key))
+            return fail(std::string("missing top-level '") + key + "'");
+
+    const double replicas = root.numberOr("replicas", 0);
+    if (replicas < 2)
+        return fail("fewer than 2 replicas: nothing federates");
+
+    const Json &perReplica = root.at("per_replica");
+    if (!perReplica.isArray()
+        || perReplica.items().size() != static_cast<std::size_t>(replicas))
+        return fail("'per_replica' is not an array of 'replicas' "
+                    "reports");
+    for (std::size_t i = 0; i < perReplica.items().size(); ++i) {
+        const Json &rep = perReplica.items()[i];
+        const std::string name = "per_replica[" + std::to_string(i) + "]";
+        if (!rep.isObject() || !rep.has("jobs") || !rep.has("fed"))
+            return fail(name + " is missing 'jobs' or 'fed'");
+        const Json &jobs = rep.at("jobs");
+        if (jobs.numberOr("submitted", 0) <= 0)
+            return fail(name + ": no jobs were submitted");
+        if (jobs.numberOr("failed", -1) != 0)
+            return fail(name + ": jobs failed");
+    }
+
+    // Every job terminal: a fleet storm that sheds or fails work can
+    // fake a high hit rate on the survivors.
+    const double submitted = root.numberOr("jobs_submitted", 0);
+    const double completed = root.numberOr("jobs_completed", -1);
+    if (submitted <= 0)
+        return fail("no jobs were submitted");
+    if (completed != submitted)
+        return fail("job accounting does not reconcile ("
+                    + std::to_string(submitted) + " submitted vs "
+                    + std::to_string(completed) + " completed)");
+
+    // Exactly-once fleet-wide profiling: rendezvous ownership plus the
+    // lease protocol must keep any (signature, device, bucket) key
+    // from being profiled on two replicas.
+    const double profiledKeys = root.numberOr("profiled_keys", 0);
+    if (profiledKeys <= 0)
+        return fail("no keys were profiled: the storm never went cold");
+    const double duplicates = root.numberOr("duplicate_profiled_keys", -1);
+    if (duplicates != 0)
+        return fail(std::to_string(duplicates)
+                    + " keys were profiled on more than one replica");
+
+    // The relative performance gate: with one profiling pass per key
+    // fleet-wide, nearly every launch must be a store hit.
+    const double hitRate = root.numberOr("fleet_hit_rate", 0);
+    if (!std::isfinite(hitRate) || hitRate < kMinFleetHitRate)
+        return fail("fleet store hit rate " + std::to_string(hitRate)
+                    + " below gate "
+                    + std::to_string(kMinFleetHitRate));
+
+    // Byte-identical convergence after the drain barrier.
+    if (!root.boolOr("converged", false))
+        return fail("replicas did not converge to identical stores");
+
+    std::cout << "bench_check: " << path << " ok (" << replicas
+              << " replicas, " << submitted << " jobs, hit rate "
+              << hitRate << ", " << profiledKeys
+              << " keys profiled exactly once, warm hits "
+              << root.numberOr("fed_warm_hits", 0) << ", leases "
+              << root.numberOr("fed_leases", 0) << ", fallbacks "
+              << root.numberOr("fed_fallbacks", 0) << ", converged)\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -356,5 +445,7 @@ main(int argc, char **argv)
         return checkServiceThroughput(root, argv[1]);
     if (bench == "batch_throughput")
         return checkBatchThroughput(root, argv[1]);
+    if (bench == "fleet_federation")
+        return checkFleetFederation(root, argv[1]);
     return fail("unknown bench '" + bench + "'");
 }

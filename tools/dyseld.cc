@@ -43,6 +43,18 @@
  * at most SEC seconds or until GET /quitquitquit -- the hook CI uses
  * to scrape a live service deterministically.  --audit-rate R samples
  * that fraction of warm hits through the selection-quality auditor.
+ *
+ * Fleet federation (DESIGN §13): `--loadgen --replica-id R
+ * --fleet-size N --peer HOST:PORT...` joins this loadgen run to a
+ * replicated fleet -- the selection store gossips deltas with every
+ * peer over the admin HTTP front (which federation therefore
+ * requires), cold keys are profiled only by their rendezvous-hash
+ * owner, and after the storm the run blocks until the fleet's stores
+ * converge byte-identically.  `dyseld --fleet N` is the one-command
+ * driver: it forks N federated loadgen replicas of itself on
+ * consecutive admin ports, waits, cross-checks convergence and the
+ * fleet-wide exactly-once profiling invariant, and writes the
+ * aggregated BENCH_fleet_federation.json.
  */
 #include <atomic>
 #include <chrono>
@@ -51,10 +63,16 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "dysel/fed/replicator.hh"
 #include "dysel/predict/predictor.hh"
 #include "serve/admin/admin_plane.hh"
 #include "serve/dispatch_service.hh"
@@ -109,6 +127,19 @@ struct Options
     unsigned adminHoldSec = 0;
     /** --audit-rate R: selection-quality audit sampling rate. */
     double auditRate = 0.0;
+
+    /** Federation (DESIGN §13): this replica's id and fleet shape. */
+    std::uint32_t replicaId = 0;
+    std::uint32_t fleetSize = 1;
+    /** --peer HOST:PORT, repeatable: the other replicas' admin fronts. */
+    std::vector<std::string> peers;
+    int syncIntervalMs = 25;
+    /** Post-storm convergence wait before declaring divergence. */
+    int quiesceTimeoutMs = 20000;
+
+    /** --fleet N: fork N federated loadgen replicas and aggregate. */
+    unsigned fleetProcs = 0;
+    std::string fleetJson = "BENCH_fleet_federation.json";
 };
 
 /**
@@ -122,10 +153,11 @@ class AdminRunner
   public:
     support::Status attach(std::uint16_t port,
                            serve::DispatchService &svc,
-                           const predict::SelectionPredictor *predictor)
+                           const predict::SelectionPredictor *predictor,
+                           fed::Replicator *fedp = nullptr)
     {
-        plane_ = std::make_unique<serve::admin::AdminPlane>(svc,
-                                                            predictor);
+        plane_ = std::make_unique<serve::admin::AdminPlane>(
+            svc, predictor, fedp);
         return server_.start(
             port, [this](const support::net::HttpRequest &req) {
                 support::net::HttpResponse out;
@@ -182,12 +214,49 @@ runLoadGenMode(const Options &opt)
     cfg.batchWindowNs = opt.batchWindowNs;
     cfg.auditRate = opt.auditRate;
 
+    // Federation: the store is shared with a Replicator that gossips
+    // it over the admin HTTP front, so federation requires --admin.
+    const bool federated = !opt.peers.empty() || opt.fleetSize > 1;
+    store::SelectionStore fedStore;
+    std::unique_ptr<fed::Replicator> replicator;
+    bool fedConverged = true;
+    if (federated) {
+        if (opt.adminPort < 0) {
+            std::cerr << "dyseld: federation requires --admin PORT "
+                         "(peers pull /fed/delta from it)\n";
+            return 1;
+        }
+        if (opt.predict) {
+            std::cerr << "dyseld: --predict and federation are "
+                         "mutually exclusive in loadgen mode\n";
+            return 1;
+        }
+        if (opt.load) {
+            const support::Status loaded =
+                fedStore.loadFile(opt.storePath);
+            if (!loaded.ok()
+                && loaded.code() != support::StatusCode::NotFound) {
+                std::cerr << "dyseld: " << loaded.toString() << '\n';
+                return 1;
+            }
+        }
+        fed::ReplicatorConfig rcfg;
+        rcfg.replica = opt.replicaId;
+        rcfg.fleetSize = opt.fleetSize;
+        rcfg.peers = opt.peers;
+        rcfg.syncIntervalMs = opt.syncIntervalMs;
+        replicator =
+            std::make_unique<fed::Replicator>(fedStore, rcfg);
+        cfg.externalStore = &fedStore;
+        cfg.federation = replicator.get();
+    }
+
     AdminRunner admin;
     if (opt.adminPort >= 0) {
         cfg.onStart = [&](serve::DispatchService &svc) {
             const support::Status st = admin.attach(
                 static_cast<std::uint16_t>(opt.adminPort), svc,
-                nullptr);
+                nullptr, replicator.get());
             if (st.ok())
                 std::cout << "admin plane on http://127.0.0.1:"
                           << admin.port() << "/\n"
@@ -195,14 +264,41 @@ runLoadGenMode(const Options &opt)
             else
                 std::cerr << "dyseld: admin plane failed: "
                           << st.toString() << '\n';
+            if (replicator) {
+                replicator->start();
+                // Hold the storm until the fleet is connected: a
+                // cold miss against an unreachable owner profiles
+                // locally, which is safe but duplicates the fleet's
+                // one profiling pass.
+                if (!replicator->awaitPeers(opt.quiesceTimeoutMs))
+                    std::cerr << "dyseld: warning: not all peers "
+                                 "reachable; cold misses may "
+                                 "profile locally\n";
+            }
         };
         cfg.onStop = [&](serve::DispatchService &) {
+            if (replicator) {
+                // Drain-time anti-entropy: advertise drained, then
+                // keep syncing until every replica reports our exact
+                // store digest (or the timeout says divergence).
+                replicator->markDrained();
+                fedConverged = replicator->awaitQuiescence(
+                    opt.quiesceTimeoutMs);
+                std::cout << "federation: "
+                          << (fedConverged ? "converged"
+                                           : "NOT CONVERGED")
+                          << ", " << fedStore.size()
+                          << " records fleet-wide\n"
+                          << std::flush;
+            }
             if (opt.adminHoldSec > 0) {
                 std::cout << "admin hold: up to " << opt.adminHoldSec
                           << "s (GET /quitquitquit to release)\n"
                           << std::flush;
                 admin.hold(opt.adminHoldSec);
             }
+            if (replicator)
+                replicator->stop();
             admin.detach();
         };
     }
@@ -283,6 +379,14 @@ runLoadGenMode(const Options &opt)
             .cell(rep.auditProbeFailures);
         table.row().cell("audit mean regret").cell(rep.auditMeanRegret, 4);
     }
+    if (federated) {
+        table.row().cell("fed warm hits").cell(rep.fedWarmHits);
+        table.row().cell("fed leases").cell(rep.fedLeases);
+        table.row().cell("fed fallbacks").cell(rep.fedFallbacks);
+        table.row()
+            .cell("fed profiled keys")
+            .cell(static_cast<std::uint64_t>(rep.profiledKeys.size()));
+    }
     table.print(std::cout);
 
     if (!opt.loadgenJson.empty()) {
@@ -307,7 +411,225 @@ runLoadGenMode(const Options &opt)
                      "reconcile\n";
         return 1;
     }
+    if (federated && opt.save) {
+        const support::Status saved = fedStore.saveFile(opt.storePath);
+        if (!saved.ok()) {
+            std::cerr << "dyseld: " << saved.toString() << '\n';
+            return 1;
+        }
+        std::cout << "saved " << fedStore.size() << " records to "
+                  << opt.storePath << '\n';
+    }
+    if (federated && !fedConverged) {
+        std::cerr << "dyseld: fleet stores did not converge within "
+                  << opt.quiesceTimeoutMs << " ms\n";
+        return 1;
+    }
     return 0;
+}
+
+/**
+ * `dyseld --fleet N`: fork N federated loadgen replicas of this
+ * binary on consecutive admin ports, wait for all of them, then
+ * verify fleet-wide convergence (byte-identical saved stores) and
+ * the exactly-once profiling invariant from the per-replica reports,
+ * and write the aggregated BENCH_fleet_federation.json.
+ */
+int
+runFleetMode(const Options &opt, int argc, char **argv)
+{
+    const unsigned n = opt.fleetProcs;
+    const int basePort = opt.adminPort >= 0 ? opt.adminPort : 18490;
+    auto storePath = [&](unsigned r) {
+        return opt.storePath + ".replica" + std::to_string(r);
+    };
+    auto reportPath = [&](unsigned r) {
+        return opt.storePath + ".report" + std::to_string(r) + ".json";
+    };
+
+    // Pass the user's loadgen shape through; strip the driver flag
+    // and everything the driver assigns per replica.
+    std::vector<std::string> base;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        const bool takesValue =
+            a == "--fleet" || a == "--store" || a == "--admin"
+            || a == "--loadgen-json" || a == "--replica-id"
+            || a == "--fleet-size" || a == "--peer"
+            || a == "--fleet-json";
+        if (takesValue) {
+            if (i + 1 < argc)
+                ++i;
+            continue;
+        }
+        if (a == "--loadgen" || a == "--no-load" || a == "--no-save")
+            continue;
+        base.push_back(a);
+    }
+
+    std::vector<pid_t> pids;
+    for (unsigned r = 0; r < n; ++r) {
+        std::vector<std::string> args;
+        args.push_back("dyseld");
+        args.insert(args.end(), base.begin(), base.end());
+        args.push_back("--loadgen");
+        args.push_back("--no-load");
+        args.push_back("--replica-id");
+        args.push_back(std::to_string(r));
+        args.push_back("--fleet-size");
+        args.push_back(std::to_string(n));
+        for (unsigned p = 0; p < n; ++p) {
+            if (p == r)
+                continue;
+            args.push_back("--peer");
+            args.push_back("127.0.0.1:"
+                           + std::to_string(basePort + p));
+        }
+        args.push_back("--admin");
+        args.push_back(std::to_string(basePort + r));
+        args.push_back("--store");
+        args.push_back(storePath(r));
+        args.push_back("--loadgen-json");
+        args.push_back(reportPath(r));
+
+        const pid_t pid = fork();
+        if (pid < 0) {
+            std::cerr << "dyseld: fork failed\n";
+            return 1;
+        }
+        if (pid == 0) {
+            std::vector<char *> cargs;
+            for (auto &a : args)
+                cargs.push_back(a.data());
+            cargs.push_back(nullptr);
+            execv("/proc/self/exe", cargs.data());
+            std::cerr << "dyseld: execv failed\n";
+            _exit(127);
+        }
+        pids.push_back(pid);
+    }
+
+    bool childrenOk = true;
+    for (unsigned r = 0; r < n; ++r) {
+        int status = 0;
+        waitpid(pids[r], &status, 0);
+        const bool ok =
+            WIFEXITED(status) && WEXITSTATUS(status) == 0;
+        if (!ok) {
+            std::cerr << "dyseld: replica " << r
+                      << " exited with status " << status << '\n';
+            childrenOk = false;
+        }
+    }
+
+    // Cross-check convergence from the saved stores: the serialized
+    // form excludes local-only state (seqs, hit counters), so
+    // converged replicas dump byte-identical documents.
+    bool converged = childrenOk;
+    std::vector<std::string> dumps;
+    for (unsigned r = 0; r < n; ++r) {
+        store::SelectionStore st;
+        const support::Status loaded = st.loadFile(storePath(r));
+        if (!loaded.ok()) {
+            std::cerr << "dyseld: replica " << r << " store: "
+                      << loaded.toString() << '\n';
+            converged = false;
+            dumps.push_back("");
+            continue;
+        }
+        dumps.push_back(st.toJson().dump(0));
+    }
+    for (unsigned r = 1; r < dumps.size(); ++r)
+        if (dumps[r] != dumps[0])
+            converged = false;
+
+    // Aggregate the per-replica reports: fleet hit rate plus the
+    // exactly-once invariant (no key profiled by two replicas -- or
+    // twice by one).
+    std::uint64_t submitted = 0, completed = 0, storeHits = 0;
+    std::uint64_t warmHits = 0, leases = 0, fallbacks = 0;
+    std::set<std::string> seenKeys;
+    std::uint64_t duplicateKeys = 0;
+    support::Json perReplica = support::Json::array();
+    for (unsigned r = 0; r < n; ++r) {
+        std::ifstream in(reportPath(r));
+        std::stringstream ss;
+        ss << in.rdbuf();
+        support::Json rep;
+        try {
+            rep = support::Json::parse(ss.str());
+        } catch (const std::exception &e) {
+            std::cerr << "dyseld: replica " << r << " report: "
+                      << e.what() << '\n';
+            converged = false;
+            continue;
+        }
+        submitted += static_cast<std::uint64_t>(
+            rep.at("jobs").at("submitted").asNumber());
+        completed += static_cast<std::uint64_t>(
+            rep.at("jobs").at("completed").asNumber());
+        storeHits += static_cast<std::uint64_t>(
+            rep.at("store_hits").asNumber());
+        const support::Json &fed = rep.at("fed");
+        warmHits += static_cast<std::uint64_t>(
+            fed.at("warm_hits").asNumber());
+        leases +=
+            static_cast<std::uint64_t>(fed.at("leases").asNumber());
+        fallbacks += static_cast<std::uint64_t>(
+            fed.at("fallbacks").asNumber());
+        for (const support::Json &k :
+             fed.at("profiled_key_list").items()) {
+            if (!seenKeys.insert(k.asString()).second)
+                duplicateKeys++;
+        }
+        perReplica.push(std::move(rep));
+    }
+    const double fleetHitRate =
+        submitted > 0
+            ? static_cast<double>(storeHits)
+                  / static_cast<double>(submitted)
+            : 0.0;
+
+    support::Json out = support::Json::object();
+    out.set("bench", support::Json("fleet_federation"));
+    out.set("replicas", support::Json(n));
+    out.set("jobs_submitted",
+            support::Json(static_cast<double>(submitted)));
+    out.set("jobs_completed",
+            support::Json(static_cast<double>(completed)));
+    out.set("store_hits",
+            support::Json(static_cast<double>(storeHits)));
+    out.set("fleet_hit_rate", support::Json(fleetHitRate));
+    out.set("fed_warm_hits",
+            support::Json(static_cast<double>(warmHits)));
+    out.set("fed_leases", support::Json(static_cast<double>(leases)));
+    out.set("fed_fallbacks",
+            support::Json(static_cast<double>(fallbacks)));
+    out.set("profiled_keys",
+            support::Json(static_cast<double>(seenKeys.size())));
+    out.set("duplicate_profiled_keys",
+            support::Json(static_cast<double>(duplicateKeys)));
+    out.set("converged", support::Json(converged));
+    out.set("per_replica", std::move(perReplica));
+
+    std::ofstream outFile(opt.fleetJson);
+    if (!outFile) {
+        std::cerr << "dyseld: cannot write " << opt.fleetJson << '\n';
+        return 1;
+    }
+    outFile << out.dump(2) << '\n';
+    if (!outFile.flush()) {
+        std::cerr << "dyseld: fleet report write failed\n";
+        return 1;
+    }
+
+    std::cout << "fleet: " << n << " replicas, " << submitted
+              << " jobs, hit rate " << fleetHitRate << ", "
+              << seenKeys.size() << " keys profiled ("
+              << duplicateKeys << " duplicates), "
+              << (converged ? "converged" : "NOT CONVERGED")
+              << "; wrote " << opt.fleetJson << '\n';
+    return converged && duplicateKeys == 0 ? 0 : 1;
 }
 
 /** One submitted job's bookkeeping: the workload instance (owns the
@@ -525,6 +847,27 @@ main(int argc, char **argv)
                 static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (arg == "--audit-rate" && i + 1 < argc) {
             opt.auditRate = std::atof(argv[++i]);
+        } else if (arg == "--replica-id" && i + 1 < argc) {
+            opt.replicaId =
+                static_cast<std::uint32_t>(std::atoi(argv[++i]));
+        } else if (arg == "--fleet-size" && i + 1 < argc) {
+            opt.fleetSize =
+                static_cast<std::uint32_t>(std::atoi(argv[++i]));
+        } else if (arg == "--peer" && i + 1 < argc) {
+            opt.peers.push_back(argv[++i]);
+        } else if (arg == "--sync-interval-ms" && i + 1 < argc) {
+            opt.syncIntervalMs = std::atoi(argv[++i]);
+        } else if (arg == "--quiesce-timeout-ms" && i + 1 < argc) {
+            opt.quiesceTimeoutMs = std::atoi(argv[++i]);
+        } else if (arg == "--fleet" && i + 1 < argc) {
+            opt.fleetProcs =
+                static_cast<unsigned>(std::atoi(argv[++i]));
+            if (opt.fleetProcs < 2) {
+                std::cerr << "dyseld: --fleet needs N >= 2\n";
+                return 1;
+            }
+        } else if (arg == "--fleet-json" && i + 1 < argc) {
+            opt.fleetJson = argv[++i];
         } else {
             std::cerr << "usage: dyseld [--store FILE] [--no-load] "
                          "[--no-save] [--metrics text|json|prom] "
@@ -546,6 +889,14 @@ main(int argc, char **argv)
                          "[--predict-threshold X] "
                          "[--predict-pretrain N] [--seed S] "
                          "[--loadgen-json FILE]\n"
+                         "       federation (with --loadgen --admin): "
+                         "[--replica-id R] [--fleet-size N] "
+                         "[--peer HOST:PORT]... "
+                         "[--sync-interval-ms MS] "
+                         "[--quiesce-timeout-ms MS]\n"
+                         "       dyseld --fleet N [loadgen flags] "
+                         "[--fleet-json FILE]  (multi-process fleet "
+                         "storm)\n"
                          "       common: [--admin PORT] "
                          "[--admin-hold SEC] [--audit-rate R]\n";
             return arg == "--help" ? 0 : 1;
@@ -567,6 +918,9 @@ main(int argc, char **argv)
             return 1;
         }
     }
+
+    if (opt.fleetProcs >= 2)
+        return runFleetMode(opt, argc, argv);
 
     if (opt.loadgen)
         return runLoadGenMode(opt);
